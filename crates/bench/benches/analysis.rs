@@ -1,0 +1,98 @@
+//! Criterion benches for the analysis engines: how expensive is it to *compute* the
+//! probabilistic guarantees the paper argues protocols should report?
+//!
+//! Covers the scaling comparison between exhaustive enumeration (2^N), the counting DP
+//! (O(N³)) and Monte Carlo sampling, plus the full Table 1 / Table 2 regeneration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prob_consensus::analyzer::{analyze, analyze_exact};
+use prob_consensus::counting::FaultCountDistribution;
+use prob_consensus::deployment::Deployment;
+use prob_consensus::montecarlo::monte_carlo_independent;
+use prob_consensus::pbft_model::PbftModel;
+use prob_consensus::raft_model::RaftModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    for n in [5usize, 9, 13, 17] {
+        let deployment = Deployment::uniform_crash(n, 0.02);
+        let model = RaftModel::standard(n);
+        group.bench_with_input(BenchmarkId::new("enumeration", n), &n, |b, _| {
+            b.iter(|| analyze_exact(&model, &deployment))
+        });
+        group.bench_with_input(BenchmarkId::new("counting", n), &n, |b, _| {
+            b.iter(|| analyze(&model, &deployment))
+        });
+    }
+    for n in [25usize, 50, 100, 200] {
+        let deployment = Deployment::uniform_crash(n, 0.02);
+        let model = RaftModel::standard(n);
+        group.bench_with_input(BenchmarkId::new("counting-large", n), &n, |b, _| {
+            b.iter(|| analyze(&model, &deployment))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte-carlo");
+    let deployment = Deployment::uniform_crash(9, 0.08);
+    let model = RaftModel::standard(9);
+    for samples in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("raft-9", samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    monte_carlo_independent(&model, &deployment, samples, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fault_count_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault-count-distribution");
+    for n in [10usize, 50, 100] {
+        let deployment = Deployment::uniform_mixed(n, 0.04, 0.001);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| FaultCountDistribution::from_deployment(&deployment))
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_tables(c: &mut Criterion) {
+    c.bench_function("table1-pbft", |b| {
+        b.iter(|| {
+            for n in [4usize, 5, 7, 8] {
+                analyze(
+                    &PbftModel::standard(n),
+                    &Deployment::uniform_byzantine(n, 0.01),
+                );
+            }
+        })
+    });
+    c.bench_function("table2-raft", |b| {
+        b.iter(|| {
+            for n in [3usize, 5, 7, 9] {
+                for p in [0.01, 0.02, 0.04, 0.08] {
+                    analyze(&RaftModel::standard(n), &Deployment::uniform_crash(n, p));
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_monte_carlo,
+    bench_fault_count_distribution,
+    bench_paper_tables
+);
+criterion_main!(benches);

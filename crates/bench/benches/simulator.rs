@@ -1,0 +1,39 @@
+//! Criterion benches for the discrete-event simulator and the executable protocols:
+//! how much simulated work the validation experiments can afford per second.
+
+use consensus_protocols::harness::{PbftHarness, RaftHarness};
+use consensus_sim::network::NetworkConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_raft_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft-cluster");
+    group.sample_size(10);
+    for n in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut harness = RaftHarness::new(n, NetworkConfig::lan(), 42);
+                harness.submit_commands(10);
+                harness.run_for_millis(1_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pbft_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft-cluster");
+    group.sample_size(10);
+    for n in [4usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut harness = PbftHarness::new(n, NetworkConfig::lan(), 42);
+                harness.submit_commands(10);
+                harness.run_for_millis(1_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raft_cluster, bench_pbft_cluster);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! `repro` — regenerates every table and quantitative claim from the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro -- all
+//! cargo run -p bench --release --bin repro -- table1 table2 claim-tradeoff
+//! cargo run -p bench --release --bin repro -- --list
+//! ```
+
+use std::process::ExitCode;
+
+fn run_experiment(id: &str) -> Result<(), String> {
+    match id {
+        "table1" => println!("{}", bench::table1()),
+        "table2" => println!("{}", bench::table2()),
+        "claim-three-nines" => println!("{}", bench::claim_three_nines()),
+        "claim-cheap-nodes" => {
+            let (table, eq) = bench::claim_cheap_nodes();
+            println!("{table}");
+            println!(
+                "Cost reduction: {:.2}x (paper: ~3x with 10x cheaper nodes)\n",
+                eq.cost_reduction_factor()
+            );
+        }
+        "claim-quorum-overkill" => println!("{}", bench::claim_quorum_overkill()),
+        "claim-heterogeneous" => {
+            let (table, _) = bench::claim_heterogeneous();
+            println!("{table}");
+        }
+        "claim-tradeoff" => println!("{}", bench::claim_tradeoff()),
+        "claim-durability" => {
+            let (table, _) = bench::claim_durability();
+            println!("{table}");
+        }
+        "sim-validation" => {
+            let (table, _) = bench::sim_validation(&[3, 5], 0.08, 200, 2026);
+            println!("{table}");
+        }
+        "native-quorum" => println!("{}", bench::native_quorum()),
+        "native-leader" => println!("{}", bench::native_leader()),
+        "native-committee" => println!("{}", bench::native_committee()),
+        "fault-curves" => println!("{}", bench::fault_curves()),
+        other => return Err(format!("unknown experiment id '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("repro — regenerate the paper's tables and claims\n");
+        println!("usage: repro [--list] <experiment-id>... | all\n");
+        println!("experiments:");
+        for id in bench::EXPERIMENT_IDS {
+            println!("  {id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in bench::EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        bench::EXPERIMENT_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        println!("=== {id} ===");
+        if let Err(err) = run_experiment(id) {
+            eprintln!("error: {err}");
+            eprintln!("run with --list to see the available experiments");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,532 @@
+//! Experiment implementations behind the `repro` harness.
+//!
+//! Every table and quantitative claim in the paper's evaluation has a function here that
+//! recomputes it and returns a formatted [`Table`] (see DESIGN.md for the experiment
+//! index). The `repro` binary prints them; the unit tests in this crate and the
+//! integration tests at the workspace root assert the headline numbers.
+
+use fault_model::curve::WeibullCurve;
+use fault_model::metrics::HOURS_PER_YEAR;
+use fault_model::mode::FaultProfile;
+use fault_model::node::{Fleet, NodeSpec};
+use prob_consensus::analyzer::analyze;
+use prob_consensus::committee::committee_vs_full_cluster;
+use prob_consensus::cost::{cost_equivalence, default_catalogue, CostEquivalence};
+use prob_consensus::deployment::Deployment;
+use prob_consensus::durability::{durability_claim, DurabilityClaim};
+use prob_consensus::dynamic_quorum::{smallest_raft_quorums, trigger_quorum_comparison};
+use prob_consensus::heterogeneity::{heterogeneity_analysis, HeterogeneityAnalysis};
+use prob_consensus::leader::{leader_failure_probability, LeaderPolicy};
+use prob_consensus::montecarlo::monte_carlo_independent;
+use prob_consensus::pbft_model::PbftModel;
+use prob_consensus::raft_model::RaftModel;
+use prob_consensus::report::{percent, Table};
+use prob_consensus::timevarying::{reliability_trajectory, summarize};
+use prob_consensus::tradeoff::{compare, pbft_sweep};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use consensus_protocols::harness::RaftHarness;
+use consensus_protocols::raft::RaftConfig;
+use consensus_sim::fault::FaultSchedule;
+use consensus_sim::network::NetworkConfig;
+use consensus_sim::time::SimTime;
+
+/// Experiment `table1`: PBFT reliability at uniform p_u = 1% (Table 1 of the paper).
+pub fn table1() -> Table {
+    let mut table = Table::new(
+        "Table 1: PBFT reliability, uniform p_u = 1%",
+        &[
+            "N",
+            "|Q_eq|",
+            "|Q_per|",
+            "|Q_vc|",
+            "|Q_vc_t|",
+            "Safe %",
+            "Live %",
+            "Safe and Live %",
+        ],
+    );
+    for n in [4usize, 5, 7, 8] {
+        let model = PbftModel::standard(n);
+        let report = analyze(&model, &Deployment::uniform_byzantine(n, 0.01));
+        table.push_row(vec![
+            n.to_string(),
+            model.q_eq().to_string(),
+            model.q_per().to_string(),
+            model.q_vc().to_string(),
+            model.q_vc_t().to_string(),
+            report.safe.as_percent(),
+            report.live.as_percent(),
+            report.safe_and_live.as_percent(),
+        ]);
+    }
+    table
+}
+
+/// Experiment `table2`: Raft reliability for uniform node failure p_u (Table 2).
+pub fn table2() -> Table {
+    let mut table = Table::new(
+        "Table 2: Raft reliability for uniform node failure p_u",
+        &[
+            "N", "|Q_per|", "|Q_vc|", "S&L p=1%", "S&L p=2%", "S&L p=4%", "S&L p=8%",
+        ],
+    );
+    for n in [3usize, 5, 7, 9] {
+        let model = RaftModel::standard(n);
+        let mut row = vec![
+            n.to_string(),
+            model.q_per().to_string(),
+            model.q_vc().to_string(),
+        ];
+        for p in [0.01, 0.02, 0.04, 0.08] {
+            let report = analyze(&model, &Deployment::uniform_crash(n, p));
+            row.push(report.safe_and_live.as_percent());
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Experiment `claim-three-nines`: "Raft with N = 3 is only 3 nines safe and live".
+pub fn claim_three_nines() -> Table {
+    let mut table = Table::new(
+        "Claim: f-threshold protocols are not 100% reliable (Raft N=3, p_u=1%)",
+        &["Metric", "Value"],
+    );
+    let report = analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.01));
+    table.push_row(vec!["Safe".into(), report.safe.as_percent()]);
+    table.push_row(vec!["Live".into(), report.live.as_percent()]);
+    table.push_row(vec![
+        "Safe and live".into(),
+        report.safe_and_live.as_percent(),
+    ]);
+    table.push_row(vec![
+        "Nines (safe and live)".into(),
+        format!("{:.2}", report.safe_and_live.nines()),
+    ]);
+    table
+}
+
+/// Experiment `claim-cheap-nodes`: nine 8% spot nodes match three 1% on-demand nodes at
+/// roughly a third of the cost.
+pub fn claim_cheap_nodes() -> (Table, CostEquivalence) {
+    let catalogue = default_catalogue();
+    let eq = cost_equivalence(&catalogue[0], &catalogue[1], 3, 9, RaftModel::standard);
+    let mut table = Table::new(
+        "Claim: larger networks of less reliable nodes can help",
+        &["Deployment", "S&L", "$ / hour", "Cost vs baseline"],
+    );
+    table.push_row(vec![
+        format!("{} x {} (p=1%)", eq.baseline.n, eq.baseline.instance.name),
+        eq.baseline.report.safe_and_live.as_percent(),
+        format!("{:.2}", eq.baseline.hourly_cost),
+        "1.00x".into(),
+    ]);
+    table.push_row(vec![
+        format!(
+            "{} x {} (p=8%)",
+            eq.alternative.n, eq.alternative.instance.name
+        ),
+        eq.alternative.report.safe_and_live.as_percent(),
+        format!("{:.2}", eq.alternative.hourly_cost),
+        format!("{:.2}x cheaper", eq.cost_reduction_factor()),
+    ]);
+    (table, eq)
+}
+
+/// Experiment `claim-quorum-overkill`: linear-size trigger quorums vs probabilistic
+/// sampling at N = 100, p_u = 1%.
+pub fn claim_quorum_overkill() -> Table {
+    let comparison = trigger_quorum_comparison(100, 0.01, 1.0 - 1e-10);
+    let mut table = Table::new(
+        "Claim: linear size quorums can be overkill (N=100, p_u=1%)",
+        &["Rule", "|Q_vc_t|", "P(contains a correct node)"],
+    );
+    table.push_row(vec![
+        "f-threshold (f+1)".into(),
+        comparison.f_threshold_size.to_string(),
+        "1 (worst-case guarantee)".into(),
+    ]);
+    table.push_row(vec![
+        "probabilistic sample".into(),
+        comparison.probabilistic_size.to_string(),
+        percent(comparison.achieved),
+    ]);
+    table
+}
+
+/// Experiment `claim-heterogeneous`: the 7-node heterogeneous Raft example of §3.2.
+pub fn claim_heterogeneous() -> (Table, HeterogeneityAnalysis) {
+    let baseline = Deployment::uniform_crash(7, 0.08);
+    let analysis = heterogeneity_analysis(&baseline, 3, FaultProfile::crash_only(0.01), 4, |d| {
+        analyze(&RaftModel::standard(7), d).safe_and_live
+    });
+    let mut table = Table::new(
+        "Claim: Raft and PBFT underutilize reliable nodes (7-node Raft)",
+        &["Configuration", "Value"],
+    );
+    table.push_row(vec![
+        "S&L, 7 x 8% nodes".into(),
+        analysis.baseline_safe_and_live.as_percent(),
+    ]);
+    table.push_row(vec![
+        "S&L, 3 nodes upgraded to 1%".into(),
+        analysis.upgraded_safe_and_live.as_percent(),
+    ]);
+    table.push_row(vec![
+        "Durability, fault-curve-oblivious quorum".into(),
+        analysis.oblivious_durability.as_percent(),
+    ]);
+    table.push_row(vec![
+        "Durability, quorum must include a reliable node".into(),
+        analysis.aware_durability.as_percent(),
+    ]);
+    (table, analysis)
+}
+
+/// Experiment `claim-tradeoff`: the hidden safety/liveness trade-off between 4-, 5- and
+/// 7-node PBFT at p_u = 1%.
+pub fn claim_tradeoff() -> Table {
+    let points = pbft_sweep(&[4, 5, 7], 0.01);
+    let mut table = Table::new(
+        "Claim: hidden safety/liveness trade-off (PBFT, p_u = 1%)",
+        &["N", "Safe %", "Live %", "Relative cost"],
+    );
+    for p in &points {
+        table.push_row(vec![
+            p.n.to_string(),
+            p.report.safe.as_percent(),
+            p.report.live.as_percent(),
+            format!("{:.2}x", p.relative_cost / points[0].relative_cost),
+        ]);
+    }
+    let c = compare(&points[0], &points[1]);
+    table.push_row(vec![
+        "5 vs 4".into(),
+        format!("{:.0}x safer", c.safety_improvement),
+        format!("{:.2}x less live", c.liveness_degradation),
+        format!("{:.2}x", c.cost_ratio),
+    ]);
+    table
+}
+
+/// Experiment `claim-durability`: the §4 durability argument at N = 100, |Q_per| = 10,
+/// p_u = 10%.
+pub fn claim_durability() -> (Table, DurabilityClaim) {
+    let deployment = Deployment::uniform_crash(100, 0.10);
+    let claim = durability_claim(&deployment, 10);
+    let mut table = Table::new(
+        "Claim: |Q_per| faults rarely mean data loss (N=100, |Q_per|=10, p_u=10%)",
+        &["Quantity", "Probability"],
+    );
+    table.push_row(vec![
+        "At least |Q_per| simultaneous faults".into(),
+        format!("{:.3}", claim.p_threshold_exceeded),
+    ]);
+    table.push_row(vec![
+        "Faults cover the last persistence quorum".into(),
+        format!("{:.2e}", claim.p_data_loss),
+    ]);
+    table.push_row(vec![
+        "Pessimism factor".into(),
+        format!("{:.2e}", claim.pessimism_factor()),
+    ]);
+    (table, claim)
+}
+
+/// The result of one simulation-validation cell: analytic prediction vs. empirical rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationCell {
+    /// Cluster size.
+    pub n: usize,
+    /// Per-node fault probability.
+    pub p: f64,
+    /// Analytic P[safe ∧ live] from the counting engine.
+    pub analytic: f64,
+    /// Empirical fraction of simulated runs that were safe and live.
+    pub empirical: f64,
+    /// Number of simulated runs.
+    pub trials: usize,
+}
+
+/// Experiment `sim-validation`: run the executable Raft under fault schedules sampled
+/// from the analysis deployment and compare the observed safe-and-live rate with the
+/// analytic prediction.
+pub fn sim_validation(
+    ns: &[usize],
+    p: f64,
+    trials: usize,
+    seed: u64,
+) -> (Table, Vec<ValidationCell>) {
+    let mut table = Table::new(
+        format!("Simulation validation: Raft, p_u = {}%", p * 100.0),
+        &["N", "Analytic S&L", "Empirical S&L", "Trials"],
+    );
+    let mut cells = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &n in ns {
+        let deployment = Deployment::uniform_crash(n, p);
+        let analytic = analyze(&RaftModel::standard(n), &deployment)
+            .safe_and_live
+            .probability();
+        let mut ok = 0usize;
+        for trial in 0..trials {
+            let schedule = FaultSchedule::sample_from_profiles(
+                deployment.profiles(),
+                SimTime::from_millis(200),
+                &mut rng,
+            );
+            let mut harness = RaftHarness::with_config(
+                RaftConfig::standard(n),
+                NetworkConfig::lan(),
+                seed ^ (trial as u64) << 8 | n as u64,
+            )
+            .with_faults(&schedule);
+            harness.submit_commands(3);
+            let outcome = harness.run_for_millis(2_500);
+            // Liveness only counts if a quorum of correct nodes even exists; agreement
+            // must hold regardless.
+            if outcome.safe_and_live() {
+                ok += 1;
+            }
+        }
+        let empirical = ok as f64 / trials as f64;
+        table.push_row(vec![
+            n.to_string(),
+            percent(analytic),
+            percent(empirical),
+            trials.to_string(),
+        ]);
+        cells.push(ValidationCell {
+            n,
+            p,
+            analytic,
+            empirical,
+            trials,
+        });
+    }
+    (table, cells)
+}
+
+/// Experiment `native-quorum`: dynamic quorum sizing on fleets of different reliability.
+pub fn native_quorum() -> Table {
+    let mut table = Table::new(
+        "Probability-native: smallest Raft quorums meeting 3 nines (N = 9)",
+        &["Fleet", "|Q_per|", "|Q_vc|", "Achieved S&L"],
+    );
+    for (label, p) in [("p=0.1%", 0.001), ("p=1%", 0.01), ("p=4%", 0.04)] {
+        let d = Deployment::uniform_crash(9, p);
+        match smallest_raft_quorums(&d, 3.0) {
+            Some(sizing) => table.push_row(vec![
+                label.to_string(),
+                sizing.model.q_per().to_string(),
+                sizing.model.q_vc().to_string(),
+                percent(sizing.achieved),
+            ]),
+            None => table.push_row(vec![
+                label.to_string(),
+                "-".into(),
+                "-".into(),
+                "target unreachable".into(),
+            ]),
+        }
+    }
+    table
+}
+
+/// Experiment `native-leader`: reliability-aware vs oblivious leader selection.
+pub fn native_leader() -> Table {
+    let deployment = Deployment::from_profiles(vec![
+        FaultProfile::crash_only(0.08),
+        FaultProfile::crash_only(0.08),
+        FaultProfile::crash_only(0.04),
+        FaultProfile::crash_only(0.01),
+        FaultProfile::crash_only(0.01),
+    ]);
+    let mut table = Table::new(
+        "Probability-native: leader selection policies (5-node heterogeneous fleet)",
+        &["Policy", "P(leader fails within the window)"],
+    );
+    for (label, policy) in [
+        ("oblivious (fleet average)", LeaderPolicy::Oblivious),
+        ("most reliable node", LeaderPolicy::MostReliable),
+        ("worst case", LeaderPolicy::WorstCase),
+    ] {
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.3}", leader_failure_probability(&deployment, policy)),
+        ]);
+    }
+    table
+}
+
+/// Experiment `native-committee`: running consensus on a reliable committee instead of
+/// the whole fleet.
+pub fn native_committee() -> Table {
+    let mut profiles = vec![FaultProfile::crash_only(0.005); 5];
+    profiles.extend(vec![FaultProfile::crash_only(0.08); 10]);
+    let deployment = Deployment::from_profiles(profiles);
+    let cmp = committee_vs_full_cluster(&deployment, 5, RaftModel::standard);
+    let mut table = Table::new(
+        "Probability-native: committee of reliable nodes vs full 15-node fleet",
+        &["Configuration", "S&L", "Participation"],
+    );
+    table.push_row(vec![
+        "full fleet (15 nodes)".into(),
+        cmp.full_cluster.safe_and_live.as_percent(),
+        "100%".into(),
+    ]);
+    table.push_row(vec![
+        "committee (5 most reliable)".into(),
+        cmp.committee.safe_and_live.as_percent(),
+        format!("{:.0}%", cmp.participation_fraction * 100.0),
+    ]);
+    table
+}
+
+/// Experiment `fault-curves`: time-varying guarantees on an aging fleet and the impact of
+/// correlated failures.
+pub fn fault_curves() -> Table {
+    // An aging 5-node fleet on a wear-out Weibull curve.
+    let fleet: Fleet = (0..5)
+        .map(|i| {
+            NodeSpec::with_constant_crash(i, 0.0, HOURS_PER_YEAR)
+                .with_crash_curve(Arc::new(WeibullCurve::new(3.0, 70_000.0)))
+                .with_age(10_000.0)
+        })
+        .collect();
+    let trajectory = reliability_trajectory(
+        &RaftModel::standard(5),
+        &fleet,
+        HOURS_PER_YEAR / 4.0,
+        5.0 * HOURS_PER_YEAR,
+        HOURS_PER_YEAR,
+    );
+    let mut table = Table::new(
+        "Fault curves: quarterly S&L of an aging 5-node Raft fleet (wear-out Weibull)",
+        &["Years from now", "S&L over the next quarter"],
+    );
+    for point in &trajectory {
+        table.push_row(vec![
+            format!("{:.0}", point.at_hours / HOURS_PER_YEAR),
+            point.report.safe_and_live.as_percent(),
+        ]);
+    }
+    let summary = summarize(&trajectory, 3.0);
+    table.push_row(vec![
+        "worst point".into(),
+        format!(
+            "{} (target held: {})",
+            percent(summary.worst_probability),
+            summary.target_held
+        ),
+    ]);
+    table
+}
+
+/// Cross-check used by `fault-curves`/tests: Monte Carlo agrees with the counting engine.
+pub fn monte_carlo_crosscheck(n: usize, p: f64, samples: usize, seed: u64) -> (f64, f64) {
+    let deployment = Deployment::uniform_crash(n, p);
+    let model = RaftModel::standard(n);
+    let analytic = analyze(&model, &deployment).safe_and_live.probability();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mc = monte_carlo_independent(&model, &deployment, samples, &mut rng);
+    (analytic, mc.safe_and_live.value)
+}
+
+/// All experiment ids understood by the `repro` binary, in DESIGN.md order.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "table1",
+    "table2",
+    "claim-three-nines",
+    "claim-cheap-nodes",
+    "claim-quorum-overkill",
+    "claim-heterogeneous",
+    "claim-tradeoff",
+    "claim-durability",
+    "sim-validation",
+    "native-quorum",
+    "native-leader",
+    "native-committee",
+    "fault-curves",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_rows_matching_the_paper() {
+        let t = table1();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.rows()[0][5], "99.94%");
+        assert_eq!(t.rows()[1][5], "99.9990%");
+        assert_eq!(t.rows()[2][7], "99.997%");
+    }
+
+    #[test]
+    fn table2_has_four_rows_matching_the_paper() {
+        let t = table2();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.rows()[0][3], "99.97%");
+        assert_eq!(t.rows()[3][6], "99.97%");
+    }
+
+    #[test]
+    fn cheap_nodes_claim_holds() {
+        let (_, eq) = claim_cheap_nodes();
+        assert!(eq.cost_reduction_factor() > 3.0);
+        assert!(eq.reliability_matches(0.05));
+    }
+
+    #[test]
+    fn heterogeneous_claim_shape_holds() {
+        let (_, a) = claim_heterogeneous();
+        assert!(a.upgraded_safe_and_live.probability() > a.baseline_safe_and_live.probability());
+        assert!(a.aware_durability.probability() > a.oblivious_durability.probability());
+    }
+
+    #[test]
+    fn durability_claim_matches_paper_orders_of_magnitude() {
+        let (_, c) = claim_durability();
+        assert!((c.p_threshold_exceeded - 0.5).abs() < 0.1);
+        assert!((c.p_data_loss - 1e-10).abs() < 1e-11);
+    }
+
+    #[test]
+    fn quorum_overkill_table_contains_both_rules() {
+        let t = claim_quorum_overkill();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.rows()[0][1], "34");
+        assert_eq!(t.rows()[1][1], "5");
+    }
+
+    #[test]
+    fn monte_carlo_crosscheck_is_close() {
+        let (analytic, empirical) = monte_carlo_crosscheck(5, 0.05, 100_000, 3);
+        assert!((analytic - empirical).abs() < 0.01);
+    }
+
+    #[test]
+    fn sim_validation_tracks_analytic_predictions() {
+        let (_, cells) = sim_validation(&[3], 0.1, 60, 11);
+        let cell = cells[0];
+        // With 60 trials the binomial standard error is ~4 points; allow a wide band.
+        assert!(
+            (cell.analytic - cell.empirical).abs() < 0.12,
+            "analytic {} vs empirical {}",
+            cell.analytic,
+            cell.empirical
+        );
+    }
+
+    #[test]
+    fn every_experiment_id_is_unique() {
+        let mut ids = EXPERIMENT_IDS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), EXPERIMENT_IDS.len());
+    }
+}

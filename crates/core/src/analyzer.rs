@@ -1,0 +1,188 @@
+//! The analysis front-end: pick an engine, return a report in "nines".
+
+use fault_model::metrics::Nines;
+
+use crate::counting::counting_reliability;
+use crate::deployment::Deployment;
+use crate::enumeration::{enumerate_reliability, RawReliability};
+use crate::protocol::{CountingModel, ProtocolModel};
+
+/// Probabilistic safety and liveness guarantees of one protocol on one deployment — the
+/// shape of guarantee the paper argues consensus should report (e.g. "Raft with N = 3 is
+/// only 99.97% safe and live at p_u = 1%").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityReport {
+    /// Probability that the deployment is safe over the mission window.
+    pub safe: Nines,
+    /// Probability that the deployment is live over the mission window.
+    pub live: Nines,
+    /// Probability that the deployment is both safe and live.
+    pub safe_and_live: Nines,
+}
+
+impl ReliabilityReport {
+    /// Wraps raw probabilities.
+    pub fn from_raw(raw: RawReliability) -> Self {
+        let raw = raw.clamped();
+        Self {
+            safe: Nines::from_probability(raw.p_safe),
+            live: Nines::from_probability(raw.p_live),
+            safe_and_live: Nines::from_probability(raw.p_safe_and_live),
+        }
+    }
+
+    /// The probability of a safety violation (complement of safety).
+    pub fn unsafety(&self) -> f64 {
+        self.safe.complement()
+    }
+
+    /// The probability of losing liveness (complement of liveness).
+    pub fn unliveness(&self) -> f64 {
+        self.live.complement()
+    }
+
+    /// Whether both guarantees meet a target expressed in nines.
+    pub fn meets(&self, target_nines: f64) -> bool {
+        self.safe_and_live.meets(target_nines)
+    }
+}
+
+impl std::fmt::Display for ReliabilityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "safe {} | live {} | safe&live {}",
+            self.safe, self.live, self.safe_and_live
+        )
+    }
+}
+
+/// Analyzes a counting model with the exact O(N³) fault-count engine — the default entry
+/// point; exact for independent (possibly heterogeneous) nodes at any practical N.
+pub fn analyze<M: CountingModel + ?Sized>(model: &M, deployment: &Deployment) -> ReliabilityReport {
+    ReliabilityReport::from_raw(counting_reliability(model, deployment))
+}
+
+/// Analyzes an arbitrary (possibly non-counting) model by exhaustive enumeration of
+/// failure configurations. Exponential in the cluster size; intended for N ≲ 20.
+pub fn analyze_exact<M: ProtocolModel + ?Sized>(
+    model: &M,
+    deployment: &Deployment,
+) -> ReliabilityReport {
+    ReliabilityReport::from_raw(enumerate_reliability(model, deployment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbft_model::PbftModel;
+    use crate::raft_model::RaftModel;
+
+    /// Asserts that a computed probability matches a percentage exactly as printed in the
+    /// paper, to within one unit in the paper's last printed digit (the paper's tables
+    /// mix rounding and truncation, so exact string equality is not meaningful).
+    fn assert_matches_paper_percent(probability: f64, paper: &str, context: &str) {
+        let decimals = paper.split('.').nth(1).map_or(0, str::len);
+        let unit = 10f64.powi(-(decimals as i32)) / 100.0;
+        let expected: f64 = paper.parse::<f64>().unwrap() / 100.0;
+        assert!(
+            (probability - expected).abs() <= unit,
+            "{context}: computed {probability} vs paper {paper}% (tolerance {unit})"
+        );
+    }
+
+    /// Table 2 of the paper: Raft "Safe & Live" percentages for uniform p_u.
+    #[test]
+    fn table2_raft_reliability_matches_paper() {
+        let expected: &[(usize, f64, &str)] = &[
+            (3, 0.01, "99.97"),
+            (3, 0.02, "99.88"),
+            (3, 0.04, "99.53"),
+            (3, 0.08, "98.18"),
+            (5, 0.01, "99.9990"),
+            (5, 0.02, "99.992"),
+            (5, 0.04, "99.94"),
+            (5, 0.08, "99.55"),
+            (7, 0.01, "99.99997"),
+            (7, 0.02, "99.9995"),
+            (7, 0.04, "99.992"),
+            (7, 0.08, "99.88"),
+            (9, 0.01, "99.999998"),
+            (9, 0.02, "99.99996"),
+            (9, 0.04, "99.9988"),
+            (9, 0.08, "99.97"),
+        ];
+        for &(n, p, paper) in expected {
+            let report = analyze(&RaftModel::standard(n), &Deployment::uniform_crash(n, p));
+            assert_matches_paper_percent(
+                report.safe_and_live.probability(),
+                paper,
+                &format!("Raft N={n}, p={p}"),
+            );
+            // Safety is structural for standard Raft under crash faults.
+            assert!(report.safe.probability() > 1.0 - 1e-12);
+        }
+    }
+
+    /// Table 1 of the paper: PBFT safety/liveness percentages at p_u = 1%.
+    #[test]
+    fn table1_pbft_reliability_matches_paper() {
+        let expected: &[(usize, &str, &str)] = &[
+            (4, "99.94", "99.94"),
+            (5, "99.9990", "99.90"),
+            (7, "99.997", "99.997"),
+            (8, "99.99993", "99.995"),
+        ];
+        for &(n, safe, live) in expected {
+            let report = analyze(
+                &PbftModel::standard(n),
+                &Deployment::uniform_byzantine(n, 0.01),
+            );
+            assert_matches_paper_percent(
+                report.safe.probability(),
+                safe,
+                &format!("PBFT N={n} safety"),
+            );
+            assert_matches_paper_percent(
+                report.live.probability(),
+                live,
+                &format!("PBFT N={n} liveness"),
+            );
+            assert_matches_paper_percent(
+                report.safe_and_live.probability(),
+                live,
+                &format!("PBFT N={n} safe&live"),
+            );
+        }
+    }
+
+    /// §3.2: "a three-node Raft cluster (p_u = 1%) has equal safety/liveness probability
+    /// as a nine node cluster with p_u = 8%".
+    #[test]
+    fn nine_cheap_nodes_match_three_reliable_nodes() {
+        let three = analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.01));
+        let nine = analyze(&RaftModel::standard(9), &Deployment::uniform_crash(9, 0.08));
+        assert_eq!(three.safe_and_live.as_percent(), "99.97%");
+        assert_eq!(nine.safe_and_live.as_percent(), "99.97%");
+    }
+
+    #[test]
+    fn exact_and_counting_engines_agree() {
+        let model = PbftModel::standard(5);
+        let deployment = Deployment::uniform_byzantine(5, 0.03);
+        let a = analyze(&model, &deployment);
+        let b = analyze_exact(&model, &deployment);
+        assert!((a.safe.probability() - b.safe.probability()).abs() < 1e-12);
+        assert!((a.live.probability() - b.live.probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.01));
+        assert!(report.unsafety() < 1e-12);
+        assert!((report.unliveness() - 2.98e-4).abs() < 5e-6);
+        assert!(report.meets(3.0));
+        assert!(!report.meets(4.0));
+        assert!(format!("{report}").contains("safe&live"));
+    }
+}

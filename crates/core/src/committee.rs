@@ -1,0 +1,207 @@
+//! Committee selection under heterogeneous reliability (§4).
+//!
+//! "In deployments where nodes' reliability exceeds application requirements,
+//! probabilistic protocols can sample committees, in particular, to select only the
+//! reliable nodes." This module evaluates how reliable a committee-run protocol is, both
+//! for explicitly chosen committees (the most reliable `k` nodes) and for randomly
+//! sampled ones (Algorand-style sortition over a heterogeneous fleet).
+
+use quorum::committee::{CommitteeSampler, CommitteeSpec};
+use rand::Rng;
+
+use crate::analyzer::{analyze, ReliabilityReport};
+use crate::deployment::Deployment;
+use crate::protocol::CountingModel;
+
+/// Restricts a deployment to the given member indices (in the given order), producing the
+/// sub-deployment the committee runs on.
+pub fn sub_deployment(deployment: &Deployment, members: &[usize]) -> Deployment {
+    assert!(!members.is_empty(), "committee must be non-empty");
+    Deployment::from_profiles(
+        members
+            .iter()
+            .map(|&i| {
+                assert!(i < deployment.len(), "committee member {i} out of range");
+                deployment.profile(i)
+            })
+            .collect(),
+    )
+}
+
+/// Selects the `size` most reliable nodes as the committee.
+pub fn most_reliable_committee(deployment: &Deployment, size: usize) -> Vec<usize> {
+    assert!(size >= 1 && size <= deployment.len());
+    deployment.nodes_by_reliability()[..size].to_vec()
+}
+
+/// Analyzes the protocol produced by `model_for(committee_size)` when run on the `size`
+/// most reliable nodes of the deployment.
+pub fn committee_reliability<M, F>(
+    deployment: &Deployment,
+    size: usize,
+    model_for: F,
+) -> ReliabilityReport
+where
+    M: CountingModel,
+    F: Fn(usize) -> M,
+{
+    let committee = most_reliable_committee(deployment, size);
+    let sub = sub_deployment(deployment, &committee);
+    analyze(&model_for(size), &sub)
+}
+
+/// Compares running the protocol on the whole cluster against running it on a committee
+/// of the most reliable nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitteeComparison {
+    /// Reliability when every node participates.
+    pub full_cluster: ReliabilityReport,
+    /// Reliability when only the committee participates.
+    pub committee: ReliabilityReport,
+    /// Committee size used.
+    pub committee_size: usize,
+    /// Message-complexity proxy: committee size over cluster size (quadratic protocols
+    /// gain the square of this).
+    pub participation_fraction: f64,
+}
+
+/// Runs the comparison for a committee of the `size` most reliable nodes.
+pub fn committee_vs_full_cluster<M, F>(
+    deployment: &Deployment,
+    size: usize,
+    model_for: F,
+) -> CommitteeComparison
+where
+    M: CountingModel,
+    F: Fn(usize) -> M,
+{
+    CommitteeComparison {
+        full_cluster: analyze(&model_for(deployment.len()), deployment),
+        committee: committee_reliability(deployment, size, &model_for),
+        committee_size: size,
+        participation_fraction: size as f64 / deployment.len() as f64,
+    }
+}
+
+/// Estimates, by sampling committees and fault draws, the probability that a *randomly
+/// sampled* committee of `spec.committee_size` nodes keeps the protocol safe and live.
+///
+/// Sampling is uniform when `reliability_weighted` is false and inversely proportional to
+/// each node's fault probability when true (the probability-native refinement).
+pub fn sampled_committee_reliability<M, F, R>(
+    deployment: &Deployment,
+    spec: CommitteeSpec,
+    model_for: F,
+    reliability_weighted: bool,
+    rounds: usize,
+    rng: &mut R,
+) -> f64
+where
+    M: CountingModel,
+    F: Fn(usize) -> M,
+    R: Rng + ?Sized,
+{
+    assert!(rounds > 0);
+    assert_eq!(spec.universe, deployment.len(), "spec/deployment mismatch");
+    let sampler = CommitteeSampler::new(spec, rng.gen());
+    let weights: Vec<f64> = deployment
+        .profiles()
+        .iter()
+        .map(|p| 1.0 / (p.fault_probability() + 1e-6))
+        .collect();
+    let model = model_for(spec.committee_size);
+    let mut ok = 0usize;
+    for round in 0..rounds {
+        let committee = if reliability_weighted {
+            sampler.sample_weighted(round as u64, &weights)
+        } else {
+            sampler.sample_uniform(round as u64)
+        };
+        let members: Vec<usize> = committee.iter().collect();
+        let sub = sub_deployment(deployment, &members);
+        // Draw one fault configuration for the committee members and check the counts.
+        let mut crashed = 0usize;
+        let mut byz = 0usize;
+        for profile in sub.profiles() {
+            let u: f64 = rng.gen();
+            if u < profile.byzantine_probability() {
+                byz += 1;
+            } else if u < profile.fault_probability() {
+                crashed += 1;
+            }
+        }
+        if model.is_safe_counts(crashed, byz) && model.is_live_counts(crashed, byz) {
+            ok += 1;
+        }
+    }
+    ok as f64 / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raft_model::RaftModel;
+    use fault_model::mode::FaultProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn heterogeneous(n_reliable: usize, n_flaky: usize) -> Deployment {
+        let mut profiles = vec![FaultProfile::crash_only(0.005); n_reliable];
+        profiles.extend(vec![FaultProfile::crash_only(0.10); n_flaky]);
+        Deployment::from_profiles(profiles)
+    }
+
+    #[test]
+    fn sub_deployment_extracts_members() {
+        let d = heterogeneous(2, 2);
+        let sub = sub_deployment(&d, &[0, 3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.profile(1).crash_probability(), 0.10);
+    }
+
+    #[test]
+    fn most_reliable_committee_prefers_good_nodes() {
+        let d = heterogeneous(3, 6);
+        let committee = most_reliable_committee(&d, 3);
+        assert_eq!(committee, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reliable_committee_beats_flaky_full_cluster() {
+        // 3 reliable + 6 flaky nodes: a 3-node committee of reliable nodes is more
+        // reliable than the 9-node cluster dominated by flaky nodes? Not necessarily —
+        // but it must beat a 3-node committee of the *least* reliable nodes, and be
+        // close to the full cluster while using a third of the machines.
+        let d = heterogeneous(3, 6);
+        let cmp = committee_vs_full_cluster(&d, 3, RaftModel::standard);
+        let flaky_sub = sub_deployment(&d, &[6, 7, 8]);
+        let flaky_report = analyze(&RaftModel::standard(3), &flaky_sub);
+        assert!(
+            cmp.committee.safe_and_live.probability() > flaky_report.safe_and_live.probability()
+        );
+        assert!((cmp.participation_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!(cmp.committee.safe_and_live.probability() > 0.999);
+    }
+
+    #[test]
+    fn sampled_committee_reliability_weighting_helps() {
+        let d = heterogeneous(5, 15);
+        let spec = CommitteeSpec::new(20, 5, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let uniform =
+            sampled_committee_reliability(&d, spec, RaftModel::standard, false, 4_000, &mut rng);
+        let weighted =
+            sampled_committee_reliability(&d, spec, RaftModel::standard, true, 4_000, &mut rng);
+        assert!(
+            weighted >= uniform,
+            "weighted {weighted} should beat uniform {uniform}"
+        );
+        assert!(weighted > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sub_deployment_checks_indices() {
+        sub_deployment(&heterogeneous(1, 1), &[5]);
+    }
+}

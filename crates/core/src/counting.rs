@@ -1,0 +1,209 @@
+//! Exact analysis by dynamic programming over fault counts.
+//!
+//! Both Theorem 3.1 and Theorem 3.2 only look at *how many* nodes crashed and how many
+//! are Byzantine. For such [`CountingModel`]s the exact joint distribution of
+//! `(#crashed, #byzantine)` can be computed in O(N³) time for arbitrary heterogeneous
+//! (but independent) per-node probabilities — a Poisson-binomial generalization — which
+//! scales to the 100-node clusters of §4 where 2^N enumeration cannot go.
+
+use crate::deployment::Deployment;
+use crate::enumeration::RawReliability;
+use crate::protocol::CountingModel;
+
+/// The exact joint probability mass function of the number of crashed and Byzantine
+/// nodes in a deployment with independent, heterogeneous per-node profiles.
+#[derive(Debug, Clone)]
+pub struct FaultCountDistribution {
+    n: usize,
+    /// `pmf[c][b]` = P[#crashed = c, #byzantine = b].
+    pmf: Vec<Vec<f64>>,
+}
+
+impl FaultCountDistribution {
+    /// Computes the distribution for a deployment.
+    pub fn from_deployment(deployment: &Deployment) -> Self {
+        let n = deployment.len();
+        let mut pmf = vec![vec![0.0f64; n + 1]; n + 1];
+        pmf[0][0] = 1.0;
+        for (added, profile) in deployment.profiles().iter().enumerate() {
+            let p_crash = profile.crash_probability();
+            let p_byz = profile.byzantine_probability();
+            let p_ok = profile.correct_probability();
+            // Iterate downwards so each node is only counted once.
+            for c in (0..=added).rev() {
+                for b in (0..=(added - c)).rev() {
+                    let mass = pmf[c][b];
+                    if mass == 0.0 {
+                        continue;
+                    }
+                    pmf[c][b] = mass * p_ok;
+                    pmf[c + 1][b] += mass * p_crash;
+                    pmf[c][b + 1] += mass * p_byz;
+                }
+            }
+        }
+        Self { n, pmf }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `P[#crashed = crashed, #byzantine = byzantine]`.
+    pub fn probability(&self, crashed: usize, byzantine: usize) -> f64 {
+        if crashed + byzantine > self.n {
+            return 0.0;
+        }
+        self.pmf[crashed][byzantine]
+    }
+
+    /// `P[#crashed + #byzantine = faulty]`.
+    pub fn probability_total_faults(&self, faulty: usize) -> f64 {
+        (0..=faulty.min(self.n))
+            .map(|c| self.probability(c, faulty - c))
+            .sum()
+    }
+
+    /// `P[#crashed + #byzantine >= faulty]`.
+    pub fn probability_at_least_faults(&self, faulty: usize) -> f64 {
+        (faulty..=self.n)
+            .map(|k| self.probability_total_faults(k))
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    /// Sums `P[c, b]` over all count pairs where `predicate(c, b)` holds.
+    pub fn probability_where(&self, predicate: impl Fn(usize, usize) -> bool) -> f64 {
+        let mut total = 0.0;
+        for c in 0..=self.n {
+            for b in 0..=(self.n - c) {
+                if predicate(c, b) {
+                    total += self.pmf[c][b];
+                }
+            }
+        }
+        total.min(1.0)
+    }
+}
+
+/// Computes the exact safety/liveness probabilities of a counting model under a
+/// deployment with independent (possibly heterogeneous) nodes.
+pub fn counting_reliability<M: CountingModel + ?Sized>(
+    model: &M,
+    deployment: &Deployment,
+) -> RawReliability {
+    assert_eq!(
+        model.num_nodes(),
+        deployment.len(),
+        "model and deployment disagree on the cluster size"
+    );
+    let dist = FaultCountDistribution::from_deployment(deployment);
+    let p_safe = dist.probability_where(|c, b| model.is_safe_counts(c, b));
+    let p_live = dist.probability_where(|c, b| model.is_live_counts(c, b));
+    let p_both = dist.probability_where(|c, b| model.is_safe_and_live_counts(c, b));
+    RawReliability {
+        p_safe,
+        p_live,
+        p_safe_and_live: p_both,
+    }
+    .clamped()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumeration::enumerate_reliability;
+    use crate::pbft_model::PbftModel;
+    use crate::raft_model::RaftModel;
+    use fault_model::mode::FaultProfile;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let d = Deployment::uniform_mixed(9, 0.05, 0.01);
+        let dist = FaultCountDistribution::from_deployment(&d);
+        let total: f64 = (0..=9)
+            .flat_map(|c| (0..=(9 - c)).map(move |b| (c, b)))
+            .map(|(c, b)| dist.probability(c, b))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_crash_distribution_is_binomial() {
+        let d = Deployment::uniform_crash(6, 0.1);
+        let dist = FaultCountDistribution::from_deployment(&d);
+        for k in 0..=6 {
+            let expected = quorum::metrics::binomial_pmf(6, k, 0.1);
+            assert!((dist.probability(k, 0) - expected).abs() < 1e-12);
+            assert!((dist.probability_total_faults(k) - expected).abs() < 1e-12);
+        }
+        assert!((dist.probability_at_least_faults(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counting_matches_enumeration_for_raft() {
+        for (n, p) in [(3usize, 0.01), (5, 0.02), (7, 0.04), (9, 0.08)] {
+            let model = RaftModel::standard(n);
+            let d = Deployment::uniform_crash(n, p);
+            let exact = enumerate_reliability(&model, &d);
+            let fast = counting_reliability(&model, &d);
+            assert!((exact.p_safe - fast.p_safe).abs() < 1e-12);
+            assert!((exact.p_live - fast.p_live).abs() < 1e-12);
+            assert!((exact.p_safe_and_live - fast.p_safe_and_live).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counting_matches_enumeration_for_pbft_mixed_faults() {
+        let model = PbftModel::standard(7);
+        let d = Deployment::uniform_mixed(7, 0.03, 0.005);
+        let exact = enumerate_reliability(&model, &d);
+        let fast = counting_reliability(&model, &d);
+        assert!((exact.p_safe - fast.p_safe).abs() < 1e-12);
+        assert!((exact.p_live - fast.p_live).abs() < 1e-12);
+        assert!((exact.p_safe_and_live - fast.p_safe_and_live).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_profiles_are_exact() {
+        let model = RaftModel::standard(5);
+        let d = Deployment::from_profiles(vec![
+            FaultProfile::crash_only(0.01),
+            FaultProfile::crash_only(0.02),
+            FaultProfile::crash_only(0.08),
+            FaultProfile::crash_only(0.04),
+            FaultProfile::crash_only(0.005),
+        ]);
+        let exact = enumerate_reliability(&model, &d);
+        let fast = counting_reliability(&model, &d);
+        assert!((exact.p_safe_and_live - fast.p_safe_and_live).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_to_one_hundred_nodes() {
+        let model = RaftModel::standard(99);
+        let d = Deployment::uniform_crash(99, 0.1);
+        let r = counting_reliability(&model, &d);
+        assert!(r.p_live > 0.999999);
+        assert_eq!(r.p_safe, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn counting_always_matches_enumeration(
+            n in 3usize..9,
+            p_crash in 0.0..0.3f64,
+            p_byz in 0.0..0.1f64,
+        ) {
+            let model = PbftModel::standard(n);
+            let d = Deployment::uniform_mixed(n, p_crash, p_byz);
+            let exact = enumerate_reliability(&model, &d);
+            let fast = counting_reliability(&model, &d);
+            prop_assert!((exact.p_safe - fast.p_safe).abs() < 1e-9);
+            prop_assert!((exact.p_live - fast.p_live).abs() < 1e-9);
+            prop_assert!((exact.p_safe_and_live - fast.p_safe_and_live).abs() < 1e-9);
+        }
+    }
+}

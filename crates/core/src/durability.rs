@@ -1,0 +1,182 @@
+//! Data-loss (durability) analysis.
+//!
+//! §4 of the paper: quorum systems that enforce durability are conservative because they
+//! assume the worst case — "in theory, they no longer guarantee safety if *any*
+//! combination of |Q_per| nodes fail. But, in reality, the probability that |Q_per|
+//! failures leads to data loss is vanishingly unlikely": in a 100-node cluster with
+//! |Q_per| = 10 and p_u = 10% there is a ~50% chance that 10 nodes fail, but only ~1 in
+//! 10 billion that the failures cover the most recently formed persistence quorum.
+//! This module quantifies both sides of that argument, plus repair-aware MTTDL.
+
+use fault_model::markov::RepairableGroup;
+use fault_model::metrics::Nines;
+
+use crate::counting::FaultCountDistribution;
+use crate::deployment::Deployment;
+
+/// Probability that at least `k` nodes of the deployment are faulty over the window —
+/// the "scary" number the f-threshold model reacts to.
+pub fn probability_at_least_faults(deployment: &Deployment, k: usize) -> f64 {
+    FaultCountDistribution::from_deployment(deployment).probability_at_least_faults(k)
+}
+
+/// Probability that *every* member of `quorum` is faulty over the window — i.e. the most
+/// recently written persistence quorum loses all of its copies.
+///
+/// # Panics
+///
+/// Panics if any member index is out of range or repeated.
+pub fn quorum_loss_probability(deployment: &Deployment, quorum: &[usize]) -> f64 {
+    let mut seen = vec![false; deployment.len()];
+    let mut p = 1.0;
+    for &m in quorum {
+        assert!(m < deployment.len(), "quorum member {m} out of range");
+        assert!(!seen[m], "quorum member {m} repeated");
+        seen[m] = true;
+        p *= deployment.profile(m).fault_probability();
+    }
+    p
+}
+
+/// Durability of data persisted on `quorum`: the probability that at least one member
+/// survives the window.
+pub fn quorum_durability(deployment: &Deployment, quorum: &[usize]) -> Nines {
+    Nines::from_probability(1.0 - quorum_loss_probability(deployment, quorum))
+}
+
+/// The two sides of the paper's §4 durability argument for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurabilityClaim {
+    /// Probability that at least `quorum_size` nodes fail (the f-threshold "alarm").
+    pub p_threshold_exceeded: f64,
+    /// Probability that the specific, most recently formed persistence quorum loses all
+    /// of its members (actual data loss).
+    pub p_data_loss: f64,
+    /// The persistence-quorum size used.
+    pub quorum_size: usize,
+}
+
+impl DurabilityClaim {
+    /// How many times more likely "more than |Q_per| faults" is than actual data loss.
+    pub fn pessimism_factor(&self) -> f64 {
+        if self.p_data_loss == 0.0 {
+            f64::INFINITY
+        } else {
+            self.p_threshold_exceeded / self.p_data_loss
+        }
+    }
+}
+
+/// Evaluates the §4 claim for a deployment: compares the probability of `quorum_size`
+/// simultaneous faults with the probability that a *specific* quorum of the
+/// `quorum_size` least reliable nodes is wiped out.
+pub fn durability_claim(deployment: &Deployment, quorum_size: usize) -> DurabilityClaim {
+    assert!(
+        quorum_size <= deployment.len(),
+        "quorum cannot exceed the deployment"
+    );
+    let p_threshold_exceeded = probability_at_least_faults(deployment, quorum_size);
+    // The adversarial placement: data persisted on the least reliable nodes.
+    let ranked = deployment.nodes_by_reliability();
+    let worst: Vec<usize> = ranked[ranked.len() - quorum_size..].to_vec();
+    let p_data_loss = quorum_loss_probability(deployment, &worst);
+    DurabilityClaim {
+        p_threshold_exceeded,
+        p_data_loss,
+        quorum_size,
+    }
+}
+
+/// Mean time (hours) until more than `tolerated_failures` nodes of an `n`-node group are
+/// down simultaneously, with per-node failure rate `lambda` and repair rate `mu` — the
+/// consensus analogue of MTTDL the storage community computes (§2).
+pub fn consensus_mttdl(n: usize, lambda: f64, mu: f64, tolerated_failures: usize) -> f64 {
+    RepairableGroup::new(n, lambda, mu, tolerated_failures).mean_time_to_threshold_exceeded()
+}
+
+/// Long-run probability that a quorum of `n - tolerated_failures` nodes is available in a
+/// repairable group.
+pub fn steady_state_quorum_availability(
+    n: usize,
+    lambda: f64,
+    mu: f64,
+    tolerated_failures: usize,
+) -> f64 {
+    RepairableGroup::new(n, lambda, mu, tolerated_failures).steady_state_availability()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_model::mode::FaultProfile;
+
+    #[test]
+    fn paper_hundred_node_claim() {
+        // N = 100, |Q_per| = 10, p_u = 10%.
+        let deployment = Deployment::uniform_crash(100, 0.10);
+        let claim = durability_claim(&deployment, 10);
+        // "there is a 50% chance that |Q_per| faults occur"
+        assert!(
+            (claim.p_threshold_exceeded - 0.5).abs() < 0.1,
+            "got {}",
+            claim.p_threshold_exceeded
+        );
+        // "one in ten billion probability" that those faults cover the quorum.
+        assert!((claim.p_data_loss - 1e-10).abs() < 1e-12);
+        assert!(claim.pessimism_factor() > 1e9);
+    }
+
+    #[test]
+    fn quorum_loss_probability_is_product_of_members() {
+        let deployment = Deployment::uniform_crash(5, 0.1);
+        let p = quorum_loss_probability(&deployment, &[0, 1, 2]);
+        assert!((p - 1e-3).abs() < 1e-12);
+        assert!((quorum_durability(&deployment, &[0, 1, 2]).probability() - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_quorum_durability_depends_on_members() {
+        let deployment = Deployment::from_profiles(vec![
+            FaultProfile::crash_only(0.01),
+            FaultProfile::crash_only(0.08),
+            FaultProfile::crash_only(0.08),
+            FaultProfile::crash_only(0.08),
+        ]);
+        let unreliable_only = quorum_loss_probability(&deployment, &[1, 2, 3]);
+        let with_reliable = quorum_loss_probability(&deployment, &[0, 2, 3]);
+        assert!(with_reliable < unreliable_only / 5.0);
+    }
+
+    #[test]
+    fn durability_claim_uses_least_reliable_nodes() {
+        let deployment = Deployment::from_profiles(vec![
+            FaultProfile::crash_only(0.001),
+            FaultProfile::crash_only(0.5),
+            FaultProfile::crash_only(0.5),
+        ]);
+        let claim = durability_claim(&deployment, 2);
+        assert!((claim.p_data_loss - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mttdl_improves_with_repair_and_tolerance() {
+        let without_repair = consensus_mttdl(5, 1e-4, 0.0, 2);
+        let with_repair = consensus_mttdl(5, 1e-4, 1e-2, 2);
+        assert!(with_repair > 10.0 * without_repair);
+        let more_tolerant = consensus_mttdl(5, 1e-4, 1e-2, 3);
+        assert!(more_tolerant > with_repair);
+    }
+
+    #[test]
+    fn steady_state_availability_is_high_with_fast_repair() {
+        let a = steady_state_quorum_availability(5, 1e-4, 1.0, 2);
+        assert!(a > 0.999999999);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn repeated_quorum_members_are_rejected() {
+        let deployment = Deployment::uniform_crash(3, 0.1);
+        quorum_loss_probability(&deployment, &[0, 0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Dynamic quorum sizing (§4, "probability-native consensus", first step).
+//!
+//! "We can choose quorum sizes dynamically such that they overlap with high probability."
+//! Given a deployment's fault profiles and a target guarantee, these searches find the
+//! smallest quorum configuration that still meets the target — smaller persistence
+//! quorums mean a shorter data path, so the search minimizes `|Q_per|` first.
+
+use crate::analyzer::analyze;
+use crate::deployment::Deployment;
+use crate::pbft_model::PbftModel;
+use crate::raft_model::RaftModel;
+
+/// The result of a dynamic quorum-sizing search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuorumSizing<M> {
+    /// The chosen protocol configuration.
+    pub model: M,
+    /// The safe-and-live probability it achieves on the deployment.
+    pub achieved: f64,
+}
+
+/// Finds the Raft quorum configuration with the smallest persistence quorum (breaking
+/// ties toward a smaller view-change quorum) whose safe-and-live probability reaches
+/// `target_nines`, keeping the structural safety conditions of Theorem 3.2.
+///
+/// Returns `None` when even `Q_per = Q_vc = N` misses the target.
+pub fn smallest_raft_quorums(
+    deployment: &Deployment,
+    target_nines: f64,
+) -> Option<QuorumSizing<RaftModel>> {
+    let n = deployment.len();
+    let mut best: Option<QuorumSizing<RaftModel>> = None;
+    for q_per in 1..=n {
+        for q_vc in 1..=n {
+            let candidate = RaftModel::flexible(n, q_per, q_vc);
+            if !candidate.quorums_intersect() {
+                continue;
+            }
+            let report = analyze(&candidate, deployment);
+            if !report.safe_and_live.meets(target_nines) {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    let c = current.model;
+                    (q_per, q_vc) < (c.q_per(), c.q_vc())
+                }
+            };
+            if better {
+                best = Some(QuorumSizing {
+                    model: candidate,
+                    achieved: report.safe_and_live.probability(),
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Finds the PBFT configuration with the smallest common quorum size `q`
+/// (`Q_eq = Q_per = Q_vc = q`, `Q_vc_t = N − q + 1`) whose safety and liveness both reach
+/// `target_nines` on the deployment.
+pub fn smallest_pbft_quorums(
+    deployment: &Deployment,
+    target_nines: f64,
+) -> Option<QuorumSizing<PbftModel>> {
+    let n = deployment.len();
+    for q in 1..=n {
+        let q_vc_t = (n - q + 1).max(1);
+        let candidate = PbftModel::new(n, q, q, q, q_vc_t);
+        let report = analyze(&candidate, deployment);
+        if report.safe.meets(target_nines) && report.live.meets(target_nines) {
+            return Some(QuorumSizing {
+                model: candidate,
+                achieved: report.safe_and_live.probability(),
+            });
+        }
+    }
+    None
+}
+
+/// The §3.2 "linear size quorums can be overkill" comparison: the `f+1`-sized
+/// view-change-trigger quorum mandated by the f-threshold model versus the smallest
+/// sample size that contains at least one correct node with probability `target`,
+/// assuming each node is faulty independently with probability `p_fault`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerQuorumComparison {
+    /// Cluster size.
+    pub n: usize,
+    /// The f-threshold prescription (`⌊(N−1)/3⌋ + 1`).
+    pub f_threshold_size: usize,
+    /// The probabilistic prescription for the requested target.
+    pub probabilistic_size: usize,
+    /// Probability that the probabilistic-size sample contains a correct node.
+    pub achieved: f64,
+}
+
+/// Computes the trigger-quorum comparison for an iid fault probability.
+pub fn trigger_quorum_comparison(n: usize, p_fault: f64, target: f64) -> TriggerQuorumComparison {
+    assert!((0.0..1.0).contains(&p_fault));
+    assert!((0.0..1.0).contains(&target));
+    let f_threshold_size = (n - 1) / 3 + 1;
+    let mut probabilistic_size = n;
+    let mut achieved = 1.0 - p_fault.powi(n as i32);
+    for k in 1..=n {
+        let p_all_faulty = p_fault.powi(k as i32);
+        if 1.0 - p_all_faulty >= target {
+            probabilistic_size = k;
+            achieved = 1.0 - p_all_faulty;
+            break;
+        }
+    }
+    TriggerQuorumComparison {
+        n,
+        f_threshold_size,
+        probabilistic_size,
+        achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_model::mode::FaultProfile;
+
+    #[test]
+    fn reliable_fleets_admit_smaller_quorums() {
+        // Very reliable 9-node fleet: 3 nines are achievable with quorums smaller than a
+        // majority on the persistence path (compensated by a larger view-change quorum).
+        let d = Deployment::uniform_crash(9, 0.001);
+        let sizing = smallest_raft_quorums(&d, 3.0).unwrap();
+        assert!(sizing.model.q_per() <= 5);
+        assert!(sizing.model.quorums_intersect());
+        assert!(sizing.achieved >= 0.999);
+        // A flaky fleet needs bigger quorums (or cannot hit a high target at all).
+        let flaky = Deployment::uniform_crash(9, 0.2);
+        let flaky_sizing = smallest_raft_quorums(&flaky, 3.0);
+        if let Some(s) = flaky_sizing {
+            assert!(s.model.q_per().max(s.model.q_vc()) >= sizing.model.q_per());
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let d = Deployment::uniform_crash(3, 0.3);
+        assert!(smallest_raft_quorums(&d, 9.0).is_none());
+        let b = Deployment::uniform_byzantine(4, 0.3);
+        assert!(smallest_pbft_quorums(&b, 9.0).is_none());
+    }
+
+    #[test]
+    fn pbft_sizing_respects_safety_and_liveness() {
+        let d = Deployment::uniform_byzantine(7, 0.01);
+        let sizing = smallest_pbft_quorums(&d, 3.0).unwrap();
+        let report = analyze(&sizing.model, &d);
+        assert!(report.safe.meets(3.0));
+        assert!(report.live.meets(3.0));
+        assert!(sizing.model.q_per() <= 7);
+    }
+
+    #[test]
+    fn heterogeneous_deployment_sizing_uses_exact_probabilities() {
+        let mut profiles = vec![FaultProfile::crash_only(0.001); 4];
+        profiles.push(FaultProfile::crash_only(0.2));
+        let d = Deployment::from_profiles(profiles);
+        let sizing = smallest_raft_quorums(&d, 3.0).unwrap();
+        assert!(sizing.achieved >= 0.999);
+    }
+
+    #[test]
+    fn paper_trigger_quorum_overkill_claim() {
+        // N = 100, p_u = 1%: the f-threshold model wants |Q_vc_t| = 34; five nodes give
+        // ten nines of hitting a correct node.
+        let c = trigger_quorum_comparison(100, 0.01, 1.0 - 1e-10);
+        assert_eq!(c.f_threshold_size, 34);
+        assert_eq!(c.probabilistic_size, 5);
+        assert!(c.achieved >= 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn trigger_quorum_grows_with_fault_probability() {
+        let low = trigger_quorum_comparison(100, 0.01, 0.999999);
+        let high = trigger_quorum_comparison(100, 0.2, 0.999999);
+        assert!(high.probabilistic_size > low.probabilistic_size);
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end guarantees (§4).
+//!
+//! "Applications care about end-to-end reliability guarantees, where consensus is a small
+//! part of the system... A live consensus protocol might not be able to meet the
+//! availability requirements if its recovery or reconfiguration is intolerably slow.
+//! Outside of availability, an unsafe system may commit different operations at different
+//! nodes yet remain durable if both forks are preserved." This module translates the
+//! protocol-level probabilistic guarantees into application-level availability and
+//! durability figures.
+
+use fault_model::metrics::{Nines, HOURS_PER_YEAR};
+
+use crate::analyzer::ReliabilityReport;
+
+/// Recovery characteristics of the deployment surrounding the consensus protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryModel {
+    /// Mean time to detect the loss of liveness and repair/reconfigure, in hours.
+    pub mttr_hours: f64,
+    /// Length of the mission window over which the protocol-level probabilities were
+    /// computed, in hours.
+    pub window_hours: f64,
+    /// Whether divergent forks are preserved (journaled) when safety is violated, so that
+    /// a safety violation degrades to an ordering incident rather than data loss.
+    pub forks_preserved: bool,
+}
+
+impl RecoveryModel {
+    /// A reasonable default: one-year analysis window, four-hour recovery, forks
+    /// preserved.
+    pub fn default_annual() -> Self {
+        Self {
+            mttr_hours: 4.0,
+            window_hours: HOURS_PER_YEAR,
+            forks_preserved: true,
+        }
+    }
+}
+
+/// Application-visible guarantees derived from the protocol-level report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndToEndReport {
+    /// Expected fraction of time the service can commit operations (availability).
+    pub availability: Nines,
+    /// Probability that committed data survives the window (durability).
+    pub durability: Nines,
+    /// Expected downtime per window, in hours.
+    pub expected_downtime_hours: f64,
+}
+
+/// Derives end-to-end availability and durability from a protocol-level report.
+///
+/// * Availability: losing liveness costs one MTTR of downtime per window (bounded by the
+///   window itself), so availability ≈ 1 − P[not live] · MTTR / window.
+/// * Durability: a safety violation only loses data when forks are not preserved; with
+///   fork preservation durability is bounded by the probability that data written to a
+///   persistence quorum survives, which the caller supplies via `quorum_durability`
+///   (e.g. from [`crate::durability::quorum_durability`]).
+pub fn end_to_end(
+    protocol: &ReliabilityReport,
+    recovery: &RecoveryModel,
+    quorum_durability: Nines,
+) -> EndToEndReport {
+    assert!(recovery.mttr_hours >= 0.0 && recovery.window_hours > 0.0);
+    let p_unlive = protocol.unliveness();
+    let downtime = (p_unlive * recovery.mttr_hours).min(recovery.window_hours);
+    let availability = 1.0 - downtime / recovery.window_hours;
+    let durability = if recovery.forks_preserved {
+        quorum_durability.probability()
+    } else {
+        // Without fork preservation a safety violation may lose one of the forks.
+        quorum_durability.probability() * protocol.safe.probability()
+    };
+    EndToEndReport {
+        availability: Nines::from_probability(availability.clamp(0.0, 1.0)),
+        durability: Nines::from_probability(durability.clamp(0.0, 1.0)),
+        expected_downtime_hours: downtime,
+    }
+}
+
+/// The availability target (in nines) reachable for a given protocol-level liveness and
+/// recovery time — useful for answering "how fast must reconfiguration be to deliver
+/// four nines end to end?".
+pub fn required_mttr_for_availability(
+    protocol: &ReliabilityReport,
+    window_hours: f64,
+    target_availability_nines: f64,
+) -> Option<f64> {
+    assert!(window_hours > 0.0);
+    let p_unlive = protocol.unliveness();
+    if p_unlive == 0.0 {
+        return Some(f64::INFINITY);
+    }
+    let max_downtime = window_hours
+        * (1.0 - fault_model::metrics::probability_from_nines(target_availability_nines));
+    let mttr = max_downtime / p_unlive;
+    if mttr <= 0.0 {
+        None
+    } else {
+        Some(mttr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::deployment::Deployment;
+    use crate::durability::quorum_durability;
+    use crate::raft_model::RaftModel;
+
+    fn raft3() -> ReliabilityReport {
+        analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.01))
+    }
+
+    #[test]
+    fn availability_exceeds_protocol_liveness_with_fast_recovery() {
+        let protocol = raft3();
+        let deployment = Deployment::uniform_crash(3, 0.01);
+        let dur = quorum_durability(&deployment, &[0, 1]);
+        let e2e = end_to_end(&protocol, &RecoveryModel::default_annual(), dur);
+        // Liveness is ~3.5 nines, but a 4h MTTR out of a year turns that into far more
+        // nines of availability.
+        assert!(e2e.availability.nines() > protocol.live.nines() + 2.0);
+        assert!(e2e.expected_downtime_hours < 0.01);
+        // Data on a 2-node persistence quorum at p=1% survives with probability 1 - 1e-4.
+        assert!(e2e.durability.probability() >= 0.9999 - 1e-12);
+    }
+
+    #[test]
+    fn slow_recovery_erodes_availability() {
+        let protocol = raft3();
+        let deployment = Deployment::uniform_crash(3, 0.01);
+        let dur = quorum_durability(&deployment, &[0, 1]);
+        let slow = RecoveryModel {
+            mttr_hours: 2_000.0,
+            window_hours: HOURS_PER_YEAR,
+            forks_preserved: true,
+        };
+        let fast = end_to_end(&protocol, &RecoveryModel::default_annual(), dur);
+        let eroded = end_to_end(&protocol, &slow, dur);
+        assert!(eroded.availability.probability() < fast.availability.probability());
+    }
+
+    #[test]
+    fn fork_preservation_decouples_durability_from_safety() {
+        // A deliberately unsafe configuration: Raft with non-intersecting quorums.
+        let model = RaftModel::flexible(5, 2, 2);
+        let deployment = Deployment::uniform_crash(5, 0.01);
+        let protocol = analyze(&model, &deployment);
+        assert!(protocol.safe.probability() < 0.5);
+        let dur = quorum_durability(&deployment, &[0, 1]);
+        let preserved = end_to_end(&protocol, &RecoveryModel::default_annual(), dur);
+        let unpreserved = end_to_end(
+            &protocol,
+            &RecoveryModel {
+                forks_preserved: false,
+                ..RecoveryModel::default_annual()
+            },
+            dur,
+        );
+        assert!(preserved.durability.probability() > unpreserved.durability.probability());
+    }
+
+    #[test]
+    fn required_mttr_shrinks_with_stricter_targets() {
+        let protocol = raft3();
+        let four = required_mttr_for_availability(&protocol, HOURS_PER_YEAR, 4.0).unwrap();
+        let six = required_mttr_for_availability(&protocol, HOURS_PER_YEAR, 6.0).unwrap();
+        assert!(six < four);
+        assert!(four > 1.0, "four nines should be comfortably reachable");
+    }
+
+    #[test]
+    fn perfectly_live_protocols_allow_any_mttr() {
+        let protocol = analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.0));
+        let mttr = required_mttr_for_availability(&protocol, HOURS_PER_YEAR, 5.0).unwrap();
+        assert!(mttr.is_infinite());
+    }
+}

@@ -1,0 +1,211 @@
+//! Failure configurations.
+//!
+//! §3: "there are 2^N possible combinations of machine failures (failure
+//! configurations)... By calculating how likely each failure configuration is, we can
+//! compute the overall probability that an algorithm guarantees safety and liveness."
+//! With both crash and Byzantine faults in play the space is 3^N; a [`FailureConfig`]
+//! is one point of that space.
+
+use fault_model::mode::NodeState;
+use quorum::set::NodeSet;
+
+use crate::deployment::Deployment;
+
+/// One joint assignment of a state (correct / crashed / Byzantine) to every node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FailureConfig {
+    states: Vec<NodeState>,
+}
+
+impl FailureConfig {
+    /// Creates a configuration from explicit per-node states.
+    pub fn new(states: Vec<NodeState>) -> Self {
+        assert!(!states.is_empty(), "configuration needs at least one node");
+        Self { states }
+    }
+
+    /// The all-correct configuration over `n` nodes.
+    pub fn all_correct(n: usize) -> Self {
+        Self::new(vec![NodeState::Correct; n])
+    }
+
+    /// A configuration where exactly the nodes in `crashed` crashed.
+    pub fn with_crashed(n: usize, crashed: &[usize]) -> Self {
+        let mut states = vec![NodeState::Correct; n];
+        for &i in crashed {
+            states[i] = NodeState::Crashed;
+        }
+        Self::new(states)
+    }
+
+    /// A configuration where exactly the nodes in `byzantine` are Byzantine.
+    pub fn with_byzantine(n: usize, byzantine: &[usize]) -> Self {
+        let mut states = vec![NodeState::Correct; n];
+        for &i in byzantine {
+            states[i] = NodeState::Byzantine;
+        }
+        Self::new(states)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the configuration covers no nodes (never true).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Per-node states.
+    pub fn states(&self) -> &[NodeState] {
+        &self.states
+    }
+
+    /// State of one node.
+    pub fn state(&self, node: usize) -> NodeState {
+        self.states[node]
+    }
+
+    /// Number of correct nodes.
+    pub fn num_correct(&self) -> usize {
+        self.states.iter().filter(|s| s.is_correct()).count()
+    }
+
+    /// Number of crashed nodes.
+    pub fn num_crashed(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|&&s| s == NodeState::Crashed)
+            .count()
+    }
+
+    /// Number of Byzantine nodes.
+    pub fn num_byzantine(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|&&s| s == NodeState::Byzantine)
+            .count()
+    }
+
+    /// Number of faulty nodes (crashed or Byzantine).
+    pub fn num_faulty(&self) -> usize {
+        self.len() - self.num_correct()
+    }
+
+    /// The set of correct nodes.
+    pub fn correct_set(&self) -> NodeSet {
+        NodeSet::from_bools(
+            &self
+                .states
+                .iter()
+                .map(|s| s.is_correct())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The set of faulty nodes (crashed or Byzantine).
+    pub fn faulty_set(&self) -> NodeSet {
+        NodeSet::from_bools(
+            &self
+                .states
+                .iter()
+                .map(|s| s.is_faulty())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The set of Byzantine nodes.
+    pub fn byzantine_set(&self) -> NodeSet {
+        NodeSet::from_bools(
+            &self
+                .states
+                .iter()
+                .map(|&s| s == NodeState::Byzantine)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Probability of this exact configuration under `deployment` (independent nodes).
+    pub fn probability(&self, deployment: &Deployment) -> f64 {
+        assert_eq!(
+            self.len(),
+            deployment.len(),
+            "configuration and deployment sizes differ"
+        );
+        self.states
+            .iter()
+            .zip(deployment.profiles())
+            .map(|(&s, p)| p.probability_of(s))
+            .product()
+    }
+}
+
+impl std::fmt::Display for FailureConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.states {
+            let c = match s {
+                NodeState::Correct => 'C',
+                NodeState::Crashed => 'X',
+                NodeState::Byzantine => 'B',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_helpers() {
+        let c = FailureConfig::new(vec![
+            NodeState::Correct,
+            NodeState::Crashed,
+            NodeState::Byzantine,
+            NodeState::Correct,
+        ]);
+        assert_eq!(c.num_correct(), 2);
+        assert_eq!(c.num_crashed(), 1);
+        assert_eq!(c.num_byzantine(), 1);
+        assert_eq!(c.num_faulty(), 2);
+        assert_eq!(c.correct_set().to_vec(), vec![0, 3]);
+        assert_eq!(c.faulty_set().to_vec(), vec![1, 2]);
+        assert_eq!(c.byzantine_set().to_vec(), vec![2]);
+        assert_eq!(format!("{c}"), "CXBC");
+    }
+
+    #[test]
+    fn constructors() {
+        let crashed = FailureConfig::with_crashed(5, &[1, 3]);
+        assert_eq!(crashed.num_crashed(), 2);
+        let byz = FailureConfig::with_byzantine(5, &[0]);
+        assert_eq!(byz.num_byzantine(), 1);
+        assert_eq!(FailureConfig::all_correct(4).num_faulty(), 0);
+    }
+
+    #[test]
+    fn probability_under_uniform_deployment() {
+        let d = Deployment::uniform_crash(3, 0.01);
+        let all_up = FailureConfig::all_correct(3);
+        assert!((all_up.probability(&d) - 0.99f64.powi(3)).abs() < 1e-12);
+        let one_down = FailureConfig::with_crashed(3, &[1]);
+        assert!((one_down.probability(&d) - 0.01 * 0.99f64.powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_of_byzantine_state_uses_byzantine_probability() {
+        let d = Deployment::uniform_mixed(2, 0.04, 0.01);
+        let config = FailureConfig::new(vec![NodeState::Byzantine, NodeState::Correct]);
+        assert!((config.probability(&d) - 0.01 * 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn probability_checks_sizes() {
+        let d = Deployment::uniform_crash(3, 0.01);
+        FailureConfig::all_correct(4).probability(&d);
+    }
+}

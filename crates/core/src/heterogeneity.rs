@@ -1,0 +1,221 @@
+//! Heterogeneous fleets: quorum placement policies and node-replacement what-ifs.
+//!
+//! §3.2: "Raft and PBFT underutilize reliable nodes. ... As Raft does not know which
+//! nodes are more reliable, it may persist data only on the unreliable nodes. If we
+//! required quorums to include at least one reliable node (by leveraging knowledge of
+//! fault curves), data durability would increase." This module implements the policies
+//! that experiment compares and the helpers for upgrading subsets of a fleet.
+
+use fault_model::metrics::Nines;
+use fault_model::mode::FaultProfile;
+
+use crate::deployment::Deployment;
+use crate::durability::quorum_durability;
+
+/// How the protocol picks the persistence quorum that ends up holding the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumPolicy {
+    /// The protocol is oblivious to fault curves; in the worst case the quorum is formed
+    /// from the *least* reliable nodes (e.g. because they happened to respond first).
+    ObliviousWorstCase,
+    /// The quorum must include at least this many of the most reliable nodes; the rest
+    /// are filled, worst-case, from the least reliable nodes.
+    RequireReliable(usize),
+    /// The quorum is formed from the most reliable nodes available (the best case an
+    /// oracle placement could achieve).
+    MostReliable,
+}
+
+/// Selects the members of a persistence quorum of `size` under a policy.
+///
+/// # Panics
+///
+/// Panics if `size` exceeds the deployment, or a `RequireReliable` count exceeds `size`.
+pub fn select_quorum(deployment: &Deployment, size: usize, policy: QuorumPolicy) -> Vec<usize> {
+    assert!(size <= deployment.len(), "quorum larger than deployment");
+    let ranked = deployment.nodes_by_reliability();
+    match policy {
+        QuorumPolicy::ObliviousWorstCase => ranked[ranked.len() - size..].to_vec(),
+        QuorumPolicy::MostReliable => ranked[..size].to_vec(),
+        QuorumPolicy::RequireReliable(k) => {
+            assert!(
+                k <= size,
+                "cannot require more reliable nodes than the quorum size"
+            );
+            let mut members: Vec<usize> = ranked[..k].to_vec();
+            members.extend_from_slice(&ranked[ranked.len() - (size - k)..]);
+            members
+        }
+    }
+}
+
+/// Durability of data written to a quorum selected under `policy`.
+pub fn durability_under_policy(
+    deployment: &Deployment,
+    quorum_size: usize,
+    policy: QuorumPolicy,
+) -> Nines {
+    let quorum = select_quorum(deployment, quorum_size, policy);
+    quorum_durability(deployment, &quorum)
+}
+
+/// Returns a deployment where the `count` *least reliable* nodes are replaced by nodes
+/// with the given profile — the paper's "replace three nodes with more reliable ones"
+/// upgrade.
+pub fn replace_least_reliable(
+    deployment: &Deployment,
+    count: usize,
+    replacement: FaultProfile,
+) -> Deployment {
+    assert!(
+        count <= deployment.len(),
+        "cannot replace more nodes than exist"
+    );
+    let ranked = deployment.nodes_by_reliability();
+    let mut upgraded = deployment.clone();
+    for &node in ranked.iter().rev().take(count) {
+        upgraded = upgraded.with_profile(node, replacement);
+    }
+    upgraded
+}
+
+/// The quantities compared by the paper's heterogeneous-Raft example (§3.2): a baseline
+/// all-unreliable cluster, the same cluster with some nodes upgraded, and the durability
+/// of the persistence quorum under an oblivious vs. a reliability-aware policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeterogeneityAnalysis {
+    /// Safe-and-live probability of the baseline (un-upgraded) deployment.
+    pub baseline_safe_and_live: Nines,
+    /// Safe-and-live probability after upgrading some nodes.
+    pub upgraded_safe_and_live: Nines,
+    /// Durability when the protocol is oblivious to fault curves (worst-case quorum of
+    /// unreliable nodes).
+    pub oblivious_durability: Nines,
+    /// Durability when quorums are required to include at least one reliable node.
+    pub aware_durability: Nines,
+}
+
+/// Runs the §3.2 heterogeneous-Raft comparison.
+///
+/// * `baseline` — the all-unreliable deployment (e.g. 7 nodes at 8%).
+/// * `upgraded_count` / `replacement` — how many nodes to replace and with what profile.
+/// * `quorum_size` — the persistence-quorum size (majority for standard Raft).
+/// * `analyze` — maps a deployment to its safe-and-live probability (callers pass the
+///   protocol they care about, typically `|d| analyze(&RaftModel::standard(n), d)`).
+pub fn heterogeneity_analysis(
+    baseline: &Deployment,
+    upgraded_count: usize,
+    replacement: FaultProfile,
+    quorum_size: usize,
+    analyze: impl Fn(&Deployment) -> Nines,
+) -> HeterogeneityAnalysis {
+    let upgraded = replace_least_reliable(baseline, upgraded_count, replacement);
+    HeterogeneityAnalysis {
+        baseline_safe_and_live: analyze(baseline),
+        upgraded_safe_and_live: analyze(&upgraded),
+        oblivious_durability: durability_under_policy(
+            &upgraded,
+            quorum_size,
+            QuorumPolicy::ObliviousWorstCase,
+        ),
+        aware_durability: durability_under_policy(
+            &upgraded,
+            quorum_size,
+            QuorumPolicy::RequireReliable(1),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use crate::raft_model::RaftModel;
+
+    fn mixed_deployment() -> Deployment {
+        // Four unreliable (8%) and three reliable (1%) nodes.
+        let mut profiles = vec![FaultProfile::crash_only(0.08); 4];
+        profiles.extend(vec![FaultProfile::crash_only(0.01); 3]);
+        Deployment::from_profiles(profiles)
+    }
+
+    #[test]
+    fn policies_pick_expected_nodes() {
+        let d = mixed_deployment();
+        let worst = select_quorum(&d, 4, QuorumPolicy::ObliviousWorstCase);
+        assert!(
+            worst.iter().all(|&i| i < 4),
+            "worst case picks the 8% nodes: {worst:?}"
+        );
+        let best = select_quorum(&d, 3, QuorumPolicy::MostReliable);
+        assert!(
+            best.iter().all(|&i| i >= 4),
+            "best case picks the 1% nodes: {best:?}"
+        );
+        let mixed = select_quorum(&d, 4, QuorumPolicy::RequireReliable(1));
+        assert_eq!(mixed.len(), 4);
+        assert!(mixed.iter().any(|&i| i >= 4));
+    }
+
+    #[test]
+    fn requiring_a_reliable_node_improves_durability() {
+        let d = mixed_deployment();
+        let oblivious = durability_under_policy(&d, 4, QuorumPolicy::ObliviousWorstCase);
+        let aware = durability_under_policy(&d, 4, QuorumPolicy::RequireReliable(1));
+        let best = durability_under_policy(&d, 4, QuorumPolicy::MostReliable);
+        assert!(aware.probability() > oblivious.probability());
+        assert!(best.probability() >= aware.probability());
+        // Oblivious worst case: all four 8% nodes → loss probability 0.08^4.
+        assert!((oblivious.complement() - 0.08f64.powi(4)).abs() < 1e-12);
+        // Aware: three 8% nodes and one 1% node.
+        assert!((aware.complement() - 0.08f64.powi(3) * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replacement_upgrades_least_reliable_nodes() {
+        let d = Deployment::uniform_crash(7, 0.08);
+        let upgraded = replace_least_reliable(&d, 3, FaultProfile::crash_only(0.01));
+        let count_reliable = upgraded
+            .profiles()
+            .iter()
+            .filter(|p| (p.fault_probability() - 0.01).abs() < 1e-12)
+            .count();
+        assert_eq!(count_reliable, 3);
+        assert_eq!(
+            d.profiles()
+                .iter()
+                .filter(|p| p.fault_probability() > 0.05)
+                .count(),
+            7
+        );
+    }
+
+    #[test]
+    fn paper_heterogeneous_raft_example_shape() {
+        // Seven 8% nodes; replace three with 1% nodes; majority quorum of 4.
+        let baseline = Deployment::uniform_crash(7, 0.08);
+        let analysis =
+            heterogeneity_analysis(&baseline, 3, FaultProfile::crash_only(0.01), 4, |d| {
+                analyze(&RaftModel::standard(7), d).safe_and_live
+            });
+        // Baseline matches Table 2 (N=7, 8%): 99.88%.
+        assert!((analysis.baseline_safe_and_live.probability() - 0.9988).abs() < 2e-4);
+        // Upgrading improves the S&L probability, but only modestly (paper: ~99.98%).
+        assert!(
+            analysis.upgraded_safe_and_live.probability()
+                > analysis.baseline_safe_and_live.probability()
+        );
+        assert!(analysis.upgraded_safe_and_live.probability() > 0.9995);
+        // Reliability-aware quorums beat oblivious ones on durability (paper: 99.994%).
+        assert!(
+            analysis.aware_durability.probability() > analysis.oblivious_durability.probability()
+        );
+        assert!(analysis.aware_durability.probability() > 0.9999);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot require more reliable nodes")]
+    fn require_reliable_bound_is_checked() {
+        select_quorum(&mixed_deployment(), 2, QuorumPolicy::RequireReliable(3));
+    }
+}

@@ -1,0 +1,181 @@
+//! Reliability-aware leader selection and preemptive reconfiguration (§4).
+//!
+//! "Probabilistic approaches can choose leaders among the most reliable nodes, avoiding
+//! more failure-prone nodes... Similarly, predictive models for node reliability enable
+//! preemptive reconfiguration, mitigating potential failures from jeopardizing safety or
+//! liveness."
+
+use fault_model::node::{Fleet, NodeId};
+
+use crate::deployment::Deployment;
+
+/// How the protocol picks its leader among the cluster members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaderPolicy {
+    /// Leaders rotate (or are elected) without regard to reliability; in expectation the
+    /// leader's fault probability is the fleet average.
+    Oblivious,
+    /// The most reliable node leads (the probability-native policy).
+    MostReliable,
+    /// The *least* reliable node leads — the worst case an oblivious protocol can hit.
+    WorstCase,
+}
+
+/// Ranks the nodes of a deployment from most to least suitable to lead (lowest fault
+/// probability first).
+pub fn rank_leaders(deployment: &Deployment) -> Vec<usize> {
+    deployment.nodes_by_reliability()
+}
+
+/// Probability that the leader chosen under `policy` fails during the mission window.
+pub fn leader_failure_probability(deployment: &Deployment, policy: LeaderPolicy) -> f64 {
+    let faults: Vec<f64> = deployment
+        .profiles()
+        .iter()
+        .map(|p| p.fault_probability())
+        .collect();
+    match policy {
+        LeaderPolicy::Oblivious => faults.iter().sum::<f64>() / faults.len() as f64,
+        LeaderPolicy::MostReliable => faults.iter().cloned().fold(f64::INFINITY, f64::min),
+        LeaderPolicy::WorstCase => faults.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+/// Expected number of leader-failure-induced view changes over `views` consecutive
+/// mission windows under a leader policy (each window with an independently chosen
+/// leader according to the policy).
+pub fn expected_leader_view_changes(
+    deployment: &Deployment,
+    policy: LeaderPolicy,
+    views: usize,
+) -> f64 {
+    leader_failure_probability(deployment, policy) * views as f64
+}
+
+/// A recommendation to replace a node before its predicted fault probability crosses a
+/// threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplacementPlan {
+    /// The node to replace.
+    pub node: NodeId,
+    /// Hours from now until the node's predicted window fault probability first exceeds
+    /// the threshold (0 if it already does).
+    pub replace_in_hours: f64,
+    /// The predicted fault probability at that time.
+    pub predicted_probability: f64,
+}
+
+/// Plans preemptive reconfiguration for a fleet: for each node whose fault-curve-predicted
+/// probability of failing within `window_hours` exceeds `threshold` at some point within
+/// `horizon_hours`, reports when that happens. Nodes that stay below the threshold over
+/// the whole horizon are omitted.
+pub fn preemptive_replacement_plan(
+    fleet: &Fleet,
+    window_hours: f64,
+    horizon_hours: f64,
+    threshold: f64,
+    step_hours: f64,
+) -> Vec<ReplacementPlan> {
+    assert!(window_hours > 0.0 && horizon_hours >= 0.0 && step_hours > 0.0);
+    assert!((0.0..=1.0).contains(&threshold));
+    let mut plans = Vec::new();
+    for node in fleet.iter() {
+        let mut t = 0.0;
+        while t <= horizon_hours {
+            let p_crash = node
+                .crash_curve
+                .failure_probability(node.age_hours + t, window_hours);
+            let p_byz = node
+                .byzantine_curve
+                .failure_probability(node.age_hours + t, window_hours);
+            let p = 1.0 - (1.0 - p_crash) * (1.0 - p_byz);
+            if p >= threshold {
+                plans.push(ReplacementPlan {
+                    node: node.id,
+                    replace_in_hours: t,
+                    predicted_probability: p,
+                });
+                break;
+            }
+            t += step_hours;
+        }
+    }
+    plans.sort_by(|a, b| a.replace_in_hours.partial_cmp(&b.replace_in_hours).unwrap());
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_model::curve::WeibullCurve;
+    use fault_model::metrics::HOURS_PER_YEAR;
+    use fault_model::mode::FaultProfile;
+    use fault_model::node::NodeSpec;
+    use std::sync::Arc;
+
+    fn mixed() -> Deployment {
+        Deployment::from_profiles(vec![
+            FaultProfile::crash_only(0.08),
+            FaultProfile::crash_only(0.01),
+            FaultProfile::crash_only(0.04),
+        ])
+    }
+
+    #[test]
+    fn ranking_prefers_reliable_nodes() {
+        assert_eq!(rank_leaders(&mixed()), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn leader_policies_order_failure_probabilities() {
+        let d = mixed();
+        let best = leader_failure_probability(&d, LeaderPolicy::MostReliable);
+        let avg = leader_failure_probability(&d, LeaderPolicy::Oblivious);
+        let worst = leader_failure_probability(&d, LeaderPolicy::WorstCase);
+        assert!((best - 0.01).abs() < 1e-12);
+        assert!((worst - 0.08).abs() < 1e-12);
+        assert!(best < avg && avg < worst);
+    }
+
+    #[test]
+    fn expected_view_changes_scale_with_views() {
+        let d = mixed();
+        let one = expected_leader_view_changes(&d, LeaderPolicy::MostReliable, 1);
+        let hundred = expected_leader_view_changes(&d, LeaderPolicy::MostReliable, 100);
+        assert!((hundred - 100.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preemptive_plan_flags_aging_nodes_first() {
+        let mut fleet = Fleet::new();
+        // A young node on a wear-out curve and an already-old node on the same curve.
+        fleet.push(
+            NodeSpec::with_constant_crash(0, 0.0, HOURS_PER_YEAR)
+                .with_crash_curve(Arc::new(WeibullCurve::new(3.0, 60_000.0)))
+                .with_age(1_000.0)
+                .named("young"),
+        );
+        fleet.push(
+            NodeSpec::with_constant_crash(1, 0.0, HOURS_PER_YEAR)
+                .with_crash_curve(Arc::new(WeibullCurve::new(3.0, 60_000.0)))
+                .with_age(45_000.0)
+                .named("old"),
+        );
+        let plans =
+            preemptive_replacement_plan(&fleet, HOURS_PER_YEAR, 4.0 * HOURS_PER_YEAR, 0.30, 500.0);
+        assert!(!plans.is_empty());
+        assert_eq!(plans[0].node, NodeId(1), "the old node is flagged first");
+        if plans.len() == 2 {
+            assert!(plans[0].replace_in_hours <= plans[1].replace_in_hours);
+        }
+        assert!(plans[0].predicted_probability >= 0.30);
+    }
+
+    #[test]
+    fn stable_nodes_are_not_flagged() {
+        let fleet = Fleet::homogeneous_crash(3, 0.01);
+        let plans =
+            preemptive_replacement_plan(&fleet, HOURS_PER_YEAR, HOURS_PER_YEAR, 0.5, 1000.0);
+        assert!(plans.is_empty());
+    }
+}

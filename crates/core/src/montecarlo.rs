@@ -1,0 +1,176 @@
+//! Monte Carlo reliability estimation.
+//!
+//! Exact engines cover independent faults. Once failures are *correlated* (§2(3)) the
+//! joint distribution no longer factorizes and the paper notes that "Markov models ...
+//! are unable to capture dependent system transitions"; sampling remains applicable.
+//! This engine draws failure configurations from a [`CorrelationModel`] (which can also
+//! express plain independent deployments) and estimates safety/liveness probabilities
+//! with binomial-proportion confidence intervals.
+
+use fault_model::correlation::CorrelationModel;
+use rand::Rng;
+
+use crate::deployment::Deployment;
+use crate::failure::FailureConfig;
+use crate::protocol::ProtocolModel;
+
+/// A probability estimated from samples, with a 95% Wilson confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate (sample proportion).
+    pub value: f64,
+    /// Lower bound of the 95% confidence interval.
+    pub lower: f64,
+    /// Upper bound of the 95% confidence interval.
+    pub upper: f64,
+}
+
+impl Estimate {
+    fn from_counts(hits: usize, samples: usize) -> Self {
+        assert!(samples > 0);
+        let n = samples as f64;
+        let p = hits as f64 / n;
+        let z = 1.959964f64;
+        let denom = 1.0 + z * z / n;
+        let center = (p + z * z / (2.0 * n)) / denom;
+        let margin = (z / denom) * ((p * (1.0 - p) / n) + (z * z / (4.0 * n * n))).sqrt();
+        Self {
+            value: p,
+            lower: (center - margin).max(0.0),
+            upper: (center + margin).min(1.0),
+        }
+    }
+
+    /// Whether the interval contains `p`.
+    pub fn contains(&self, p: f64) -> bool {
+        self.lower <= p && p <= self.upper
+    }
+
+    /// Half-width of the confidence interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+}
+
+/// Monte Carlo estimates of safety and liveness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloReport {
+    /// Estimated probability of safety.
+    pub safe: Estimate,
+    /// Estimated probability of liveness.
+    pub live: Estimate,
+    /// Estimated probability of both.
+    pub safe_and_live: Estimate,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+/// Estimates the reliability of `model` under a (possibly correlated) failure model by
+/// drawing `samples` failure configurations.
+pub fn monte_carlo_reliability<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    rng: &mut R,
+) -> MonteCarloReport {
+    assert!(samples > 0, "need at least one sample");
+    assert_eq!(
+        model.num_nodes(),
+        failure_model.len(),
+        "model and failure model disagree on the cluster size"
+    );
+    let mut safe_hits = 0usize;
+    let mut live_hits = 0usize;
+    let mut both_hits = 0usize;
+    for _ in 0..samples {
+        let config = FailureConfig::new(failure_model.sample(rng));
+        let safe = model.is_safe(&config);
+        let live = model.is_live(&config);
+        if safe {
+            safe_hits += 1;
+        }
+        if live {
+            live_hits += 1;
+        }
+        if safe && live {
+            both_hits += 1;
+        }
+    }
+    MonteCarloReport {
+        safe: Estimate::from_counts(safe_hits, samples),
+        live: Estimate::from_counts(live_hits, samples),
+        safe_and_live: Estimate::from_counts(both_hits, samples),
+        samples,
+    }
+}
+
+/// Convenience wrapper: Monte Carlo over an *independent* deployment (no correlation
+/// groups), e.g. to cross-check the exact engines or to handle non-counting models at
+/// large N.
+pub fn monte_carlo_independent<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    deployment: &Deployment,
+    samples: usize,
+    rng: &mut R,
+) -> MonteCarloReport {
+    let failure_model = CorrelationModel::independent(deployment.profiles().to_vec());
+    monte_carlo_reliability(model, &failure_model, samples, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::counting_reliability;
+    use crate::raft_model::RaftModel;
+    use fault_model::correlation::CorrelationGroup;
+    use fault_model::mode::FaultProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_interval_contains_truth_for_fair_coin() {
+        let e = Estimate::from_counts(5_050, 10_000);
+        assert!(e.contains(0.5));
+        assert!(e.half_width() < 0.02);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_analysis() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.05);
+        let exact = counting_reliability(&model, &deployment);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mc = monte_carlo_independent(&model, &deployment, 200_000, &mut rng);
+        assert!(
+            mc.live.contains(exact.p_live),
+            "exact {} not in [{}, {}]",
+            exact.p_live,
+            mc.live.lower,
+            mc.live.upper
+        );
+        assert!((mc.safe.value - 1.0).abs() < 1e-12);
+        assert_eq!(mc.samples, 200_000);
+    }
+
+    #[test]
+    fn correlated_failures_reduce_liveness() {
+        let model = RaftModel::standard(5);
+        let profiles = vec![FaultProfile::crash_only(0.02); 5];
+        let independent = CorrelationModel::independent(profiles.clone());
+        let correlated = CorrelationModel::independent(profiles)
+            .with_group(CorrelationGroup::crash_shock((0..5).collect(), 0.01));
+        let mut rng = StdRng::seed_from_u64(5);
+        let ind = monte_carlo_reliability(&model, &independent, 100_000, &mut rng);
+        let cor = monte_carlo_reliability(&model, &correlated, 100_000, &mut rng);
+        assert!(cor.live.value < ind.live.value - 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the cluster size")]
+    fn size_mismatch_panics() {
+        let model = RaftModel::standard(3);
+        let failure_model = CorrelationModel::independent(vec![FaultProfile::crash_only(0.1); 4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        monte_carlo_reliability(&model, &failure_model, 10, &mut rng);
+    }
+}

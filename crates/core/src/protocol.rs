@@ -1,0 +1,95 @@
+//! Protocol reliability models.
+//!
+//! A protocol reliability model answers, for one failure configuration, the two questions
+//! the paper's analysis needs (§3): "We deem a configuration *safe* if all of its system
+//! runs ensure agreement across non-failed nodes. We consider a configuration *live* if
+//! in all runs, all non-failed nodes eventually commit all operations."
+
+use crate::failure::FailureConfig;
+
+/// The safety/liveness predicate of a consensus protocol over failure configurations.
+pub trait ProtocolModel {
+    /// Short human-readable name ("Raft", "PBFT", ...).
+    fn name(&self) -> String;
+
+    /// Number of nodes in the protocol configuration.
+    fn num_nodes(&self) -> usize;
+
+    /// Whether every run under `config` preserves agreement among non-failed nodes.
+    fn is_safe(&self, config: &FailureConfig) -> bool;
+
+    /// Whether every run under `config` eventually commits all operations at non-failed
+    /// nodes.
+    fn is_live(&self, config: &FailureConfig) -> bool;
+
+    /// Whether the configuration is both safe and live.
+    fn is_safe_and_live(&self, config: &FailureConfig) -> bool {
+        self.is_safe(config) && self.is_live(config)
+    }
+}
+
+/// A protocol model whose predicates depend only on *how many* nodes crashed and how many
+/// are Byzantine — not on *which* nodes they are.
+///
+/// Both Theorem 3.1 (PBFT) and Theorem 3.2 (Raft) have this form, which makes an exact
+/// O(N³) dynamic-programming analysis possible even for heterogeneous per-node
+/// probabilities (see [`crate::counting`]). Models that place requirements on specific
+/// nodes (e.g. "quorums must contain a reliable node") are not counting models.
+pub trait CountingModel: ProtocolModel {
+    /// Safety predicate over fault counts.
+    fn is_safe_counts(&self, crashed: usize, byzantine: usize) -> bool;
+
+    /// Liveness predicate over fault counts.
+    fn is_live_counts(&self, crashed: usize, byzantine: usize) -> bool;
+
+    /// Combined predicate over fault counts.
+    fn is_safe_and_live_counts(&self, crashed: usize, byzantine: usize) -> bool {
+        self.is_safe_counts(crashed, byzantine) && self.is_live_counts(crashed, byzantine)
+    }
+}
+
+/// Blanket check used by tests and debug assertions: a counting model must agree with its
+/// configuration-level predicates on every configuration handed to it.
+pub fn counting_model_is_consistent<M: CountingModel>(model: &M, config: &FailureConfig) -> bool {
+    let crashed = config.num_crashed();
+    let byz = config.num_byzantine();
+    model.is_safe(config) == model.is_safe_counts(crashed, byz)
+        && model.is_live(config) == model.is_live_counts(crashed, byz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbft_model::PbftModel;
+    use crate::raft_model::RaftModel;
+    use fault_model::mode::NodeState;
+    use proptest::prelude::*;
+
+    fn arbitrary_config(n: usize) -> impl Strategy<Value = FailureConfig> {
+        proptest::collection::vec(0u8..3, n).prop_map(|v| {
+            FailureConfig::new(
+                v.into_iter()
+                    .map(|x| match x {
+                        0 => NodeState::Correct,
+                        1 => NodeState::Crashed,
+                        _ => NodeState::Byzantine,
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn raft_counting_model_is_consistent(config in arbitrary_config(7)) {
+            let model = RaftModel::standard(7);
+            prop_assert!(counting_model_is_consistent(&model, &config));
+        }
+
+        #[test]
+        fn pbft_counting_model_is_consistent(config in arbitrary_config(7)) {
+            let model = PbftModel::standard(7);
+            prop_assert!(counting_model_is_consistent(&model, &config));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Time-varying guarantees from fault curves (§2: "fault likelihood evolves over time").
+//!
+//! Evaluating a fleet's fault curves at successive ages turns the static analysis into a
+//! guarantee *trajectory*: how many nines the deployment offers this quarter, next
+//! quarter, after the hardware enters wear-out, or during a rollout window. The
+//! trajectory drives preemptive reconfiguration (§4): replace nodes *before* the
+//! deployment's guarantee dips below the target.
+
+use fault_model::node::Fleet;
+
+use crate::analyzer::{analyze, ReliabilityReport};
+use crate::deployment::Deployment;
+use crate::protocol::CountingModel;
+
+/// The deployment's guarantee evaluated at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimePoint {
+    /// Hours from now at which the mission window starts.
+    pub at_hours: f64,
+    /// The guarantee over `[at_hours, at_hours + window]`.
+    pub report: ReliabilityReport,
+}
+
+/// Evaluates the guarantee of `model` over a sliding mission window of `window_hours`,
+/// starting every `step_hours` from now up to `horizon_hours`.
+pub fn reliability_trajectory<M: CountingModel>(
+    model: &M,
+    fleet: &Fleet,
+    window_hours: f64,
+    horizon_hours: f64,
+    step_hours: f64,
+) -> Vec<TimePoint> {
+    assert!(window_hours > 0.0 && step_hours > 0.0 && horizon_hours >= 0.0);
+    assert_eq!(model.num_nodes(), fleet.len(), "model/fleet size mismatch");
+    let mut points = Vec::new();
+    let mut t = 0.0;
+    while t <= horizon_hours {
+        let profiles = fleet
+            .iter()
+            .map(|node| {
+                // Shift each node's age by t and evaluate its window profile.
+                let mut shifted = node.clone();
+                shifted.age_hours += t;
+                shifted.profile(window_hours)
+            })
+            .collect();
+        let deployment = Deployment::from_profiles(profiles);
+        points.push(TimePoint {
+            at_hours: t,
+            report: analyze(model, &deployment),
+        });
+        t += step_hours;
+    }
+    points
+}
+
+/// The first time (hours from now) at which the safe-and-live guarantee drops below
+/// `target_nines`, if it does within the trajectory — the moment preemptive
+/// reconfiguration should have happened by.
+pub fn first_time_below_target(trajectory: &[TimePoint], target_nines: f64) -> Option<f64> {
+    trajectory
+        .iter()
+        .find(|p| !p.report.safe_and_live.meets(target_nines))
+        .map(|p| p.at_hours)
+}
+
+/// Summary of a trajectory: the worst point and whether the target held throughout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectorySummary {
+    /// The minimum safe-and-live probability along the trajectory.
+    pub worst_probability: f64,
+    /// The time (hours from now) at which that minimum occurs.
+    pub worst_at_hours: f64,
+    /// Whether every point met the target.
+    pub target_held: bool,
+}
+
+/// Summarizes a trajectory against a target.
+pub fn summarize(trajectory: &[TimePoint], target_nines: f64) -> TrajectorySummary {
+    assert!(!trajectory.is_empty(), "trajectory must be non-empty");
+    let mut worst = &trajectory[0];
+    for p in trajectory {
+        if p.report.safe_and_live.probability() < worst.report.safe_and_live.probability() {
+            worst = p;
+        }
+    }
+    TrajectorySummary {
+        worst_probability: worst.report.safe_and_live.probability(),
+        worst_at_hours: worst.at_hours,
+        target_held: first_time_below_target(trajectory, target_nines).is_none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raft_model::RaftModel;
+    use fault_model::curve::{StepCurve, WeibullCurve};
+    use fault_model::metrics::HOURS_PER_YEAR;
+    use fault_model::node::NodeSpec;
+    use std::sync::Arc;
+
+    fn wearout_fleet(n: usize) -> Fleet {
+        (0..n)
+            .map(|i| {
+                NodeSpec::with_constant_crash(i, 0.0, HOURS_PER_YEAR)
+                    .with_crash_curve(Arc::new(WeibullCurve::new(3.0, 70_000.0)))
+                    .with_age(10_000.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wearout_degrades_the_guarantee_over_time() {
+        let fleet = wearout_fleet(5);
+        let traj = reliability_trajectory(
+            &RaftModel::standard(5),
+            &fleet,
+            HOURS_PER_YEAR / 4.0,
+            6.0 * HOURS_PER_YEAR,
+            HOURS_PER_YEAR,
+        );
+        assert!(traj.len() >= 6);
+        let first = traj.first().unwrap().report.safe_and_live.probability();
+        let last = traj.last().unwrap().report.safe_and_live.probability();
+        assert!(last < first, "guarantee should degrade: {first} -> {last}");
+        let summary = summarize(&traj, 3.0);
+        assert!((summary.worst_probability - last).abs() < 1e-12);
+        assert!(summary.worst_at_hours > 0.0);
+    }
+
+    #[test]
+    fn first_time_below_target_detects_the_dip() {
+        let fleet = wearout_fleet(3);
+        let traj = reliability_trajectory(
+            &RaftModel::standard(3),
+            &fleet,
+            HOURS_PER_YEAR,
+            8.0 * HOURS_PER_YEAR,
+            HOURS_PER_YEAR / 2.0,
+        );
+        // A 3-node cluster on aging hardware eventually drops below four nines.
+        let dip = first_time_below_target(&traj, 4.0);
+        assert!(dip.is_some());
+        let summary = summarize(&traj, 4.0);
+        assert!(!summary.target_held);
+    }
+
+    #[test]
+    fn rollout_windows_show_as_transient_dips() {
+        // Nodes with a baseline hazard plus a correlated rollout spike 1000h from now.
+        let fleet: Fleet = (0..3)
+            .map(|i| {
+                NodeSpec::with_constant_crash(i, 0.0, HOURS_PER_YEAR).with_crash_curve(Arc::new(
+                    StepCurve::new(1e-6).with_spike(1_000.0, 1_200.0, 5e-4),
+                ))
+            })
+            .collect();
+        let traj = reliability_trajectory(&RaftModel::standard(3), &fleet, 200.0, 2_000.0, 200.0);
+        let during: Vec<&TimePoint> = traj
+            .iter()
+            .filter(|p| p.at_hours >= 1_000.0 && p.at_hours < 1_200.0)
+            .collect();
+        let before: Vec<&TimePoint> = traj.iter().filter(|p| p.at_hours < 1_000.0).collect();
+        let worst_during = during
+            .iter()
+            .map(|p| p.report.safe_and_live.probability())
+            .fold(1.0, f64::min);
+        let worst_before = before
+            .iter()
+            .map(|p| p.report.safe_and_live.probability())
+            .fold(1.0, f64::min);
+        assert!(worst_during < worst_before);
+    }
+
+    #[test]
+    fn stable_fleets_hold_their_target() {
+        let fleet = Fleet::homogeneous_crash(5, 0.01);
+        let traj = reliability_trajectory(
+            &RaftModel::standard(5),
+            &fleet,
+            HOURS_PER_YEAR,
+            2.0 * HOURS_PER_YEAR,
+            HOURS_PER_YEAR / 2.0,
+        );
+        assert!(summarize(&traj, 4.0).target_held);
+        assert!(first_time_below_target(&traj, 4.0).is_none());
+    }
+}

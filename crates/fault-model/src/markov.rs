@@ -1,0 +1,326 @@
+//! Continuous-time Markov reliability chains.
+//!
+//! §2 of the paper points at the storage community's practice of modelling a redundant
+//! group as a Markov chain whose states count operational devices, with failure rates λ
+//! and repair rates μ driving transitions, and deriving MTTF / MTTDL / steady-state
+//! availability from it. This module provides a small dense CTMC solver plus the
+//! birth–death chains used for consensus groups ("mean time until more than f nodes are
+//! simultaneously down", the Zorfu-style analysis referenced in §5).
+
+/// A continuous-time Markov chain described by its generator (rate) matrix.
+///
+/// `rates[i][j]` for `i != j` is the transition rate from state `i` to state `j`;
+/// diagonal entries are ignored and recomputed as the negated row sum.
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    n: usize,
+    rates: Vec<Vec<f64>>,
+}
+
+impl MarkovChain {
+    /// Creates a chain with `n` states and no transitions.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "chain needs at least one state");
+        Self {
+            n,
+            rates: vec![vec![0.0; n]; n],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the chain has exactly one state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sets the transition rate from `from` to `to` (events per hour).
+    pub fn set_rate(&mut self, from: usize, to: usize, rate: f64) {
+        assert!(from < self.n && to < self.n, "state out of range");
+        assert!(from != to, "self-transitions are implicit");
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be finite, >= 0");
+        self.rates[from][to] = rate;
+    }
+
+    /// The transition rate from `from` to `to`.
+    pub fn rate(&self, from: usize, to: usize) -> f64 {
+        self.rates[from][to]
+    }
+
+    /// Total outflow rate from a state.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.rates[state].iter().sum()
+    }
+
+    /// Expected time (hours) to first reach any state in `absorbing`, starting from
+    /// `start`, treating the absorbing states as terminal.
+    ///
+    /// Solves the standard first-passage linear system
+    /// `exit_rate(i) * h_i - Σ_j rate(i→j) h_j = 1` over transient states.
+    /// Returns `f64::INFINITY` if the absorbing set is unreachable from `start`.
+    pub fn mean_hitting_time(&self, start: usize, absorbing: &[usize]) -> f64 {
+        assert!(start < self.n);
+        let is_absorbing = |s: usize| absorbing.contains(&s);
+        if is_absorbing(start) {
+            return 0.0;
+        }
+        // Map transient states to dense indices.
+        let transient: Vec<usize> = (0..self.n).filter(|&s| !is_absorbing(s)).collect();
+        let index: Vec<Option<usize>> = (0..self.n)
+            .map(|s| transient.iter().position(|&t| t == s))
+            .collect();
+        let m = transient.len();
+        let mut a = vec![vec![0.0f64; m + 1]; m];
+        for (row, &s) in transient.iter().enumerate() {
+            let exit = self.exit_rate(s);
+            a[row][row] = exit;
+            for t in 0..self.n {
+                if t == s {
+                    continue;
+                }
+                if let Some(col) = index[t] {
+                    a[row][col] -= self.rates[s][t];
+                }
+            }
+            a[row][m] = 1.0;
+        }
+        match solve_dense(&mut a) {
+            Some(h) => {
+                let v = h[index[start].expect("start is transient")];
+                if v.is_finite() && v >= 0.0 {
+                    v
+                } else {
+                    f64::INFINITY
+                }
+            }
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Steady-state distribution π with `π Q = 0` and `Σ π = 1`.
+    ///
+    /// Returns `None` when the chain has no transitions at all.
+    pub fn steady_state(&self) -> Option<Vec<f64>> {
+        if self.rates.iter().all(|row| row.iter().all(|&r| r == 0.0)) {
+            return None;
+        }
+        // Build Q^T π = 0 with the last equation replaced by the normalization constraint.
+        let n = self.n;
+        let mut a = vec![vec![0.0f64; n + 1]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // d/dt π_j gains rate(i→j) * π_i and loses exit_rate(j) * π_j.
+                a[j][i] += self.rates[i][j];
+            }
+        }
+        for j in 0..n {
+            a[j][j] -= self.exit_rate(j);
+        }
+        // Replace the last row by Σ π = 1.
+        for j in 0..n {
+            a[n - 1][j] = 1.0;
+        }
+        a[n - 1][n] = 1.0;
+        let pi = solve_dense(&mut a)?;
+        let sum: f64 = pi.iter().sum();
+        if !(sum.is_finite()) || sum <= 0.0 {
+            return None;
+        }
+        Some(pi.iter().map(|p| (p / sum).max(0.0)).collect())
+    }
+}
+
+/// Solves a dense augmented system `[A | b]` by Gaussian elimination with partial
+/// pivoting. Each row has `n + 1` entries. Returns `None` when the matrix is singular.
+fn solve_dense(a: &mut [Vec<f64>]) -> Option<Vec<f64>> {
+    let n = a.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        let p = a[col][col];
+        for j in col..=n {
+            a[col][j] /= p;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..=n {
+                a[row][j] -= factor * a[col][j];
+            }
+        }
+    }
+    Some((0..n).map(|i| a[i][n]).collect())
+}
+
+/// A birth–death chain whose states count the number of failed nodes in a group of `n`,
+/// with per-node failure rate λ and per-node repair rate μ (each failed node is repaired
+/// independently).
+#[derive(Debug, Clone)]
+pub struct BirthDeathChain {
+    n: usize,
+    lambda: f64,
+    mu: f64,
+}
+
+impl BirthDeathChain {
+    /// Creates a chain for `n` nodes with per-node failure rate `lambda` and per-node
+    /// repair rate `mu` (per hour).
+    pub fn new(n: usize, lambda: f64, mu: f64) -> Self {
+        assert!(n > 0);
+        assert!(lambda >= 0.0 && mu >= 0.0);
+        Self { n, lambda, mu }
+    }
+
+    /// Materializes the chain as a [`MarkovChain`] over states `0..=n` failed nodes.
+    pub fn chain(&self) -> MarkovChain {
+        let mut chain = MarkovChain::new(self.n + 1);
+        for failed in 0..=self.n {
+            let up = self.n - failed;
+            if failed < self.n {
+                chain.set_rate(failed, failed + 1, up as f64 * self.lambda);
+            }
+            if failed > 0 {
+                chain.set_rate(failed, failed - 1, failed as f64 * self.mu);
+            }
+        }
+        chain
+    }
+}
+
+/// A repairable consensus group analysed as a birth–death chain: mean time to exceed the
+/// fault threshold, and steady-state availability of a quorum.
+#[derive(Debug, Clone)]
+pub struct RepairableGroup {
+    chain: BirthDeathChain,
+    /// Number of simultaneous failures that the deployment can absorb (e.g. `f`, or
+    /// `n - quorum_size`).
+    tolerated_failures: usize,
+}
+
+impl RepairableGroup {
+    /// Creates a repairable group of `n` nodes with per-node failure rate `lambda`,
+    /// per-node repair rate `mu`, and a tolerance of `tolerated_failures` simultaneous
+    /// failures.
+    pub fn new(n: usize, lambda: f64, mu: f64, tolerated_failures: usize) -> Self {
+        assert!(tolerated_failures < n, "tolerance must be below group size");
+        Self {
+            chain: BirthDeathChain::new(n, lambda, mu),
+            tolerated_failures,
+        }
+    }
+
+    /// Mean time (hours) until more than the tolerated number of nodes are down
+    /// simultaneously, starting from a fully healthy group. This is the consensus
+    /// analogue of MTTDL.
+    pub fn mean_time_to_threshold_exceeded(&self) -> f64 {
+        let chain = self.chain.chain();
+        let absorbing: Vec<usize> = (self.tolerated_failures + 1..=self.chain.n).collect();
+        chain.mean_hitting_time(0, &absorbing)
+    }
+
+    /// Steady-state probability that at most the tolerated number of nodes are down,
+    /// i.e. the long-run availability of the quorum.
+    pub fn steady_state_availability(&self) -> f64 {
+        let chain = self.chain.chain();
+        match chain.steady_state() {
+            Some(pi) => pi[..=self.tolerated_failures].iter().sum(),
+            None => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component_mttf_is_inverse_rate() {
+        // One node, no repair: state 0 = up, state 1 = down.
+        let mut chain = MarkovChain::new(2);
+        chain.set_rate(0, 1, 0.01);
+        let mttf = chain.mean_hitting_time(0, &[1]);
+        assert!((mttf - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_absorbing_state_has_infinite_hitting_time() {
+        let chain = MarkovChain::new(3);
+        assert!(chain.mean_hitting_time(0, &[2]).is_infinite());
+    }
+
+    #[test]
+    fn two_component_series_mttf() {
+        // Two independent nodes failing at rate λ, absorbing when either fails:
+        // MTTF = 1 / (2λ).
+        let group = BirthDeathChain::new(2, 0.001, 0.0).chain();
+        let mttf = group.mean_hitting_time(0, &[1, 2]);
+        assert!((mttf - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repair_extends_time_to_double_failure() {
+        // Classic RAID-1 result: MTTDL from a healthy pair = (3λ + μ) / (2 λ^2); with
+        // μ >> λ repair helps a lot.
+        let lambda = 1e-4;
+        let mu = 1e-1;
+        let without = RepairableGroup::new(2, lambda, 0.0, 1).mean_time_to_threshold_exceeded();
+        let with = RepairableGroup::new(2, lambda, mu, 1).mean_time_to_threshold_exceeded();
+        let analytic = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+        assert!(
+            (with - analytic).abs() / analytic < 1e-6,
+            "{with} vs {analytic}"
+        );
+        assert!(with > 100.0 * without);
+    }
+
+    #[test]
+    fn steady_state_of_single_repairable_component() {
+        let mut chain = MarkovChain::new(2);
+        chain.set_rate(0, 1, 1.0);
+        chain.set_rate(1, 0, 9.0);
+        let pi = chain.steady_state().unwrap();
+        assert!((pi[0] - 0.9).abs() < 1e-9);
+        assert!((pi[1] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_availability_improves_with_faster_repair() {
+        let slow = RepairableGroup::new(3, 1e-3, 1e-2, 1).steady_state_availability();
+        let fast = RepairableGroup::new(3, 1e-3, 1.0, 1).steady_state_availability();
+        assert!(fast > slow);
+        assert!(fast > 0.99999);
+    }
+
+    #[test]
+    fn mean_time_to_threshold_scales_with_group_size() {
+        // Larger groups with the same tolerance hit the threshold sooner.
+        let small = RepairableGroup::new(3, 1e-4, 1e-2, 1).mean_time_to_threshold_exceeded();
+        let large = RepairableGroup::new(9, 1e-4, 1e-2, 1).mean_time_to_threshold_exceeded();
+        assert!(small > large);
+    }
+
+    #[test]
+    fn chain_without_transitions_has_no_steady_state() {
+        assert!(MarkovChain::new(4).steady_state().is_none());
+    }
+}

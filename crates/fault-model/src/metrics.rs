@@ -1,0 +1,212 @@
+//! Reliability metrics: nines, AFR conversions, MTBF/MTTR, availability.
+//!
+//! These mirror the vocabulary the storage community uses (§2 of the paper): annual
+//! failure rates measured over large fleets, "nines" of availability or durability, and
+//! mean-time metrics derived from failure (λ) and repair (μ) rates.
+
+/// Hours in a (mean) year; the constant commonly used for AFR conversions.
+pub const HOURS_PER_YEAR: f64 = 8766.0;
+
+/// Converts an annual failure rate (probability of failing within a year) into a
+/// constant hourly hazard rate λ such that `1 - exp(-λ * HOURS_PER_YEAR) == afr`.
+///
+/// # Panics
+///
+/// Panics if `afr` is not in `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let lambda = fault_model::metrics::afr_to_hourly_rate(0.04);
+/// let back = fault_model::metrics::hourly_rate_to_afr(lambda);
+/// assert!((back - 0.04).abs() < 1e-12);
+/// ```
+pub fn afr_to_hourly_rate(afr: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&afr),
+        "AFR must be in [0, 1), got {afr}"
+    );
+    -(1.0 - afr).ln() / HOURS_PER_YEAR
+}
+
+/// Converts a constant hourly hazard rate into the implied annual failure rate.
+pub fn hourly_rate_to_afr(lambda: f64) -> f64 {
+    assert!(lambda >= 0.0, "rate must be non-negative");
+    1.0 - (-lambda * HOURS_PER_YEAR).exp()
+}
+
+/// Mean time between failures for a constant hazard rate λ (per hour), in hours.
+///
+/// Returns `f64::INFINITY` when the rate is zero.
+pub fn mtbf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / lambda
+    }
+}
+
+/// Steady-state availability of a repairable component with failure rate λ and repair
+/// rate μ: `μ / (λ + μ)`.
+pub fn availability(lambda: f64, mu: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    mu / (lambda + mu)
+}
+
+/// Number of "nines" in a probability: `-log10(1 - p)`.
+///
+/// `nines(0.999)` is `3.0`; a probability of exactly `1.0` maps to `f64::INFINITY`.
+pub fn nines(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    if p >= 1.0 {
+        f64::INFINITY
+    } else {
+        -(1.0 - p).log10()
+    }
+}
+
+/// Inverse of [`nines`]: the probability that has `n` nines.
+pub fn probability_from_nines(n: f64) -> f64 {
+    assert!(n >= 0.0, "nines must be non-negative");
+    1.0 - 10f64.powf(-n)
+}
+
+/// A probability wrapped with convenient formatting in "nines" and percent notation.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::metrics::Nines;
+/// let n = Nines::from_probability(0.9997);
+/// assert_eq!(format!("{n}"), "99.97%");
+/// assert!((n.nines() - 3.52).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nines {
+    probability: f64,
+}
+
+impl Nines {
+    /// Wraps a probability in `[0, 1]`.
+    pub fn from_probability(probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0,1], got {probability}"
+        );
+        Self { probability }
+    }
+
+    /// Builds the probability that has exactly `n` nines.
+    pub fn from_nines(n: f64) -> Self {
+        Self::from_probability(probability_from_nines(n))
+    }
+
+    /// The underlying probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// The probability of the complementary event (failure / violation).
+    pub fn complement(&self) -> f64 {
+        1.0 - self.probability
+    }
+
+    /// The number of nines, i.e. `-log10(1 - p)`.
+    pub fn nines(&self) -> f64 {
+        nines(self.probability)
+    }
+
+    /// Whether this probability meets a target expressed in nines.
+    pub fn meets(&self, target_nines: f64) -> bool {
+        self.nines() >= target_nines
+    }
+
+    /// Formats the probability as a percentage with enough significant digits to show the
+    /// leading non-nine digit (the style used in the paper's tables, e.g. `99.9990%`).
+    pub fn as_percent(&self) -> String {
+        // Probabilities within f64 rounding error of 1 are shown as 100% rather than as a
+        // long string of nines.
+        if self.probability >= 1.0 - 1e-12 {
+            return "100%".to_string();
+        }
+        // Show every leading nine of the percentage plus the first non-nine digit,
+        // never fewer than two decimals (e.g. 99.97%, 99.9990%, 99.99993%).
+        let failure_percent = (1.0 - self.probability) * 100.0;
+        let leading_nines = if failure_percent >= 1.0 {
+            0
+        } else {
+            (-failure_percent.log10()).floor() as usize
+        };
+        let decimals = (leading_nines + 1).max(2);
+        format!("{:.*}%", decimals, self.probability * 100.0)
+    }
+}
+
+impl std::fmt::Display for Nines {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn afr_round_trips_through_rate() {
+        for afr in [0.001, 0.01, 0.04, 0.08, 0.5, 0.9] {
+            let rate = afr_to_hourly_rate(afr);
+            assert!((hourly_rate_to_afr(rate) - afr).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_afr_means_zero_rate() {
+        assert_eq!(afr_to_hourly_rate(0.0), 0.0);
+        assert_eq!(hourly_rate_to_afr(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "AFR must be in")]
+    fn afr_of_one_panics() {
+        afr_to_hourly_rate(1.0);
+    }
+
+    #[test]
+    fn mtbf_of_zero_rate_is_infinite() {
+        assert!(mtbf(0.0).is_infinite());
+        assert!((mtbf(0.01) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_matches_closed_form() {
+        assert!((availability(1.0, 9.0) - 0.9).abs() < 1e-12);
+        assert_eq!(availability(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn nines_of_common_values() {
+        assert!((nines(0.9) - 1.0).abs() < 1e-12);
+        assert!((nines(0.999) - 3.0).abs() < 1e-12);
+        assert!(nines(1.0).is_infinite());
+        assert!((probability_from_nines(3.0) - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nines_percent_formatting_matches_paper_style() {
+        assert_eq!(Nines::from_probability(0.9997).as_percent(), "99.97%");
+        assert_eq!(Nines::from_probability(0.999990).as_percent(), "99.9990%");
+        assert_eq!(Nines::from_probability(0.9988).as_percent(), "99.88%");
+        assert_eq!(Nines::from_probability(1.0).as_percent(), "100%");
+    }
+
+    #[test]
+    fn nines_meets_targets() {
+        let n = Nines::from_probability(0.99995);
+        assert!(n.meets(4.0));
+        assert!(!n.meets(5.0));
+        assert!((n.complement() - 5e-5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,375 @@
+//! Cluster harnesses: build a simulated cluster, drive a workload, check the outcome.
+//!
+//! The harness is what turns the executable protocols into *experiments*: it submits a
+//! batch of client commands, runs the simulation under a fault schedule, and then checks
+//! exactly the two properties the paper's probabilistic analysis quantifies — agreement
+//! among correct nodes (safety) and commitment of every submitted command at every
+//! correct node (liveness/progress).
+
+use consensus_sim::fault::FaultSchedule;
+use consensus_sim::network::NetworkConfig;
+use consensus_sim::runtime::Simulation;
+use consensus_sim::time::SimTime;
+
+use crate::byzantine::ByzantineBehavior;
+use crate::common::{all_contain, logs_agree, Command, ReplicatedLog};
+use crate::pbft::{PbftConfig, PbftMessage, PbftNode};
+use crate::raft::{RaftConfig, RaftMessage, RaftNode};
+
+/// The verdict of one harness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Whether the committed logs of all correct nodes are prefix-consistent.
+    pub agreement: bool,
+    /// Whether every submitted command was committed at every correct node.
+    pub all_committed: bool,
+    /// Committed log length per correct node.
+    pub committed_lengths: Vec<usize>,
+    /// Ids of the nodes that were still correct at the end of the run.
+    pub correct_nodes: Vec<usize>,
+    /// Total messages delivered during the run (a cost proxy).
+    pub messages_delivered: u64,
+}
+
+impl ClusterOutcome {
+    /// Whether the run was both safe and live — the paper's "safe and live"
+    /// configuration notion, observed empirically.
+    pub fn safe_and_live(&self) -> bool {
+        self.agreement && self.all_committed
+    }
+}
+
+fn evaluate<M, A>(sim: &Simulation<M, A>, submitted: &[Command]) -> ClusterOutcome
+where
+    M: Clone,
+    A: consensus_sim::actor::Actor<M> + ReplicatedLog,
+{
+    let correct = sim.correct_nodes();
+    let logs: Vec<Vec<Command>> = correct.iter().map(|&i| sim.node(i).committed()).collect();
+    ClusterOutcome {
+        agreement: logs_agree(&logs),
+        all_committed: !logs.is_empty() && all_contain(&logs, submitted),
+        committed_lengths: logs.iter().map(Vec::len).collect(),
+        correct_nodes: correct,
+        messages_delivered: sim.stats().messages_delivered,
+    }
+}
+
+/// A Raft cluster harness.
+pub struct RaftHarness {
+    sim: Simulation<RaftMessage, RaftNode>,
+    submitted: Vec<Command>,
+    next_command: u64,
+}
+
+impl RaftHarness {
+    /// Builds a standard Raft cluster of `n` nodes.
+    pub fn new(n: usize, network: NetworkConfig, seed: u64) -> Self {
+        Self::with_config(RaftConfig::standard(n), network, seed)
+    }
+
+    /// Builds a Raft cluster with a custom per-node configuration.
+    pub fn with_config(config: RaftConfig, network: NetworkConfig, seed: u64) -> Self {
+        let nodes = (0..config.n)
+            .map(|_| RaftNode::new(config.clone()))
+            .collect();
+        Self {
+            sim: Simulation::new(nodes, network, seed),
+            submitted: Vec::new(),
+            next_command: 0,
+        }
+    }
+
+    /// Builds a Raft cluster whose nodes adopt the given behaviour when turned Byzantine.
+    pub fn with_byzantine_plan(
+        config: RaftConfig,
+        plan: ByzantineBehavior,
+        network: NetworkConfig,
+        seed: u64,
+    ) -> Self {
+        let nodes = (0..config.n)
+            .map(|_| RaftNode::new(config.clone()).with_byzantine_plan(plan))
+            .collect();
+        Self {
+            sim: Simulation::new(nodes, network, seed),
+            submitted: Vec::new(),
+            next_command: 0,
+        }
+    }
+
+    /// Installs a fault schedule.
+    pub fn with_faults(mut self, schedule: &FaultSchedule) -> Self {
+        self.sim = self.sim.with_fault_schedule(schedule);
+        self
+    }
+
+    /// Submits `count` fresh commands; clients broadcast each request to every node.
+    pub fn submit_commands(&mut self, count: usize) {
+        for _ in 0..count {
+            self.next_command += 1;
+            let command = Command(self.next_command);
+            self.submitted.push(command);
+            for node in 0..self.sim.num_nodes() {
+                self.sim.inject(node, RaftMessage::ClientRequest(command));
+            }
+        }
+    }
+
+    /// Runs the cluster for `millis` of virtual time and evaluates the outcome.
+    pub fn run_for_millis(&mut self, millis: u64) -> ClusterOutcome {
+        let deadline = self.sim.now() + SimTime::from_millis(millis);
+        self.sim.run_until(deadline);
+        evaluate(&self.sim, &self.submitted)
+    }
+
+    /// The underlying simulation (for inspection in tests).
+    pub fn sim(&self) -> &Simulation<RaftMessage, RaftNode> {
+        &self.sim
+    }
+
+    /// The commands submitted so far.
+    pub fn submitted(&self) -> &[Command] {
+        &self.submitted
+    }
+}
+
+/// A PBFT cluster harness.
+pub struct PbftHarness {
+    sim: Simulation<PbftMessage, PbftNode>,
+    submitted: Vec<Command>,
+    next_command: u64,
+}
+
+impl PbftHarness {
+    /// Builds a standard PBFT cluster of `n` nodes.
+    pub fn new(n: usize, network: NetworkConfig, seed: u64) -> Self {
+        Self::with_config(
+            PbftConfig::standard(n),
+            ByzantineBehavior::Silent,
+            network,
+            seed,
+        )
+    }
+
+    /// Builds a PBFT cluster with a custom configuration and Byzantine plan.
+    pub fn with_config(
+        config: PbftConfig,
+        plan: ByzantineBehavior,
+        network: NetworkConfig,
+        seed: u64,
+    ) -> Self {
+        let nodes = (0..config.n)
+            .map(|_| PbftNode::new(config.clone()).with_byzantine_plan(plan))
+            .collect();
+        Self {
+            sim: Simulation::new(nodes, network, seed),
+            submitted: Vec::new(),
+            next_command: 0,
+        }
+    }
+
+    /// Installs a fault schedule.
+    pub fn with_faults(mut self, schedule: &FaultSchedule) -> Self {
+        self.sim = self.sim.with_fault_schedule(schedule);
+        self
+    }
+
+    /// Submits `count` fresh commands; clients broadcast each request to every replica.
+    pub fn submit_commands(&mut self, count: usize) {
+        for _ in 0..count {
+            self.next_command += 1;
+            let command = Command(self.next_command);
+            self.submitted.push(command);
+            for node in 0..self.sim.num_nodes() {
+                self.sim.inject(node, PbftMessage::ClientRequest(command));
+            }
+        }
+    }
+
+    /// Runs the cluster for `millis` of virtual time and evaluates the outcome.
+    pub fn run_for_millis(&mut self, millis: u64) -> ClusterOutcome {
+        let deadline = self.sim.now() + SimTime::from_millis(millis);
+        self.sim.run_until(deadline);
+        evaluate(&self.sim, &self.submitted)
+    }
+
+    /// The underlying simulation (for inspection in tests).
+    pub fn sim(&self) -> &Simulation<PbftMessage, PbftNode> {
+        &self.sim
+    }
+
+    /// The commands submitted so far.
+    pub fn submitted(&self) -> &[Command] {
+        &self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_raft_cluster_commits_everything() {
+        let mut h = RaftHarness::new(5, NetworkConfig::lan(), 1);
+        h.submit_commands(20);
+        let outcome = h.run_for_millis(3_000);
+        assert!(outcome.agreement);
+        assert!(
+            outcome.all_committed,
+            "lengths {:?}",
+            outcome.committed_lengths
+        );
+        assert!(outcome.safe_and_live());
+        assert_eq!(outcome.correct_nodes.len(), 5);
+    }
+
+    #[test]
+    fn raft_survives_a_minority_of_crashes() {
+        let schedule = FaultSchedule::none()
+            .crash_at(3, SimTime::from_millis(10))
+            .crash_at(4, SimTime::from_millis(400));
+        let mut h = RaftHarness::new(5, NetworkConfig::lan(), 2).with_faults(&schedule);
+        h.submit_commands(10);
+        let outcome = h.run_for_millis(4_000);
+        assert!(outcome.agreement);
+        assert!(outcome.all_committed);
+        assert_eq!(outcome.correct_nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn raft_loses_liveness_but_not_safety_under_majority_crashes() {
+        let schedule = FaultSchedule::none()
+            .crash_at(2, SimTime::from_millis(5))
+            .crash_at(3, SimTime::from_millis(5))
+            .crash_at(4, SimTime::from_millis(5));
+        let mut h = RaftHarness::new(5, NetworkConfig::lan(), 3).with_faults(&schedule);
+        h.submit_commands(5);
+        let outcome = h.run_for_millis(3_000);
+        assert!(outcome.agreement, "crashes must never break agreement");
+        assert!(
+            !outcome.all_committed,
+            "a majority is gone; nothing can commit"
+        );
+    }
+
+    #[test]
+    fn raft_elects_a_new_leader_when_the_leader_crashes() {
+        // Let a leader emerge and replicate, then kill it mid-run.
+        let schedule = FaultSchedule::none().crash_at(0, SimTime::from_millis(1_000));
+        let config = RaftConfig::standard(5).with_election_priority(vec![0, 1, 2, 3, 4]);
+        let mut h =
+            RaftHarness::with_config(config, NetworkConfig::lan(), 4).with_faults(&schedule);
+        h.submit_commands(5);
+        h.run_for_millis(900);
+        h.submit_commands(5);
+        let outcome = h.run_for_millis(5_000);
+        assert!(outcome.agreement);
+        assert!(
+            outcome.all_committed,
+            "lengths {:?}",
+            outcome.committed_lengths
+        );
+        assert!(!outcome.correct_nodes.contains(&0));
+    }
+
+    #[test]
+    fn healthy_pbft_cluster_commits_everything() {
+        let mut h = PbftHarness::new(4, NetworkConfig::lan(), 5);
+        h.submit_commands(10);
+        let outcome = h.run_for_millis(4_000);
+        assert!(outcome.agreement);
+        assert!(
+            outcome.all_committed,
+            "lengths {:?}",
+            outcome.committed_lengths
+        );
+    }
+
+    #[test]
+    fn pbft_survives_f_silent_byzantine_nodes() {
+        let schedule = FaultSchedule::none().byzantine_at(3, SimTime::from_millis(1));
+        let mut h = PbftHarness::with_config(
+            PbftConfig::standard(4),
+            ByzantineBehavior::Silent,
+            NetworkConfig::lan(),
+            6,
+        )
+        .with_faults(&schedule);
+        h.submit_commands(8);
+        let outcome = h.run_for_millis(5_000);
+        assert!(outcome.agreement);
+        assert!(
+            outcome.all_committed,
+            "lengths {:?}",
+            outcome.committed_lengths
+        );
+        assert_eq!(outcome.correct_nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pbft_changes_view_when_the_primary_crashes() {
+        let schedule = FaultSchedule::none().crash_at(0, SimTime::from_millis(1));
+        let mut h = PbftHarness::new(4, NetworkConfig::lan(), 7).with_faults(&schedule);
+        h.submit_commands(5);
+        let outcome = h.run_for_millis(8_000);
+        assert!(outcome.agreement);
+        assert!(
+            outcome.all_committed,
+            "lengths {:?}",
+            outcome.committed_lengths
+        );
+        // Some correct node moved past view 0.
+        assert!(outcome
+            .correct_nodes
+            .iter()
+            .any(|&i| h.sim().node(i).view() > 0));
+    }
+
+    #[test]
+    fn pbft_stays_safe_under_an_equivocating_primary() {
+        let schedule = FaultSchedule::none().byzantine_at(0, SimTime::from_millis(1));
+        let mut h = PbftHarness::with_config(
+            PbftConfig::standard(4),
+            ByzantineBehavior::Equivocate,
+            NetworkConfig::lan(),
+            8,
+        )
+        .with_faults(&schedule);
+        h.submit_commands(5);
+        let outcome = h.run_for_millis(10_000);
+        assert!(outcome.agreement, "equivocation must not break agreement");
+        assert!(outcome.all_committed, "view change should restore progress");
+    }
+
+    #[test]
+    fn raft_agreement_breaks_with_a_byzantine_leader() {
+        // Raft is a CFT protocol: a Byzantine (equivocating) leader violates agreement,
+        // which is exactly why RaftModel::is_safe requires zero Byzantine nodes. Turn the
+        // preferred leader Byzantine before anything commits.
+        let schedule = FaultSchedule::none().byzantine_at(0, SimTime::from_millis(1));
+        let config = RaftConfig::standard(3).with_election_priority(vec![0, 1, 2]);
+        let mut h = RaftHarness::with_byzantine_plan(
+            config,
+            ByzantineBehavior::Equivocate,
+            NetworkConfig::lan(),
+            9,
+        )
+        .with_faults(&schedule);
+        h.submit_commands(3);
+        let outcome = h.run_for_millis(4_000);
+        // The Byzantine node is excluded from the correct set; the remaining followers
+        // were fed conflicting logs by the equivocating leader.
+        assert!(
+            !outcome.agreement || !outcome.all_committed,
+            "a Byzantine leader must damage agreement or progress"
+        );
+    }
+
+    #[test]
+    fn outcome_reports_message_costs() {
+        let mut h = RaftHarness::new(3, NetworkConfig::lan(), 10);
+        h.submit_commands(2);
+        let outcome = h.run_for_millis(1_000);
+        assert!(outcome.messages_delivered > 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Executable consensus protocols on the discrete-event simulator.
+//!
+//! The `prob-consensus` crate computes *analytic* probabilities of safety and liveness
+//! from Theorems 3.1 and 3.2; this crate provides the protocols those theorems abstract,
+//! running on the `consensus-sim` substrate, so the predictions can be validated against
+//! observed behaviour under injected faults:
+//!
+//! * [`common`] — commands, log entries and the [`common::ReplicatedLog`] view shared by
+//!   all protocols.
+//! * [`raft`] — a Raft implementation (leader election, log replication, commitment)
+//!   with configurable persistence/election quorum sizes (Flexible-Paxos style) and
+//!   reliability-aware election priorities.
+//! * [`pbft`] — a PBFT-style BFT implementation (pre-prepare / prepare / commit, view
+//!   changes) with configurable quorum sizes and pluggable Byzantine behaviours.
+//! * [`byzantine`] — the Byzantine strategies nodes adopt when the fault injector flips
+//!   them (stay silent, equivocate).
+//! * [`harness`] — cluster harnesses: build a simulated cluster, drive a client
+//!   workload, then check *agreement* (no two correct nodes commit conflicting entries)
+//!   and *progress* (all submitted commands commit at all correct nodes).
+//! * [`probabilistic`] — probability-native deployment helpers: reliability-aware leader
+//!   priorities and committee-restricted clusters.
+//!
+//! # Examples
+//!
+//! ```
+//! use consensus_protocols::harness::RaftHarness;
+//! use consensus_sim::network::NetworkConfig;
+//!
+//! // A healthy 5-node Raft cluster commits every submitted command.
+//! let mut harness = RaftHarness::new(5, NetworkConfig::lan(), 7);
+//! harness.submit_commands(10);
+//! let outcome = harness.run_for_millis(2_000);
+//! assert!(outcome.agreement);
+//! assert!(outcome.all_committed);
+//! ```
+
+pub mod byzantine;
+pub mod common;
+pub mod harness;
+pub mod pbft;
+pub mod probabilistic;
+pub mod raft;
+
+pub use byzantine::ByzantineBehavior;
+pub use common::{Command, LogEntry, ReplicatedLog};
+pub use harness::{ClusterOutcome, PbftHarness, RaftHarness};
+pub use pbft::{PbftConfig, PbftMessage, PbftNode};
+pub use raft::{RaftConfig, RaftMessage, RaftNode, Role};

@@ -1,0 +1,117 @@
+//! Probability-native deployment helpers (§4).
+//!
+//! These functions connect the analysis layer's fault-curve knowledge to the executable
+//! protocols: derive reliability-aware election priorities from a deployment, restrict a
+//! protocol to a committee of the most reliable nodes, and build fault schedules matching
+//! an analysis deployment so that simulation results are directly comparable with the
+//! analytic predictions.
+
+use fault_model::mode::FaultProfile;
+
+use crate::raft::RaftConfig;
+
+/// Ranks nodes by fault probability (most reliable first) and converts the ranking into
+/// the per-node priority vector [`RaftConfig::with_election_priority`] expects
+/// (`priority[i]` = rank of node `i`, 0 = preferred leader).
+pub fn election_priority_from_profiles(profiles: &[FaultProfile]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..profiles.len()).collect();
+    order.sort_by(|&a, &b| {
+        profiles[a]
+            .fault_probability()
+            .partial_cmp(&profiles[b].fault_probability())
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut priority = vec![0usize; profiles.len()];
+    for (rank, &node) in order.iter().enumerate() {
+        priority[node] = rank;
+    }
+    priority
+}
+
+/// Builds a Raft configuration whose election priorities follow the deployment's
+/// reliability ranking — the executable counterpart of the paper's "choose leaders among
+/// the most reliable nodes".
+pub fn reliability_aware_raft_config(profiles: &[FaultProfile]) -> RaftConfig {
+    RaftConfig::standard(profiles.len())
+        .with_election_priority(election_priority_from_profiles(profiles))
+}
+
+/// Selects a committee of the `size` most reliable nodes (indices into `profiles`),
+/// for running the protocol on a subset of a larger fleet.
+pub fn reliable_committee(profiles: &[FaultProfile], size: usize) -> Vec<usize> {
+    assert!(size >= 1 && size <= profiles.len());
+    let mut order: Vec<usize> = (0..profiles.len()).collect();
+    order.sort_by(|&a, &b| {
+        profiles[a]
+            .fault_probability()
+            .partial_cmp(&profiles[b].fault_probability())
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut committee = order[..size].to_vec();
+    committee.sort_unstable();
+    committee
+}
+
+/// Extracts the profiles of a committee, preserving committee order — used to build the
+/// committee's own fault schedule.
+pub fn committee_profiles(profiles: &[FaultProfile], committee: &[usize]) -> Vec<FaultProfile> {
+    committee
+        .iter()
+        .map(|&i| {
+            assert!(i < profiles.len(), "committee member {i} out of range");
+            profiles[i]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Vec<FaultProfile> {
+        vec![
+            FaultProfile::crash_only(0.08),
+            FaultProfile::crash_only(0.01),
+            FaultProfile::crash_only(0.04),
+            FaultProfile::crash_only(0.02),
+        ]
+    }
+
+    #[test]
+    fn priorities_follow_reliability() {
+        let priority = election_priority_from_profiles(&profiles());
+        // Node 1 (1%) gets rank 0, node 3 (2%) rank 1, node 2 (4%) rank 2, node 0 rank 3.
+        assert_eq!(priority, vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn reliability_aware_config_embeds_priorities() {
+        let config = reliability_aware_raft_config(&profiles());
+        assert_eq!(config.election_priority, Some(vec![3, 0, 2, 1]));
+        assert_eq!(config.n, 4);
+    }
+
+    #[test]
+    fn committee_selects_most_reliable_members() {
+        let committee = reliable_committee(&profiles(), 2);
+        assert_eq!(committee, vec![1, 3]);
+        let sub = committee_profiles(&profiles(), &committee);
+        assert!((sub[0].fault_probability() - 0.01).abs() < 1e-12);
+        assert!((sub[1].fault_probability() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_broken_by_index_for_determinism() {
+        let equal = vec![FaultProfile::crash_only(0.05); 3];
+        assert_eq!(election_priority_from_profiles(&equal), vec![0, 1, 2]);
+        assert_eq!(reliable_committee(&equal, 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn committee_profiles_checks_indices() {
+        committee_profiles(&profiles(), &[9]);
+    }
+}

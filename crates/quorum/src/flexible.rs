@@ -1,0 +1,154 @@
+//! Flexible quorums (Flexible Paxos style).
+//!
+//! Howard et al. observed that the replication quorum `Q2` and the leader-election quorum
+//! `Q1` need not both be majorities — they only need to intersect each other. The paper
+//! leans on the same observation when it asks whether quorum sizes can be chosen
+//! "dynamically such that they overlap with high probability" (§4). [`FlexibleQuorum`]
+//! models the deterministic version: two thresholds over the same universe.
+
+use rand::Rng;
+
+use crate::set::NodeSet;
+use crate::system::QuorumSystem;
+use crate::threshold::ThresholdQuorum;
+
+/// A two-tier threshold quorum system with separate persistence (`Q2`) and view-change
+/// (`Q1`) thresholds over the same universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlexibleQuorum {
+    universe: usize,
+    persistence: ThresholdQuorum,
+    view_change: ThresholdQuorum,
+}
+
+impl FlexibleQuorum {
+    /// Creates a flexible quorum system with the given persistence-quorum size (`Q2`,
+    /// used on the replication fast path) and view-change-quorum size (`Q1`).
+    pub fn new(universe: usize, persistence_size: usize, view_change_size: usize) -> Self {
+        Self {
+            universe,
+            persistence: ThresholdQuorum::new(universe, persistence_size),
+            view_change: ThresholdQuorum::new(universe, view_change_size),
+        }
+    }
+
+    /// The persistence (replication) quorum subsystem.
+    pub fn persistence(&self) -> &ThresholdQuorum {
+        &self.persistence
+    }
+
+    /// The view-change (leader election) quorum subsystem.
+    pub fn view_change(&self) -> &ThresholdQuorum {
+        &self.view_change
+    }
+
+    /// Whether every persistence quorum intersects every view-change quorum — the
+    /// cross-intersection safety requirement of Flexible Paxos (`|Q1| + |Q2| > N`).
+    pub fn cross_intersects(&self) -> bool {
+        self.persistence.threshold() + self.view_change.threshold() > self.universe
+    }
+
+    /// Whether cross-intersection still holds in at least one node outside `faulty`.
+    pub fn cross_intersection_survives_faults(&self, faulty: &NodeSet) -> bool {
+        assert_eq!(faulty.universe(), self.universe, "universe mismatch");
+        let guaranteed = (self.persistence.threshold() + self.view_change.threshold())
+            .saturating_sub(self.universe);
+        guaranteed > faulty.len()
+    }
+
+    /// Probability that both quorums can be formed when each node is live independently
+    /// with probability `p_live` (both thresholds must be met by the same live set, so
+    /// the binding constraint is the larger threshold).
+    pub fn formation_probability_iid(&self, p_live: f64) -> f64 {
+        let k = self
+            .persistence
+            .threshold()
+            .max(self.view_change.threshold());
+        crate::metrics::binomial_tail_at_least(self.universe, k, p_live)
+    }
+}
+
+impl QuorumSystem for FlexibleQuorum {
+    fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Membership of the *persistence* quorum system (the common case on the data path).
+    fn is_quorum(&self, set: &NodeSet) -> bool {
+        self.persistence.is_quorum(set)
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.persistence.min_quorum_size()
+    }
+
+    fn sample_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeSet> {
+        self.persistence.sample_quorum(rng)
+    }
+
+    fn always_intersects(&self) -> bool {
+        self.cross_intersects()
+    }
+
+    fn intersection_survives_faults(&self, faulty: &NodeSet) -> bool {
+        self.cross_intersection_survives_faults(faulty)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "flexible quorum over {} nodes (Q_per {}, Q_vc {})",
+            self.universe,
+            self.persistence.threshold(),
+            self.view_change.threshold()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn raft_default_is_flexible_with_equal_quorums() {
+        let f = FlexibleQuorum::new(5, 3, 3);
+        assert!(f.cross_intersects());
+        assert_eq!(f.min_quorum_size(), 3);
+    }
+
+    #[test]
+    fn small_persistence_quorum_needs_large_view_change_quorum() {
+        // |Q2| = 2, |Q1| = 4 over 5 nodes: still safe.
+        let f = FlexibleQuorum::new(5, 2, 4);
+        assert!(f.cross_intersects());
+        // |Q2| = 2, |Q1| = 3 over 5 nodes: 2 + 3 = 5, not > 5, unsafe.
+        let broken = FlexibleQuorum::new(5, 2, 3);
+        assert!(!broken.cross_intersects());
+    }
+
+    #[test]
+    fn fault_coverage_of_cross_intersection() {
+        let f = FlexibleQuorum::new(7, 4, 4);
+        assert!(f.cross_intersection_survives_faults(&NodeSet::empty(7)));
+        assert!(!f.cross_intersection_survives_faults(&NodeSet::from_indices(7, &[0])));
+    }
+
+    #[test]
+    fn formation_probability_uses_binding_threshold() {
+        let f = FlexibleQuorum::new(5, 2, 4);
+        let expected = crate::metrics::binomial_tail_at_least(5, 4, 0.9);
+        assert!((f.formation_probability_iid(0.9) - expected).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn cross_intersection_iff_sizes_exceed_universe(
+            n in 2usize..40, q2 in 1usize..40, q1 in 1usize..40
+        ) {
+            let q2 = q2.min(n);
+            let q1 = q1.min(n);
+            let f = FlexibleQuorum::new(n, q2, q1);
+            prop_assert_eq!(f.cross_intersects(), q1 + q2 > n);
+        }
+    }
+}

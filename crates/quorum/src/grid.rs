@@ -1,0 +1,172 @@
+//! Grid quorum systems (Naor–Wool style).
+//!
+//! Nodes are arranged in an `rows × cols` grid; a quorum is one full row plus one node
+//! from every row ("row-cover"). Grid systems trade smaller quorums (O(√N)) for lower
+//! availability than majorities; they are the classic example of a deterministic quorum
+//! system whose load beats majority voting, and a useful comparison point for the
+//! probabilistic quorums of §4.
+
+use rand::Rng;
+
+use crate::set::NodeSet;
+use crate::system::QuorumSystem;
+
+/// A rectangular grid quorum system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridQuorum {
+    rows: usize,
+    cols: usize,
+}
+
+impl GridQuorum {
+    /// Creates a grid with the given dimensions; the universe is `rows * cols` nodes,
+    /// node `i` sitting at row `i / cols`, column `i % cols`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        Self { rows, cols }
+    }
+
+    /// Creates the most-square grid covering at least `n` nodes, truncated to exactly
+    /// `n` by treating missing cells as permanently crashed (only full grids are exposed
+    /// for simplicity; panics if `n` is not a perfect rectangle of the chosen shape).
+    pub fn square(n: usize) -> Self {
+        let side = (n as f64).sqrt().round() as usize;
+        assert!(
+            side * side == n,
+            "square grid requires a perfect square, got {n}"
+        );
+        Self::new(side, side)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn row_members(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.cols).map(move |c| row * self.cols + c)
+    }
+
+    /// Whether `set` contains at least one full row.
+    fn covers_full_row(&self, set: &NodeSet) -> bool {
+        (0..self.rows).any(|r| self.row_members(r).all(|i| set.contains(i)))
+    }
+
+    /// Whether `set` contains at least one node from every row.
+    fn covers_every_row(&self, set: &NodeSet) -> bool {
+        (0..self.rows).all(|r| self.row_members(r).any(|i| set.contains(i)))
+    }
+}
+
+impl QuorumSystem for GridQuorum {
+    fn universe_size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn is_quorum(&self, set: &NodeSet) -> bool {
+        assert_eq!(set.universe(), self.universe_size(), "universe mismatch");
+        self.covers_full_row(set) && self.covers_every_row(set)
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        // One full row (cols nodes) plus one node from each of the other rows.
+        self.cols + self.rows - 1
+    }
+
+    fn sample_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeSet> {
+        let mut set = NodeSet::empty(self.universe_size());
+        let full_row = rng.gen_range(0..self.rows);
+        for i in self.row_members(full_row) {
+            set.insert(i);
+        }
+        for r in 0..self.rows {
+            if r == full_row {
+                continue;
+            }
+            let c = rng.gen_range(0..self.cols);
+            set.insert(r * self.cols + c);
+        }
+        Some(set)
+    }
+
+    fn always_intersects(&self) -> bool {
+        // Quorum A's full row meets quorum B's row-cover in that row.
+        true
+    }
+
+    fn intersection_survives_faults(&self, faulty: &NodeSet) -> bool {
+        assert_eq!(faulty.universe(), self.universe_size(), "universe mismatch");
+        // Guaranteed only when no node is faulty: two quorums may overlap in exactly one
+        // cell, which a single fault can cover.
+        faulty.is_empty()
+    }
+
+    fn describe(&self) -> String {
+        format!("{}x{} grid quorum", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn min_quorum_size_is_sqrt_scale() {
+        let g = GridQuorum::square(100);
+        assert_eq!(g.min_quorum_size(), 19);
+        assert_eq!(g.universe_size(), 100);
+    }
+
+    #[test]
+    fn row_plus_cover_is_quorum() {
+        let g = GridQuorum::new(3, 3);
+        // Full row 0 plus one node in rows 1 and 2.
+        let q = NodeSet::from_indices(9, &[0, 1, 2, 3, 6]);
+        assert!(g.is_quorum(&q));
+        // Missing the row-cover for row 2.
+        let not_q = NodeSet::from_indices(9, &[0, 1, 2, 3]);
+        assert!(!not_q.is_empty());
+        assert!(!g.is_quorum(&not_q));
+        // A column alone is not a quorum (covers every row but no full row).
+        let col = NodeSet::from_indices(9, &[0, 3, 6]);
+        assert!(!g.is_quorum(&col));
+    }
+
+    #[test]
+    fn sampled_quorums_are_quorums_of_min_size() {
+        let g = GridQuorum::new(4, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q = g.sample_quorum(&mut rng).unwrap();
+            assert!(g.is_quorum(&q));
+            assert_eq!(q.len(), g.min_quorum_size());
+        }
+    }
+
+    #[test]
+    fn any_two_sampled_quorums_intersect() {
+        let g = GridQuorum::new(5, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let quorums: Vec<NodeSet> = (0..20)
+            .map(|_| g.sample_quorum(&mut rng).unwrap())
+            .collect();
+        for a in &quorums {
+            for b in &quorums {
+                assert!(a.intersects(b), "{a} and {b} must intersect");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn square_rejects_non_square_sizes() {
+        GridQuorum::square(12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Simple-majority quorums (the Raft / Multi-Paxos default).
+
+use rand::Rng;
+
+use crate::set::NodeSet;
+use crate::system::QuorumSystem;
+use crate::threshold::ThresholdQuorum;
+
+/// The simple-majority quorum system: any subset of more than half the nodes.
+///
+/// This is the configuration Raft uses for both its persistence and view-change
+/// (election) quorums, i.e. `|Q_per| = |Q_vc| = ⌊N/2⌋ + 1` in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityQuorum {
+    inner: ThresholdQuorum,
+}
+
+impl MajorityQuorum {
+    /// Creates a majority quorum system over `universe` nodes.
+    pub fn new(universe: usize) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        Self {
+            inner: ThresholdQuorum::new(universe, universe / 2 + 1),
+        }
+    }
+
+    /// The underlying threshold (`⌊N/2⌋ + 1`).
+    pub fn threshold(&self) -> usize {
+        self.inner.threshold()
+    }
+
+    /// The number of simultaneous crash faults this system tolerates while staying live.
+    pub fn tolerated_faults(&self) -> usize {
+        self.universe_size() - self.threshold()
+    }
+}
+
+impl QuorumSystem for MajorityQuorum {
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn is_quorum(&self, set: &NodeSet) -> bool {
+        self.inner.is_quorum(set)
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.inner.min_quorum_size()
+    }
+
+    fn sample_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeSet> {
+        self.inner.sample_quorum(rng)
+    }
+
+    fn always_intersects(&self) -> bool {
+        true
+    }
+
+    fn intersection_survives_faults(&self, faulty: &NodeSet) -> bool {
+        self.inner.intersection_survives_faults(faulty)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "majority quorum over {} nodes (threshold {})",
+            self.universe_size(),
+            self.threshold()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn thresholds_match_floor_half_plus_one() {
+        assert_eq!(MajorityQuorum::new(3).threshold(), 2);
+        assert_eq!(MajorityQuorum::new(4).threshold(), 3);
+        assert_eq!(MajorityQuorum::new(5).threshold(), 3);
+        assert_eq!(MajorityQuorum::new(9).threshold(), 5);
+    }
+
+    #[test]
+    fn tolerated_faults_is_minority() {
+        assert_eq!(MajorityQuorum::new(3).tolerated_faults(), 1);
+        assert_eq!(MajorityQuorum::new(5).tolerated_faults(), 2);
+        assert_eq!(MajorityQuorum::new(4).tolerated_faults(), 1);
+    }
+
+    #[test]
+    fn membership() {
+        let q = MajorityQuorum::new(5);
+        assert!(q.is_quorum(&NodeSet::from_indices(5, &[0, 1, 2])));
+        assert!(!q.is_quorum(&NodeSet::from_indices(5, &[0, 1])));
+    }
+
+    proptest! {
+        #[test]
+        fn majorities_always_intersect(n in 1usize..200) {
+            let q = MajorityQuorum::new(n);
+            prop_assert!(q.always_intersects());
+            prop_assert!(2 * q.threshold() > n);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Probabilistic quorums.
+//!
+//! Malkhi, Reiter and Wright's probabilistic quorum systems (cited in §5) replace the
+//! worst-case intersection guarantee with a probabilistic one: quorums are random subsets
+//! of size O(√N) that intersect *with high probability*. §4 of the paper argues that
+//! "sampling from much smaller subsets of nodes can guarantee intersection with high
+//! enough probability"; this module provides the machinery to quantify exactly how high.
+
+use rand::Rng;
+
+use crate::metrics::ln_binomial;
+use crate::set::NodeSet;
+use crate::system::{sample_subset, QuorumSystem};
+
+/// A probabilistic quorum system: every uniformly random subset of `quorum_size` nodes is
+/// treated as a quorum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbabilisticQuorum {
+    universe: usize,
+    quorum_size: usize,
+}
+
+impl ProbabilisticQuorum {
+    /// Creates a probabilistic quorum system with the given access-set size.
+    pub fn new(universe: usize, quorum_size: usize) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(
+            (1..=universe).contains(&quorum_size),
+            "quorum size must be in 1..={universe}"
+        );
+        Self {
+            universe,
+            quorum_size,
+        }
+    }
+
+    /// Creates the classic `l·√N` construction.
+    pub fn sqrt_construction(universe: usize, multiplier: f64) -> Self {
+        assert!(multiplier > 0.0);
+        let size = ((universe as f64).sqrt() * multiplier).ceil() as usize;
+        Self::new(universe, size.clamp(1, universe))
+    }
+
+    /// The access-set (quorum) size.
+    pub fn quorum_size(&self) -> usize {
+        self.quorum_size
+    }
+
+    /// Exact probability that two independently drawn quorums of sizes `a` and `b`
+    /// intersect, over a universe of `n` nodes: `1 - C(n-a, b) / C(n, b)`.
+    pub fn intersection_probability_sizes(n: usize, a: usize, b: usize) -> f64 {
+        assert!(a <= n && b <= n);
+        if a + b > n {
+            return 1.0;
+        }
+        1.0 - (ln_binomial(n - a, b) - ln_binomial(n, b)).exp()
+    }
+
+    /// Probability that two independently drawn quorums of this system intersect.
+    pub fn intersection_probability(&self) -> f64 {
+        Self::intersection_probability_sizes(self.universe, self.quorum_size, self.quorum_size)
+    }
+
+    /// Probability that a random quorum consists *entirely* of members of a faulty set of
+    /// size `faulty` (hypergeometric tail): `C(faulty, q) / C(n, q)`.
+    pub fn probability_all_faulty(&self, faulty: usize) -> f64 {
+        assert!(faulty <= self.universe);
+        if faulty < self.quorum_size {
+            return 0.0;
+        }
+        (ln_binomial(faulty, self.quorum_size) - ln_binomial(self.universe, self.quorum_size)).exp()
+    }
+
+    /// Probability that a random quorum contains at least one node outside a faulty set
+    /// of size `faulty` — the quantity behind the paper's "ten nines that a random quorum
+    /// of five nodes includes at least one correct node" observation (§3.2).
+    pub fn probability_hits_correct(&self, faulty: usize) -> f64 {
+        1.0 - self.probability_all_faulty(faulty)
+    }
+
+    /// The smallest quorum size whose pairwise intersection probability reaches
+    /// `target`, or `None` if even quorums of the full universe cannot (target > 1).
+    pub fn min_size_for_intersection(universe: usize, target: f64) -> Option<usize> {
+        assert!(universe > 0);
+        if !(0.0..=1.0).contains(&target) {
+            return None;
+        }
+        (1..=universe).find(|&q| Self::intersection_probability_sizes(universe, q, q) >= target)
+    }
+}
+
+impl QuorumSystem for ProbabilisticQuorum {
+    fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    fn is_quorum(&self, set: &NodeSet) -> bool {
+        assert_eq!(set.universe(), self.universe, "universe mismatch");
+        set.len() >= self.quorum_size
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.quorum_size
+    }
+
+    fn sample_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeSet> {
+        Some(sample_subset(self.universe, self.quorum_size, rng))
+    }
+
+    fn always_intersects(&self) -> bool {
+        2 * self.quorum_size > self.universe
+    }
+
+    fn intersection_survives_faults(&self, faulty: &NodeSet) -> bool {
+        let guaranteed = (2 * self.quorum_size).saturating_sub(self.universe);
+        guaranteed > faulty.len()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "probabilistic quorum over {} nodes (access sets of {}, pairwise intersection {:.6})",
+            self.universe,
+            self.quorum_size,
+            self.intersection_probability()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn intersection_probability_is_one_when_sizes_force_overlap() {
+        assert_eq!(
+            ProbabilisticQuorum::intersection_probability_sizes(5, 3, 3),
+            1.0
+        );
+    }
+
+    #[test]
+    fn intersection_probability_matches_monte_carlo() {
+        let q = ProbabilisticQuorum::new(30, 8);
+        let analytic = q.intersection_probability();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let a = q.sample_quorum(&mut rng).unwrap();
+            let b = q.sample_quorum(&mut rng).unwrap();
+            if a.intersects(&b) {
+                hits += 1;
+            }
+        }
+        let empirical = hits as f64 / trials as f64;
+        assert!(
+            (analytic - empirical).abs() < 0.02,
+            "{analytic} vs {empirical}"
+        );
+    }
+
+    #[test]
+    fn sqrt_construction_scales_with_root_n() {
+        let q = ProbabilisticQuorum::sqrt_construction(100, 2.0);
+        assert_eq!(q.quorum_size(), 20);
+        assert!(q.intersection_probability() > 0.98);
+    }
+
+    #[test]
+    fn paper_claim_five_node_quorum_hits_correct_node_with_ten_nines() {
+        // With iid p_u = 1% faults, a sampled 5-node quorum is all-faulty with
+        // probability p^5 = 1e-10 — the paper's "ten nines" observation.
+        let p_all_faulty_iid = 0.01f64.powi(5);
+        assert!(1.0 - p_all_faulty_iid >= 1.0 - 1e-10);
+        // Conditioned on as many as 10 faulty nodes (ten times the expectation), the
+        // hypergeometric bound is still better than five nines.
+        let q = ProbabilisticQuorum::new(100, 5);
+        let p = q.probability_hits_correct(10);
+        assert!(p > 1.0 - 1e-5, "got {p}");
+        // With exactly 1 faulty node it is impossible to miss every correct node.
+        assert_eq!(q.probability_hits_correct(1), 1.0);
+    }
+
+    #[test]
+    fn probability_all_faulty_edge_cases() {
+        let q = ProbabilisticQuorum::new(10, 3);
+        assert_eq!(q.probability_all_faulty(2), 0.0);
+        assert!((q.probability_all_faulty(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_size_search_finds_small_quorums() {
+        let size = ProbabilisticQuorum::min_size_for_intersection(100, 0.999).unwrap();
+        assert!(
+            size < 51,
+            "probabilistic quorums should beat majorities, got {size}"
+        );
+        let q = ProbabilisticQuorum::new(100, size);
+        assert!(q.intersection_probability() >= 0.999);
+        if size > 1 {
+            let smaller = ProbabilisticQuorum::new(100, size - 1);
+            assert!(smaller.intersection_probability() < 0.999);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_probability_is_monotone_in_size(n in 4usize..60) {
+            let mut last = 0.0f64;
+            for q in 1..=n {
+                let p = ProbabilisticQuorum::intersection_probability_sizes(n, q, q);
+                prop_assert!(p >= last - 1e-12);
+                last = p;
+            }
+            prop_assert!((last - 1.0).abs() < 1e-12);
+        }
+    }
+}

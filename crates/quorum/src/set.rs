@@ -1,0 +1,297 @@
+//! Compact node sets.
+//!
+//! Quorums, failure configurations and committees are all subsets of a fixed universe of
+//! `n` nodes. [`NodeSet`] stores such a subset as a bit set backed by `u64` words, so
+//! universes well beyond the paper's 100-node examples stay cheap to copy and compare.
+
+use serde::{Deserialize, Serialize};
+
+/// A subset of a fixed universe of `n` nodes, stored as a bit set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeSet {
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// Creates an empty set over a universe of `universe` nodes.
+    pub fn empty(universe: usize) -> Self {
+        Self {
+            universe,
+            words: vec![0; universe.div_ceil(64)],
+        }
+    }
+
+    /// Creates the full set over a universe of `universe` nodes.
+    pub fn full(universe: usize) -> Self {
+        let mut set = Self::empty(universe);
+        for i in 0..universe {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Creates a set from explicit member indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is outside the universe.
+    pub fn from_indices(universe: usize, indices: &[usize]) -> Self {
+        let mut set = Self::empty(universe);
+        for &i in indices {
+            set.insert(i);
+        }
+        set
+    }
+
+    /// Creates a set from a boolean membership vector.
+    pub fn from_bools(members: &[bool]) -> Self {
+        let mut set = Self::empty(members.len());
+        for (i, &m) in members.iter().enumerate() {
+            if m {
+                set.insert(i);
+            }
+        }
+        set
+    }
+
+    /// The universe size this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Adds a node to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the universe.
+    pub fn insert(&mut self, index: usize) {
+        assert!(
+            index < self.universe,
+            "index {index} outside universe {}",
+            self.universe
+        );
+        self.words[index / 64] |= 1u64 << (index % 64);
+    }
+
+    /// Removes a node from the set.
+    pub fn remove(&mut self, index: usize) {
+        assert!(
+            index < self.universe,
+            "index {index} outside universe {}",
+            self.universe
+        );
+        self.words[index / 64] &= !(1u64 << (index % 64));
+    }
+
+    /// Whether the set contains `index`.
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.universe {
+            return false;
+        }
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.universe).filter(|&i| self.contains(i))
+    }
+
+    /// Member indices collected into a vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Set union (universes must match).
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        NodeSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Set intersection (universes must match).
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        NodeSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Set difference `self \ other` (universes must match).
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        NodeSet {
+            universe: self.universe,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> NodeSet {
+        let mut out = NodeSet::full(self.universe);
+        for i in self.iter() {
+            out.remove(i);
+        }
+        out
+    }
+
+    /// Whether the two sets share at least one member.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl std::fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::empty(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_and_complement() {
+        let full = NodeSet::full(70);
+        assert_eq!(full.len(), 70);
+        let empty = full.complement();
+        assert!(empty.is_empty());
+        let some = NodeSet::from_indices(70, &[1, 3, 69]);
+        assert_eq!(some.complement().len(), 67);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_indices(10, &[0, 1, 2, 3]);
+        let b = NodeSet::from_indices(10, &[2, 3, 4, 5]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3]);
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 1]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&NodeSet::from_indices(10, &[7, 8])));
+        assert!(NodeSet::from_indices(10, &[2]).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn from_bools_round_trips() {
+        let bools = [true, false, true, true, false];
+        let s = NodeSet::from_bools(&bools);
+        assert_eq!(s.to_vec(), vec![0, 2, 3]);
+        assert_eq!(s.universe(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_range_panics() {
+        NodeSet::empty(5).insert(5);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s = NodeSet::from_indices(6, &[1, 4]);
+        assert_eq!(format!("{s}"), "{1,4}");
+    }
+
+    proptest! {
+        #[test]
+        fn union_contains_both_operands(
+            xs in proptest::collection::vec(0usize..96, 0..30),
+            ys in proptest::collection::vec(0usize..96, 0..30)
+        ) {
+            let a = NodeSet::from_indices(96, &xs);
+            let b = NodeSet::from_indices(96, &ys);
+            let u = a.union(&b);
+            prop_assert!(a.is_subset_of(&u));
+            prop_assert!(b.is_subset_of(&u));
+            prop_assert!(u.intersection(&a) == a);
+        }
+
+        #[test]
+        fn intersection_is_subset_and_symmetric(
+            xs in proptest::collection::vec(0usize..96, 0..30),
+            ys in proptest::collection::vec(0usize..96, 0..30)
+        ) {
+            let a = NodeSet::from_indices(96, &xs);
+            let b = NodeSet::from_indices(96, &ys);
+            let i1 = a.intersection(&b);
+            let i2 = b.intersection(&a);
+            prop_assert_eq!(&i1, &i2);
+            prop_assert!(i1.is_subset_of(&a));
+            prop_assert!(i1.is_subset_of(&b));
+            prop_assert_eq!(i1.is_empty(), !a.intersects(&b));
+        }
+
+        #[test]
+        fn len_matches_member_count(xs in proptest::collection::vec(0usize..200, 0..60)) {
+            let s = NodeSet::from_indices(200, &xs);
+            let mut unique = xs.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            prop_assert_eq!(s.len(), unique.len());
+            prop_assert_eq!(s.to_vec(), unique);
+        }
+    }
+}

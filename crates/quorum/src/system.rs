@@ -1,0 +1,110 @@
+//! The quorum-system trait.
+
+use rand::Rng;
+
+use crate::set::NodeSet;
+
+/// A quorum system over a fixed universe of nodes.
+///
+/// Implementations define which subsets of the universe count as quorums. The analysis
+/// layer uses three derived questions:
+///
+/// * *liveness*: can the currently-correct nodes still form a quorum
+///   ([`QuorumSystem::can_form_quorum`])?
+/// * *safety*: do any two quorums necessarily intersect
+///   ([`QuorumSystem::always_intersects`]), and do they still intersect in a *correct*
+///   node given a set of faulty ones
+///   ([`QuorumSystem::intersection_survives_faults`])?
+/// * *cost*: how small can a quorum be ([`QuorumSystem::min_quorum_size`])?
+pub trait QuorumSystem {
+    /// Number of nodes in the universe.
+    fn universe_size(&self) -> usize;
+
+    /// Whether `set` contains a quorum.
+    fn is_quorum(&self, set: &NodeSet) -> bool;
+
+    /// The size of the smallest quorum.
+    fn min_quorum_size(&self) -> usize;
+
+    /// Whether the nodes in `live` can assemble at least one quorum using only members of
+    /// `live`. Default: `live` itself is a quorum (correct for monotone systems).
+    fn can_form_quorum(&self, live: &NodeSet) -> bool {
+        self.is_quorum(live)
+    }
+
+    /// Samples one (preferably minimal) quorum uniformly-ish at random, or `None` if the
+    /// system has no quorum at all.
+    fn sample_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeSet>;
+
+    /// Whether every pair of quorums intersects in at least one node.
+    fn always_intersects(&self) -> bool;
+
+    /// Whether every pair of quorums intersects in at least one node *outside* `faulty`.
+    ///
+    /// This is the probabilistic-safety question for Byzantine settings: a quorum
+    /// intersection consisting solely of Byzantine nodes provides no protection.
+    fn intersection_survives_faults(&self, faulty: &NodeSet) -> bool;
+
+    /// A human-readable description of the system.
+    fn describe(&self) -> String {
+        format!(
+            "quorum system over {} nodes (min quorum {})",
+            self.universe_size(),
+            self.min_quorum_size()
+        )
+    }
+}
+
+/// Samples a uniformly random subset of exactly `k` distinct indices from `0..n`.
+///
+/// Helper shared by the threshold-style systems. Uses a partial Fisher–Yates shuffle, so
+/// it is O(n) time and allocation.
+pub fn sample_subset<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> NodeSet {
+    assert!(k <= n, "cannot sample {k} nodes from a universe of {n}");
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        indices.swap(i, j);
+    }
+    NodeSet::from_indices(n, &indices[..k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_subset_has_requested_size_and_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..=10 {
+            let s = sample_subset(10, k, &mut rng);
+            assert_eq!(s.len(), k);
+            assert!(s.iter().all(|i| i < 10));
+        }
+    }
+
+    #[test]
+    fn sample_subset_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 6];
+        for _ in 0..30_000 {
+            for i in sample_subset(6, 2, &mut rng).iter() {
+                counts[i] += 1;
+            }
+        }
+        // Each node should appear in about 1/3 of the samples.
+        for &c in &counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_subset_rejects_oversized_request() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_subset(3, 4, &mut rng);
+    }
+}

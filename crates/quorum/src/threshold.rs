@@ -1,0 +1,145 @@
+//! Threshold (k-of-n) quorum systems.
+
+use rand::Rng;
+
+use crate::set::NodeSet;
+use crate::system::{sample_subset, QuorumSystem};
+
+/// The k-of-n threshold quorum system: any subset of at least `threshold` nodes is a
+/// quorum. Majority quorums, PBFT's `2f+1` quorums and the paper's `|Q_per|`, `|Q_vc|`,
+/// `|Q_eq|` parameters are all instances of this system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdQuorum {
+    universe: usize,
+    threshold: usize,
+}
+
+impl ThresholdQuorum {
+    /// Creates a k-of-n system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or exceeds `universe`.
+    pub fn new(universe: usize, threshold: usize) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(
+            (1..=universe).contains(&threshold),
+            "threshold {threshold} must be in 1..={universe}"
+        );
+        Self {
+            universe,
+            threshold,
+        }
+    }
+
+    /// The threshold k.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Probability that a quorum can be formed when each node is independently live with
+    /// the given probability (i.e. at least `threshold` of `universe` nodes are live).
+    pub fn formation_probability_iid(&self, p_live: f64) -> f64 {
+        crate::metrics::binomial_tail_at_least(self.universe, self.threshold, p_live)
+    }
+}
+
+impl QuorumSystem for ThresholdQuorum {
+    fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    fn is_quorum(&self, set: &NodeSet) -> bool {
+        assert_eq!(set.universe(), self.universe, "universe mismatch");
+        set.len() >= self.threshold
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        self.threshold
+    }
+
+    fn sample_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeSet> {
+        Some(sample_subset(self.universe, self.threshold, rng))
+    }
+
+    fn always_intersects(&self) -> bool {
+        // Two quorums of size k over n nodes must overlap iff 2k > n.
+        2 * self.threshold > self.universe
+    }
+
+    fn intersection_survives_faults(&self, faulty: &NodeSet) -> bool {
+        assert_eq!(faulty.universe(), self.universe, "universe mismatch");
+        // Two k-sized quorums overlap in at least 2k - n nodes; the overlap can be made
+        // entirely faulty iff |faulty| >= 2k - n.
+        let guaranteed_overlap = (2 * self.threshold).saturating_sub(self.universe);
+        guaranteed_overlap > faulty.len()
+    }
+
+    fn describe(&self) -> String {
+        format!("{}-of-{} threshold quorum", self.threshold, self.universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn membership_is_by_cardinality() {
+        let q = ThresholdQuorum::new(7, 5);
+        assert!(q.is_quorum(&NodeSet::from_indices(7, &[0, 1, 2, 3, 4])));
+        assert!(!q.is_quorum(&NodeSet::from_indices(7, &[0, 1, 2, 3])));
+        assert_eq!(q.min_quorum_size(), 5);
+    }
+
+    #[test]
+    fn intersection_rules() {
+        assert!(ThresholdQuorum::new(5, 3).always_intersects());
+        assert!(!ThresholdQuorum::new(6, 3).always_intersects());
+        // 5-of-7 quorums overlap in >= 3 nodes; 2 faulty nodes cannot cover the overlap.
+        let q = ThresholdQuorum::new(7, 5);
+        assert!(q.intersection_survives_faults(&NodeSet::from_indices(7, &[0, 1])));
+        assert!(!q.intersection_survives_faults(&NodeSet::from_indices(7, &[0, 1, 2])));
+    }
+
+    #[test]
+    fn sampled_quorums_are_minimal() {
+        let q = ThresholdQuorum::new(9, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = q.sample_quorum(&mut rng).unwrap();
+            assert_eq!(s.len(), 5);
+            assert!(q.is_quorum(&s));
+        }
+    }
+
+    #[test]
+    fn formation_probability_matches_binomial() {
+        let q = ThresholdQuorum::new(3, 2);
+        // P(at least 2 of 3 live) with p = 0.99.
+        let expected = 0.99f64.powi(3) + 3.0 * 0.99f64.powi(2) * 0.01;
+        assert!((q.formation_probability_iid(0.99) - expected).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn supersets_of_quorums_are_quorums(n in 2usize..40, extra in 0usize..40) {
+            let k = n / 2 + 1;
+            let q = ThresholdQuorum::new(n, k);
+            let base: Vec<usize> = (0..k).collect();
+            let mut with_extra = base.clone();
+            with_extra.push(extra % n);
+            prop_assert!(q.is_quorum(&NodeSet::from_indices(n, &base)));
+            prop_assert!(q.is_quorum(&NodeSet::from_indices(n, &with_extra)));
+        }
+
+        #[test]
+        fn majority_thresholds_always_intersect(n in 1usize..100) {
+            let q = ThresholdQuorum::new(n, n / 2 + 1);
+            prop_assert!(q.always_intersects());
+        }
+    }
+}

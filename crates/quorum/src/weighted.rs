@@ -1,0 +1,202 @@
+//! Weighted (stake-based) quorum systems.
+//!
+//! §2(1) of the paper notes that "stake in blockchain systems captures a similar idea:
+//! nodes with higher stake have more to lose... and thus are considered more trustworthy".
+//! A [`WeightedQuorum`] generalizes threshold quorums to arbitrary non-negative weights:
+//! a set is a quorum when its total weight reaches a threshold fraction of the total.
+
+use rand::Rng;
+
+use crate::set::NodeSet;
+use crate::system::QuorumSystem;
+
+/// A weight-threshold quorum system: a set is a quorum iff its weight sum is strictly
+/// greater than `threshold_fraction` of the total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedQuorum {
+    weights: Vec<f64>,
+    threshold_fraction: f64,
+}
+
+impl WeightedQuorum {
+    /// Creates a weighted quorum system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights are empty, any weight is negative/non-finite, the total weight
+    /// is zero, or the threshold fraction is outside `[0.5, 1.0)` (fractions below one
+    /// half cannot guarantee intersection and are rejected to prevent misuse).
+    pub fn new(weights: Vec<f64>, threshold_fraction: f64) -> Self {
+        assert!(!weights.is_empty(), "need at least one node");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be finite and non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "total weight must be positive"
+        );
+        assert!(
+            (0.5..1.0).contains(&threshold_fraction),
+            "threshold fraction must be in [0.5, 1.0)"
+        );
+        Self {
+            weights,
+            threshold_fraction,
+        }
+    }
+
+    /// Creates a simple-majority-of-stake system (threshold fraction 1/2).
+    pub fn majority_of_stake(weights: Vec<f64>) -> Self {
+        Self::new(weights, 0.5)
+    }
+
+    /// Total weight across all nodes.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Weight of a single node.
+    pub fn weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    /// Total weight of the members of `set`.
+    pub fn weight_of(&self, set: &NodeSet) -> f64 {
+        set.iter().map(|i| self.weights[i]).sum()
+    }
+
+    /// The weight a set must strictly exceed to be a quorum.
+    pub fn required_weight(&self) -> f64 {
+        self.threshold_fraction * self.total_weight()
+    }
+}
+
+impl QuorumSystem for WeightedQuorum {
+    fn universe_size(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn is_quorum(&self, set: &NodeSet) -> bool {
+        assert_eq!(set.universe(), self.weights.len(), "universe mismatch");
+        self.weight_of(set) > self.required_weight()
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        // Greedily take the heaviest nodes until the threshold is exceeded.
+        let mut sorted: Vec<f64> = self.weights.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut acc = 0.0;
+        for (i, w) in sorted.iter().enumerate() {
+            acc += w;
+            if acc > self.required_weight() {
+                return i + 1;
+            }
+        }
+        self.weights.len()
+    }
+
+    fn sample_quorum<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeSet> {
+        // Add nodes in a random order until the weight threshold is exceeded.
+        let n = self.weights.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..n);
+            order.swap(i, j);
+        }
+        let mut set = NodeSet::empty(n);
+        let mut acc = 0.0;
+        for &i in &order {
+            set.insert(i);
+            acc += self.weights[i];
+            if acc > self.required_weight() {
+                return Some(set);
+            }
+        }
+        None
+    }
+
+    fn always_intersects(&self) -> bool {
+        // Two sets each holding strictly more than half (or more) of the weight must share
+        // a node as long as the threshold fraction is at least one half.
+        self.threshold_fraction >= 0.5
+    }
+
+    fn intersection_survives_faults(&self, faulty: &NodeSet) -> bool {
+        assert_eq!(faulty.universe(), self.weights.len(), "universe mismatch");
+        // Two quorums overlap in weight at least 2*required - total; that overlap can be
+        // covered by faulty nodes only if the faulty weight reaches it.
+        let guaranteed = 2.0 * self.required_weight() - self.total_weight();
+        self.weight_of(faulty) < guaranteed
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "weighted quorum over {} nodes (>{:.1}% of stake)",
+            self.weights.len(),
+            self.threshold_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_weights_reduce_to_majority() {
+        let q = WeightedQuorum::majority_of_stake(vec![1.0; 5]);
+        assert!(q.is_quorum(&NodeSet::from_indices(5, &[0, 1, 2])));
+        assert!(!q.is_quorum(&NodeSet::from_indices(5, &[0, 1])));
+        assert_eq!(q.min_quorum_size(), 3);
+    }
+
+    #[test]
+    fn heavy_node_shrinks_min_quorum() {
+        let q = WeightedQuorum::majority_of_stake(vec![10.0, 1.0, 1.0, 1.0, 1.0]);
+        // The heavy node plus any other exceeds half of 14.
+        assert_eq!(q.min_quorum_size(), 1);
+        assert!(q.is_quorum(&NodeSet::from_indices(5, &[0])));
+        assert!(!q.is_quorum(&NodeSet::from_indices(5, &[1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn intersection_survives_only_light_faults() {
+        let q = WeightedQuorum::new(vec![1.0, 1.0, 1.0, 1.0], 0.75);
+        // Quorums hold > 3 of 4 weight, so any two overlap in weight > 2.
+        assert!(q.intersection_survives_faults(&NodeSet::from_indices(4, &[0])));
+        assert!(!q.intersection_survives_faults(&NodeSet::from_indices(4, &[0, 1, 2])));
+    }
+
+    #[test]
+    fn sampled_quorums_are_quorums() {
+        let q = WeightedQuorum::majority_of_stake(vec![5.0, 3.0, 2.0, 2.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let s = q.sample_quorum(&mut rng).unwrap();
+            assert!(q.is_quorum(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold fraction")]
+    fn rejects_sub_majority_threshold() {
+        WeightedQuorum::new(vec![1.0, 1.0], 0.3);
+    }
+
+    proptest! {
+        #[test]
+        fn quorum_weight_exceeds_required(
+            weights in proptest::collection::vec(0.1f64..10.0, 2..10),
+            seed in 0u64..1000
+        ) {
+            let q = WeightedQuorum::majority_of_stake(weights);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = q.sample_quorum(&mut rng).unwrap();
+            prop_assert!(q.weight_of(&s) > q.required_weight());
+        }
+    }
+}

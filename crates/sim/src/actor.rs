@@ -1,0 +1,163 @@
+//! The actor abstraction protocols implement.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// Buffered side effects a protocol step can produce: outgoing messages and timer
+/// requests. The runtime applies them after the callback returns, which keeps protocol
+/// code free of borrow gymnastics and keeps the simulation deterministic.
+pub struct Context<'a, M> {
+    id: usize,
+    now: SimTime,
+    num_nodes: usize,
+    rng: &'a mut StdRng,
+    pub(crate) outbox: Vec<(usize, M)>,
+    pub(crate) timers: Vec<(SimTime, u64)>,
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// Creates a detached context.
+    ///
+    /// The runtime builds contexts internally; this constructor is public so protocol
+    /// crates can unit-test actor callbacks without spinning up a full simulation.
+    pub fn new(id: usize, now: SimTime, num_nodes: usize, rng: &'a mut StdRng) -> Self {
+        Self {
+            id,
+            now,
+            num_nodes,
+            rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// This node's identifier (`0..num_nodes`).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of nodes in the simulation.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Sends a message to another node (or to self, which is delivered like any other
+    /// message after network latency).
+    pub fn send(&mut self, to: usize, msg: M) {
+        assert!(to < self.num_nodes, "destination {to} out of range");
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends a message to every *other* node.
+    pub fn broadcast(&mut self, msg: M) {
+        for to in 0..self.num_nodes {
+            if to != self.id {
+                self.outbox.push((to, msg.clone()));
+            }
+        }
+    }
+
+    /// Arms a one-shot timer that fires after `delay` with the given tag. Timers cannot
+    /// be cancelled; actors should ignore stale tags.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// Deterministic per-node randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Samples a uniform value in `[lo, hi)` — convenience over [`Context::rng`].
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+/// A protocol node running inside the simulation.
+///
+/// All callbacks receive a [`Context`] used to send messages and arm timers; effects are
+/// applied by the runtime after the callback returns.
+pub trait Actor<M>: Send {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Context<M>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: usize, msg: M, ctx: &mut Context<M>);
+
+    /// Called when a timer armed with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<M>);
+
+    /// Called when the fault injector crashes this node. Default: no-op.
+    fn on_crash(&mut self) {}
+
+    /// Called when the fault injector recovers this node; volatile state should be reset
+    /// and timers re-armed here. Default: no-op.
+    fn on_recover(&mut self, ctx: &mut Context<M>) {
+        let _ = ctx;
+    }
+
+    /// Called when the fault injector turns this node Byzantine. Actors that can emulate
+    /// malicious behaviour flip their strategy here. Default: no-op.
+    fn on_turn_byzantine(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_buffers_sends_and_timers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx: Context<u32> = Context::new(1, SimTime::from_millis(5), 4, &mut rng);
+        assert_eq!(ctx.id(), 1);
+        assert_eq!(ctx.num_nodes(), 4);
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        ctx.send(2, 7);
+        ctx.broadcast(9);
+        ctx.set_timer(SimTime::from_millis(10), 3);
+        assert_eq!(ctx.outbox.len(), 1 + 3);
+        assert!(ctx
+            .outbox
+            .iter()
+            .all(|(to, _)| *to != 1 || ctx.outbox[0].0 == 2));
+        assert_eq!(ctx.timers, vec![(SimTime::from_millis(10), 3)]);
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ctx: Context<u32> = Context::new(0, SimTime::ZERO, 3, &mut rng);
+        ctx.broadcast(1);
+        let targets: Vec<usize> = ctx.outbox.iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![1, 2]);
+    }
+
+    #[test]
+    fn gen_range_is_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(3);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let mut a: Context<u32> = Context::new(0, SimTime::ZERO, 1, &mut rng1);
+        let va = a.gen_range(0, 100);
+        let mut b: Context<u32> = Context::new(0, SimTime::ZERO, 1, &mut rng2);
+        let vb = b.gen_range(0, 100);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_checks_destination() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ctx: Context<u32> = Context::new(0, SimTime::ZERO, 2, &mut rng);
+        ctx.send(5, 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Fault schedules: when nodes crash, recover, or turn Byzantine.
+//!
+//! A schedule can be written explicitly (for targeted tests), sampled from per-node fault
+//! profiles (matching the analysis window semantics of the `prob-consensus` crate), or
+//! sampled from full fault curves (hazard-rate driven failure times).
+
+use fault_model::curve::FaultCurve;
+use fault_model::mode::FaultProfile;
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// What happens to a node at a scheduled time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node stops: no messages sent or received, timers do not fire.
+    Crash,
+    /// The node resumes from a crash (volatile state is the actor's responsibility).
+    Recover,
+    /// The node starts behaving maliciously (actors decide what that means).
+    TurnByzantine,
+}
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the event takes effect.
+    pub time: SimTime,
+    /// Which node it affects.
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// An ordered list of fault events to inject into a simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no injected faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event.
+    pub fn add(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.time);
+    }
+
+    /// Convenience: crash `node` at `time`.
+    pub fn crash_at(mut self, node: usize, time: SimTime) -> Self {
+        self.add(FaultEvent {
+            time,
+            node,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Convenience: recover `node` at `time`.
+    pub fn recover_at(mut self, node: usize, time: SimTime) -> Self {
+        self.add(FaultEvent {
+            time,
+            node,
+            kind: FaultKind::Recover,
+        });
+        self
+    }
+
+    /// Convenience: turn `node` Byzantine at `time`.
+    pub fn byzantine_at(mut self, node: usize, time: SimTime) -> Self {
+        self.add(FaultEvent {
+            time,
+            node,
+            kind: FaultKind::TurnByzantine,
+        });
+        self
+    }
+
+    /// The scheduled events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Nodes that are scheduled to crash (and never recover) or turn Byzantine at some
+    /// point — i.e. the failure configuration this schedule realizes by the end of the
+    /// horizon.
+    pub fn eventually_faulty(&self, num_nodes: usize) -> Vec<usize> {
+        (0..num_nodes)
+            .filter(|&n| {
+                let mut faulty = false;
+                for e in &self.events {
+                    if e.node != n {
+                        continue;
+                    }
+                    match e.kind {
+                        FaultKind::Crash | FaultKind::TurnByzantine => faulty = true,
+                        FaultKind::Recover => faulty = false,
+                    }
+                }
+                faulty
+            })
+            .collect()
+    }
+
+    /// Samples a schedule from per-node fault profiles over a horizon: each node crashes
+    /// (respectively turns Byzantine) with its profile's probability, at a uniformly
+    /// random time within the horizon, and never recovers. This mirrors the analysis
+    /// window semantics used by the `prob-consensus` crate, so empirical safety/liveness
+    /// rates measured under this schedule are directly comparable with the analytic
+    /// probabilities.
+    pub fn sample_from_profiles<R: Rng + ?Sized>(
+        profiles: &[FaultProfile],
+        horizon: SimTime,
+        rng: &mut R,
+    ) -> Self {
+        let mut schedule = Self::none();
+        for (node, profile) in profiles.iter().enumerate() {
+            let u: f64 = rng.gen();
+            let kind = if u < profile.byzantine_probability() {
+                Some(FaultKind::TurnByzantine)
+            } else if u < profile.fault_probability() {
+                Some(FaultKind::Crash)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                let at = SimTime::from_micros(rng.gen_range(0..=horizon.as_micros()));
+                schedule.add(FaultEvent {
+                    time: at,
+                    node,
+                    kind,
+                });
+            }
+        }
+        schedule
+    }
+
+    /// Samples crash times from full fault curves: node `i` crashes at the first failure
+    /// time drawn from `curves[i]` (starting from `ages[i]`), scaled so that
+    /// `hours_per_sim_second` hours of wall-clock hazard map onto one simulated second.
+    pub fn sample_from_curves<C: FaultCurve, R: Rng + ?Sized>(
+        curves: &[C],
+        ages: &[f64],
+        horizon: SimTime,
+        hours_per_sim_second: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(curves.len(), ages.len(), "need one age per curve");
+        assert!(hours_per_sim_second > 0.0);
+        let horizon_hours = horizon.as_secs_f64() * hours_per_sim_second;
+        let mut schedule = Self::none();
+        for (node, (curve, &age)) in curves.iter().zip(ages).enumerate() {
+            if let Some(dt_hours) = curve.sample_failure_time(age, horizon_hours, rng) {
+                let secs = dt_hours / hours_per_sim_second;
+                schedule.add(FaultEvent {
+                    time: SimTime::from_micros((secs * 1e6) as u64),
+                    node,
+                    kind: FaultKind::Crash,
+                });
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_model::curve::ConstantCurve;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_orders_events_by_time() {
+        let s = FaultSchedule::none()
+            .crash_at(2, SimTime::from_millis(50))
+            .crash_at(0, SimTime::from_millis(10))
+            .recover_at(0, SimTime::from_millis(30));
+        let times: Vec<u64> = s.events().iter().map(|e| e.time.as_micros()).collect();
+        assert_eq!(times, vec![10_000, 30_000, 50_000]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn eventually_faulty_accounts_for_recovery() {
+        let s = FaultSchedule::none()
+            .crash_at(0, SimTime::from_millis(10))
+            .recover_at(0, SimTime::from_millis(20))
+            .crash_at(1, SimTime::from_millis(10))
+            .byzantine_at(2, SimTime::from_millis(5));
+        assert_eq!(s.eventually_faulty(4), vec![1, 2]);
+    }
+
+    #[test]
+    fn profile_sampling_matches_probabilities() {
+        let profiles = vec![FaultProfile::crash_only(0.3); 4];
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut crashes = 0usize;
+        let trials = 5_000;
+        for _ in 0..trials {
+            let s =
+                FaultSchedule::sample_from_profiles(&profiles, SimTime::from_secs(10), &mut rng);
+            crashes += s.len();
+        }
+        let rate = crashes as f64 / (trials * 4) as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn profile_sampling_distinguishes_byzantine_from_crash() {
+        let profiles = vec![FaultProfile::new(0.0, 1.0)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = FaultSchedule::sample_from_profiles(&profiles, SimTime::from_secs(1), &mut rng);
+        assert_eq!(s.events()[0].kind, FaultKind::TurnByzantine);
+    }
+
+    #[test]
+    fn curve_sampling_produces_crashes_within_horizon() {
+        // A rate so high that failure within the horizon is essentially certain.
+        let curves = vec![ConstantCurve::new(1.0); 3];
+        let ages = vec![0.0; 3];
+        let mut rng = StdRng::seed_from_u64(3);
+        let horizon = SimTime::from_secs(100);
+        let s = FaultSchedule::sample_from_curves(&curves, &ages, horizon, 1.0, &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.events().iter().all(|e| e.time <= horizon));
+        assert!(s.events().iter().all(|e| e.kind == FaultKind::Crash));
+    }
+}

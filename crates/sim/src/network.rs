@@ -1,0 +1,164 @@
+//! The network model: latency, loss and partitions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// Configuration of the simulated network.
+///
+/// Latency is sampled uniformly from `[min_latency, max_latency]` per message; messages
+/// are dropped independently with `drop_probability`; when partition groups are set,
+/// messages only flow between nodes in the same group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Minimum one-way latency.
+    pub min_latency: SimTime,
+    /// Maximum one-way latency.
+    pub max_latency: SimTime,
+    /// Independent probability of losing each message.
+    pub drop_probability: f64,
+    /// Partition groups; `None` means fully connected.
+    partition_groups: Option<Vec<Vec<usize>>>,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            min_latency: SimTime::from_micros(100),
+            max_latency: SimTime::from_micros(1_000),
+            drop_probability: 0.0,
+            partition_groups: None,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A LAN-like network: 0.1–1 ms latency, no loss.
+    pub fn lan() -> Self {
+        Self::default()
+    }
+
+    /// A WAN-like network: 20–80 ms latency, light loss.
+    pub fn wan() -> Self {
+        Self {
+            min_latency: SimTime::from_millis(20),
+            max_latency: SimTime::from_millis(80),
+            drop_probability: 0.001,
+            partition_groups: None,
+        }
+    }
+
+    /// Sets the latency range.
+    pub fn with_latency(mut self, min: SimTime, max: SimTime) -> Self {
+        assert!(max >= min, "max latency must be >= min latency");
+        self.min_latency = min;
+        self.max_latency = max;
+        self
+    }
+
+    /// Sets the message-drop probability.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
+        self.drop_probability = p;
+        self
+    }
+
+    /// Partitions the network into the given groups: messages are only delivered between
+    /// nodes of the same group. Nodes not listed in any group are isolated.
+    pub fn with_partition(mut self, groups: Vec<Vec<usize>>) -> Self {
+        self.partition_groups = Some(groups);
+        self
+    }
+
+    /// Heals any partition.
+    pub fn healed(mut self) -> Self {
+        self.partition_groups = None;
+        self
+    }
+
+    /// Whether a message from `from` to `to` can currently be delivered.
+    pub fn connected(&self, from: usize, to: usize) -> bool {
+        match &self.partition_groups {
+            None => true,
+            Some(groups) => groups.iter().any(|g| g.contains(&from) && g.contains(&to)),
+        }
+    }
+
+    /// Samples a one-way latency for a message.
+    pub fn sample_latency(&self, rng: &mut StdRng) -> SimTime {
+        let lo = self.min_latency.as_micros();
+        let hi = self.max_latency.as_micros();
+        if hi == lo {
+            return self.min_latency;
+        }
+        SimTime::from_micros(rng.gen_range(lo..=hi))
+    }
+
+    /// Samples whether a message is dropped.
+    pub fn sample_drop(&self, rng: &mut StdRng) -> bool {
+        self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_network_is_fully_connected_and_lossless() {
+        let net = NetworkConfig::default();
+        assert!(net.connected(0, 5));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!net.sample_drop(&mut rng));
+    }
+
+    #[test]
+    fn latency_samples_stay_in_range() {
+        let net =
+            NetworkConfig::default().with_latency(SimTime::from_millis(2), SimTime::from_millis(4));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let l = net.sample_latency(&mut rng);
+            assert!(l >= SimTime::from_millis(2) && l <= SimTime::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn degenerate_latency_range_is_constant() {
+        let net =
+            NetworkConfig::default().with_latency(SimTime::from_millis(3), SimTime::from_millis(3));
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(net.sample_latency(&mut rng), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn drop_probability_is_respected_statistically() {
+        let net = NetworkConfig::default().with_drop_probability(0.25);
+        let mut rng = StdRng::seed_from_u64(4);
+        let drops = (0..10_000).filter(|_| net.sample_drop(&mut rng)).count();
+        let frac = drops as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    fn partitions_block_cross_group_traffic() {
+        let net = NetworkConfig::default().with_partition(vec![vec![0, 1], vec![2, 3, 4]]);
+        assert!(net.connected(0, 1));
+        assert!(net.connected(3, 4));
+        assert!(!net.connected(1, 2));
+        // Unlisted nodes are isolated.
+        assert!(!net.connected(0, 5));
+        let healed = net.healed();
+        assert!(healed.connected(1, 2));
+    }
+
+    #[test]
+    fn wan_profile_has_higher_latency_than_lan() {
+        assert!(NetworkConfig::wan().min_latency > NetworkConfig::lan().max_latency);
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution statistics and (optional) event tracing.
+
+use crate::time::SimTime;
+
+/// Counters accumulated while a simulation runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Messages handed to the network by actors.
+    pub messages_sent: u64,
+    /// Messages delivered to actors.
+    pub messages_delivered: u64,
+    /// Messages lost to random drops.
+    pub messages_dropped: u64,
+    /// Messages blocked by a partition.
+    pub messages_partitioned: u64,
+    /// Messages discarded because the destination (or source) was crashed.
+    pub messages_to_crashed: u64,
+    /// Timers that fired.
+    pub timers_fired: u64,
+    /// Crash events applied.
+    pub crashes: u64,
+    /// Recovery events applied.
+    pub recoveries: u64,
+    /// Byzantine-turn events applied.
+    pub byzantine_turns: u64,
+}
+
+impl TraceStats {
+    /// Fraction of sent messages that were delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+/// One recorded event (only kept when tracing is enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Delivered {
+        /// Delivery time.
+        at: SimTime,
+        /// Sender.
+        from: usize,
+        /// Receiver.
+        to: usize,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Fire time.
+        at: SimTime,
+        /// Owning node.
+        node: usize,
+        /// Timer tag.
+        tag: u64,
+    },
+    /// A fault event was applied.
+    Fault {
+        /// Application time.
+        at: SimTime,
+        /// Affected node.
+        node: usize,
+        /// Description of the fault ("crash", "recover", "byzantine").
+        kind: &'static str,
+    },
+}
+
+/// A bounded event trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace (the default; only counters are kept).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled trace keeping at most `capacity` events (oldest dropped first).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            enabled: true,
+            capacity,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled.
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero_sends() {
+        let stats = TraceStats::default();
+        assert_eq!(stats.delivery_ratio(), 1.0);
+        let stats = TraceStats {
+            messages_sent: 10,
+            messages_delivered: 7,
+            ..Default::default()
+        };
+        assert!((stats.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(TraceEvent::TimerFired {
+            at: SimTime::ZERO,
+            node: 0,
+            tag: 1,
+        });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest() {
+        let mut t = Trace::bounded(2);
+        for i in 0..3 {
+            t.record(TraceEvent::TimerFired {
+                at: SimTime::from_millis(i),
+                node: 0,
+                tag: i,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        match &t.events()[0] {
+            TraceEvent::TimerFired { tag, .. } => assert_eq!(*tag, 1),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

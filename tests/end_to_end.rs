@@ -1,0 +1,154 @@
+//! Cross-crate pipeline tests: telemetry → fault curves → deployment → analysis →
+//! probability-native configuration → end-to-end guarantees.
+
+use fault_model::metrics::HOURS_PER_YEAR;
+use fault_model::mode::FaultProfile;
+use fault_model::node::{Fleet, NodeSpec};
+use fault_model::telemetry::{ClassSpec, TelemetryEstimator, TelemetryGenerator};
+use prob_consensus::analyzer::analyze;
+use prob_consensus::cost::{cheapest_deployment, default_catalogue, Objective};
+use prob_consensus::deployment::Deployment;
+use prob_consensus::durability::quorum_durability;
+use prob_consensus::dynamic_quorum::smallest_raft_quorums;
+use prob_consensus::end_to_end::{end_to_end, RecoveryModel};
+use prob_consensus::heterogeneity::{durability_under_policy, QuorumPolicy};
+use prob_consensus::leader::preemptive_replacement_plan;
+use prob_consensus::raft_model::RaftModel;
+use prob_consensus::timevarying::{first_time_below_target, reliability_trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn telemetry_to_guarantee_pipeline() {
+    // 1. Estimate fault rates from synthetic telemetry.
+    let telemetry = TelemetryGenerator::new(vec![
+        ClassSpec::simple("reliable", 10_000, 0.01),
+        ClassSpec::simple("spot", 10_000, 0.08),
+    ])
+    .generate(&mut StdRng::seed_from_u64(1));
+    let estimator = TelemetryEstimator::new();
+    let reliable_afr = estimator
+        .estimate_afr(&telemetry.for_class("reliable"))
+        .unwrap()
+        .afr;
+    let spot_afr = estimator
+        .estimate_afr(&telemetry.for_class("spot"))
+        .unwrap()
+        .afr;
+    assert!(spot_afr > 3.0 * reliable_afr);
+
+    // 2. Build deployments from the estimates and compare guarantees.
+    let three_reliable = analyze(
+        &RaftModel::standard(3),
+        &Deployment::uniform_crash(3, reliable_afr),
+    );
+    let nine_spot = analyze(
+        &RaftModel::standard(9),
+        &Deployment::uniform_crash(9, spot_afr),
+    );
+    // The paper's equivalence survives estimation noise to within ~half a nine.
+    assert!(
+        (three_reliable.safe_and_live.nines() - nine_spot.safe_and_live.nines()).abs() < 0.5,
+        "3 reliable: {} vs 9 spot: {}",
+        three_reliable.safe_and_live,
+        nine_spot.safe_and_live
+    );
+}
+
+#[test]
+fn fleet_curves_drive_time_varying_guarantees_and_replacement_plans() {
+    use fault_model::curve::WeibullCurve;
+    let fleet: Fleet = (0..5)
+        .map(|i| {
+            NodeSpec::with_constant_crash(i, 0.0, HOURS_PER_YEAR)
+                .with_crash_curve(Arc::new(WeibullCurve::new(3.0, 70_000.0)))
+                .with_age(20_000.0 + 5_000.0 * i as f64)
+        })
+        .collect();
+    let trajectory = reliability_trajectory(
+        &RaftModel::standard(5),
+        &fleet,
+        HOURS_PER_YEAR / 4.0,
+        6.0 * HOURS_PER_YEAR,
+        HOURS_PER_YEAR / 2.0,
+    );
+    let dip = first_time_below_target(&trajectory, 4.0);
+    assert!(
+        dip.is_some(),
+        "an aging fleet eventually drops below four nines"
+    );
+    // The replacement planner flags the oldest node no later than the dip.
+    let plans = preemptive_replacement_plan(
+        &fleet,
+        HOURS_PER_YEAR / 4.0,
+        6.0 * HOURS_PER_YEAR,
+        0.05,
+        HOURS_PER_YEAR / 4.0,
+    );
+    assert!(!plans.is_empty());
+    assert_eq!(
+        plans[0].node,
+        fault_model::node::NodeId(4),
+        "oldest node first"
+    );
+}
+
+#[test]
+fn cost_search_and_dynamic_quorums_meet_their_targets() {
+    let best = cheapest_deployment(
+        &default_catalogue(),
+        11,
+        4.0,
+        Objective::Cost,
+        RaftModel::standard,
+    )
+    .expect("a feasible deployment exists for four nines");
+    assert!(best.report.safe_and_live.meets(4.0));
+
+    let deployment = Deployment::uniform_crash(best.n, best.instance.fault_probability);
+    let sizing = smallest_raft_quorums(&deployment, 4.0).expect("dynamic sizing succeeds");
+    assert!(sizing.model.quorums_intersect());
+    assert!(sizing.achieved >= 0.9999);
+    // The data-path quorum never needs to exceed a majority.
+    assert!(sizing.model.q_per() <= best.n / 2 + 1);
+}
+
+#[test]
+fn heterogeneous_policies_feed_end_to_end_guarantees() {
+    let mut profiles = vec![FaultProfile::crash_only(0.08); 4];
+    profiles.extend(vec![FaultProfile::crash_only(0.01); 3]);
+    let deployment = Deployment::from_profiles(profiles);
+    let protocol = analyze(&RaftModel::standard(7), &deployment);
+
+    // Durability of the actual quorum the policy selects.
+    let aware = durability_under_policy(&deployment, 4, QuorumPolicy::RequireReliable(1));
+    let oblivious = durability_under_policy(&deployment, 4, QuorumPolicy::ObliviousWorstCase);
+    assert!(aware.probability() > oblivious.probability());
+
+    // End-to-end: availability beats raw liveness thanks to fast recovery; durability
+    // follows the quorum placement.
+    let recovery = RecoveryModel::default_annual();
+    let e2e_aware = end_to_end(&protocol, &recovery, aware);
+    let e2e_oblivious = end_to_end(&protocol, &recovery, oblivious);
+    assert!(e2e_aware.durability.probability() > e2e_oblivious.durability.probability());
+    assert!(e2e_aware.availability.nines() > protocol.live.nines());
+
+    // Sanity: the quorum_durability helper agrees with the policy module for an explicit
+    // member list (three flaky + one reliable node).
+    let explicit = quorum_durability(&deployment, &[0, 1, 2, 4]);
+    assert!((explicit.probability() - aware.probability()).abs() < 1e-12);
+}
+
+#[test]
+fn markov_mttdl_and_window_analysis_tell_a_consistent_story() {
+    // A 5-node group tolerating 2 simultaneous failures, lambda from a 8% AFR, repairs
+    // within ~24h on average.
+    let lambda = fault_model::metrics::afr_to_hourly_rate(0.08);
+    let mttdl = prob_consensus::durability::consensus_mttdl(5, lambda, 1.0 / 24.0, 2);
+    // With repair the mean time to losing the quorum should far exceed a decade.
+    assert!(mttdl > 10.0 * HOURS_PER_YEAR, "MTTDL {mttdl} hours");
+    let availability =
+        prob_consensus::durability::steady_state_quorum_availability(5, lambda, 1.0 / 24.0, 2);
+    assert!(availability > 0.999999);
+}

@@ -1,0 +1,142 @@
+//! Integration tests validating the analytic predictions against the executable
+//! protocols running on the discrete-event simulator.
+
+use consensus_protocols::harness::{PbftHarness, RaftHarness};
+use consensus_protocols::raft::RaftConfig;
+use consensus_sim::fault::FaultSchedule;
+use consensus_sim::network::NetworkConfig;
+use consensus_sim::time::SimTime;
+use prob_consensus::analyzer::analyze;
+use prob_consensus::deployment::Deployment;
+use prob_consensus::protocol::ProtocolModel;
+use prob_consensus::raft_model::RaftModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The analysis says a failure configuration with at most `N - Q_per` crashes is live:
+/// drive the real protocol through explicit configurations on both sides of the line.
+#[test]
+fn raft_liveness_boundary_matches_theorem_3_2() {
+    // 5 nodes, majority 3: up to 2 crashes keep the cluster live, 3 crashes do not.
+    for crashes in 0..=3usize {
+        let mut schedule = FaultSchedule::none();
+        for node in 0..crashes {
+            schedule = schedule.crash_at(node, SimTime::from_millis(1));
+        }
+        let mut harness =
+            RaftHarness::new(5, NetworkConfig::lan(), 100 + crashes as u64).with_faults(&schedule);
+        harness.submit_commands(5);
+        let outcome = harness.run_for_millis(5_000);
+        assert!(
+            outcome.agreement,
+            "{crashes} crashes must never break agreement"
+        );
+        let model = RaftModel::standard(5);
+        let analytic_live = model.is_live(&prob_consensus::failure::FailureConfig::with_crashed(
+            5,
+            &(0..crashes).collect::<Vec<_>>(),
+        ));
+        assert_eq!(
+            outcome.all_committed, analytic_live,
+            "{crashes} crashes: simulation and Theorem 3.2 disagree"
+        );
+    }
+}
+
+/// PBFT with the standard N = 3f+1 layout: f silent Byzantine nodes keep the system safe
+/// and live, f+1 cost liveness, and agreement holds in both cases (Theorem 3.1).
+#[test]
+fn pbft_fault_boundary_matches_theorem_3_1() {
+    for byzantine in [1usize, 2] {
+        let mut schedule = FaultSchedule::none();
+        for node in 0..byzantine {
+            schedule = schedule.byzantine_at(node, SimTime::from_millis(1));
+        }
+        let mut harness = PbftHarness::new(4, NetworkConfig::lan(), 200 + byzantine as u64)
+            .with_faults(&schedule);
+        harness.submit_commands(4);
+        let outcome = harness.run_for_millis(6_000);
+        assert!(
+            outcome.agreement,
+            "{byzantine} silent Byzantine nodes broke agreement"
+        );
+        let expected_live = byzantine <= 1;
+        assert_eq!(
+            outcome.all_committed, expected_live,
+            "{byzantine} Byzantine nodes: liveness mismatch"
+        );
+    }
+}
+
+/// Monte Carlo over the executable protocol: the empirical safe-and-live rate under
+/// randomly sampled fault configurations tracks the analytic probability.
+#[test]
+fn empirical_safe_and_live_rate_tracks_analysis() {
+    let n = 3;
+    let p = 0.2; // Deliberately high so the empirical rate is resolvable with few trials.
+    let deployment = Deployment::uniform_crash(n, p);
+    let analytic = analyze(&RaftModel::standard(n), &deployment)
+        .safe_and_live
+        .probability();
+    let trials = 60;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ok = 0;
+    for trial in 0..trials {
+        let schedule = FaultSchedule::sample_from_profiles(
+            deployment.profiles(),
+            SimTime::from_millis(100),
+            &mut rng,
+        );
+        let mut harness =
+            RaftHarness::with_config(RaftConfig::standard(n), NetworkConfig::lan(), 5_000 + trial)
+                .with_faults(&schedule);
+        harness.submit_commands(2);
+        if harness.run_for_millis(2_000).safe_and_live() {
+            ok += 1;
+        }
+    }
+    let empirical = ok as f64 / trials as f64;
+    // Binomial noise with 60 trials is ~±0.11 at p≈0.9; allow a generous band.
+    assert!(
+        (empirical - analytic).abs() < 0.15,
+        "analytic {analytic:.3} vs empirical {empirical:.3}"
+    );
+}
+
+/// Reliability-aware election priorities do not change correctness, only who leads.
+#[test]
+fn reliability_aware_leader_selection_preserves_correctness() {
+    let profiles = vec![
+        fault_model::mode::FaultProfile::crash_only(0.08),
+        fault_model::mode::FaultProfile::crash_only(0.01),
+        fault_model::mode::FaultProfile::crash_only(0.04),
+        fault_model::mode::FaultProfile::crash_only(0.02),
+        fault_model::mode::FaultProfile::crash_only(0.03),
+    ];
+    let config = consensus_protocols::probabilistic::reliability_aware_raft_config(&profiles);
+    let mut harness = RaftHarness::with_config(config, NetworkConfig::lan(), 9);
+    harness.submit_commands(10);
+    let outcome = harness.run_for_millis(3_000);
+    assert!(outcome.safe_and_live());
+    // The most reliable node (index 1) should have ended up leading.
+    use consensus_protocols::raft::Role;
+    assert_eq!(harness.sim().node(1).role(), Role::Leader);
+}
+
+/// The same seed must give the same outcome: the whole stack is deterministic.
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let schedule = FaultSchedule::none().crash_at(0, SimTime::from_millis(500));
+        let mut harness = RaftHarness::new(5, NetworkConfig::wan(), seed).with_faults(&schedule);
+        harness.submit_commands(8);
+        let outcome = harness.run_for_millis(4_000);
+        (
+            outcome.agreement,
+            outcome.all_committed,
+            outcome.committed_lengths,
+            outcome.messages_delivered,
+        )
+    };
+    assert_eq!(run(77), run(77));
+}
