@@ -5,10 +5,11 @@
 //! (O(N³)) and Monte Carlo sampling, plus the full Table 1 / Table 2 regeneration cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prob_consensus::analyzer::{analyze, analyze_exact};
+use prob_consensus::analyzer::{analyze, analyze_auto, analyze_exact};
 use prob_consensus::counting::FaultCountDistribution;
 use prob_consensus::deployment::Deployment;
-use prob_consensus::montecarlo::monte_carlo_independent;
+use prob_consensus::engine::Budget;
+use prob_consensus::montecarlo::{monte_carlo_independent, monte_carlo_independent_par};
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
 use rand::rngs::StdRng;
@@ -38,20 +39,60 @@ fn bench_engines(c: &mut Criterion) {
 
 fn bench_monte_carlo(c: &mut Criterion) {
     let mut group = c.benchmark_group("monte-carlo");
-    let deployment = Deployment::uniform_crash(9, 0.08);
-    let model = RaftModel::standard(9);
+    let (model, deployment) = bench::mc_speedup_workload();
     for samples in [1_000usize, 10_000] {
         group.bench_with_input(
             BenchmarkId::new("raft-9", samples),
             &samples,
             |b, &samples| {
                 b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(7);
+                    let mut rng = StdRng::seed_from_u64(bench::MC_SPEEDUP_SEED);
                     monte_carlo_independent(&model, &deployment, samples, &mut rng)
                 })
             },
         );
     }
+    // The headline hot path: single-threaded sampling vs. the rayon-parallel engine on
+    // the same workload `repro --bench` records in BENCH_analysis.json. On a machine
+    // with >= 4 cores the parallel row should run >= 2x faster than the sequential one.
+    group.bench_function(
+        bench::MC_SEQUENTIAL_ID.trim_start_matches("monte-carlo/"),
+        |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(bench::MC_SPEEDUP_SEED);
+                monte_carlo_independent(&model, &deployment, bench::MC_SPEEDUP_SAMPLES, &mut rng)
+            })
+        },
+    );
+    group.bench_function(
+        bench::MC_PARALLEL_ID.trim_start_matches("monte-carlo/"),
+        |b| {
+            b.iter(|| {
+                monte_carlo_independent_par(
+                    &model,
+                    &deployment,
+                    bench::MC_SPEEDUP_SAMPLES,
+                    bench::MC_SPEEDUP_SEED,
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_auto_selection(c: &mut Criterion) {
+    // analyze_auto routes through the engine registry; its overhead over calling the
+    // counting engine directly should be negligible.
+    let mut group = c.benchmark_group("auto-selection");
+    let deployment = Deployment::uniform_crash(9, 0.02);
+    let model = RaftModel::standard(9);
+    let budget = Budget::default();
+    group.bench_function("analyze-direct", |b| {
+        b.iter(|| analyze(&model, &deployment))
+    });
+    group.bench_function("analyze-auto", |b| {
+        b.iter(|| analyze_auto(&model, &deployment, &budget))
+    });
     group.finish();
 }
 
@@ -92,6 +133,7 @@ criterion_group!(
     benches,
     bench_engines,
     bench_monte_carlo,
+    bench_auto_selection,
     bench_fault_count_distribution,
     bench_paper_tables
 );

@@ -6,9 +6,37 @@
 //! cargo run -p bench --release --bin repro -- all
 //! cargo run -p bench --release --bin repro -- table1 table2 claim-tradeoff
 //! cargo run -p bench --release --bin repro -- --list
+//! cargo run -p bench --release --bin repro -- --bench   # writes BENCH_analysis.json
 //! ```
 
 use std::process::ExitCode;
+
+/// Times the analysis hot paths and writes the `BENCH_analysis.json` baseline to the
+/// current directory.
+fn run_bench_baseline() -> ExitCode {
+    let budget_ms = std::env::var("REPRO_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let measurements = bench::analysis_benchmarks(budget_ms);
+    for m in &measurements {
+        println!(
+            "{:<32} {:>12.1} ns/iter  ({} iters)",
+            m.id, m.mean_ns, m.iters
+        );
+    }
+    let json = bench::benchmarks_to_json(&measurements);
+    match std::fs::write("BENCH_analysis.json", &json) {
+        Ok(()) => {
+            println!("\nwrote BENCH_analysis.json");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: could not write BENCH_analysis.json: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn run_experiment(id: &str) -> Result<(), String> {
     match id {
@@ -50,12 +78,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("repro — regenerate the paper's tables and claims\n");
-        println!("usage: repro [--list] <experiment-id>... | all\n");
+        println!("usage: repro [--list | --bench] <experiment-id>... | all\n");
         println!("experiments:");
         for id in bench::EXPERIMENT_IDS {
             println!("  {id}");
         }
         return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--bench") {
+        if args.len() > 1 {
+            eprintln!("error: --bench cannot be combined with other arguments");
+            eprintln!("run the experiments and the baseline as separate invocations");
+            return ExitCode::FAILURE;
+        }
+        return run_bench_baseline();
     }
     if args.iter().any(|a| a == "--list") {
         for id in bench::EXPERIMENT_IDS {

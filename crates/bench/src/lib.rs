@@ -9,15 +9,16 @@ use fault_model::curve::WeibullCurve;
 use fault_model::metrics::HOURS_PER_YEAR;
 use fault_model::mode::FaultProfile;
 use fault_model::node::{Fleet, NodeSpec};
-use prob_consensus::analyzer::analyze;
+use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::committee::committee_vs_full_cluster;
 use prob_consensus::cost::{cost_equivalence, default_catalogue, CostEquivalence};
 use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::{durability_claim, DurabilityClaim};
 use prob_consensus::dynamic_quorum::{smallest_raft_quorums, trigger_quorum_comparison};
+use prob_consensus::engine::Budget;
 use prob_consensus::heterogeneity::{heterogeneity_analysis, HeterogeneityAnalysis};
 use prob_consensus::leader::{leader_failure_probability, LeaderPolicy};
-use prob_consensus::montecarlo::monte_carlo_independent;
+use prob_consensus::montecarlo::monte_carlo_independent_par;
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
 use prob_consensus::report::{percent, Table};
@@ -50,7 +51,12 @@ pub fn table1() -> Table {
     );
     for n in [4usize, 5, 7, 8] {
         let model = PbftModel::standard(n);
-        let report = analyze(&model, &Deployment::uniform_byzantine(n, 0.01));
+        let report = analyze_auto(
+            &model,
+            &Deployment::uniform_byzantine(n, 0.01),
+            &Budget::default(),
+        )
+        .report;
         table.push_row(vec![
             n.to_string(),
             model.q_eq().to_string(),
@@ -81,7 +87,8 @@ pub fn table2() -> Table {
             model.q_vc().to_string(),
         ];
         for p in [0.01, 0.02, 0.04, 0.08] {
-            let report = analyze(&model, &Deployment::uniform_crash(n, p));
+            let report =
+                analyze_auto(&model, &Deployment::uniform_crash(n, p), &Budget::default()).report;
             row.push(report.safe_and_live.as_percent());
         }
         table.push_row(row);
@@ -95,7 +102,12 @@ pub fn claim_three_nines() -> Table {
         "Claim: f-threshold protocols are not 100% reliable (Raft N=3, p_u=1%)",
         &["Metric", "Value"],
     );
-    let report = analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.01));
+    let report = analyze_auto(
+        &RaftModel::standard(3),
+        &Deployment::uniform_crash(3, 0.01),
+        &Budget::default(),
+    )
+    .report;
     table.push_row(vec!["Safe".into(), report.safe.as_percent()]);
     table.push_row(vec!["Live".into(), report.live.as_percent()]);
     table.push_row(vec![
@@ -161,7 +173,9 @@ pub fn claim_quorum_overkill() -> Table {
 pub fn claim_heterogeneous() -> (Table, HeterogeneityAnalysis) {
     let baseline = Deployment::uniform_crash(7, 0.08);
     let analysis = heterogeneity_analysis(&baseline, 3, FaultProfile::crash_only(0.01), 4, |d| {
-        analyze(&RaftModel::standard(7), d).safe_and_live
+        analyze_auto(&RaftModel::standard(7), d, &Budget::default())
+            .report
+            .safe_and_live
     });
     let mut table = Table::new(
         "Claim: Raft and PBFT underutilize reliable nodes (7-node Raft)",
@@ -268,7 +282,8 @@ pub fn sim_validation(
     let mut rng = StdRng::seed_from_u64(seed);
     for &n in ns {
         let deployment = Deployment::uniform_crash(n, p);
-        let analytic = analyze(&RaftModel::standard(n), &deployment)
+        let analytic = analyze_auto(&RaftModel::standard(n), &deployment, &Budget::default())
+            .report
             .safe_and_live
             .probability();
         let mut ok = 0usize;
@@ -426,14 +441,144 @@ pub fn fault_curves() -> Table {
     table
 }
 
-/// Cross-check used by `fault-curves`/tests: Monte Carlo agrees with the counting engine.
+/// Cross-check used by `fault-curves`/tests: parallel Monte Carlo agrees with the
+/// engine the auto-selector picks (counting, for these models). Pinning the sampling
+/// engine is deliberate here — the point is cross-engine agreement.
 pub fn monte_carlo_crosscheck(n: usize, p: f64, samples: usize, seed: u64) -> (f64, f64) {
     let deployment = Deployment::uniform_crash(n, p);
     let model = RaftModel::standard(n);
-    let analytic = analyze(&model, &deployment).safe_and_live.probability();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mc = monte_carlo_independent(&model, &deployment, samples, &mut rng);
+    let analytic = analyze_auto(&model, &deployment, &Budget::default())
+        .report
+        .safe_and_live
+        .probability();
+    let mc = monte_carlo_independent_par(&model, &deployment, samples, seed);
     (analytic, mc.safe_and_live.value)
+}
+
+/// One wall-clock measurement of an analysis hot path, for the `repro --bench`
+/// baseline (`BENCH_analysis.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMeasurement {
+    /// Benchmark id, mirroring the criterion bench names where one exists.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured (after one warm-up iteration).
+    pub iters: usize,
+}
+
+/// Times `f` for roughly `budget_ms` of wall clock.
+///
+/// One warm-up iteration calibrates a batch size (~1/50 of the budget per batch), and
+/// the deadline is only checked between batches, so the clock reads stay out of the
+/// measured mean even for nanosecond-scale `f`.
+fn time_one<T>(id: &str, budget_ms: u64, mut f: impl FnMut() -> T) -> BenchMeasurement {
+    use std::time::{Duration, Instant};
+    let warmup_start = Instant::now();
+    std::hint::black_box(f());
+    let one = warmup_start.elapsed();
+    let batch_budget = Duration::from_millis(budget_ms.max(1)) / 50;
+    let batch =
+        ((batch_budget.as_nanos().max(1) / one.as_nanos().max(1)) as usize).clamp(1, 1_000_000);
+
+    let deadline = Instant::now() + Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut iters = 0usize;
+    while iters < 3 * batch || Instant::now() < deadline {
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        iters += batch;
+    }
+    BenchMeasurement {
+        id: id.to_string(),
+        mean_ns: start.elapsed().as_nanos() as f64 / iters as f64,
+        iters,
+    }
+}
+
+/// Benchmark ids of the sequential / parallel Monte Carlo pair whose ratio is the
+/// parallel speedup reported in `BENCH_analysis.json`.
+pub const MC_SEQUENTIAL_ID: &str = "monte-carlo/raft-9-sequential";
+/// See [`MC_SEQUENTIAL_ID`].
+pub const MC_PARALLEL_ID: &str = "monte-carlo/raft-9-parallel";
+/// Sample budget of the speedup workload — shared with the criterion bench in
+/// `benches/analysis.rs` so the recorded baseline and the bench measure the same thing.
+pub const MC_SPEEDUP_SAMPLES: usize = 200_000;
+/// Seed of the speedup workload.
+pub const MC_SPEEDUP_SEED: u64 = 7;
+
+/// The model/deployment pair of the sequential-vs-parallel speedup workload
+/// (9-node Raft at p_u = 8%).
+pub fn mc_speedup_workload() -> (RaftModel, Deployment) {
+    (RaftModel::standard(9), Deployment::uniform_crash(9, 0.08))
+}
+
+/// The analysis-engine baseline suite behind `repro --bench`: the three engines at
+/// representative sizes, auto-selection overhead, and sequential vs. parallel Monte
+/// Carlo (whose ratio is the parallel speedup on this machine).
+pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
+    let budget = Budget::default();
+    let mut out = Vec::new();
+
+    let d9 = Deployment::uniform_crash(9, 0.02);
+    let m9 = RaftModel::standard(9);
+    out.push(time_one("counting/raft-9", budget_ms, || {
+        analyze_auto(&m9, &d9, &budget)
+    }));
+    let d100 = Deployment::uniform_crash(100, 0.02);
+    let m100 = RaftModel::standard(100);
+    out.push(time_one("counting/raft-100", budget_ms, || {
+        analyze_auto(&m100, &d100, &budget)
+    }));
+
+    let d13 = Deployment::uniform_crash(13, 0.02);
+    let m13 = RaftModel::standard(13);
+    out.push(time_one("enumeration/raft-13", budget_ms, || {
+        prob_consensus::analyzer::analyze_exact(&m13, &d13)
+    }));
+
+    let (m_mc, d_mc) = mc_speedup_workload();
+    out.push(time_one(MC_SEQUENTIAL_ID, budget_ms, || {
+        let mut rng = StdRng::seed_from_u64(MC_SPEEDUP_SEED);
+        prob_consensus::montecarlo::monte_carlo_independent(
+            &m_mc,
+            &d_mc,
+            MC_SPEEDUP_SAMPLES,
+            &mut rng,
+        )
+    }));
+    out.push(time_one(MC_PARALLEL_ID, budget_ms, || {
+        monte_carlo_independent_par(&m_mc, &d_mc, MC_SPEEDUP_SAMPLES, MC_SPEEDUP_SEED)
+    }));
+    out
+}
+
+/// Renders measurements as the `BENCH_analysis.json` baseline document.
+pub fn benchmarks_to_json(measurements: &[BenchMeasurement]) -> String {
+    let threads = rayon::current_num_threads();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    let seq = measurements.iter().find(|m| m.id == MC_SEQUENTIAL_ID);
+    let par = measurements.iter().find(|m| m.id == MC_PARALLEL_ID);
+    let (seq, par) = (
+        seq.expect("baseline suite always measures the sequential MC path"),
+        par.expect("baseline suite always measures the parallel MC path"),
+    );
+    json.push_str(&format!(
+        "  \"monte_carlo_parallel_speedup\": {:.3},\n",
+        seq.mean_ns / par.mean_ns
+    ));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            m.id, m.mean_ns, m.iters
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
 }
 
 /// All experiment ids understood by the `repro` binary, in DESIGN.md order.

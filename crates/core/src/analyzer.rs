@@ -1,9 +1,17 @@
 //! The analysis front-end: pick an engine, return a report in "nines".
+//!
+//! [`analyze_auto`] is the single front door: it routes the model/scenario/budget
+//! triple through the [`crate::engine`] auto-selector (exact counting when possible,
+//! enumeration for small non-counting models, parallel Monte Carlo otherwise) and tags
+//! the result with the engine that produced it. The explicit entry points [`analyze`]
+//! (counting) and [`analyze_exact`] (enumeration) remain for callers that need to pin
+//! an engine deliberately — e.g. cross-engine agreement tests.
 
 use fault_model::metrics::Nines;
 
 use crate::counting::counting_reliability;
 use crate::deployment::Deployment;
+use crate::engine::{run_selected, select_engine, AnalysisOutcome, Budget, EngineChoice, Scenario};
 use crate::enumeration::{enumerate_reliability, RawReliability};
 use crate::protocol::{CountingModel, ProtocolModel};
 
@@ -57,14 +65,65 @@ impl std::fmt::Display for ReliabilityReport {
     }
 }
 
-/// Analyzes a counting model with the exact O(N³) fault-count engine — the default entry
-/// point; exact for independent (possibly heterogeneous) nodes at any practical N.
+/// Analyzes `model` on an independent `deployment`, automatically selecting the right
+/// engine within `budget` — the single front door of the analysis layer.
+///
+/// Selection follows the structure of the problem: exact counting for counting models,
+/// exhaustive enumeration for small non-counting models, parallel Monte Carlo for
+/// everything else. The outcome says which engine ran and, for sampling, carries the
+/// confidence intervals.
+///
+/// ```
+/// use prob_consensus::analyzer::analyze_auto;
+/// use prob_consensus::engine::{Budget, EngineChoice};
+/// use prob_consensus::deployment::Deployment;
+/// use prob_consensus::raft_model::RaftModel;
+///
+/// let deployment = Deployment::uniform_crash(3, 0.01);
+/// let outcome = analyze_auto(&RaftModel::standard(3), &deployment, &Budget::default());
+/// assert_eq!(outcome.engine, EngineChoice::Counting);
+/// assert_eq!(outcome.report.safe_and_live.as_percent(), "99.97%");
+/// ```
+pub fn analyze_auto(
+    model: &dyn ProtocolModel,
+    deployment: &Deployment,
+    budget: &Budget,
+) -> AnalysisOutcome {
+    run_selected(model, Scenario::Independent(deployment), budget)
+}
+
+/// Analyzes `model` on an arbitrary [`Scenario`] (independent or correlated),
+/// automatically selecting the engine within `budget`.
+pub fn analyze_scenario(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+) -> AnalysisOutcome {
+    run_selected(model, scenario, budget)
+}
+
+/// The engine [`analyze_auto`] would run for this triple, without running it.
+pub fn chosen_engine(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+) -> EngineChoice {
+    select_engine(model, scenario, budget)
+}
+
+/// Analyzes a counting model with the exact O(N³) fault-count engine.
+///
+/// Explicit-engine entry point; prefer [`analyze_auto`], which selects this engine on
+/// its own whenever it applies.
 pub fn analyze<M: CountingModel + ?Sized>(model: &M, deployment: &Deployment) -> ReliabilityReport {
     ReliabilityReport::from_raw(counting_reliability(model, deployment))
 }
 
 /// Analyzes an arbitrary (possibly non-counting) model by exhaustive enumeration of
 /// failure configurations. Exponential in the cluster size; intended for N ≲ 20.
+///
+/// Explicit-engine entry point; prefer [`analyze_auto`], which falls back to
+/// enumeration only when it is the right tool.
 pub fn analyze_exact<M: ProtocolModel + ?Sized>(
     model: &M,
     deployment: &Deployment,

@@ -1,0 +1,628 @@
+//! The unified analysis-engine layer.
+//!
+//! The paper's method is one pipeline — enumerate → count → sample — but the seed grew
+//! it as three disconnected entry points that every caller had to hand-select. This
+//! module unifies them behind one abstraction:
+//!
+//! * [`Scenario`] — what the analysis runs against: an independent [`Deployment`] or a
+//!   correlated [`CorrelationModel`].
+//! * [`AnalysisEngine`] — the common trait of the three engines, each wrapping one of
+//!   [`crate::enumeration`], [`crate::counting`] and [`crate::montecarlo`].
+//! * [`Budget`] — how much work (exact configurations, Monte Carlo samples) the caller
+//!   is willing to spend, plus the sampling seed.
+//! * [`select_engine`] — the auto-selector: exact counting for independent counting
+//!   models, exhaustive enumeration for small non-counting models, parallel Monte
+//!   Carlo for correlated or large deployments.
+//! * [`AnalysisOutcome`] — the report, tagged with the engine that produced it and the
+//!   sampling confidence interval when one exists.
+//!
+//! Callers should reach for [`crate::analyzer::analyze_auto`], the front door over this
+//! module; the engine structs are public for tests, benches and tools that need to pin
+//! an engine deliberately (e.g. cross-engine agreement checks).
+
+use fault_model::correlation::CorrelationModel;
+
+use crate::analyzer::ReliabilityReport;
+use crate::counting::counting_reliability;
+use crate::deployment::Deployment;
+use crate::enumeration::enumerate_reliability;
+use crate::montecarlo::{monte_carlo_reliability_par, MonteCarloReport};
+use crate::protocol::ProtocolModel;
+
+/// What a reliability analysis runs against.
+///
+/// Borrowed and `Copy`, so wrapping an existing deployment or correlation model costs
+/// nothing at the call site.
+#[derive(Debug, Clone, Copy)]
+pub enum Scenario<'a> {
+    /// Independent per-node fault profiles — the §3 setting; exact engines apply.
+    Independent(&'a Deployment),
+    /// A correlated failure model — the §2(3) setting; only sampling applies.
+    Correlated(&'a CorrelationModel),
+}
+
+impl Scenario<'_> {
+    /// Number of nodes in the scenario.
+    pub fn len(&self) -> usize {
+        match self {
+            Scenario::Independent(d) => d.len(),
+            Scenario::Correlated(c) => c.len(),
+        }
+    }
+
+    /// Whether the scenario covers no nodes (never true for well-formed inputs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether failures are correlated (with at least one active correlation group).
+    pub fn is_correlated(&self) -> bool {
+        match self {
+            Scenario::Independent(_) => false,
+            Scenario::Correlated(c) => c.is_correlated(),
+        }
+    }
+
+    /// The per-node fault profiles, whichever form the scenario takes. Borrowed — this
+    /// is what the engines' admissibility checks consume on the hot path.
+    pub fn profiles(&self) -> &'_ [fault_model::mode::FaultProfile] {
+        match self {
+            Scenario::Independent(d) => d.profiles(),
+            Scenario::Correlated(c) => c.profiles(),
+        }
+    }
+
+    /// Whether the scenario is effectively independent (an independent deployment, or
+    /// a correlation model with no active groups) and the exact engines therefore
+    /// apply. Allocation-free, unlike [`Scenario::as_independent`].
+    pub fn is_independent(&self) -> bool {
+        !matches!(self, Scenario::Correlated(c) if c.is_correlated())
+    }
+
+    /// The independent deployment, if this scenario is one (also accepts a correlation
+    /// model with no active groups, which is independent in all but name).
+    ///
+    /// Allocates for the correlated-but-groupless case; engines on the hot path borrow
+    /// via [`Scenario::Independent`] directly and only fall back to this for that case.
+    pub fn as_independent(&self) -> Option<Deployment> {
+        match self {
+            Scenario::Independent(d) => Some((*d).clone()),
+            Scenario::Correlated(c) if !c.is_correlated() => {
+                Some(Deployment::from_profiles(c.profiles().to_vec()))
+            }
+            Scenario::Correlated(_) => None,
+        }
+    }
+
+    /// The scenario as a correlation model (trivially independent when no groups
+    /// exist) — the form the Monte Carlo sampler consumes.
+    pub fn to_correlation_model(&self) -> CorrelationModel {
+        match self {
+            Scenario::Independent(d) => CorrelationModel::independent(d.profiles().to_vec()),
+            Scenario::Correlated(c) => (*c).clone(),
+        }
+    }
+}
+
+impl<'a> From<&'a Deployment> for Scenario<'a> {
+    fn from(deployment: &'a Deployment) -> Self {
+        Scenario::Independent(deployment)
+    }
+}
+
+impl<'a> From<&'a CorrelationModel> for Scenario<'a> {
+    fn from(model: &'a CorrelationModel) -> Self {
+        Scenario::Correlated(model)
+    }
+}
+
+/// Identifies one of the three analysis engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineChoice {
+    /// Exhaustive enumeration of failure configurations (exact, exponential).
+    Enumeration,
+    /// Dynamic programming over fault counts (exact, O(N³), counting models only).
+    Counting,
+    /// Parallel Monte Carlo sampling (estimate with confidence interval).
+    MonteCarlo,
+}
+
+impl std::fmt::Display for EngineChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineChoice::Enumeration => "enumeration",
+            EngineChoice::Counting => "counting",
+            EngineChoice::MonteCarlo => "monte-carlo",
+        })
+    }
+}
+
+/// How much work an [`analyze_auto`](crate::analyzer::analyze_auto) call may spend, and
+/// the seed sampling uses when it is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of failure configurations exhaustive enumeration may visit before
+    /// the selector falls back to sampling.
+    pub max_enumeration_configs: u64,
+    /// Maximum number of nodes the O(N³) counting engine may analyze exactly before
+    /// the selector falls back to sampling.
+    pub max_counting_nodes: usize,
+    /// Number of samples the Monte Carlo engine draws.
+    pub monte_carlo_samples: usize,
+    /// Seed for the Monte Carlo engine (results are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for Budget {
+    /// Defaults tuned for interactive use: up to 2^20 exact configurations (≲ 20 binary
+    /// nodes, ≲ 12 ternary nodes — the paper-scale clusters), exact counting up to
+    /// 2,000 nodes (~N³ = 8e9 DP updates, single-digit seconds), and 200k samples,
+    /// enough for a ±0.2-point 95% interval near the probabilities the paper reports.
+    fn default() -> Self {
+        Self {
+            max_enumeration_configs: 1 << 20,
+            max_counting_nodes: 2_000,
+            monte_carlo_samples: 200_000,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget drawing `samples` Monte Carlo samples.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        self.monte_carlo_samples = samples;
+        self
+    }
+
+    /// A budget seeding Monte Carlo with `seed`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A budget allowing up to `configs` exhaustively enumerated configurations.
+    pub fn with_max_enumeration_configs(mut self, configs: u64) -> Self {
+        self.max_enumeration_configs = configs;
+        self
+    }
+
+    /// A budget allowing exact counting up to `nodes` nodes.
+    pub fn with_max_counting_nodes(mut self, nodes: usize) -> Self {
+        self.max_counting_nodes = nodes;
+        self
+    }
+}
+
+/// The result of a unified analysis: the report in "nines", plus which engine produced
+/// it and — when sampling did — the full Monte Carlo estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisOutcome {
+    /// The probabilistic safety/liveness guarantees.
+    pub report: ReliabilityReport,
+    /// The engine that produced the report.
+    pub engine: EngineChoice,
+    /// The sampling estimate with confidence intervals, when `engine` is Monte Carlo.
+    pub monte_carlo: Option<MonteCarloReport>,
+}
+
+impl AnalysisOutcome {
+    /// Whether the report is exact (enumeration or counting) rather than an estimate.
+    pub fn is_exact(&self) -> bool {
+        self.engine != EngineChoice::MonteCarlo
+    }
+}
+
+impl std::fmt::Display for AnalysisOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.report, self.engine)
+    }
+}
+
+/// One reliability-analysis strategy.
+///
+/// Implementations must answer, for any model/scenario/budget triple, whether they
+/// apply ([`supports`](AnalysisEngine::supports)) and produce an [`AnalysisOutcome`]
+/// when they do ([`run`](AnalysisEngine::run)). The trait is object-safe; the
+/// auto-selector walks [`ENGINES`] in preference order.
+pub trait AnalysisEngine: Sync {
+    /// Which engine this is.
+    fn choice(&self) -> EngineChoice;
+
+    /// Short name for reports and logs.
+    fn name(&self) -> &'static str;
+
+    /// Whether this engine can analyze `model` on `scenario` within `budget`.
+    fn supports(&self, model: &dyn ProtocolModel, scenario: Scenario<'_>, budget: &Budget) -> bool;
+
+    /// Runs the analysis.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called for an unsupported triple; callers should check
+    /// [`supports`](AnalysisEngine::supports) (or use
+    /// [`crate::analyzer::analyze_auto`], which does).
+    fn run(
+        &self,
+        model: &dyn ProtocolModel,
+        scenario: Scenario<'_>,
+        budget: &Budget,
+    ) -> AnalysisOutcome;
+}
+
+/// Exhaustive enumeration: exact for *any* protocol model, exponential in N.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnumerationEngine;
+
+impl AnalysisEngine for EnumerationEngine {
+    fn choice(&self) -> EngineChoice {
+        EngineChoice::Enumeration
+    }
+
+    fn name(&self) -> &'static str {
+        "enumeration"
+    }
+
+    fn supports(
+        &self,
+        _model: &dyn ProtocolModel,
+        scenario: Scenario<'_>,
+        budget: &Budget,
+    ) -> bool {
+        // Admissibility is the enumeration module's own rule, so the selector can
+        // never route a deployment there that the module would reject.
+        scenario.is_independent()
+            && crate::enumeration::enumeration_supported(scenario.profiles())
+            && crate::enumeration::enumeration_config_count(scenario.profiles())
+                <= budget.max_enumeration_configs
+    }
+
+    fn run(
+        &self,
+        model: &dyn ProtocolModel,
+        scenario: Scenario<'_>,
+        _budget: &Budget,
+    ) -> AnalysisOutcome {
+        let report = if let Scenario::Independent(deployment) = scenario {
+            enumerate_reliability(model, deployment)
+        } else {
+            let deployment = scenario
+                .as_independent()
+                .expect("enumeration requires an independent scenario");
+            enumerate_reliability(model, &deployment)
+        };
+        AnalysisOutcome {
+            report: ReliabilityReport::from_raw(report),
+            engine: EngineChoice::Enumeration,
+            monte_carlo: None,
+        }
+    }
+}
+
+/// Exact dynamic programming over fault counts: independent scenarios and counting
+/// models only, polynomial in N.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingEngine;
+
+impl AnalysisEngine for CountingEngine {
+    fn choice(&self) -> EngineChoice {
+        EngineChoice::Counting
+    }
+
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn supports(&self, model: &dyn ProtocolModel, scenario: Scenario<'_>, budget: &Budget) -> bool {
+        model.as_counting().is_some()
+            && scenario.is_independent()
+            && scenario.len() <= budget.max_counting_nodes
+    }
+
+    fn run(
+        &self,
+        model: &dyn ProtocolModel,
+        scenario: Scenario<'_>,
+        _budget: &Budget,
+    ) -> AnalysisOutcome {
+        let counting = model
+            .as_counting()
+            .expect("counting engine requires a counting model");
+        let report = if let Scenario::Independent(deployment) = scenario {
+            counting_reliability(counting, deployment)
+        } else {
+            let deployment = scenario
+                .as_independent()
+                .expect("counting requires an independent scenario");
+            counting_reliability(counting, &deployment)
+        };
+        AnalysisOutcome {
+            report: ReliabilityReport::from_raw(report),
+            engine: EngineChoice::Counting,
+            monte_carlo: None,
+        }
+    }
+}
+
+/// Parallel Monte Carlo sampling: applies to every model and scenario; the only engine
+/// for correlated failures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonteCarloEngine;
+
+impl AnalysisEngine for MonteCarloEngine {
+    fn choice(&self) -> EngineChoice {
+        EngineChoice::MonteCarlo
+    }
+
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+
+    fn supports(
+        &self,
+        _model: &dyn ProtocolModel,
+        _scenario: Scenario<'_>,
+        _budget: &Budget,
+    ) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        model: &dyn ProtocolModel,
+        scenario: Scenario<'_>,
+        budget: &Budget,
+    ) -> AnalysisOutcome {
+        let owned;
+        let failure_model = match scenario {
+            Scenario::Correlated(c) => c,
+            Scenario::Independent(_) => {
+                owned = scenario.to_correlation_model();
+                &owned
+            }
+        };
+        let mc = monte_carlo_reliability_par(
+            model,
+            failure_model,
+            budget.monte_carlo_samples,
+            budget.seed,
+        );
+        AnalysisOutcome {
+            report: ReliabilityReport::from_raw(crate::enumeration::RawReliability {
+                p_safe: mc.safe.value,
+                p_live: mc.live.value,
+                p_safe_and_live: mc.safe_and_live.value,
+            }),
+            engine: EngineChoice::MonteCarlo,
+            monte_carlo: Some(mc),
+        }
+    }
+}
+
+/// The engine registry, in auto-selection preference order: exact counting first,
+/// exhaustive enumeration for small non-counting models, Monte Carlo as the universal
+/// fallback (and the only option once failures are correlated).
+pub static ENGINES: [&dyn AnalysisEngine; 3] =
+    [&CountingEngine, &EnumerationEngine, &MonteCarloEngine];
+
+/// Picks the engine [`crate::analyzer::analyze_auto`] will run for this triple.
+pub fn select_engine(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+) -> EngineChoice {
+    ENGINES
+        .iter()
+        .find(|engine| engine.supports(model, scenario, budget))
+        .expect("Monte Carlo supports every scenario")
+        .choice()
+}
+
+/// Runs the selected engine for this triple.
+pub fn run_selected(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+) -> AnalysisOutcome {
+    ENGINES
+        .iter()
+        .find(|engine| engine.supports(model, scenario, budget))
+        .expect("Monte Carlo supports every scenario")
+        .run(model, scenario, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbft_model::PbftModel;
+    use crate::raft_model::RaftModel;
+    use fault_model::correlation::CorrelationGroup;
+    use fault_model::mode::FaultProfile;
+
+    /// A deliberately non-counting model: live only if node 0 is correct. Placement
+    /// requirements like this are exactly what forces enumeration.
+    struct RequiresNodeZero {
+        n: usize,
+    }
+
+    impl ProtocolModel for RequiresNodeZero {
+        fn name(&self) -> String {
+            "RequiresNodeZero".into()
+        }
+
+        fn num_nodes(&self) -> usize {
+            self.n
+        }
+
+        fn is_safe(&self, _config: &crate::failure::FailureConfig) -> bool {
+            true
+        }
+
+        fn is_live(&self, config: &crate::failure::FailureConfig) -> bool {
+            config.state(0).is_correct()
+        }
+    }
+
+    #[test]
+    fn counting_model_on_independent_deployment_selects_counting() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.05);
+        let choice = select_engine(&model, Scenario::from(&deployment), &Budget::default());
+        assert_eq!(choice, EngineChoice::Counting);
+    }
+
+    #[test]
+    fn non_counting_model_small_n_selects_enumeration() {
+        let model = RequiresNodeZero { n: 5 };
+        let deployment = Deployment::uniform_crash(5, 0.05);
+        let choice = select_engine(&model, Scenario::from(&deployment), &Budget::default());
+        assert_eq!(choice, EngineChoice::Enumeration);
+    }
+
+    #[test]
+    fn non_counting_model_large_n_selects_monte_carlo() {
+        let model = RequiresNodeZero { n: 64 };
+        let deployment = Deployment::uniform_crash(64, 0.05);
+        let choice = select_engine(&model, Scenario::from(&deployment), &Budget::default());
+        assert_eq!(choice, EngineChoice::MonteCarlo);
+    }
+
+    #[test]
+    fn correlated_scenario_always_selects_monte_carlo() {
+        let model = RaftModel::standard(5);
+        let correlated = CorrelationModel::independent(vec![FaultProfile::crash_only(0.02); 5])
+            .with_group(CorrelationGroup::crash_shock((0..5).collect(), 0.01));
+        let choice = select_engine(&model, Scenario::from(&correlated), &Budget::default());
+        assert_eq!(choice, EngineChoice::MonteCarlo);
+    }
+
+    #[test]
+    fn groupless_correlation_model_counts_as_independent() {
+        let model = RaftModel::standard(5);
+        let independent = CorrelationModel::independent(vec![FaultProfile::crash_only(0.02); 5]);
+        let scenario = Scenario::from(&independent);
+        assert!(!scenario.is_correlated());
+        assert_eq!(
+            select_engine(&model, scenario, &Budget::default()),
+            EngineChoice::Counting
+        );
+    }
+
+    #[test]
+    fn oversized_budget_still_respects_enumeration_hard_caps() {
+        // A budget large enough to "afford" 2^25 configurations must not route a
+        // 25-node deployment to enumeration — the module itself caps binary
+        // enumeration at 24 nodes, so the selector has to fall back to sampling.
+        let model = RequiresNodeZero { n: 25 };
+        let deployment = Deployment::uniform_crash(25, 0.05);
+        let roomy = Budget::default().with_max_enumeration_configs(1 << 26);
+        assert_eq!(
+            select_engine(&model, Scenario::from(&deployment), &roomy),
+            EngineChoice::MonteCarlo
+        );
+        // The ternary cap is tighter (15 nodes): 16 mixed-mode nodes must fall back
+        // even under an unbounded budget.
+        let mixed = Deployment::uniform_mixed(16, 0.05, 0.01);
+        let model16 = RequiresNodeZero { n: 16 };
+        let huge = Budget::default().with_max_enumeration_configs(u64::MAX);
+        assert_eq!(
+            select_engine(&model16, Scenario::from(&mixed), &huge),
+            EngineChoice::MonteCarlo
+        );
+    }
+
+    #[test]
+    fn counting_respects_its_node_budget() {
+        // Selection only — running the DP at this size is exactly what the cap avoids.
+        let model = RaftModel::standard(3_000);
+        let deployment = Deployment::uniform_crash(3_000, 0.01);
+        let scenario = Scenario::from(&deployment);
+        assert_eq!(
+            select_engine(&model, scenario, &Budget::default()),
+            EngineChoice::MonteCarlo
+        );
+        assert_eq!(
+            select_engine(
+                &model,
+                scenario,
+                &Budget::default().with_max_counting_nodes(5_000)
+            ),
+            EngineChoice::Counting
+        );
+    }
+
+    #[test]
+    fn budget_shrinks_enumeration_reach() {
+        let model = RequiresNodeZero { n: 10 };
+        let deployment = Deployment::uniform_crash(10, 0.05);
+        let tight = Budget::default().with_max_enumeration_configs(512);
+        assert_eq!(
+            select_engine(&model, Scenario::from(&deployment), &tight),
+            EngineChoice::MonteCarlo
+        );
+        let roomy = Budget::default().with_max_enumeration_configs(1 << 10);
+        assert_eq!(
+            select_engine(&model, Scenario::from(&deployment), &roomy),
+            EngineChoice::Enumeration
+        );
+    }
+
+    #[test]
+    fn ternary_deployments_cost_three_modes_per_node() {
+        let deployment = Deployment::uniform_mixed(8, 0.05, 0.001);
+        let scenario = Scenario::from(&deployment);
+        assert_eq!(
+            crate::enumeration::enumeration_config_count(scenario.profiles()),
+            3u64.pow(8)
+        );
+    }
+
+    #[test]
+    fn counting_and_enumeration_engines_agree_via_trait() {
+        let model = PbftModel::standard(5);
+        let deployment = Deployment::uniform_byzantine(5, 0.03);
+        let scenario = Scenario::from(&deployment);
+        let budget = Budget::default();
+        let exact = EnumerationEngine.run(&model, scenario, &budget);
+        let counted = CountingEngine.run(&model, scenario, &budget);
+        assert!(exact.is_exact() && counted.is_exact());
+        assert!(
+            (exact.report.safe.probability() - counted.report.safe.probability()).abs() < 1e-12
+        );
+        assert!(
+            (exact.report.live.probability() - counted.report.live.probability()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn monte_carlo_engine_reports_estimate() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.05);
+        let outcome = MonteCarloEngine.run(
+            &model,
+            Scenario::from(&deployment),
+            &Budget::default().with_samples(50_000).with_seed(7),
+        );
+        assert_eq!(outcome.engine, EngineChoice::MonteCarlo);
+        assert!(!outcome.is_exact());
+        let mc = outcome
+            .monte_carlo
+            .expect("sampling outcome carries its CI");
+        assert_eq!(mc.samples, 50_000);
+        let exact = CountingEngine.run(&model, Scenario::from(&deployment), &Budget::default());
+        assert!(mc.live.contains(exact.report.live.probability()));
+    }
+
+    #[test]
+    fn engine_choice_displays_kebab_names() {
+        assert_eq!(EngineChoice::Counting.to_string(), "counting");
+        assert_eq!(EngineChoice::MonteCarlo.to_string(), "monte-carlo");
+        let outcome = CountingEngine.run(
+            &RaftModel::standard(3),
+            Scenario::from(&Deployment::uniform_crash(3, 0.01)),
+            &Budget::default(),
+        );
+        assert!(outcome.to_string().ends_with("[counting]"));
+    }
+}

@@ -37,8 +37,47 @@ impl RawReliability {
 
 /// The hard ceiling on nodes for exhaustive enumeration (3^20 ≈ 3.5e9 would already be
 /// too slow; 2^20 is fine, so the bound depends on the deployment's failure modes).
+/// Admissibility is exposed via [`enumeration_supported`] so the engine auto-selector
+/// and this module cannot drift.
 const MAX_BINARY_NODES: usize = 24;
 const MAX_TERNARY_NODES: usize = 15;
+
+/// The per-node failure modes enumeration considers for these profiles. Shared by
+/// [`enumerate_reliability`], [`enumeration_supported`] and
+/// [`enumeration_config_count`] so the three can never disagree.
+fn active_modes(profiles: &[fault_model::mode::FaultProfile]) -> Vec<NodeState> {
+    let crash = profiles.iter().any(|p| p.crash_probability() > 0.0);
+    let byzantine = profiles.iter().any(|p| p.byzantine_probability() > 0.0);
+    if crash && byzantine {
+        vec![NodeState::Correct, NodeState::Crashed, NodeState::Byzantine]
+    } else if byzantine {
+        vec![NodeState::Correct, NodeState::Byzantine]
+    } else {
+        vec![NodeState::Correct, NodeState::Crashed]
+    }
+}
+
+/// Number of failure configurations [`enumerate_reliability`] would visit for these
+/// profiles, saturating at `u64::MAX`.
+pub fn enumeration_config_count(profiles: &[fault_model::mode::FaultProfile]) -> u64 {
+    let modes = active_modes(profiles).len() as u64;
+    let mut total: u64 = 1;
+    for _ in 0..profiles.len() {
+        total = total.saturating_mul(modes);
+    }
+    total
+}
+
+/// Whether [`enumerate_reliability`] accepts these profiles without panicking — the
+/// module's own admissibility rule, for the engine auto-selector.
+pub fn enumeration_supported(profiles: &[fault_model::mode::FaultProfile]) -> bool {
+    let cap = if active_modes(profiles).len() == 3 {
+        MAX_TERNARY_NODES
+    } else {
+        MAX_BINARY_NODES
+    };
+    profiles.len() <= cap
+}
 
 /// Exhaustively enumerates failure configurations and returns the exact safety/liveness
 /// probabilities of `model` under `deployment`.
@@ -57,26 +96,17 @@ pub fn enumerate_reliability<M: ProtocolModel + ?Sized>(
         "model and deployment disagree on the cluster size"
     );
     let n = deployment.len();
-    let ternary = deployment.has_crash() && deployment.has_byzantine();
-    if ternary {
-        assert!(
-            n <= MAX_TERNARY_NODES,
-            "ternary enumeration limited to {MAX_TERNARY_NODES} nodes, got {n}"
-        );
-    } else {
-        assert!(
-            n <= MAX_BINARY_NODES,
-            "binary enumeration limited to {MAX_BINARY_NODES} nodes, got {n}"
-        );
-    }
-
-    let modes: Vec<NodeState> = if ternary {
-        vec![NodeState::Correct, NodeState::Crashed, NodeState::Byzantine]
-    } else if deployment.has_byzantine() {
-        vec![NodeState::Correct, NodeState::Byzantine]
-    } else {
-        vec![NodeState::Correct, NodeState::Crashed]
-    };
+    let modes = active_modes(deployment.profiles());
+    assert!(
+        enumeration_supported(deployment.profiles()),
+        "{}-mode enumeration limited to {} nodes, got {n}",
+        modes.len(),
+        if modes.len() == 3 {
+            MAX_TERNARY_NODES
+        } else {
+            MAX_BINARY_NODES
+        }
+    );
 
     let mut p_safe = 0.0;
     let mut p_live = 0.0;

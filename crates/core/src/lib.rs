@@ -21,9 +21,13 @@
 //!   configurable quorum sizes.
 //! * [`enumeration`], [`counting`], [`montecarlo`] — the three analysis engines: exact
 //!   enumeration over failure configurations, exact dynamic programming over fault
-//!   counts, and Monte Carlo sampling (the only option once failures are correlated).
-//! * [`analyzer`] — a front-end that picks an engine and returns a
-//!   [`analyzer::ReliabilityReport`].
+//!   counts, and rayon-parallel Monte Carlo sampling (the only option once failures are
+//!   correlated).
+//! * [`engine`] — the unified engine layer: the [`engine::AnalysisEngine`] trait over
+//!   the three engines, [`engine::Scenario`], [`engine::Budget`] and the auto-selector.
+//! * [`analyzer`] — the front-end: [`analyzer::analyze_auto`] picks an engine within a
+//!   budget and returns an [`engine::AnalysisOutcome`] (a
+//!   [`analyzer::ReliabilityReport`] tagged with the engine that produced it).
 //! * [`durability`] — data-loss analysis: probability that failures cover a persistence
 //!   quorum, and MTTDL-style Markov results.
 //! * [`heterogeneity`] — heterogeneous fleets: quorum placement policies ("require a
@@ -42,15 +46,18 @@
 //! # Quickstart
 //!
 //! ```
-//! use prob_consensus::analyzer::analyze;
+//! use prob_consensus::analyzer::analyze_auto;
+//! use prob_consensus::engine::Budget;
 //! use prob_consensus::deployment::Deployment;
 //! use prob_consensus::raft_model::RaftModel;
 //!
 //! // Three Raft nodes, each failing with 1% probability over the mission window.
 //! let deployment = Deployment::uniform_crash(3, 0.01);
-//! let report = analyze(&RaftModel::standard(3), &deployment);
+//! let outcome = analyze_auto(&RaftModel::standard(3), &deployment, &Budget::default());
 //! // The paper: "Raft ... is only 99.97% safe and live in three node deployments".
-//! assert_eq!(report.safe_and_live.as_percent(), "99.97%");
+//! assert_eq!(outcome.report.safe_and_live.as_percent(), "99.97%");
+//! // The auto-selector picked the exact counting engine for this model.
+//! assert!(outcome.is_exact());
 //! ```
 
 pub mod analyzer;
@@ -61,6 +68,7 @@ pub mod deployment;
 pub mod durability;
 pub mod dynamic_quorum;
 pub mod end_to_end;
+pub mod engine;
 pub mod enumeration;
 pub mod failure;
 pub mod heterogeneity;
@@ -73,8 +81,9 @@ pub mod report;
 pub mod timevarying;
 pub mod tradeoff;
 
-pub use analyzer::{analyze, analyze_exact, ReliabilityReport};
+pub use analyzer::{analyze, analyze_auto, analyze_exact, analyze_scenario, ReliabilityReport};
 pub use deployment::Deployment;
+pub use engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario};
 pub use failure::FailureConfig;
 pub use pbft_model::PbftModel;
 pub use protocol::{CountingModel, ProtocolModel};

@@ -6,9 +6,21 @@
 //! This engine draws failure configurations from a [`CorrelationModel`] (which can also
 //! express plain independent deployments) and estimates safety/liveness probabilities
 //! with binomial-proportion confidence intervals.
+//!
+//! # Parallelism and determinism
+//!
+//! Sampling is embarrassingly parallel, and it is the hot path for every correlated or
+//! large-N scenario, so [`monte_carlo_reliability_par`] fans the work out with rayon.
+//! Determinism is preserved by construction: the sample budget is split into
+//! fixed-size chunks (independent of the thread count), every chunk gets its own RNG
+//! seeded from the run seed and the chunk index, and the per-chunk hit counters are
+//! integers whose sum is associative and commutative. The result is therefore
+//! bit-identical for a fixed seed no matter how many worker threads execute it.
 
 use fault_model::correlation::CorrelationModel;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::deployment::Deployment;
 use crate::failure::FailureConfig;
@@ -65,8 +77,67 @@ pub struct MonteCarloReport {
     pub samples: usize,
 }
 
+/// Per-chunk hit counters. Integer sums are exact and order-independent, which is what
+/// makes the parallel reduction deterministic regardless of scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+struct HitCounts {
+    safe: usize,
+    live: usize,
+    both: usize,
+}
+
+impl std::ops::Add for HitCounts {
+    type Output = HitCounts;
+
+    fn add(self, other: HitCounts) -> HitCounts {
+        HitCounts {
+            safe: self.safe + other.safe,
+            live: self.live + other.live,
+            both: self.both + other.both,
+        }
+    }
+}
+
+/// Draws `count` configurations from `failure_model` with `rng` and tallies hits.
+fn sample_chunk<M: ProtocolModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    count: usize,
+    rng: &mut impl Rng,
+) -> HitCounts {
+    let mut hits = HitCounts::default();
+    for _ in 0..count {
+        let config = FailureConfig::new(failure_model.sample(rng));
+        let safe = model.is_safe(&config);
+        let live = model.is_live(&config);
+        if safe {
+            hits.safe += 1;
+        }
+        if live {
+            hits.live += 1;
+        }
+        if safe && live {
+            hits.both += 1;
+        }
+    }
+    hits
+}
+
+fn report_from_counts(hits: HitCounts, samples: usize) -> MonteCarloReport {
+    MonteCarloReport {
+        safe: Estimate::from_counts(hits.safe, samples),
+        live: Estimate::from_counts(hits.live, samples),
+        safe_and_live: Estimate::from_counts(hits.both, samples),
+        samples,
+    }
+}
+
 /// Estimates the reliability of `model` under a (possibly correlated) failure model by
-/// drawing `samples` failure configurations.
+/// drawing `samples` failure configurations from a caller-provided generator, on the
+/// calling thread.
+///
+/// This is the single-threaded reference path; [`monte_carlo_reliability_par`] is the
+/// parallel engine used by the analyzer.
 pub fn monte_carlo_reliability<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
     model: &M,
     failure_model: &CorrelationModel,
@@ -79,29 +150,60 @@ pub fn monte_carlo_reliability<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
         failure_model.len(),
         "model and failure model disagree on the cluster size"
     );
-    let mut safe_hits = 0usize;
-    let mut live_hits = 0usize;
-    let mut both_hits = 0usize;
-    for _ in 0..samples {
-        let config = FailureConfig::new(failure_model.sample(rng));
-        let safe = model.is_safe(&config);
-        let live = model.is_live(&config);
-        if safe {
-            safe_hits += 1;
-        }
-        if live {
-            live_hits += 1;
-        }
-        if safe && live {
-            both_hits += 1;
-        }
-    }
-    MonteCarloReport {
-        safe: Estimate::from_counts(safe_hits, samples),
-        live: Estimate::from_counts(live_hits, samples),
-        safe_and_live: Estimate::from_counts(both_hits, samples),
-        samples,
-    }
+    let mut rng = rng;
+    let hits = sample_chunk(model, failure_model, samples, &mut rng);
+    report_from_counts(hits, samples)
+}
+
+/// Number of samples per parallel work unit.
+///
+/// The chunk count depends only on the sample budget — never on the thread count — so a
+/// fixed seed yields a bit-identical report on any machine. 4096 samples amortise
+/// scheduling overhead while still giving a 16-way pool enough units to balance a
+/// 200k-sample run.
+pub const MC_CHUNK_SIZE: usize = 4096;
+
+/// Derives the RNG seed of chunk `index` within a run seeded with `seed` (SplitMix64
+/// finalizer over the pair, so neighbouring chunks get decorrelated streams).
+fn chunk_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Estimates the reliability of `model` under a (possibly correlated) failure model by
+/// drawing `samples` failure configurations across the rayon thread pool.
+///
+/// Deterministic for a fixed `seed` regardless of thread count: samples are split into
+/// [`MC_CHUNK_SIZE`]-sized chunks, chunk `i` uses a `StdRng` seeded with
+/// `chunk_seed(seed, i)`, and the integer hit counters are summed.
+pub fn monte_carlo_reliability_par<M: ProtocolModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloReport {
+    assert!(samples > 0, "need at least one sample");
+    assert_eq!(
+        model.num_nodes(),
+        failure_model.len(),
+        "model and failure model disagree on the cluster size"
+    );
+    let chunks = samples.div_ceil(MC_CHUNK_SIZE);
+    let hits = (0..chunks)
+        .into_par_iter()
+        .map(|index| {
+            let mut rng = StdRng::seed_from_u64(chunk_seed(seed, index as u64));
+            let count = if index == chunks - 1 {
+                samples - index * MC_CHUNK_SIZE
+            } else {
+                MC_CHUNK_SIZE
+            };
+            sample_chunk(model, failure_model, count, &mut rng)
+        })
+        .reduce(HitCounts::default, std::ops::Add::add);
+    report_from_counts(hits, samples)
 }
 
 /// Convenience wrapper: Monte Carlo over an *independent* deployment (no correlation
@@ -115,6 +217,17 @@ pub fn monte_carlo_independent<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
 ) -> MonteCarloReport {
     let failure_model = CorrelationModel::independent(deployment.profiles().to_vec());
     monte_carlo_reliability(model, &failure_model, samples, rng)
+}
+
+/// Parallel counterpart of [`monte_carlo_independent`].
+pub fn monte_carlo_independent_par<M: ProtocolModel + ?Sized>(
+    model: &M,
+    deployment: &Deployment,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloReport {
+    let failure_model = CorrelationModel::independent(deployment.profiles().to_vec());
+    monte_carlo_reliability_par(model, &failure_model, samples, seed)
 }
 
 #[cfg(test)]
@@ -172,5 +285,62 @@ mod tests {
         let failure_model = CorrelationModel::independent(vec![FaultProfile::crash_only(0.1); 4]);
         let mut rng = StdRng::seed_from_u64(1);
         monte_carlo_reliability(&model, &failure_model, 10, &mut rng);
+    }
+
+    #[test]
+    fn parallel_estimate_agrees_with_exact_analysis() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.05);
+        let exact = counting_reliability(&model, &deployment);
+        let mc = monte_carlo_independent_par(&model, &deployment, 200_000, 11);
+        assert!(
+            mc.live.contains(exact.p_live),
+            "exact {} not in [{}, {}]",
+            exact.p_live,
+            mc.live.lower,
+            mc.live.upper
+        );
+        assert!((mc.safe.value - 1.0).abs() < 1e-12);
+        assert_eq!(mc.samples, 200_000);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts() {
+        let model = RaftModel::standard(7);
+        let profiles = vec![FaultProfile::crash_only(0.04); 7];
+        let failure_model = CorrelationModel::independent(profiles)
+            .with_group(CorrelationGroup::crash_shock((0..7).collect(), 0.01));
+        // An awkward sample count: exercises the short tail chunk.
+        let samples = 3 * MC_CHUNK_SIZE + 17;
+        let reference = monte_carlo_reliability_par(&model, &failure_model, samples, 42);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let report =
+                pool.install(|| monte_carlo_reliability_par(&model, &failure_model, samples, 42));
+            assert_eq!(report, reference, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_per_seed_and_sensitive_to_it() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.08);
+        let a = monte_carlo_independent_par(&model, &deployment, 20_000, 1);
+        let b = monte_carlo_independent_par(&model, &deployment, 20_000, 1);
+        assert_eq!(a, b);
+        // Two seeds can collide on the same hit count by chance; across five seeds at
+        // ~12 hits of standard deviation, identical counts everywhere would mean the
+        // seed is being ignored.
+        let distinct = (2u64..=6)
+            .map(|seed| monte_carlo_independent_par(&model, &deployment, 20_000, seed))
+            .filter(|r| *r != a)
+            .count();
+        assert!(
+            distinct > 0,
+            "different seeds should draw different samples"
+        );
     }
 }

@@ -8,7 +8,11 @@
 use crate::failure::FailureConfig;
 
 /// The safety/liveness predicate of a consensus protocol over failure configurations.
-pub trait ProtocolModel {
+///
+/// Models are required to be `Sync` so the analysis engines can evaluate their
+/// predicates from worker threads (see [`crate::montecarlo`]); they are plain
+/// reliability predicates, so this is not a real restriction.
+pub trait ProtocolModel: Sync {
     /// Short human-readable name ("Raft", "PBFT", ...).
     fn name(&self) -> String;
 
@@ -25,6 +29,16 @@ pub trait ProtocolModel {
     /// Whether the configuration is both safe and live.
     fn is_safe_and_live(&self, config: &FailureConfig) -> bool {
         self.is_safe(config) && self.is_live(config)
+    }
+
+    /// The counting-model view of this model, if its predicates depend only on fault
+    /// *counts* (see [`CountingModel`]).
+    ///
+    /// The engine auto-selector ([`crate::analyzer::analyze_auto`]) uses this to route
+    /// counting models to the exact O(N³) engine; implementors of [`CountingModel`]
+    /// should override it to return `Some(self)`.
+    fn as_counting(&self) -> Option<&dyn CountingModel> {
+        None
     }
 }
 

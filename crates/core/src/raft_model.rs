@@ -92,6 +92,10 @@ impl ProtocolModel for RaftModel {
         assert_eq!(config.len(), self.n, "configuration size mismatch");
         self.is_live_counts(config.num_crashed(), config.num_byzantine())
     }
+
+    fn as_counting(&self) -> Option<&dyn CountingModel> {
+        Some(self)
+    }
 }
 
 impl CountingModel for RaftModel {

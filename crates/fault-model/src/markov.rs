@@ -61,6 +61,7 @@ impl MarkovChain {
     /// Solves the standard first-passage linear system
     /// `exit_rate(i) * h_i - Σ_j rate(i→j) h_j = 1` over transient states.
     /// Returns `f64::INFINITY` if the absorbing set is unreachable from `start`.
+    #[allow(clippy::needless_range_loop)] // dense matrix assembly reads clearest indexed
     pub fn mean_hitting_time(&self, start: usize, absorbing: &[usize]) -> f64 {
         assert!(start < self.n);
         let is_absorbing = |s: usize| absorbing.contains(&s);
@@ -103,6 +104,7 @@ impl MarkovChain {
     /// Steady-state distribution π with `π Q = 0` and `Σ π = 1`.
     ///
     /// Returns `None` when the chain has no transitions at all.
+    #[allow(clippy::needless_range_loop)] // dense matrix assembly reads clearest indexed
     pub fn steady_state(&self) -> Option<Vec<f64>> {
         if self.rates.iter().all(|row| row.iter().all(|&r| r == 0.0)) {
             return None;
@@ -138,6 +140,7 @@ impl MarkovChain {
 
 /// Solves a dense augmented system `[A | b]` by Gaussian elimination with partial
 /// pivoting. Each row has `n + 1` entries. Returns `None` when the matrix is singular.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination reads clearest indexed
 fn solve_dense(a: &mut [Vec<f64>]) -> Option<Vec<f64>> {
     let n = a.len();
     for col in 0..n {

@@ -5,10 +5,8 @@
 //! Byzantine "mercurial core" corruption. A [`FaultProfile`] captures both probabilities
 //! for one analysis window, and is the unit the reliability analyzer consumes.
 
-use serde::{Deserialize, Serialize};
-
 /// How a node deviates from correct behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureMode {
     /// The node stops taking steps (fail-stop).
     Crash,
@@ -31,7 +29,7 @@ impl std::fmt::Display for FailureMode {
 }
 
 /// The state of one node in a failure configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeState {
     /// The node follows the protocol.
     Correct,
@@ -69,7 +67,7 @@ impl NodeState {
 /// assert!((p.correct_probability() - 0.9599).abs() < 1e-12);
 /// assert!((p.fault_probability() - 0.0401).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultProfile {
     crash: f64,
     byzantine: f64,

@@ -377,7 +377,7 @@ impl PbftNode {
             for &(seq, command, view) in entries {
                 let keep = carried
                     .get(&seq)
-                    .map_or(true, |&(existing_view, _)| view > existing_view);
+                    .is_none_or(|&(existing_view, _)| view > existing_view);
                 if keep {
                     carried.insert(seq, (view, command));
                 }
@@ -619,7 +619,7 @@ mod tests {
             },
             &mut ctx,
         );
-        assert!(node.slots.get(&1).map_or(true, |s| s.accepted.is_none()));
+        assert!(node.slots.get(&1).is_none_or(|s| s.accepted.is_none()));
     }
 
     #[test]

@@ -4,10 +4,8 @@
 //! `n` nodes. [`NodeSet`] stores such a subset as a bit set backed by `u64` words, so
 //! universes well beyond the paper's 100-node examples stay cheap to copy and compare.
 
-use serde::{Deserialize, Serialize};
-
 /// A subset of a fixed universe of `n` nodes, stored as a bit set.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NodeSet {
     universe: usize,
     words: Vec<u64>,

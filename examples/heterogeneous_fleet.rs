@@ -13,8 +13,9 @@
 use fault_model::metrics::HOURS_PER_YEAR;
 use fault_model::mode::FaultProfile;
 use fault_model::telemetry::{ClassSpec, TelemetryEstimator, TelemetryGenerator};
-use prob_consensus::analyzer::analyze;
+use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::deployment::Deployment;
+use prob_consensus::engine::Budget;
 use prob_consensus::heterogeneity::{durability_under_policy, QuorumPolicy};
 use prob_consensus::leader::{leader_failure_probability, rank_leaders, LeaderPolicy};
 use prob_consensus::raft_model::RaftModel;
@@ -65,8 +66,8 @@ fn main() {
     profiles.extend(vec![FaultProfile::crash_only(reliable); 3]);
     let deployment = Deployment::from_profiles(profiles);
 
-    // 3. The probabilistic guarantee of plain Raft on this fleet.
-    let report = analyze(&RaftModel::standard(7), &deployment);
+    // 3. The probabilistic guarantee of plain Raft on this fleet (engine auto-selected).
+    let report = analyze_auto(&RaftModel::standard(7), &deployment, &Budget::default()).report;
     println!("7-node Raft on the mixed fleet: {report}\n");
 
     // 4a. Reliability-aware quorum placement (the §3.2 durability example).

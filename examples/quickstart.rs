@@ -9,13 +9,16 @@
 //! acknowledged, a three-node cluster at a 1% annual failure rate is only ~99.97% safe
 //! and live — and nine much flakier nodes can match it.
 
-use prob_consensus::analyzer::analyze;
+use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::deployment::Deployment;
+use prob_consensus::engine::Budget;
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
 use prob_consensus::report::Table;
 
 fn main() {
+    let budget = Budget::default();
+
     // 1. Describe the deployment: three nodes, each with a 1% chance of crashing over
     //    the mission window (a year, say).
     let deployment = Deployment::uniform_crash(3, 0.01);
@@ -23,9 +26,10 @@ fn main() {
     // 2. Pick the protocol model (Theorem 3.2 for Raft with majority quorums).
     let raft = RaftModel::standard(3);
 
-    // 3. Analyze.
-    let report = analyze(&raft, &deployment);
-    println!("Raft, N=3, p_u=1%:");
+    // 3. Analyze — the engine (exact counting here) is selected automatically.
+    let outcome = analyze_auto(&raft, &deployment, &budget);
+    let report = outcome.report;
+    println!("Raft, N=3, p_u=1%  [engine: {}]:", outcome.engine);
     println!("  safe          : {}", report.safe);
     println!("  live          : {}", report.live);
     println!(
@@ -42,7 +46,12 @@ fn main() {
     for n in [3usize, 5, 7, 9] {
         let mut row = vec![n.to_string()];
         for p in [0.01, 0.02, 0.04, 0.08] {
-            let r = analyze(&RaftModel::standard(n), &Deployment::uniform_crash(n, p));
+            let r = analyze_auto(
+                &RaftModel::standard(n),
+                &Deployment::uniform_crash(n, p),
+                &budget,
+            )
+            .report;
             row.push(r.safe_and_live.as_percent());
         }
         table.push_row(row);
@@ -50,14 +59,21 @@ fn main() {
     println!("{table}");
 
     // 5. BFT protocols are probabilistic too (Table 1 of the paper).
-    let pbft = analyze(
+    let pbft = analyze_auto(
         &PbftModel::standard(4),
         &Deployment::uniform_byzantine(4, 0.01),
-    );
+        &budget,
+    )
+    .report;
     println!("PBFT, N=4, p_u=1%: safe {} / live {}", pbft.safe, pbft.live);
 
     // 6. The headline equivalence: nine cheap 8% nodes match three reliable 1% nodes.
-    let nine_cheap = analyze(&RaftModel::standard(9), &Deployment::uniform_crash(9, 0.08));
+    let nine_cheap = analyze_auto(
+        &RaftModel::standard(9),
+        &Deployment::uniform_crash(9, 0.08),
+        &budget,
+    )
+    .report;
     println!(
         "\n3 nodes @ 1% -> {} | 9 nodes @ 8% -> {}",
         report.safe_and_live, nine_cheap.safe_and_live

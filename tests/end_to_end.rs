@@ -5,12 +5,13 @@ use fault_model::metrics::HOURS_PER_YEAR;
 use fault_model::mode::FaultProfile;
 use fault_model::node::{Fleet, NodeSpec};
 use fault_model::telemetry::{ClassSpec, TelemetryEstimator, TelemetryGenerator};
-use prob_consensus::analyzer::analyze;
+use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::cost::{cheapest_deployment, default_catalogue, Objective};
 use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::quorum_durability;
 use prob_consensus::dynamic_quorum::smallest_raft_quorums;
 use prob_consensus::end_to_end::{end_to_end, RecoveryModel};
+use prob_consensus::engine::Budget;
 use prob_consensus::heterogeneity::{durability_under_policy, QuorumPolicy};
 use prob_consensus::leader::preemptive_replacement_plan;
 use prob_consensus::raft_model::RaftModel;
@@ -39,14 +40,19 @@ fn telemetry_to_guarantee_pipeline() {
     assert!(spot_afr > 3.0 * reliable_afr);
 
     // 2. Build deployments from the estimates and compare guarantees.
-    let three_reliable = analyze(
+    let budget = Budget::default();
+    let three_reliable = analyze_auto(
         &RaftModel::standard(3),
         &Deployment::uniform_crash(3, reliable_afr),
-    );
-    let nine_spot = analyze(
+        &budget,
+    )
+    .report;
+    let nine_spot = analyze_auto(
         &RaftModel::standard(9),
         &Deployment::uniform_crash(9, spot_afr),
-    );
+        &budget,
+    )
+    .report;
     // The paper's equivalence survives estimation noise to within ~half a nine.
     assert!(
         (three_reliable.safe_and_live.nines() - nine_spot.safe_and_live.nines()).abs() < 0.5,
@@ -119,7 +125,7 @@ fn heterogeneous_policies_feed_end_to_end_guarantees() {
     let mut profiles = vec![FaultProfile::crash_only(0.08); 4];
     profiles.extend(vec![FaultProfile::crash_only(0.01); 3]);
     let deployment = Deployment::from_profiles(profiles);
-    let protocol = analyze(&RaftModel::standard(7), &deployment);
+    let protocol = analyze_auto(&RaftModel::standard(7), &deployment, &Budget::default()).report;
 
     // Durability of the actual quorum the policy selects.
     let aware = durability_under_policy(&deployment, 4, QuorumPolicy::RequireReliable(1));

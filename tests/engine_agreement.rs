@@ -1,0 +1,160 @@
+//! The cross-engine contract: the three analysis engines are independent
+//! implementations of the same mathematical object, so they must agree — exactly
+//! between the two exact engines, within confidence-interval tolerance for Monte
+//! Carlo — and parallel Monte Carlo must be bit-identical across thread counts.
+
+use fault_model::correlation::{CorrelationGroup, CorrelationModel};
+use fault_model::mode::FaultProfile;
+use prob_consensus::analyzer::analyze_auto;
+use prob_consensus::deployment::Deployment;
+use prob_consensus::engine::{
+    AnalysisEngine, Budget, CountingEngine, EngineChoice, EnumerationEngine, MonteCarloEngine,
+    Scenario,
+};
+use prob_consensus::montecarlo::monte_carlo_reliability_par;
+use prob_consensus::pbft_model::PbftModel;
+use prob_consensus::protocol::ProtocolModel;
+use prob_consensus::raft_model::RaftModel;
+
+/// The deployment grid: cluster sizes and fault probabilities covering the paper's
+/// tables plus heterogeneous and mixed-mode cases.
+fn deployment_grid(n: usize) -> Vec<Deployment> {
+    let mut grid = Vec::new();
+    for p in [0.01, 0.08, 0.25] {
+        grid.push(Deployment::uniform_crash(n, p));
+        grid.push(Deployment::uniform_byzantine(n, p));
+    }
+    grid.push(Deployment::uniform_mixed(n, 0.05, 0.01));
+    // Heterogeneous: reliability decreasing with the node index.
+    grid.push(Deployment::from_profiles(
+        (0..n)
+            .map(|i| FaultProfile::crash_only(0.01 * (i + 1) as f64))
+            .collect(),
+    ));
+    grid
+}
+
+/// Asserts all three engines agree on one model/deployment pair.
+fn assert_engines_agree(model: &dyn ProtocolModel, deployment: &Deployment, context: &str) {
+    let scenario = Scenario::Independent(deployment);
+    let budget = Budget::default().with_samples(60_000).with_seed(2025);
+
+    let enumerated = EnumerationEngine.run(model, scenario, &budget);
+    let counted = CountingEngine.run(model, scenario, &budget);
+    let sampled = MonteCarloEngine.run(model, scenario, &budget);
+
+    // The two exact engines agree to numerical precision.
+    for (a, b, what) in [
+        (
+            enumerated.report.safe.probability(),
+            counted.report.safe.probability(),
+            "safe",
+        ),
+        (
+            enumerated.report.live.probability(),
+            counted.report.live.probability(),
+            "live",
+        ),
+        (
+            enumerated.report.safe_and_live.probability(),
+            counted.report.safe_and_live.probability(),
+            "safe&live",
+        ),
+    ] {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "{context}: enumeration {what} = {a} vs counting {what} = {b}"
+        );
+    }
+
+    // Monte Carlo agrees within its 95% confidence interval (with a small epsilon so a
+    // truth sitting exactly on a bound does not flake).
+    let mc = sampled.monte_carlo.expect("monte carlo carries estimates");
+    let eps = 1e-9;
+    for (estimate, truth, what) in [
+        (mc.safe, counted.report.safe.probability(), "safe"),
+        (mc.live, counted.report.live.probability(), "live"),
+        (
+            mc.safe_and_live,
+            counted.report.safe_and_live.probability(),
+            "safe&live",
+        ),
+    ] {
+        assert!(
+            estimate.lower - eps <= truth && truth <= estimate.upper + eps,
+            "{context}: exact {what} = {truth} outside MC interval [{}, {}]",
+            estimate.lower,
+            estimate.upper
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_raft_grid() {
+    for n in [3usize, 5, 7] {
+        for deployment in deployment_grid(n) {
+            let model = RaftModel::standard(n);
+            assert_engines_agree(&model, &deployment, &format!("Raft N={n}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_pbft_grid() {
+    for n in [4usize, 5, 7] {
+        for deployment in deployment_grid(n) {
+            let model = PbftModel::standard(n);
+            assert_engines_agree(&model, &deployment, &format!("PBFT N={n}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_flexible_quorum_configurations() {
+    let model = RaftModel::flexible(5, 2, 4);
+    for deployment in deployment_grid(5) {
+        assert_engines_agree(&model, &deployment, "Raft(5, Q_per=2, Q_vc=4)");
+    }
+}
+
+#[test]
+fn parallel_monte_carlo_is_bit_identical_across_thread_counts() {
+    let model = PbftModel::standard(7);
+    let failure_model = CorrelationModel::independent(
+        (0..7)
+            .map(|i| FaultProfile::new(0.02 * (i % 3) as f64, 0.01))
+            .collect(),
+    )
+    .with_group(CorrelationGroup::byzantine_shock(vec![0, 1, 2], 0.005))
+    .with_group(CorrelationGroup::crash_shock(vec![3, 4, 5, 6], 0.01));
+    // Straddle several chunk boundaries, including a ragged tail.
+    let samples = 50_000;
+    let reference = monte_carlo_reliability_par(&model, &failure_model, samples, 77);
+    for threads in [1usize, 2, 4, 7, 16] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        let report =
+            pool.install(|| monte_carlo_reliability_par(&model, &failure_model, samples, 77));
+        assert_eq!(
+            report, reference,
+            "parallel MC diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn auto_selection_is_consistent_with_explicit_engines() {
+    // For a counting model, analyze_auto must reproduce the counting engine bit for bit.
+    let model = RaftModel::standard(9);
+    let deployment = Deployment::uniform_crash(9, 0.04);
+    let auto = analyze_auto(&model, &deployment, &Budget::default());
+    assert_eq!(auto.engine, EngineChoice::Counting);
+    let explicit = CountingEngine.run(
+        &model,
+        Scenario::Independent(&deployment),
+        &Budget::default(),
+    );
+    assert_eq!(auto.report, explicit.report);
+}

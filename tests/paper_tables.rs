@@ -2,8 +2,9 @@
 //! claim in the paper (see DESIGN.md for the experiment index and EXPERIMENTS.md for the
 //! recorded paper-vs-measured values).
 
-use prob_consensus::analyzer::analyze;
+use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::deployment::Deployment;
+use prob_consensus::engine::Budget;
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
 use prob_consensus::tradeoff::{compare, pbft_sweep};
@@ -30,10 +31,12 @@ fn table1_pbft_all_cells() {
         (8, "99.99993", "99.995", "99.995"),
     ];
     for (n, safe, live, both) in rows {
-        let report = analyze(
+        let report = analyze_auto(
             &PbftModel::standard(n),
             &Deployment::uniform_byzantine(n, 0.01),
-        );
+            &Budget::default(),
+        )
+        .report;
         assert_paper_percent(report.safe.probability(), safe, &format!("PBFT N={n} safe"));
         assert_paper_percent(report.live.probability(), live, &format!("PBFT N={n} live"));
         assert_paper_percent(
@@ -55,7 +58,12 @@ fn table2_raft_all_cells() {
     ];
     for (n, cells) in rows {
         for (p, paper) in [0.01, 0.02, 0.04, 0.08].iter().zip(cells) {
-            let report = analyze(&RaftModel::standard(n), &Deployment::uniform_crash(n, *p));
+            let report = analyze_auto(
+                &RaftModel::standard(n),
+                &Deployment::uniform_crash(n, *p),
+                &Budget::default(),
+            )
+            .report;
             assert_paper_percent(
                 report.safe_and_live.probability(),
                 paper,
@@ -76,15 +84,31 @@ fn raft_quorum_sizes_match_table2() {
 
 #[test]
 fn claim_three_node_raft_is_three_nines() {
-    let report = analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.01));
+    let report = analyze_auto(
+        &RaftModel::standard(3),
+        &Deployment::uniform_crash(3, 0.01),
+        &Budget::default(),
+    )
+    .report;
     let nines = report.safe_and_live.nines();
-    assert!(nines >= 3.0 && nines < 4.0, "got {nines} nines");
+    assert!((3.0..4.0).contains(&nines), "got {nines} nines");
 }
 
 #[test]
 fn claim_nine_cheap_nodes_match_three_reliable_nodes() {
-    let three = analyze(&RaftModel::standard(3), &Deployment::uniform_crash(3, 0.01));
-    let nine = analyze(&RaftModel::standard(9), &Deployment::uniform_crash(9, 0.08));
+    let budget = Budget::default();
+    let three = analyze_auto(
+        &RaftModel::standard(3),
+        &Deployment::uniform_crash(3, 0.01),
+        &budget,
+    )
+    .report;
+    let nine = analyze_auto(
+        &RaftModel::standard(9),
+        &Deployment::uniform_crash(9, 0.08),
+        &budget,
+    )
+    .report;
     assert_paper_percent(three.safe_and_live.probability(), "99.97", "3 x 1%");
     assert_paper_percent(nine.safe_and_live.probability(), "99.97", "9 x 8%");
 }

@@ -5,8 +5,9 @@ use consensus_protocols::harness::{PbftHarness, RaftHarness};
 use consensus_sim::fault::FaultSchedule;
 use consensus_sim::network::NetworkConfig;
 use consensus_sim::time::SimTime;
-use prob_consensus::analyzer::{analyze, analyze_exact};
+use prob_consensus::analyzer::{analyze_auto, analyze_exact};
 use prob_consensus::deployment::Deployment;
+use prob_consensus::engine::Budget;
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
 use proptest::prelude::*;
@@ -67,15 +68,16 @@ proptest! {
         p_byz in 0.0f64..0.2,
     ) {
         let deployment = Deployment::uniform_mixed(n, p_crash, p_byz);
+        let budget = Budget::default();
         let pbft = PbftModel::standard(n.max(4));
         if n >= 4 {
-            let a = analyze(&pbft, &deployment);
+            let a = analyze_auto(&pbft, &deployment, &budget).report;
             let b = analyze_exact(&pbft, &deployment);
             prop_assert!((a.safe.probability() - b.safe.probability()).abs() < 1e-9);
             prop_assert!((a.live.probability() - b.live.probability()).abs() < 1e-9);
         }
         let raft = RaftModel::standard(n);
-        let a = analyze(&raft, &deployment);
+        let a = analyze_auto(&raft, &deployment, &budget).report;
         let b = analyze_exact(&raft, &deployment);
         prop_assert!((a.safe_and_live.probability() - b.safe_and_live.probability()).abs() < 1e-9);
     }
@@ -89,8 +91,10 @@ proptest! {
         improvement in 0.1f64..0.9,
     ) {
         let model = RaftModel::standard(n);
-        let worse = analyze(&model, &Deployment::uniform_crash(n, p));
-        let better = analyze(&model, &Deployment::uniform_crash(n, p * improvement));
+        let budget = Budget::default();
+        let worse = analyze_auto(&model, &Deployment::uniform_crash(n, p), &budget).report;
+        let better =
+            analyze_auto(&model, &Deployment::uniform_crash(n, p * improvement), &budget).report;
         prop_assert!(
             better.safe_and_live.probability() >= worse.safe_and_live.probability() - 1e-12
         );
@@ -101,8 +105,19 @@ proptest! {
     fn bigger_raft_clusters_are_no_worse(k in 1usize..5, p in 0.01f64..0.3) {
         let small_n = 2 * k + 1;
         let large_n = 2 * k + 3;
-        let small = analyze(&RaftModel::standard(small_n), &Deployment::uniform_crash(small_n, p));
-        let large = analyze(&RaftModel::standard(large_n), &Deployment::uniform_crash(large_n, p));
+        let budget = Budget::default();
+        let small = analyze_auto(
+            &RaftModel::standard(small_n),
+            &Deployment::uniform_crash(small_n, p),
+            &budget,
+        )
+        .report;
+        let large = analyze_auto(
+            &RaftModel::standard(large_n),
+            &Deployment::uniform_crash(large_n, p),
+            &budget,
+        )
+        .report;
         prop_assert!(
             large.safe_and_live.probability() >= small.safe_and_live.probability() - 1e-12
         );

@@ -6,8 +6,9 @@ use consensus_protocols::raft::RaftConfig;
 use consensus_sim::fault::FaultSchedule;
 use consensus_sim::network::NetworkConfig;
 use consensus_sim::time::SimTime;
-use prob_consensus::analyzer::analyze;
+use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::deployment::Deployment;
+use prob_consensus::engine::Budget;
 use prob_consensus::protocol::ProtocolModel;
 use prob_consensus::raft_model::RaftModel;
 use rand::rngs::StdRng;
@@ -75,7 +76,8 @@ fn empirical_safe_and_live_rate_tracks_analysis() {
     let n = 3;
     let p = 0.2; // Deliberately high so the empirical rate is resolvable with few trials.
     let deployment = Deployment::uniform_crash(n, p);
-    let analytic = analyze(&RaftModel::standard(n), &deployment)
+    let analytic = analyze_auto(&RaftModel::standard(n), &deployment, &Budget::default())
+        .report
         .safe_and_live
         .probability();
     let trials = 60;

@@ -1,0 +1,260 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! The workspace builds offline, so the benchmarking surface the `bench` crate uses is
+//! reimplemented here: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! `criterion_group!` / `criterion_main!` and [`black_box`]. Measurement is a
+//! wall-clock harness (short warm-up, then timed batches until a per-benchmark time
+//! budget is spent) that reports mean / min / max per iteration. It has none of
+//! criterion's statistical machinery, but produces stable, comparable numbers and the
+//! same console workflow (`cargo bench`), which is all the repository needs.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, e.g. `enumeration/9`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter, e.g. `100`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// One timed measurement, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    nanos_per_iter: f64,
+}
+
+/// The per-benchmark timing harness handed to `iter` closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Sample>,
+    time_budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then sampling until the time budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: aim for batches of roughly 10 ms.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let one = warmup_start.elapsed();
+        let batch = ((Duration::from_millis(10).as_nanos().max(1) / one.as_nanos().max(1))
+            as usize)
+            .clamp(1, 100_000);
+
+        let deadline = Instant::now() + self.time_budget;
+        let mut measured = 0usize;
+        while Instant::now() < deadline || measured < 5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(Sample {
+                nanos_per_iter: elapsed.as_nanos() as f64 / batch as f64,
+            });
+            measured += 1;
+            if measured >= 200 {
+                break;
+            }
+        }
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_id: &str, time_budget: Duration, f: impl FnOnce(&mut Bencher<'_>)) {
+    let mut samples = Vec::new();
+    f(&mut Bencher {
+        samples: &mut samples,
+        time_budget,
+    });
+    if samples.is_empty() {
+        println!("{full_id:<40} (no samples)");
+        return;
+    }
+    let mean = samples.iter().map(|s| s.nanos_per_iter).sum::<f64>() / samples.len() as f64;
+    let min = samples
+        .iter()
+        .map(|s| s.nanos_per_iter)
+        .fold(f64::INFINITY, f64::min);
+    let max = samples
+        .iter()
+        .map(|s| s.nanos_per_iter)
+        .fold(0.0f64, f64::max);
+    println!(
+        "{full_id:<40} time: [{} {} {}]",
+        format_nanos(min),
+        format_nanos(mean),
+        format_nanos(max)
+    );
+}
+
+/// A named collection of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sampling is time-budget driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.time_budget = time;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        run_one(&full_id, self.criterion.time_budget, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        run_one(&full_id, self.criterion.time_budget, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate in the shim, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the whole suite fast by default; CRITERION_TIME_BUDGET_MS overrides.
+        let ms = std::env::var("CRITERION_TIME_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Self {
+            time_budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.time_budget, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($function:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        std::env::set_var("CRITERION_TIME_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        std::env::set_var("CRITERION_TIME_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

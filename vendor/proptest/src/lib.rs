@@ -1,0 +1,340 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace builds offline, so the property-testing surface the test suite uses is
+//! reimplemented here: the [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`, the
+//! [`strategy::Strategy`] trait with range and `prop_map` strategies, and
+//! [`collection::vec`]. Unlike upstream there is no shrinking and no persisted failure
+//! regression files: each test runs a fixed number of cases with inputs drawn from a
+//! generator seeded deterministically from the test's name and the case index, so
+//! failures reproduce exactly on re-run. A failing case reports its name, case index
+//! and seed.
+
+pub use rand;
+
+pub mod test_runner {
+    //! Run configuration.
+
+    /// Per-test configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of input cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the single-core CI budget sane while
+            // still giving meaningful coverage. PROPTEST_CASES overrides either way.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Self { cases }
+        }
+    }
+
+    /// Deterministic per-test, per-case seed: FNV-1a of the test name mixed with the
+    /// case index.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash ^ ((case as u64) << 32 | case as u64)
+    }
+}
+
+pub mod strategy {
+    //! Input-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Value`, mirroring `proptest::strategy::Strategy`
+    /// minus shrinking.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `fun`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, fun: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, fun }
+        }
+    }
+
+    /// The strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        fun: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.fun)(self.source.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Vector lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            if self.is_empty() {
+                self.start
+            } else {
+                rng.gen_range(self.clone())
+            }
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length comes from
+    /// `len`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.len.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: both sides are `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the forms the repository uses: an optional leading
+/// `#![proptest_config(...)]`, then any number of `fn name(arg in strategy, ...) { .. }`
+/// items carrying their own attributes (including `#[test]`, which — as with upstream —
+/// the author writes explicitly).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases {
+                let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                let mut proptest_rng =
+                    <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut proptest_rng);
+                )+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(cause) = outcome {
+                    eprintln!(
+                        "proptest case failed: {} (case {}/{}, seed {:#x})",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        seed
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr);) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..9, p in 0.0f64..0.5) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((0.0..0.5).contains(&p));
+        }
+
+        #[test]
+        fn trailing_comma_accepted(
+            x in 0u64..10,
+            y in 0u64..10,
+        ) {
+            prop_assert!(x < 10 && y < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_applied(x in 0usize..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn collection_vec_with_range_len(xs in crate::collection::vec(0usize..96, 0..30)) {
+            prop_assert!(xs.len() < 30);
+            prop_assert!(xs.iter().all(|&x| x < 96));
+        }
+
+        #[test]
+        fn collection_vec_with_fixed_len(xs in crate::collection::vec(0u8..3, 7usize)) {
+            prop_assert_eq!(xs.len(), 7);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_samples() {
+        let strategy = (0usize..10).prop_map(|x| x * 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = strategy.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let strategy = crate::collection::vec(0usize..50, 0..10);
+        let a = strategy.sample(&mut StdRng::seed_from_u64(9));
+        let b = strategy.sample(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,371 @@
+//! Vendored, API-compatible subset of the `rayon` crate.
+//!
+//! The workspace builds in an offline container, so the slice of rayon the Monte Carlo
+//! engine and the benches use is reimplemented on plain `std::thread::scope`:
+//! `into_par_iter()` on ranges, vectors and slices, the `map` / `reduce` / `sum` /
+//! `collect` adaptors, and a minimal [`ThreadPoolBuilder`] whose `install` scopes a
+//! thread count (used by the determinism-across-thread-counts tests).
+//!
+//! The execution model is deliberately simple: `map` is an *eager parallel* step — the
+//! input items are split into one contiguous block per worker thread, each block is
+//! mapped on its own thread, and the outputs are reassembled in input order. Downstream
+//! `reduce` / `sum` / `collect` then run sequentially over the already-computed values.
+//! That preserves rayon's observable semantics for the deterministic workloads in this
+//! repository (order-preserving `collect`, order-independent `reduce`) while keeping
+//! the heavy per-item closures — the only part worth parallelising here — off a single
+//! core.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel iterators will use on this thread.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|n| n.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (the shim cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count configuration, mirroring `rayon::ThreadPool`.
+///
+/// The shim does not keep persistent worker threads; `install` simply pins the thread
+/// count that parallel iterators on this thread will split work into, which is exactly
+/// what the determinism tests need.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect.
+    ///
+    /// The previous thread count is restored even if `op` panics (as with real rayon,
+    /// `install`'s effect ends with the call).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|n| n.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|n| n.replace(Some(self.num_threads))));
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder for [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// Applies `f` to every item of `items` using up to [`current_num_threads`] scoped
+/// threads, returning outputs in input order.
+fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        blocks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+    for block in &mut outputs {
+        out.append(block);
+    }
+    out
+}
+
+pub mod iter {
+    //! Parallel iterator traits and adaptors.
+
+    use super::parallel_map;
+
+    /// Types convertible into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The item type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Types whose references yield a parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The item type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// The shim's parallel iterator: a materialised item list whose `map` step runs on
+    /// scoped threads.
+    pub struct ParIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    /// Minimal counterpart of `rayon::iter::ParallelIterator`.
+    pub trait ParallelIterator: Sized {
+        /// The item type.
+        type Item: Send;
+
+        /// Materialises the remaining items in order.
+        fn into_vec(self) -> Vec<Self::Item>;
+
+        /// Maps every item through `f` in parallel, preserving order.
+        fn map<U: Send, F: Fn(Self::Item) -> U + Sync + Send>(self, f: F) -> ParIter<U> {
+            ParIter {
+                items: parallel_map(self.into_vec(), f),
+            }
+        }
+
+        /// Collects the items in order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.into_vec().into_iter().collect()
+        }
+
+        /// Reduces the items with `op`, starting from `identity`.
+        ///
+        /// `op` must be associative for parity with rayon; the shim folds in input
+        /// order, which any rayon-correct reduction also permits.
+        fn reduce<Id, Op>(self, identity: Id, op: Op) -> Self::Item
+        where
+            Id: Fn() -> Self::Item + Sync + Send,
+            Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        {
+            self.into_vec().into_iter().fold(identity(), op)
+        }
+
+        /// Sums the items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + Send,
+        {
+            self.into_vec().into_iter().sum()
+        }
+
+        /// Number of items.
+        fn count(self) -> usize {
+            self.into_vec().len()
+        }
+
+        /// Runs `f` on every item (in parallel, like `map`, discarding outputs).
+        fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+            parallel_map(self.into_vec(), f);
+        }
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+
+        fn into_vec(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<T>;
+
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParIter<usize>;
+
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Item = u64;
+        type Iter = ParIter<u64>;
+
+        fn into_par_iter(self) -> ParIter<u64> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+        type Item = &'data T;
+        type Iter = ParIter<&'data T>;
+
+        fn into_par_iter(self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParIter<&'data T>;
+
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            self.as_slice().into_par_iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParIter<&'data T>;
+
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            self.into_par_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn par_iter_over_slices() {
+        let data = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let seen = pool.install(super::current_num_threads);
+            assert_eq!(seen, threads);
+            let out: Vec<usize> =
+                pool.install(|| (0..100usize).into_par_iter().map(|x| x * x).collect());
+            assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn install_restores_thread_count_after_a_panic() {
+        let outer = super::current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(caught.is_err());
+        assert_eq!(
+            super::current_num_threads(),
+            outer,
+            "panicking install must not pin the thread count"
+        );
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let reference: Vec<usize> = (0..257usize).into_par_iter().map(|x| x * 3).collect();
+        for threads in [1usize, 2, 3, 5, 16] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<usize> =
+                pool.install(|| (0..257usize).into_par_iter().map(|x| x * 3).collect());
+            assert_eq!(got, reference);
+        }
+    }
+}
