@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prob_consensus::analyzer::{analyze, analyze_auto, analyze_exact};
 use prob_consensus::counting::FaultCountDistribution;
 use prob_consensus::deployment::Deployment;
-use prob_consensus::engine::Budget;
+use prob_consensus::engine::{AnalysisEngine, Budget, Scenario};
 use prob_consensus::montecarlo::{monte_carlo_independent, monte_carlo_independent_par};
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
@@ -80,6 +80,47 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rare_event(c: &mut Criterion) {
+    // The p ≈ 1e-8 workload (16 nodes, 4-node persistence quorum at p_u = 1%).
+    // Importance sampling vs. naive Monte Carlo *at the same sample count*: the
+    // wall-clock rows compare per-sample cost (the weighted sampler pays for the
+    // adaptive pilot and the likelihood ratios), while the ≥100x headline is in
+    // samples needed for equal CI width — naive sampling would have to draw ~1e8
+    // samples per hit, and `bench::rare_event_sample_efficiency` (recorded in
+    // BENCH_analysis.json and asserted ≥100x by the crate tests) quantifies it.
+    let mut group = c.benchmark_group("rare-event");
+    let (model, deployment) = bench::rare_event_workload();
+    let budget = Budget::default()
+        .with_samples(bench::RARE_EVENT_SAMPLES)
+        .with_seed(bench::RARE_EVENT_SEED);
+    group.bench_function(
+        bench::RARE_EVENT_IS_ID.trim_start_matches("rare-event/"),
+        |b| {
+            b.iter(|| {
+                prob_consensus::rare_event::ImportanceSamplingEngine.run(
+                    &model,
+                    Scenario::Independent(&deployment),
+                    &budget,
+                )
+            })
+        },
+    );
+    group.bench_function(
+        bench::RARE_EVENT_MC_ID.trim_start_matches("rare-event/"),
+        |b| {
+            b.iter(|| {
+                monte_carlo_independent_par(
+                    &model,
+                    &deployment,
+                    bench::RARE_EVENT_SAMPLES,
+                    bench::RARE_EVENT_SEED,
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
 fn bench_auto_selection(c: &mut Criterion) {
     // analyze_auto routes through the engine registry; its overhead over calling the
     // counting engine directly should be negligible.
@@ -133,6 +174,7 @@ criterion_group!(
     benches,
     bench_engines,
     bench_monte_carlo,
+    bench_rare_event,
     bench_auto_selection,
     bench_fault_count_distribution,
     bench_paper_tables

@@ -25,7 +25,7 @@ fn run_bench_baseline() -> ExitCode {
             m.id, m.mean_ns, m.iters
         );
     }
-    let json = bench::benchmarks_to_json(&measurements);
+    let json = bench::benchmarks_to_json(&measurements, bench::rare_event_sample_efficiency());
     match std::fs::write("BENCH_analysis.json", &json) {
         Ok(()) => {
             println!("\nwrote BENCH_analysis.json");
@@ -60,6 +60,14 @@ fn run_experiment(id: &str) -> Result<(), String> {
         "claim-durability" => {
             let (table, _) = bench::claim_durability();
             println!("{table}");
+        }
+        "claim-durability-correlated" => {
+            let (table, c) = bench::claim_durability_correlated();
+            println!("{table}");
+            println!(
+                "Independent case: {:.0}x fewer samples than plain Monte Carlo at equal CI width\n",
+                c.independent.efficiency_factor()
+            );
         }
         "sim-validation" => {
             let (table, _) = bench::sim_validation(&[3, 5], 0.08, 200, 2026);

@@ -5,17 +5,18 @@
 //! index). The `repro` binary prints them; the unit tests in this crate and the
 //! integration tests at the workspace root assert the headline numbers.
 
+use fault_model::correlation::{CorrelationGroup, CorrelationModel};
 use fault_model::curve::WeibullCurve;
 use fault_model::metrics::HOURS_PER_YEAR;
 use fault_model::mode::FaultProfile;
 use fault_model::node::{Fleet, NodeSpec};
-use prob_consensus::analyzer::analyze_auto;
+use prob_consensus::analyzer::{analyze_auto, analyze_scenario};
 use prob_consensus::committee::committee_vs_full_cluster;
 use prob_consensus::cost::{cost_equivalence, default_catalogue, CostEquivalence};
 use prob_consensus::deployment::Deployment;
-use prob_consensus::durability::{durability_claim, DurabilityClaim};
+use prob_consensus::durability::{durability_claim, DurabilityClaim, PersistenceQuorumModel};
 use prob_consensus::dynamic_quorum::{smallest_raft_quorums, trigger_quorum_comparison};
-use prob_consensus::engine::Budget;
+use prob_consensus::engine::{AnalysisEngine, Budget, EngineChoice, Scenario};
 use prob_consensus::heterogeneity::{heterogeneity_analysis, HeterogeneityAnalysis};
 use prob_consensus::leader::{leader_failure_probability, LeaderPolicy};
 use prob_consensus::montecarlo::monte_carlo_independent_par;
@@ -248,6 +249,210 @@ pub fn claim_durability() -> (Table, DurabilityClaim) {
         format!("{:.2e}", claim.pessimism_factor()),
     ]);
     (table, claim)
+}
+
+/// Cluster size of the `claim-durability-correlated` experiment (§4 scale).
+pub const DURABILITY_N: usize = 100;
+/// Persistence-quorum size of the experiment (the paper's |Q_per| = 10).
+pub const DURABILITY_QUORUM: usize = 10;
+/// Per-node fault probability of the experiment (the paper's p_u = 10%).
+pub const DURABILITY_P: f64 = 0.10;
+/// Rack count: 10 racks of 10 nodes, each a crash-shock correlation group.
+pub const DURABILITY_RACKS: usize = 10;
+/// Probability that a whole rack fails together within the window.
+pub const DURABILITY_RACK_SHOCK: f64 = 0.01;
+/// Sample budget of each estimated cell.
+pub const DURABILITY_SAMPLES: usize = 80_000;
+/// Seed of the experiment (fixed for reproducibility; like any fixed-seed 95% CI,
+/// an unlucky seed can put the truth just outside the interval — this one does not).
+pub const DURABILITY_SEED: u64 = 2026;
+
+/// One analyzed cell of the correlated-durability experiment: the engine the
+/// auto-selector picked, its loss estimate with CI, and how many plain Monte Carlo
+/// samples would be needed for the same CI width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurabilityEstimate {
+    /// Closed-form data-loss probability of this cell (all cells here factorize).
+    pub exact: f64,
+    /// The engine `analyze_scenario` auto-selected.
+    pub engine: EngineChoice,
+    /// Estimated data-loss probability (complement of the safety estimate).
+    pub p_loss: f64,
+    /// Lower bound of the 95% CI on the loss probability.
+    pub ci_lower: f64,
+    /// Upper bound of the 95% CI on the loss probability.
+    pub ci_upper: f64,
+    /// Samples the sampling engine drew.
+    pub samples: usize,
+    /// Effective sample size (importance sampling only).
+    pub ess: Option<f64>,
+    /// Samples plain Monte Carlo would need for an equal-width 95% interval at this
+    /// loss probability: `z²·p̂(1−p̂)/h²` with `h` the CI half-width.
+    pub mc_equivalent_samples: f64,
+}
+
+impl DurabilityEstimate {
+    /// Whether the reported interval contains the closed-form answer.
+    pub fn ci_contains_exact(&self) -> bool {
+        self.ci_lower <= self.exact && self.exact <= self.ci_upper
+    }
+
+    /// Sample-efficiency factor over plain Monte Carlo at equal CI width.
+    pub fn efficiency_factor(&self) -> f64 {
+        self.mc_equivalent_samples / self.samples as f64
+    }
+}
+
+/// The three cells of the `claim-durability-correlated` experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedDurability {
+    /// No correlation: the paper's own §4 setting, loss = p_u^|Q| = 1e-10.
+    pub independent: DurabilityEstimate,
+    /// Racks shocked, quorum packed into one rack: loss ≈ the rack shock (1e-2).
+    pub same_rack: DurabilityEstimate,
+    /// Racks shocked, quorum spread one-per-rack: loss ≈ (marginal p)^|Q| ≈ 2.4e-10.
+    pub cross_rack: DurabilityEstimate,
+}
+
+/// Samples plain Monte Carlo would need for a 95% interval of half-width
+/// `half_width` at proportion `p`: `z²·p·(1−p)/h²` (infinite for a degenerate
+/// interval). The one definition behind the experiment table, the
+/// `rare_event_sample_efficiency` baseline number and the tests that assert it.
+fn mc_equivalent_samples(p: f64, half_width: f64) -> f64 {
+    if half_width <= 0.0 {
+        return f64::INFINITY;
+    }
+    let z = prob_consensus::montecarlo::Z_95;
+    z * z * p * (1.0 - p) / (half_width * half_width)
+}
+
+fn durability_cell(
+    model: &PersistenceQuorumModel,
+    scenario: Scenario<'_>,
+    exact: f64,
+    budget: &Budget,
+) -> DurabilityEstimate {
+    let outcome = analyze_scenario(model, scenario, budget).expect("well-formed scenario");
+    let (safe, samples, ess) = if let Some(re) = outcome.rare_event {
+        (re.safe, re.samples, Some(re.ess))
+    } else if let Some(mc) = outcome.monte_carlo {
+        (mc.safe, mc.samples, None)
+    } else {
+        unreachable!("durability cells are too large for the exact engines")
+    };
+    let (p_loss, ci_lower, ci_upper) = (1.0 - safe.value, 1.0 - safe.upper, 1.0 - safe.lower);
+    DurabilityEstimate {
+        exact,
+        engine: outcome.engine,
+        p_loss,
+        ci_lower,
+        ci_upper,
+        samples,
+        ess,
+        mc_equivalent_samples: mc_equivalent_samples(p_loss, (ci_upper - ci_lower) / 2.0),
+    }
+}
+
+/// Experiment `claim-durability-correlated`: the §4 durability argument re-run where
+/// plain Monte Carlo cannot go — as a placement-sensitive model (loss of one
+/// *specific* quorum, not a fault count) at N = 100, with and without rack-level
+/// correlated shocks.
+///
+/// The independent cell reproduces the counting-engine-era 1e-10 answer from ~1e5
+/// weighted samples where plain sampling would need ~1e12; the correlated cells show
+/// what the exact engines can never see: the same quorum packed into one rack is
+/// *eight orders of magnitude* less durable than spread across racks.
+pub fn claim_durability_correlated() -> (Table, CorrelatedDurability) {
+    let budget = Budget::default()
+        .with_samples(DURABILITY_SAMPLES)
+        .with_seed(DURABILITY_SEED);
+    let rack = DURABILITY_N / DURABILITY_RACKS;
+    let profiles = vec![FaultProfile::crash_only(DURABILITY_P); DURABILITY_N];
+
+    // Cell 1: independent, quorum = the first |Q| nodes. Loss = p^|Q|.
+    let independent_deployment = Deployment::from_profiles(profiles.clone());
+    let quorum: Vec<usize> = (0..DURABILITY_QUORUM).collect();
+    let model = PersistenceQuorumModel::new(DURABILITY_N, quorum.clone());
+    let independent = durability_cell(
+        &model,
+        Scenario::Independent(&independent_deployment),
+        DURABILITY_P.powi(DURABILITY_QUORUM as i32),
+        &budget,
+    );
+
+    // Rack-correlated failure model: nodes 10r..10r+10 share a crash shock.
+    let mut correlated = CorrelationModel::independent(profiles);
+    for r in 0..DURABILITY_RACKS {
+        correlated = correlated.with_group(CorrelationGroup::crash_shock(
+            (r * rack..(r + 1) * rack).collect(),
+            DURABILITY_RACK_SHOCK,
+        ));
+    }
+
+    // Cell 2: quorum packed into rack 0 (nodes 0..10). Loss = shock + (1-shock)·p^|Q|.
+    let same_rack = durability_cell(
+        &model,
+        Scenario::Correlated(&correlated),
+        DURABILITY_RACK_SHOCK
+            + (1.0 - DURABILITY_RACK_SHOCK) * DURABILITY_P.powi(DURABILITY_QUORUM as i32),
+        &budget,
+    );
+
+    // Cell 3: quorum spread one node per rack; members fail independently of each
+    // other with the shock folded into the marginal. Loss = (1-(1-p)(1-shock))^|Q|.
+    let spread: Vec<usize> = (0..DURABILITY_QUORUM).map(|i| i * rack).collect();
+    let spread_model = PersistenceQuorumModel::new(DURABILITY_N, spread);
+    let marginal = 1.0 - (1.0 - DURABILITY_P) * (1.0 - DURABILITY_RACK_SHOCK);
+    let cross_rack = durability_cell(
+        &spread_model,
+        Scenario::Correlated(&correlated),
+        marginal.powi(DURABILITY_QUORUM as i32),
+        &budget,
+    );
+
+    let mut table = Table::new(
+        format!(
+            "Claim: durability under correlated racks (N={DURABILITY_N}, |Q_per|={DURABILITY_QUORUM}, p_u={}%, rack shock {}%)",
+            DURABILITY_P * 100.0,
+            DURABILITY_RACK_SHOCK * 100.0
+        ),
+        &[
+            "Scenario",
+            "Engine",
+            "Exact P(loss)",
+            "Estimate",
+            "95% CI",
+            "ESS",
+            "MC-equivalent samples",
+        ],
+    );
+    for (label, cell) in [
+        ("independent", &independent),
+        ("correlated, quorum on one rack", &same_rack),
+        ("correlated, quorum across racks", &cross_rack),
+    ] {
+        table.push_row(vec![
+            label.into(),
+            cell.engine.to_string(),
+            format!("{:.2e}", cell.exact),
+            format!("{:.2e}", cell.p_loss),
+            format!("[{:.2e}, {:.2e}]", cell.ci_lower, cell.ci_upper),
+            cell.ess.map_or("-".into(), |e| format!("{e:.0}")),
+            format!(
+                "{:.1e} ({:.0}x fewer drawn)",
+                cell.mc_equivalent_samples,
+                cell.efficiency_factor()
+            ),
+        ]);
+    }
+    (
+        table,
+        CorrelatedDurability {
+            independent,
+            same_rack,
+            cross_rack,
+        },
+    )
 }
 
 /// The result of one simulation-validation cell: analytic prediction vs. empirical rate.
@@ -514,6 +719,46 @@ pub fn mc_speedup_workload() -> (RaftModel, Deployment) {
     (RaftModel::standard(9), Deployment::uniform_crash(9, 0.08))
 }
 
+/// Benchmark id of the importance-sampling run on the p ≈ 1e-8 workload.
+pub const RARE_EVENT_IS_ID: &str = "rare-event/quorum-1e8-importance";
+/// Benchmark id of the plain Monte Carlo run on the same workload (same sample
+/// count — it measures per-sample cost; at this event probability it will see zero
+/// hits, which is exactly the point).
+pub const RARE_EVENT_MC_ID: &str = "rare-event/quorum-1e8-naive";
+/// Sample budget of the rare-event workload.
+pub const RARE_EVENT_SAMPLES: usize = 65_536;
+/// Seed of the rare-event workload.
+pub const RARE_EVENT_SEED: u64 = 17;
+
+/// The p ≈ 1e-8 rare-event workload: a 16-node deployment at p_u = 1% whose
+/// persistence quorum is 4 specific nodes, so P[loss] = 0.01⁴ = 1e-8 — one hit per
+/// hundred million plain draws.
+pub fn rare_event_workload() -> (PersistenceQuorumModel, Deployment) {
+    (
+        PersistenceQuorumModel::new(16, (0..4).collect()),
+        Deployment::uniform_crash(16, 0.01),
+    )
+}
+
+/// Sample-efficiency of importance sampling on the p ≈ 1e-8 workload: how many
+/// plain Monte Carlo samples an equal-width 95% CI would cost, divided by the
+/// samples actually drawn. Tracked in `BENCH_analysis.json` across PRs; the
+/// acceptance floor is 100x.
+pub fn rare_event_sample_efficiency() -> f64 {
+    let (model, deployment) = rare_event_workload();
+    let budget = Budget::default()
+        .with_samples(RARE_EVENT_SAMPLES)
+        .with_seed(RARE_EVENT_SEED);
+    let outcome = prob_consensus::rare_event::ImportanceSamplingEngine.run(
+        &model,
+        Scenario::Independent(&deployment),
+        &budget,
+    );
+    let report = outcome.rare_event.expect("importance sampling ran");
+    let p_loss = 1.0 - report.safe.value;
+    mc_equivalent_samples(p_loss, report.safe.half_width()) / report.samples as f64
+}
+
 /// The analysis-engine baseline suite behind `repro --bench`: the three engines at
 /// representative sizes, auto-selection overhead, and sequential vs. parallel Monte
 /// Carlo (whose ratio is the parallel speedup on this machine).
@@ -551,11 +796,32 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
     out.push(time_one(MC_PARALLEL_ID, budget_ms, || {
         monte_carlo_independent_par(&m_mc, &d_mc, MC_SPEEDUP_SAMPLES, MC_SPEEDUP_SEED)
     }));
+
+    // The rare-event pair: tilted vs. naive sampling at the same sample count. The
+    // wall-clock ratio is the *overhead* of weighting (adaptive pilot included); the
+    // ≥100x win is in samples needed, tracked by `rare_event_sample_efficiency`.
+    let (m_re, d_re) = rare_event_workload();
+    let re_budget = Budget::default()
+        .with_samples(RARE_EVENT_SAMPLES)
+        .with_seed(RARE_EVENT_SEED);
+    out.push(time_one(RARE_EVENT_IS_ID, budget_ms, || {
+        prob_consensus::rare_event::ImportanceSamplingEngine.run(
+            &m_re,
+            Scenario::Independent(&d_re),
+            &re_budget,
+        )
+    }));
+    out.push(time_one(RARE_EVENT_MC_ID, budget_ms, || {
+        monte_carlo_independent_par(&m_re, &d_re, RARE_EVENT_SAMPLES, RARE_EVENT_SEED)
+    }));
     out
 }
 
 /// Renders measurements as the `BENCH_analysis.json` baseline document.
-pub fn benchmarks_to_json(measurements: &[BenchMeasurement]) -> String {
+/// `rare_event_efficiency` is the [`rare_event_sample_efficiency`] number, computed
+/// once by the caller (the estimator run is not a timing measurement, so it does not
+/// belong inside serialization and is not bounded by the bench time budget).
+pub fn benchmarks_to_json(measurements: &[BenchMeasurement], rare_event_efficiency: f64) -> String {
     let threads = rayon::current_num_threads();
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
@@ -568,6 +834,9 @@ pub fn benchmarks_to_json(measurements: &[BenchMeasurement]) -> String {
     json.push_str(&format!(
         "  \"monte_carlo_parallel_speedup\": {:.3},\n",
         seq.mean_ns / par.mean_ns
+    ));
+    json.push_str(&format!(
+        "  \"rare_event_sample_efficiency\": {rare_event_efficiency:.1},\n"
     ));
     json.push_str("  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -591,6 +860,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "claim-heterogeneous",
     "claim-tradeoff",
     "claim-durability",
+    "claim-durability-correlated",
     "sim-validation",
     "native-quorum",
     "native-leader",
@@ -638,6 +908,50 @@ mod tests {
         let (_, c) = claim_durability();
         assert!((c.p_threshold_exceeded - 0.5).abs() < 0.1);
         assert!((c.p_data_loss - 1e-10).abs() < 1e-11);
+    }
+
+    #[test]
+    fn correlated_durability_claim_reproduces_exact_answers_within_ci() {
+        let (table, c) = claim_durability_correlated();
+        assert_eq!(table.num_rows(), 3);
+        for (label, cell) in [
+            ("independent", c.independent),
+            ("same-rack", c.same_rack),
+            ("cross-rack", c.cross_rack),
+        ] {
+            assert!(
+                cell.ci_contains_exact(),
+                "{label}: exact {:.3e} outside CI [{:.3e}, {:.3e}]",
+                cell.exact,
+                cell.ci_lower,
+                cell.ci_upper
+            );
+        }
+        // The independent cell is the §4 claim itself: 1e-10 from ~1e5 weighted
+        // samples — at most 1% of what plain Monte Carlo would need for this CI.
+        assert!((c.independent.exact - 1e-10).abs() < 1e-12);
+        assert_eq!(c.independent.engine, EngineChoice::ImportanceSampling);
+        assert!(
+            c.independent.efficiency_factor() >= 100.0,
+            "sample efficiency only {:.1}x",
+            c.independent.efficiency_factor()
+        );
+        // Spreading the quorum across racks is *orders of magnitude* more durable
+        // than packing it into one — the correlation-aware placement story.
+        assert!(c.same_rack.exact > 1e6 * c.cross_rack.exact);
+        assert!(c.same_rack.p_loss > 1e6 * c.cross_rack.p_loss);
+        // The common-mode cell is not rare, so the selector stays with plain MC.
+        assert_eq!(c.same_rack.engine, EngineChoice::MonteCarlo);
+        assert_eq!(c.cross_rack.engine, EngineChoice::ImportanceSampling);
+    }
+
+    #[test]
+    fn rare_event_workload_beats_plain_monte_carlo_hundredfold() {
+        let efficiency = rare_event_sample_efficiency();
+        assert!(
+            efficiency >= 100.0,
+            "importance sampling must need >=100x fewer samples, got {efficiency:.1}x"
+        );
     }
 
     #[test]

@@ -92,14 +92,63 @@ pub fn analyze_auto(
     run_selected(model, Scenario::Independent(deployment), budget)
 }
 
+/// Why an analysis request cannot be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The scenario covers zero nodes. A reliability statement about an empty
+    /// deployment is vacuous — neither "100% safe" nor "0% safe" is meaningful — so
+    /// the front door refuses instead of answering silently.
+    EmptyScenario,
+    /// The protocol model and the scenario disagree on the cluster size.
+    SizeMismatch {
+        /// Nodes the protocol model is configured for.
+        model_nodes: usize,
+        /// Nodes the scenario covers.
+        scenario_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::EmptyScenario => {
+                write!(f, "cannot analyze an empty scenario (zero nodes)")
+            }
+            AnalysisError::SizeMismatch {
+                model_nodes,
+                scenario_nodes,
+            } => write!(
+                f,
+                "model covers {model_nodes} nodes but the scenario covers {scenario_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
 /// Analyzes `model` on an arbitrary [`Scenario`] (independent or correlated),
 /// automatically selecting the engine within `budget`.
+///
+/// Unlike [`analyze_auto`] — whose [`Deployment`] argument is non-empty by
+/// construction — a [`Scenario`] can wrap a correlation model over zero nodes, so
+/// this front door is fallible: an empty scenario or a model/scenario size mismatch
+/// yields a clear [`AnalysisError`] instead of a deep panic or a vacuous report.
 pub fn analyze_scenario(
     model: &dyn ProtocolModel,
     scenario: Scenario<'_>,
     budget: &Budget,
-) -> AnalysisOutcome {
-    run_selected(model, scenario, budget)
+) -> Result<AnalysisOutcome, AnalysisError> {
+    if scenario.is_empty() {
+        return Err(AnalysisError::EmptyScenario);
+    }
+    if model.num_nodes() != scenario.len() {
+        return Err(AnalysisError::SizeMismatch {
+            model_nodes: model.num_nodes(),
+            scenario_nodes: scenario.len(),
+        });
+    }
+    Ok(run_selected(model, scenario, budget))
 }
 
 /// The engine [`analyze_auto`] would run for this triple, without running it.
@@ -233,6 +282,50 @@ mod tests {
         let b = analyze_exact(&model, &deployment);
         assert!((a.safe.probability() - b.safe.probability()).abs() < 1e-12);
         assert!((a.live.probability() - b.live.probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scenario_yields_a_clear_error() {
+        use fault_model::correlation::CorrelationModel;
+        // An empty correlation model is the one way a zero-node scenario can reach
+        // the analyzer (Deployment rejects zero nodes at construction).
+        let empty = CorrelationModel::independent(Vec::new());
+        let model = RaftModel::standard(3);
+        let err = analyze_scenario(&model, (&empty).into(), &crate::engine::Budget::default())
+            .expect_err("empty scenario must not produce a report");
+        // A 3-node model over a 0-node scenario is first and foremost empty.
+        assert_eq!(err, AnalysisError::EmptyScenario);
+        assert!(err.to_string().contains("empty scenario"));
+    }
+
+    #[test]
+    fn size_mismatch_yields_a_clear_error() {
+        use fault_model::correlation::CorrelationModel;
+        use fault_model::mode::FaultProfile;
+        let four = CorrelationModel::independent(vec![FaultProfile::crash_only(0.1); 4]);
+        let model = RaftModel::standard(3);
+        let err = analyze_scenario(&model, (&four).into(), &crate::engine::Budget::default())
+            .expect_err("size mismatch must not produce a report");
+        assert_eq!(
+            err,
+            AnalysisError::SizeMismatch {
+                model_nodes: 3,
+                scenario_nodes: 4
+            }
+        );
+        assert!(err.to_string().contains("3 nodes"));
+    }
+
+    #[test]
+    fn analyze_scenario_agrees_with_analyze_auto_on_well_formed_input() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.02);
+        let budget = crate::engine::Budget::default();
+        let auto = analyze_auto(&model, &deployment, &budget);
+        let scenario = analyze_scenario(&model, (&deployment).into(), &budget)
+            .expect("well-formed scenario analyzes");
+        assert_eq!(auto.report, scenario.report);
+        assert_eq!(auto.engine, scenario.engine);
     }
 
     #[test]

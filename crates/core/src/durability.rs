@@ -13,6 +13,8 @@ use fault_model::metrics::Nines;
 
 use crate::counting::FaultCountDistribution;
 use crate::deployment::Deployment;
+use crate::failure::FailureConfig;
+use crate::protocol::ProtocolModel;
 
 /// Probability that at least `k` nodes of the deployment are faulty over the window —
 /// the "scary" number the f-threshold model reacts to.
@@ -84,6 +86,66 @@ pub fn durability_claim(deployment: &Deployment, quorum_size: usize) -> Durabili
         p_threshold_exceeded,
         p_data_loss,
         quorum_size,
+    }
+}
+
+/// The §4 durability event as a [`ProtocolModel`]: "safe" iff at least one member of
+/// a *specific* persistence quorum survives the window.
+///
+/// This is deliberately a *placement-sensitive* (non-counting) model — which nodes
+/// fail matters, not just how many — so the exact counting engine cannot take it and
+/// the analysis has to go through enumeration (tiny N), importance sampling (rare
+/// loss events, the [`crate::rare_event`] engine) or Monte Carlo. It is the workhorse
+/// of the `claim-durability-correlated` experiment, where the quorum's rack placement
+/// interacts with correlated shocks. Liveness is vacuously true: the model speaks
+/// only about data loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceQuorumModel {
+    n: usize,
+    quorum: Vec<usize>,
+}
+
+impl PersistenceQuorumModel {
+    /// A durability model over `n` nodes whose most recent persistence quorum is
+    /// `quorum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quorum is empty, repeats a member, or indexes out of range.
+    pub fn new(n: usize, quorum: Vec<usize>) -> Self {
+        assert!(!quorum.is_empty(), "persistence quorum cannot be empty");
+        let mut seen = vec![false; n];
+        for &m in &quorum {
+            assert!(m < n, "quorum member {m} out of range for {n} nodes");
+            assert!(!seen[m], "quorum member {m} repeated");
+            seen[m] = true;
+        }
+        Self { n, quorum }
+    }
+
+    /// The quorum members.
+    pub fn quorum(&self) -> &[usize] {
+        &self.quorum
+    }
+}
+
+impl ProtocolModel for PersistenceQuorumModel {
+    fn name(&self) -> String {
+        format!("PersistenceQuorum(|Q|={})", self.quorum.len())
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Data survives iff any quorum member is still correct.
+    fn is_safe(&self, config: &FailureConfig) -> bool {
+        self.quorum.iter().any(|&m| config.state(m).is_correct())
+    }
+
+    /// Durability-only model: liveness is out of scope and vacuously true.
+    fn is_live(&self, _config: &FailureConfig) -> bool {
+        true
     }
 }
 
@@ -178,5 +240,51 @@ mod tests {
     fn repeated_quorum_members_are_rejected() {
         let deployment = Deployment::uniform_crash(3, 0.1);
         quorum_loss_probability(&deployment, &[0, 0]);
+    }
+
+    #[test]
+    fn persistence_quorum_model_tracks_member_survival() {
+        use fault_model::mode::NodeState;
+        let model = PersistenceQuorumModel::new(5, vec![1, 3]);
+        assert_eq!(model.num_nodes(), 5);
+        assert_eq!(model.quorum(), &[1, 3]);
+        // All members faulty: data lost even though other nodes are fine.
+        let lost = FailureConfig::new(vec![
+            NodeState::Correct,
+            NodeState::Crashed,
+            NodeState::Correct,
+            NodeState::Byzantine,
+            NodeState::Correct,
+        ]);
+        assert!(!model.is_safe(&lost));
+        // One member survives: safe, regardless of the rest of the cluster.
+        let saved = FailureConfig::new(vec![
+            NodeState::Crashed,
+            NodeState::Correct,
+            NodeState::Crashed,
+            NodeState::Crashed,
+            NodeState::Crashed,
+        ]);
+        assert!(model.is_safe(&saved));
+        assert!(model.is_live(&lost) && model.is_live(&saved));
+        // Not a counting model: placement matters.
+        assert!(model.as_counting().is_none());
+    }
+
+    #[test]
+    fn persistence_quorum_model_agrees_with_analytic_loss_probability() {
+        // Small enough for exhaustive enumeration: the model's unsafety equals the
+        // closed-form quorum loss probability.
+        let deployment = Deployment::uniform_crash(6, 0.2);
+        let model = PersistenceQuorumModel::new(6, vec![0, 2, 4]);
+        let report = crate::analyzer::analyze_exact(&model, &deployment);
+        let analytic = quorum_loss_probability(&deployment, &[0, 2, 4]);
+        assert!((report.unsafety() - analytic).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn persistence_quorum_model_rejects_bad_members() {
+        PersistenceQuorumModel::new(3, vec![0, 7]);
     }
 }

@@ -6,13 +6,16 @@
 //!
 //! * [`Scenario`] — what the analysis runs against: an independent [`Deployment`] or a
 //!   correlated [`CorrelationModel`].
-//! * [`AnalysisEngine`] — the common trait of the three engines, each wrapping one of
-//!   [`crate::enumeration`], [`crate::counting`] and [`crate::montecarlo`].
+//! * [`AnalysisEngine`] — the common trait of the four engines, each wrapping one of
+//!   [`crate::enumeration`], [`crate::counting`], [`crate::rare_event`] and
+//!   [`crate::montecarlo`].
 //! * [`Budget`] — how much work (exact configurations, Monte Carlo samples) the caller
-//!   is willing to spend, plus the sampling seed.
+//!   is willing to spend, the sampling seed, and the rare-event knobs (proposal tilt,
+//!   ESS floor, selection threshold).
 //! * [`select_engine`] — the auto-selector: exact counting for independent counting
-//!   models, exhaustive enumeration for small non-counting models, parallel Monte
-//!   Carlo for correlated or large deployments.
+//!   models, exhaustive enumeration for small non-counting models, importance
+//!   sampling when the failure event is too rare for plain sampling, parallel Monte
+//!   Carlo for everything else.
 //! * [`AnalysisOutcome`] — the report, tagged with the engine that produced it and the
 //!   sampling confidence interval when one exists.
 //!
@@ -28,6 +31,9 @@ use crate::deployment::Deployment;
 use crate::enumeration::enumerate_reliability;
 use crate::montecarlo::{monte_carlo_reliability_par, MonteCarloReport};
 use crate::protocol::ProtocolModel;
+use crate::rare_event::RareEventReport;
+// Re-exported so all four engine structs are importable from the engine layer.
+pub use crate::rare_event::ImportanceSamplingEngine;
 
 /// What a reliability analysis runs against.
 ///
@@ -50,7 +56,15 @@ impl Scenario<'_> {
         }
     }
 
-    /// Whether the scenario covers no nodes (never true for well-formed inputs).
+    /// Whether the scenario covers no nodes.
+    ///
+    /// Never true for well-formed inputs — [`Deployment`] rejects zero nodes at
+    /// construction — but a [`CorrelationModel`] over an empty profile list can reach
+    /// this layer. The analyzer front door
+    /// ([`crate::analyzer::analyze_scenario`]) rejects empty scenarios with
+    /// [`AnalysisError::EmptyScenario`](crate::analyzer::AnalysisError); the
+    /// lower-level [`select_engine`] / [`run_selected`] panic with a clear message
+    /// rather than returning a vacuous report.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -116,13 +130,16 @@ impl<'a> From<&'a CorrelationModel> for Scenario<'a> {
     }
 }
 
-/// Identifies one of the three analysis engines.
+/// Identifies one of the four analysis engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineChoice {
     /// Exhaustive enumeration of failure configurations (exact, exponential).
     Enumeration,
     /// Dynamic programming over fault counts (exact, O(N³), counting models only).
     Counting,
+    /// Importance sampling with per-node probability tilting (weighted estimate with
+    /// confidence interval and ESS diagnostic; for rare failure events).
+    ImportanceSampling,
     /// Parallel Monte Carlo sampling (estimate with confidence interval).
     MonteCarlo,
 }
@@ -132,6 +149,7 @@ impl std::fmt::Display for EngineChoice {
         f.write_str(match self {
             EngineChoice::Enumeration => "enumeration",
             EngineChoice::Counting => "counting",
+            EngineChoice::ImportanceSampling => "importance-sampling",
             EngineChoice::MonteCarlo => "monte-carlo",
         })
     }
@@ -139,7 +157,7 @@ impl std::fmt::Display for EngineChoice {
 
 /// How much work an [`analyze_auto`](crate::analyzer::analyze_auto) call may spend, and
 /// the seed sampling uses when it is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Budget {
     /// Maximum number of failure configurations exhaustive enumeration may visit before
     /// the selector falls back to sampling.
@@ -147,10 +165,23 @@ pub struct Budget {
     /// Maximum number of nodes the O(N³) counting engine may analyze exactly before
     /// the selector falls back to sampling.
     pub max_counting_nodes: usize,
-    /// Number of samples the Monte Carlo engine draws.
+    /// Number of samples the sampling engines (Monte Carlo, importance sampling) draw.
     pub monte_carlo_samples: usize,
-    /// Seed for the Monte Carlo engine (results are deterministic per seed).
+    /// Seed for the sampling engines (results are deterministic per seed).
     pub seed: u64,
+    /// Proposal tilt of the importance-sampling engine: every fault probability is
+    /// multiplied by this factor (floored at the target, capped below 1). `0.0` (the
+    /// default) selects the adaptive per-node proposal learned by a cross-entropy
+    /// pilot — see [`crate::rare_event::Proposal::adaptive`].
+    pub rare_event_tilt: f64,
+    /// Minimum effective sample size the importance-sampling engine must reach; if a
+    /// run's ESS falls below this floor the engine escalates once with a doubled
+    /// sample budget before reporting.
+    pub min_effective_samples: f64,
+    /// Failure probabilities below this threshold route to the importance-sampling
+    /// engine when no exact engine applies (see
+    /// [`crate::rare_event::naive_failure_estimate`]).
+    pub rare_event_threshold: f64,
 }
 
 impl Default for Budget {
@@ -158,20 +189,26 @@ impl Default for Budget {
     /// nodes, ≲ 12 ternary nodes — the paper-scale clusters), exact counting up to
     /// 2,000 nodes (~N³ = 8e9 DP updates, single-digit seconds), and 200k samples,
     /// enough for a ±0.2-point 95% interval near the probabilities the paper reports.
+    /// Rare-event defaults: adaptive proposal, an ESS floor of 64 effective samples,
+    /// and a 1e-6 failure-probability threshold for preferring importance sampling.
     fn default() -> Self {
         Self {
             max_enumeration_configs: 1 << 20,
             max_counting_nodes: 2_000,
             monte_carlo_samples: 200_000,
             seed: 0x5EED_CAFE,
+            rare_event_tilt: 0.0,
+            min_effective_samples: 64.0,
+            rare_event_threshold: 1e-6,
         }
     }
 }
 
 impl Budget {
-    /// A budget drawing `samples` Monte Carlo samples.
+    /// A budget drawing `samples` Monte Carlo samples. A zero budget is accepted and
+    /// saturates to one sample inside the sampling engines, so the resulting
+    /// estimates are always well-defined (see [`crate::montecarlo`]).
     pub fn with_samples(mut self, samples: usize) -> Self {
-        assert!(samples > 0, "need at least one sample");
         self.monte_carlo_samples = samples;
         self
     }
@@ -193,6 +230,35 @@ impl Budget {
         self.max_counting_nodes = nodes;
         self
     }
+
+    /// A budget pinning the importance-sampling proposal to a uniform scalar `tilt`
+    /// (≥ 1); `0.0` restores the default adaptive proposal.
+    pub fn with_rare_event_tilt(mut self, tilt: f64) -> Self {
+        assert!(
+            tilt == 0.0 || tilt >= 1.0,
+            "tilt must be 0 (adaptive) or >= 1, got {tilt}"
+        );
+        self.rare_event_tilt = tilt;
+        self
+    }
+
+    /// A budget requiring at least `ess` effective samples from importance sampling.
+    pub fn with_min_effective_samples(mut self, ess: f64) -> Self {
+        assert!(ess >= 0.0, "ESS floor must be non-negative, got {ess}");
+        self.min_effective_samples = ess;
+        self
+    }
+
+    /// A budget routing failure probabilities below `threshold` to the
+    /// importance-sampling engine (when no exact engine applies).
+    pub fn with_rare_event_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be a probability, got {threshold}"
+        );
+        self.rare_event_threshold = threshold;
+        self
+    }
 }
 
 /// The result of a unified analysis: the report in "nines", plus which engine produced
@@ -205,12 +271,18 @@ pub struct AnalysisOutcome {
     pub engine: EngineChoice,
     /// The sampling estimate with confidence intervals, when `engine` is Monte Carlo.
     pub monte_carlo: Option<MonteCarloReport>,
+    /// The weighted estimate with confidence intervals and the effective-sample-size
+    /// diagnostic, when `engine` is importance sampling.
+    pub rare_event: Option<RareEventReport>,
 }
 
 impl AnalysisOutcome {
     /// Whether the report is exact (enumeration or counting) rather than an estimate.
     pub fn is_exact(&self) -> bool {
-        self.engine != EngineChoice::MonteCarlo
+        matches!(
+            self.engine,
+            EngineChoice::Enumeration | EngineChoice::Counting
+        )
     }
 }
 
@@ -296,6 +368,7 @@ impl AnalysisEngine for EnumerationEngine {
             report: ReliabilityReport::from_raw(report),
             engine: EngineChoice::Enumeration,
             monte_carlo: None,
+            rare_event: None,
         }
     }
 }
@@ -341,6 +414,7 @@ impl AnalysisEngine for CountingEngine {
             report: ReliabilityReport::from_raw(report),
             engine: EngineChoice::Counting,
             monte_carlo: None,
+            rare_event: None,
         }
     }
 }
@@ -396,22 +470,36 @@ impl AnalysisEngine for MonteCarloEngine {
             }),
             engine: EngineChoice::MonteCarlo,
             monte_carlo: Some(mc),
+            rare_event: None,
         }
     }
 }
 
 /// The engine registry, in auto-selection preference order: exact counting first,
-/// exhaustive enumeration for small non-counting models, Monte Carlo as the universal
-/// fallback (and the only option once failures are correlated).
-pub static ENGINES: [&dyn AnalysisEngine; 3] =
-    [&CountingEngine, &EnumerationEngine, &MonteCarloEngine];
+/// exhaustive enumeration for small non-counting models, importance sampling for
+/// failure events too rare for plain sampling, Monte Carlo as the universal fallback.
+pub static ENGINES: [&dyn AnalysisEngine; 4] = [
+    &CountingEngine,
+    &EnumerationEngine,
+    &ImportanceSamplingEngine,
+    &MonteCarloEngine,
+];
 
 /// Picks the engine [`crate::analyzer::analyze_auto`] will run for this triple.
+///
+/// # Panics
+///
+/// Panics on an empty scenario; the fallible front door is
+/// [`crate::analyzer::analyze_scenario`].
 pub fn select_engine(
     model: &dyn ProtocolModel,
     scenario: Scenario<'_>,
     budget: &Budget,
 ) -> EngineChoice {
+    assert!(
+        !scenario.is_empty(),
+        "cannot analyze an empty scenario (zero nodes); see analyzer::AnalysisError"
+    );
     ENGINES
         .iter()
         .find(|engine| engine.supports(model, scenario, budget))
@@ -420,11 +508,20 @@ pub fn select_engine(
 }
 
 /// Runs the selected engine for this triple.
+///
+/// # Panics
+///
+/// Panics on an empty scenario; the fallible front door is
+/// [`crate::analyzer::analyze_scenario`].
 pub fn run_selected(
     model: &dyn ProtocolModel,
     scenario: Scenario<'_>,
     budget: &Budget,
 ) -> AnalysisOutcome {
+    assert!(
+        !scenario.is_empty(),
+        "cannot analyze an empty scenario (zero nodes); see analyzer::AnalysisError"
+    );
     ENGINES
         .iter()
         .find(|engine| engine.supports(model, scenario, budget))
@@ -535,12 +632,15 @@ mod tests {
     #[test]
     fn counting_respects_its_node_budget() {
         // Selection only — running the DP at this size is exactly what the cap avoids.
+        // Past the counting cap this deployment falls through to sampling, and since
+        // losing a 1,501-node majority at p_u = 1% is an astronomically rare event,
+        // the rare-event engine (not plain Monte Carlo) picks it up.
         let model = RaftModel::standard(3_000);
         let deployment = Deployment::uniform_crash(3_000, 0.01);
         let scenario = Scenario::from(&deployment);
         assert_eq!(
             select_engine(&model, scenario, &Budget::default()),
-            EngineChoice::MonteCarlo
+            EngineChoice::ImportanceSampling
         );
         assert_eq!(
             select_engine(
@@ -615,9 +715,86 @@ mod tests {
     }
 
     #[test]
+    fn rare_failure_event_on_non_counting_model_selects_importance_sampling() {
+        // Liveness loss requires all of nodes 0..6 faulty: p = 0.05^6 ≈ 1.6e-8, far
+        // below the pilot's resolution and the 1e-6 threshold. No exact engine takes
+        // a 40-node placement-sensitive model, so the rare-event engine must.
+        let model = crate::durability::PersistenceQuorumModel::new(40, (0..6).collect());
+        let deployment = Deployment::uniform_crash(40, 0.05);
+        let choice = select_engine(&model, Scenario::from(&deployment), &Budget::default());
+        assert_eq!(choice, EngineChoice::ImportanceSampling);
+        // A threshold of 1 accepts any proxy value, so the preference still holds;
+        // a zero threshold can never be undercut, so Monte Carlo takes over.
+        let permissive = Budget::default().with_rare_event_threshold(1.0);
+        let disabled = Budget::default().with_rare_event_threshold(0.0);
+        assert_eq!(
+            select_engine(&model, Scenario::from(&deployment), &permissive),
+            EngineChoice::ImportanceSampling
+        );
+        assert_eq!(
+            select_engine(&model, Scenario::from(&deployment), &disabled),
+            EngineChoice::MonteCarlo
+        );
+    }
+
+    #[test]
+    fn importance_sampling_outcome_carries_weighted_estimate() {
+        // 24 binary nodes put 2^24 configurations past the enumeration budget, so
+        // the selector has to sample — and P[loss] ≈ 6.3e-6 is pilot-invisible.
+        let model = crate::durability::PersistenceQuorumModel::new(24, (0..4).collect());
+        let deployment = Deployment::uniform_crash(24, 0.05);
+        let budget = Budget::default().with_samples(30_000).with_seed(13);
+        let outcome = run_selected(&model, Scenario::from(&deployment), &budget);
+        assert_eq!(outcome.engine, EngineChoice::ImportanceSampling);
+        assert!(!outcome.is_exact());
+        assert!(outcome.monte_carlo.is_none());
+        let report = outcome.rare_event.expect("weighted estimate attached");
+        let truth = 1.0 - 0.05f64.powi(4);
+        assert!(
+            report.safe.contains(truth),
+            "exact {truth} outside [{}, {}]",
+            report.safe.lower,
+            report.safe.upper
+        );
+        assert!(report.ess > 0.0);
+    }
+
+    #[test]
+    fn zero_sample_budget_yields_well_defined_outcome() {
+        // Regression: a zero sample budget used to be rejected up front (and a raw
+        // zero in `monte_carlo_samples` divided by n = 0 downstream); it now
+        // saturates to one sample with finite, in-range bounds.
+        let model = RequiresNodeZero { n: 64 };
+        let deployment = Deployment::uniform_crash(64, 0.05);
+        let budget = Budget::default().with_samples(0);
+        let outcome = run_selected(&model, Scenario::from(&deployment), &budget);
+        assert_eq!(outcome.engine, EngineChoice::MonteCarlo);
+        let mc = outcome
+            .monte_carlo
+            .expect("sampling outcome carries its CI");
+        assert_eq!(mc.samples, 1);
+        for e in [mc.safe, mc.live, mc.safe_and_live] {
+            assert!(e.value.is_finite() && e.lower.is_finite() && e.upper.is_finite());
+            assert!(0.0 <= e.lower && e.lower <= e.value && e.value <= e.upper && e.upper <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scenario")]
+    fn empty_scenario_panics_with_a_clear_message_at_the_engine_layer() {
+        let model = RequiresNodeZero { n: 0 };
+        let empty = CorrelationModel::independent(Vec::new());
+        select_engine(&model, Scenario::from(&empty), &Budget::default());
+    }
+
+    #[test]
     fn engine_choice_displays_kebab_names() {
         assert_eq!(EngineChoice::Counting.to_string(), "counting");
         assert_eq!(EngineChoice::MonteCarlo.to_string(), "monte-carlo");
+        assert_eq!(
+            EngineChoice::ImportanceSampling.to_string(),
+            "importance-sampling"
+        );
         let outcome = CountingEngine.run(
             &RaftModel::standard(3),
             Scenario::from(&Deployment::uniform_crash(3, 0.01)),

@@ -19,12 +19,13 @@
 //!   traits.
 //! * [`raft_model`], [`pbft_model`] — Theorem 3.2 and Theorem 3.1 as predicates, with
 //!   configurable quorum sizes.
-//! * [`enumeration`], [`counting`], [`montecarlo`] — the three analysis engines: exact
-//!   enumeration over failure configurations, exact dynamic programming over fault
-//!   counts, and rayon-parallel Monte Carlo sampling (the only option once failures are
-//!   correlated).
+//! * [`enumeration`], [`counting`], [`montecarlo`], [`rare_event`] — the four analysis
+//!   engines: exact enumeration over failure configurations, exact dynamic programming
+//!   over fault counts, rayon-parallel Monte Carlo sampling, and importance sampling
+//!   with per-node probability tilting for rare failure events (tail probabilities
+//!   plain sampling cannot resolve).
 //! * [`engine`] — the unified engine layer: the [`engine::AnalysisEngine`] trait over
-//!   the three engines, [`engine::Scenario`], [`engine::Budget`] and the auto-selector.
+//!   the four engines, [`engine::Scenario`], [`engine::Budget`] and the auto-selector.
 //! * [`analyzer`] — the front-end: [`analyzer::analyze_auto`] picks an engine within a
 //!   budget and returns an [`engine::AnalysisOutcome`] (a
 //!   [`analyzer::ReliabilityReport`] tagged with the engine that produced it).
@@ -77,14 +78,18 @@ pub mod montecarlo;
 pub mod pbft_model;
 pub mod protocol;
 pub mod raft_model;
+pub mod rare_event;
 pub mod report;
 pub mod timevarying;
 pub mod tradeoff;
 
-pub use analyzer::{analyze, analyze_auto, analyze_exact, analyze_scenario, ReliabilityReport};
+pub use analyzer::{
+    analyze, analyze_auto, analyze_exact, analyze_scenario, AnalysisError, ReliabilityReport,
+};
 pub use deployment::Deployment;
 pub use engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario};
 pub use failure::FailureConfig;
 pub use pbft_model::PbftModel;
 pub use protocol::{CountingModel, ProtocolModel};
 pub use raft_model::RaftModel;
+pub use rare_event::{ImportanceSamplingEngine, Proposal, RareEventReport};

@@ -26,6 +26,11 @@ use crate::deployment::Deployment;
 use crate::failure::FailureConfig;
 use crate::protocol::ProtocolModel;
 
+/// The 97.5% standard-normal quantile: the `z` of every 95% confidence interval in
+/// the analysis layer (Wilson intervals here, delta-method intervals in
+/// [`crate::rare_event`], sample-equivalence math in the bench harness).
+pub const Z_95: f64 = 1.959964;
+
 /// A probability estimated from samples, with a 95% Wilson confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
@@ -40,16 +45,49 @@ pub struct Estimate {
 impl Estimate {
     fn from_counts(hits: usize, samples: usize) -> Self {
         assert!(samples > 0);
+        assert!(hits <= samples, "more hits than samples");
         let n = samples as f64;
         let p = hits as f64 / n;
-        let z = 1.959964f64;
+        let z = Z_95;
         let denom = 1.0 + z * z / n;
         let center = (p + z * z / (2.0 * n)) / denom;
         let margin = (z / denom) * ((p * (1.0 - p) / n) + (z * z / (4.0 * n * n))).sqrt();
+        // At the degenerate corners (0 hits, all hits, n = 1) the Wilson bounds are
+        // exactly 0 or 1 mathematically, but the floating-point evaluation can drift a
+        // few ulps past the point estimate or outside [0, 1]; clamp both ways so the
+        // interval invariant 0 <= lower <= value <= upper <= 1 always holds.
+        Self::checked(
+            p,
+            (center - margin).clamp(0.0, 1.0).min(p),
+            (center + margin).clamp(0.0, 1.0).max(p),
+        )
+    }
+
+    /// An estimate `value` with a symmetric `margin`, clamped into `[0, 1]` while
+    /// keeping the interval around the point estimate. Used by the weighted
+    /// (importance-sampling) estimator, whose delta-method standard error is symmetric.
+    pub fn from_value_and_margin(value: f64, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative, got {margin}");
+        let value = value.clamp(0.0, 1.0);
+        Self::checked(
+            value,
+            (value - margin).clamp(0.0, 1.0),
+            (value + margin).clamp(0.0, 1.0),
+        )
+    }
+
+    fn checked(value: f64, lower: f64, upper: f64) -> Self {
+        debug_assert!(
+            (0.0..=1.0).contains(&lower)
+                && (0.0..=1.0).contains(&upper)
+                && lower <= value
+                && value <= upper,
+            "estimate invariant violated: lower {lower} <= value {value} <= upper {upper}"
+        );
         Self {
-            value: p,
-            lower: (center - margin).max(0.0),
-            upper: (center + margin).min(1.0),
+            value,
+            lower,
+            upper,
         }
     }
 
@@ -138,13 +176,16 @@ fn report_from_counts(hits: HitCounts, samples: usize) -> MonteCarloReport {
 ///
 /// This is the single-threaded reference path; [`monte_carlo_reliability_par`] is the
 /// parallel engine used by the analyzer.
+///
+/// A zero sample budget saturates to one sample, so the result is always a
+/// well-defined (if maximally uncertain) estimate — never a division by zero.
 pub fn monte_carlo_reliability<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
     model: &M,
     failure_model: &CorrelationModel,
     samples: usize,
     rng: &mut R,
 ) -> MonteCarloReport {
-    assert!(samples > 0, "need at least one sample");
+    let samples = samples.max(1);
     assert_eq!(
         model.num_nodes(),
         failure_model.len(),
@@ -165,33 +206,30 @@ pub const MC_CHUNK_SIZE: usize = 4096;
 
 /// Derives the RNG seed of chunk `index` within a run seeded with `seed` (SplitMix64
 /// finalizer over the pair, so neighbouring chunks get decorrelated streams).
-fn chunk_seed(seed: u64, index: u64) -> u64 {
+pub(crate) fn chunk_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-/// Estimates the reliability of `model` under a (possibly correlated) failure model by
-/// drawing `samples` failure configurations across the rayon thread pool.
+/// The shared chunked-sampling scaffolding behind the plain and tilted
+/// (importance-sampling, see [`crate::rare_event`]) parallel samplers.
 ///
-/// Deterministic for a fixed `seed` regardless of thread count: samples are split into
-/// [`MC_CHUNK_SIZE`]-sized chunks, chunk `i` uses a `StdRng` seeded with
-/// `chunk_seed(seed, i)`, and the integer hit counters are summed.
-pub fn monte_carlo_reliability_par<M: ProtocolModel + ?Sized>(
-    model: &M,
-    failure_model: &CorrelationModel,
-    samples: usize,
-    seed: u64,
-) -> MonteCarloReport {
-    assert!(samples > 0, "need at least one sample");
-    assert_eq!(
-        model.num_nodes(),
-        failure_model.len(),
-        "model and failure model disagree on the cluster size"
-    );
+/// Splits `samples` into [`MC_CHUNK_SIZE`]-sized work units (the last one ragged),
+/// runs `per_chunk(rng, count)` for each across the rayon pool with chunk `i`'s RNG
+/// seeded from `chunk_seed(seed, i)`, and returns the per-chunk results **in chunk
+/// order**. Collecting in chunk order (rather than reducing on the fly) is what lets
+/// callers with non-associative accumulators — floating-point weight sums — fold the
+/// results sequentially and still be bit-identical at any thread count.
+pub(crate) fn map_sample_chunks<T, F>(samples: usize, seed: u64, per_chunk: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut StdRng, usize) -> T + Sync,
+{
+    let samples = samples.max(1);
     let chunks = samples.div_ceil(MC_CHUNK_SIZE);
-    let hits = (0..chunks)
+    (0..chunks)
         .into_par_iter()
         .map(|index| {
             let mut rng = StdRng::seed_from_u64(chunk_seed(seed, index as u64));
@@ -200,9 +238,36 @@ pub fn monte_carlo_reliability_par<M: ProtocolModel + ?Sized>(
             } else {
                 MC_CHUNK_SIZE
             };
-            sample_chunk(model, failure_model, count, &mut rng)
+            per_chunk(&mut rng, count)
         })
-        .reduce(HitCounts::default, std::ops::Add::add);
+        .collect()
+}
+
+/// Estimates the reliability of `model` under a (possibly correlated) failure model by
+/// drawing `samples` failure configurations across the rayon thread pool.
+///
+/// Deterministic for a fixed `seed` regardless of thread count: samples are split into
+/// [`MC_CHUNK_SIZE`]-sized chunks, chunk `i` uses a `StdRng` seeded with
+/// `chunk_seed(seed, i)`, and the integer hit counters are summed.
+///
+/// A zero sample budget saturates to one sample (see [`monte_carlo_reliability`]).
+pub fn monte_carlo_reliability_par<M: ProtocolModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloReport {
+    let samples = samples.max(1);
+    assert_eq!(
+        model.num_nodes(),
+        failure_model.len(),
+        "model and failure model disagree on the cluster size"
+    );
+    let hits = map_sample_chunks(samples, seed, |rng, count| {
+        sample_chunk(model, failure_model, count, rng)
+    })
+    .into_iter()
+    .fold(HitCounts::default(), std::ops::Add::add);
     report_from_counts(hits, samples)
 }
 
@@ -245,6 +310,75 @@ mod tests {
         let e = Estimate::from_counts(5_050, 10_000);
         assert!(e.contains(0.5));
         assert!(e.half_width() < 0.02);
+    }
+
+    /// Asserts the interval invariant `0 <= lower <= value <= upper <= 1`.
+    fn assert_estimate_invariants(e: Estimate, context: &str) {
+        assert!(
+            e.lower.is_finite() && e.value.is_finite() && e.upper.is_finite(),
+            "{context}: non-finite estimate {e:?}"
+        );
+        assert!(
+            0.0 <= e.lower && e.lower <= e.value && e.value <= e.upper && e.upper <= 1.0,
+            "{context}: invariant violated {e:?}"
+        );
+    }
+
+    #[test]
+    fn wilson_interval_holds_at_degenerate_corners() {
+        // 0 hits, all hits, and n = 1 are where naive Wilson evaluation drifts.
+        for n in [1usize, 2, 3, 10, 1_000] {
+            for hits in [0, n / 2, n] {
+                let e = Estimate::from_counts(hits, n);
+                assert_estimate_invariants(e, &format!("hits={hits} n={n}"));
+            }
+        }
+        let zero = Estimate::from_counts(0, 1);
+        assert_eq!(zero.value, 0.0);
+        assert_eq!(zero.lower, 0.0);
+        let all = Estimate::from_counts(7, 7);
+        assert_eq!(all.value, 1.0);
+        assert_eq!(all.upper, 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn wilson_interval_invariants_across_hit_sample_grid(
+            samples in 1usize..5_000,
+            hit_fraction in 0.0..=1.0f64,
+        ) {
+            let hits = ((samples as f64) * hit_fraction).round() as usize;
+            let hits = hits.min(samples);
+            let e = Estimate::from_counts(hits, samples);
+            proptest::prop_assert!(e.lower >= 0.0 && e.upper <= 1.0);
+            proptest::prop_assert!(e.lower <= e.value && e.value <= e.upper);
+            proptest::prop_assert!(e.contains(e.value));
+        }
+    }
+
+    #[test]
+    fn from_value_and_margin_clamps_into_unit_interval() {
+        let e = Estimate::from_value_and_margin(1.0 - 1e-12, 1e-6);
+        assert_estimate_invariants(e, "near-one with margin");
+        assert_eq!(e.upper, 1.0);
+        let tiny = Estimate::from_value_and_margin(1e-10, 5e-11);
+        assert_estimate_invariants(tiny, "tiny with margin");
+        assert!(tiny.contains(1e-10));
+    }
+
+    #[test]
+    fn zero_sample_budget_saturates_to_one_sample() {
+        let model = RaftModel::standard(3);
+        let failure_model = CorrelationModel::independent(vec![FaultProfile::crash_only(0.1); 3]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let seq = monte_carlo_reliability(&model, &failure_model, 0, &mut rng);
+        assert_eq!(seq.samples, 1);
+        let par = monte_carlo_reliability_par(&model, &failure_model, 0, 9);
+        assert_eq!(par.samples, 1);
+        for e in [seq.safe, seq.live, seq.safe_and_live, par.safe, par.live] {
+            assert!(e.value.is_finite() && e.lower.is_finite() && e.upper.is_finite());
+            assert!(0.0 <= e.lower && e.lower <= e.value && e.value <= e.upper && e.upper <= 1.0);
+        }
     }
 
     #[test]
