@@ -9,7 +9,10 @@ use prob_consensus::analyzer::{analyze, analyze_auto, analyze_exact};
 use prob_consensus::counting::FaultCountDistribution;
 use prob_consensus::deployment::Deployment;
 use prob_consensus::engine::{AnalysisEngine, Budget, Scenario};
-use prob_consensus::montecarlo::{monte_carlo_independent, monte_carlo_independent_par};
+use prob_consensus::montecarlo::{
+    monte_carlo_independent, monte_carlo_independent_par, monte_carlo_reliability_par_kernel,
+    McKernel,
+};
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
 use rand::rngs::StdRng;
@@ -77,6 +80,58 @@ fn bench_monte_carlo(c: &mut Criterion) {
             })
         },
     );
+    group.finish();
+}
+
+fn bench_packed_vs_scalar(c: &mut Criterion) {
+    // The two Monte Carlo kernels head to head, same workload, same pool: the
+    // bit-sliced packed kernel evaluates 64 scenarios per pass and should run
+    // several times the scalar kernel's throughput on both of its plans (the
+    // bit-sliced threshold plan for crash-only Raft, the LUT plan for mixed-mode
+    // PBFT). `repro --bench` records the headline ratio as
+    // `packed_kernel_speedup` in BENCH_analysis.json.
+    let mut group = c.benchmark_group("packed-vs-scalar");
+    let (raft, crash_deployment) = bench::mc_speedup_workload();
+    let crash = fault_model::correlation::CorrelationModel::independent(
+        crash_deployment.profiles().to_vec(),
+    );
+    let pbft = PbftModel::standard(7);
+    let mixed = fault_model::correlation::CorrelationModel::independent(
+        Deployment::uniform_mixed(7, 0.05, 0.01).profiles().to_vec(),
+    );
+    const SAMPLES: usize = 50_000;
+    for (id, kernel) in [
+        ("raft-9-scalar", McKernel::Scalar),
+        ("raft-9-packed", McKernel::Packed),
+    ] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                monte_carlo_reliability_par_kernel(
+                    &raft,
+                    &crash,
+                    SAMPLES,
+                    bench::MC_SPEEDUP_SEED,
+                    kernel,
+                )
+            })
+        });
+    }
+    for (id, kernel) in [
+        ("pbft-7-mixed-scalar", McKernel::Scalar),
+        ("pbft-7-mixed-packed", McKernel::Packed),
+    ] {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                monte_carlo_reliability_par_kernel(
+                    &pbft,
+                    &mixed,
+                    SAMPLES,
+                    bench::MC_SPEEDUP_SEED,
+                    kernel,
+                )
+            })
+        });
+    }
     group.finish();
 }
 
@@ -174,6 +229,7 @@ criterion_group!(
     benches,
     bench_engines,
     bench_monte_carlo,
+    bench_packed_vs_scalar,
     bench_rare_event,
     bench_auto_selection,
     bench_fault_count_distribution,

@@ -17,6 +17,11 @@ pub struct FaultCountDistribution {
     n: usize,
     /// `pmf[c][b]` = P[#crashed = c, #byzantine = b].
     pmf: Vec<Vec<f64>>,
+    /// `tail[k]` = P[#crashed + #byzantine >= k], precomputed as a suffix sum so
+    /// [`FaultCountDistribution::probability_at_least_faults`] is an O(1) lookup
+    /// instead of an O(N²) re-summation per query (quadratic per sweep for callers
+    /// like the durability analysis that query every threshold).
+    tail: Vec<f64>,
 }
 
 impl FaultCountDistribution {
@@ -42,7 +47,14 @@ impl FaultCountDistribution {
                 }
             }
         }
-        Self { n, pmf }
+        // Suffix-sum the total-fault masses once; summing from the deep tail upward
+        // keeps the small tail masses from being absorbed by the bulk.
+        let mut tail = vec![0.0f64; n + 2];
+        for k in (0..=n).rev() {
+            let total_k: f64 = (0..=k).map(|c| pmf[c][k - c]).sum();
+            tail[k] = tail[k + 1] + total_k;
+        }
+        Self { n, pmf, tail }
     }
 
     /// Number of nodes.
@@ -65,12 +77,13 @@ impl FaultCountDistribution {
             .sum()
     }
 
-    /// `P[#crashed + #byzantine >= faulty]`.
+    /// `P[#crashed + #byzantine >= faulty]` — an O(1) lookup into the precomputed
+    /// suffix sums.
     pub fn probability_at_least_faults(&self, faulty: usize) -> f64 {
-        (faulty..=self.n)
-            .map(|k| self.probability_total_faults(k))
-            .sum::<f64>()
-            .min(1.0)
+        if faulty > self.n {
+            return 0.0;
+        }
+        self.tail[faulty].min(1.0)
     }
 
     /// Sums `P[c, b]` over all count pairs where `predicate(c, b)` holds.
@@ -188,6 +201,30 @@ mod tests {
         let r = counting_reliability(&model, &d);
         assert!(r.p_live > 0.999999);
         assert_eq!(r.p_safe, 1.0);
+    }
+
+    #[test]
+    fn cached_tail_sums_match_a_naive_resummation() {
+        // Heterogeneous mixed-mode deployment, so no symmetry hides an indexing bug.
+        let d = Deployment::from_profiles(
+            (0..12)
+                .map(|i| FaultProfile::new(0.01 * (i + 1) as f64, 0.002 * (i % 4) as f64))
+                .collect(),
+        );
+        let dist = FaultCountDistribution::from_deployment(&d);
+        for faulty in 0..=13 {
+            let naive: f64 = (faulty..=dist.n())
+                .map(|k| dist.probability_total_faults(k))
+                .sum::<f64>()
+                .min(1.0);
+            let cached = dist.probability_at_least_faults(faulty);
+            assert!(
+                (cached - naive).abs() < 1e-12,
+                "faulty={faulty}: cached {cached} vs naive {naive}"
+            );
+        }
+        assert_eq!(dist.probability_at_least_faults(13), 0.0);
+        assert!((dist.probability_at_least_faults(0) - 1.0).abs() < 1e-12);
     }
 
     proptest! {

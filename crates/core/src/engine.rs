@@ -29,7 +29,7 @@ use crate::analyzer::ReliabilityReport;
 use crate::counting::counting_reliability;
 use crate::deployment::Deployment;
 use crate::enumeration::enumerate_reliability;
-use crate::montecarlo::{monte_carlo_reliability_par, MonteCarloReport};
+use crate::montecarlo::{monte_carlo_reliability_par_kernel, McKernel, MonteCarloReport};
 use crate::protocol::ProtocolModel;
 use crate::rare_event::RareEventReport;
 // Re-exported so all four engine structs are importable from the engine layer.
@@ -182,6 +182,12 @@ pub struct Budget {
     /// engine when no exact engine applies (see
     /// [`crate::rare_event::naive_failure_estimate`]).
     pub rare_event_threshold: f64,
+    /// Which sampling kernel the Monte Carlo engine runs: `Auto` (the default)
+    /// selects the bit-sliced packed kernel ([`crate::packed`]) whenever the model
+    /// supports counting and the zero-allocation scalar kernel otherwise; `Scalar`
+    /// and `Packed` force a kernel (for benchmarks and cross-kernel agreement
+    /// tests).
+    pub mc_kernel: McKernel,
 }
 
 impl Default for Budget {
@@ -200,6 +206,7 @@ impl Default for Budget {
             rare_event_tilt: 0.0,
             min_effective_samples: 64.0,
             rare_event_threshold: 1e-6,
+            mc_kernel: McKernel::Auto,
         }
     }
 }
@@ -246,6 +253,13 @@ impl Budget {
     pub fn with_min_effective_samples(mut self, ess: f64) -> Self {
         assert!(ess >= 0.0, "ESS floor must be non-negative, got {ess}");
         self.min_effective_samples = ess;
+        self
+    }
+
+    /// A budget forcing the Monte Carlo engine onto one sampling kernel (`Auto`
+    /// restores the default packed-when-counting selection).
+    pub fn with_mc_kernel(mut self, kernel: McKernel) -> Self {
+        self.mc_kernel = kernel;
         self
     }
 
@@ -456,11 +470,12 @@ impl AnalysisEngine for MonteCarloEngine {
                 &owned
             }
         };
-        let mc = monte_carlo_reliability_par(
+        let mc = monte_carlo_reliability_par_kernel(
             model,
             failure_model,
             budget.monte_carlo_samples,
             budget.seed,
+            budget.mc_kernel,
         );
         AnalysisOutcome {
             report: ReliabilityReport::from_raw(crate::enumeration::RawReliability {

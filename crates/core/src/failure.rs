@@ -62,6 +62,13 @@ impl FailureConfig {
         &self.states
     }
 
+    /// Mutable per-node states, for samplers that reuse one configuration as a
+    /// scratch buffer instead of allocating per draw (the node count is fixed; only
+    /// the states can be rewritten).
+    pub fn states_mut(&mut self) -> &mut [NodeState] {
+        &mut self.states
+    }
+
     /// State of one node.
     pub fn state(&self, node: usize) -> NodeState {
         self.states[node]

@@ -24,6 +24,9 @@
 //!   over fault counts, rayon-parallel Monte Carlo sampling, and importance sampling
 //!   with per-node probability tilting for rare failure events (tail probabilities
 //!   plain sampling cannot resolve).
+//! * [`packed`] — the bit-sliced Monte Carlo kernel: 64 scenarios per pass for
+//!   counting models, auto-selected by the Monte Carlo engine
+//!   (see [`montecarlo::McKernel`]).
 //! * [`engine`] — the unified engine layer: the [`engine::AnalysisEngine`] trait over
 //!   the four engines, [`engine::Scenario`], [`engine::Budget`] and the auto-selector.
 //! * [`analyzer`] — the front-end: [`analyzer::analyze_auto`] picks an engine within a
@@ -75,6 +78,7 @@ pub mod failure;
 pub mod heterogeneity;
 pub mod leader;
 pub mod montecarlo;
+pub mod packed;
 pub mod pbft_model;
 pub mod protocol;
 pub mod raft_model;

@@ -7,15 +7,34 @@
 //! express plain independent deployments) and estimates safety/liveness probabilities
 //! with binomial-proportion confidence intervals.
 //!
+//! # Kernels
+//!
+//! Two sampling kernels implement the same estimator:
+//!
+//! * **Scalar** — one scenario at a time, allocation-free: each work chunk reuses a
+//!   single scratch [`FailureConfig`] filled in place by
+//!   [`CorrelationModel::sample_into`]. The only kernel that can evaluate arbitrary
+//!   (placement-sensitive) protocol models.
+//! * **Packed** ([`crate::packed`]) — 64 scenarios per pass in bit-sliced `u64`
+//!   lanes, for [`CountingModel`](crate::protocol::CountingModel)s. Roughly an order
+//!   of magnitude more throughput per core; its RNG stream necessarily differs from
+//!   the scalar kernel's, so the two agree statistically, not bit-for-bit.
+//!
+//! [`monte_carlo_reliability_par`] auto-selects (packed when the model supports
+//! counting, scalar otherwise); [`monte_carlo_reliability_par_kernel`] pins a kernel
+//! explicitly (see [`McKernel`], exposed to callers through
+//! [`Budget::mc_kernel`](crate::engine::Budget)).
+//!
 //! # Parallelism and determinism
 //!
 //! Sampling is embarrassingly parallel, and it is the hot path for every correlated or
-//! large-N scenario, so [`monte_carlo_reliability_par`] fans the work out with rayon.
-//! Determinism is preserved by construction: the sample budget is split into
-//! fixed-size chunks (independent of the thread count), every chunk gets its own RNG
-//! seeded from the run seed and the chunk index, and the per-chunk hit counters are
-//! integers whose sum is associative and commutative. The result is therefore
-//! bit-identical for a fixed seed no matter how many worker threads execute it.
+//! large-N scenario, so [`monte_carlo_reliability_par`] fans the work out with rayon's
+//! persistent worker pool. Determinism is preserved by construction: the sample budget
+//! is split into fixed-size chunks (independent of the thread count), every chunk gets
+//! its own RNG seeded from the run seed and the chunk index, and the per-chunk hit
+//! counters are integers whose sum is associative and commutative. The result is
+//! therefore bit-identical for a fixed seed no matter how many worker threads execute
+//! it — per kernel: the two kernels are distinct deterministic streams.
 
 use fault_model::correlation::CorrelationModel;
 use rand::rngs::StdRng;
@@ -113,15 +132,21 @@ pub struct MonteCarloReport {
     pub safe_and_live: Estimate,
     /// Number of samples drawn.
     pub samples: usize,
+    /// The kernel that actually drew the samples — never [`McKernel::Auto`]. In
+    /// particular, a run pinned to [`McKernel::Packed`] on a model without a
+    /// counting view reports [`McKernel::Scalar`] here, so kernel comparisons can
+    /// detect that they did not measure what they pinned.
+    pub kernel: McKernel,
 }
 
 /// Per-chunk hit counters. Integer sums are exact and order-independent, which is what
-/// makes the parallel reduction deterministic regardless of scheduling.
+/// makes the parallel reduction deterministic regardless of scheduling. Shared with
+/// the bit-sliced kernel in [`crate::packed`].
 #[derive(Debug, Clone, Copy, Default)]
-struct HitCounts {
-    safe: usize,
-    live: usize,
-    both: usize,
+pub(crate) struct HitCounts {
+    pub(crate) safe: usize,
+    pub(crate) live: usize,
+    pub(crate) both: usize,
 }
 
 impl std::ops::Add for HitCounts {
@@ -137,6 +162,9 @@ impl std::ops::Add for HitCounts {
 }
 
 /// Draws `count` configurations from `failure_model` with `rng` and tallies hits.
+///
+/// Allocation-free inner loop: one scratch [`FailureConfig`] is allocated per chunk
+/// and refilled in place by [`CorrelationModel::sample_into`] for every draw.
 fn sample_chunk<M: ProtocolModel + ?Sized>(
     model: &M,
     failure_model: &CorrelationModel,
@@ -144,10 +172,11 @@ fn sample_chunk<M: ProtocolModel + ?Sized>(
     rng: &mut impl Rng,
 ) -> HitCounts {
     let mut hits = HitCounts::default();
+    let mut scratch = FailureConfig::all_correct(failure_model.len());
     for _ in 0..count {
-        let config = FailureConfig::new(failure_model.sample(rng));
-        let safe = model.is_safe(&config);
-        let live = model.is_live(&config);
+        failure_model.sample_into(scratch.states_mut(), rng);
+        let safe = model.is_safe(&scratch);
+        let live = model.is_live(&scratch);
         if safe {
             hits.safe += 1;
         }
@@ -161,12 +190,18 @@ fn sample_chunk<M: ProtocolModel + ?Sized>(
     hits
 }
 
-fn report_from_counts(hits: HitCounts, samples: usize) -> MonteCarloReport {
+pub(crate) fn report_from_counts(
+    hits: HitCounts,
+    samples: usize,
+    kernel: McKernel,
+) -> MonteCarloReport {
+    debug_assert_ne!(kernel, McKernel::Auto, "reports name a concrete kernel");
     MonteCarloReport {
         safe: Estimate::from_counts(hits.safe, samples),
         live: Estimate::from_counts(hits.live, samples),
         safe_and_live: Estimate::from_counts(hits.both, samples),
         samples,
+        kernel,
     }
 }
 
@@ -193,7 +228,7 @@ pub fn monte_carlo_reliability<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
     );
     let mut rng = rng;
     let hits = sample_chunk(model, failure_model, samples, &mut rng);
-    report_from_counts(hits, samples)
+    report_from_counts(hits, samples, McKernel::Scalar)
 }
 
 /// Number of samples per parallel work unit.
@@ -243,8 +278,27 @@ where
         .collect()
 }
 
+/// Which sampling kernel the parallel Monte Carlo engine runs.
+///
+/// The default (`Auto`) uses the bit-sliced packed kernel whenever the model is a
+/// [`CountingModel`](crate::protocol::CountingModel) and the scalar kernel otherwise.
+/// Pinning a kernel is for benchmarks and cross-kernel agreement tests; results of
+/// the two kernels agree statistically but come from different RNG streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum McKernel {
+    /// Packed for counting models, scalar for everything else.
+    #[default]
+    Auto,
+    /// The allocation-free one-scenario-at-a-time kernel (works for every model).
+    Scalar,
+    /// The bit-sliced 64-scenarios-per-pass kernel ([`crate::packed`]); requires a
+    /// counting model, falls back to scalar when the model is not one.
+    Packed,
+}
+
 /// Estimates the reliability of `model` under a (possibly correlated) failure model by
-/// drawing `samples` failure configurations across the rayon thread pool.
+/// drawing `samples` failure configurations across the persistent thread pool,
+/// auto-selecting the sampling kernel ([`McKernel::Auto`]).
 ///
 /// Deterministic for a fixed `seed` regardless of thread count: samples are split into
 /// [`MC_CHUNK_SIZE`]-sized chunks, chunk `i` uses a `StdRng` seeded with
@@ -257,18 +311,39 @@ pub fn monte_carlo_reliability_par<M: ProtocolModel + ?Sized>(
     samples: usize,
     seed: u64,
 ) -> MonteCarloReport {
+    monte_carlo_reliability_par_kernel(model, failure_model, samples, seed, McKernel::Auto)
+}
+
+/// [`monte_carlo_reliability_par`] with an explicitly pinned sampling kernel.
+pub fn monte_carlo_reliability_par_kernel<M: ProtocolModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    seed: u64,
+    kernel: McKernel,
+) -> MonteCarloReport {
     let samples = samples.max(1);
     assert_eq!(
         model.num_nodes(),
         failure_model.len(),
         "model and failure model disagree on the cluster size"
     );
+    if kernel != McKernel::Scalar {
+        if let Some(counting) = model.as_counting() {
+            return crate::packed::monte_carlo_reliability_packed_par(
+                counting,
+                failure_model,
+                samples,
+                seed,
+            );
+        }
+    }
     let hits = map_sample_chunks(samples, seed, |rng, count| {
         sample_chunk(model, failure_model, count, rng)
     })
     .into_iter()
     .fold(HitCounts::default(), std::ops::Add::add);
-    report_from_counts(hits, samples)
+    report_from_counts(hits, samples, McKernel::Scalar)
 }
 
 /// Convenience wrapper: Monte Carlo over an *independent* deployment (no correlation

@@ -1,0 +1,706 @@
+//! Bit-sliced Monte Carlo kernel: 64 scenarios per pass.
+//!
+//! The scalar sampler evaluates one failure configuration at a time: draw a state per
+//! node, then ask the protocol model about the resulting configuration. For
+//! [`CountingModel`]s the second half collapses to two fault counts, which makes the
+//! whole evaluation *bit-sliceable*: this kernel packs 64 independent scenarios into
+//! the lanes of `u64` words, so one word of per-node state answers "is node `i`
+//! crashed?" for 64 scenarios simultaneously.
+//!
+//! # Lane masks from the RNG stream
+//!
+//! Node `i`'s two thresholds (`P[Byzantine]`, `P[any fault]`) are converted once to
+//! fixed point on the 64-bit uniform lattice (`t = p · 2⁶⁴`). A scenario's uniform
+//! draw `u` is compared against both thresholds *bitwise*: random words supply bit
+//! `k` of all 64 lanes' `u` at once, and a lexicographic comparison from the most
+//! significant bit maintains, per threshold, a "still equal" lane mask and a
+//! "decided less" lane mask. Each random word halves the undecided lanes in
+//! expectation, so ~7–8 words decide all 64 lanes — an ~8× reduction in RNG traffic
+//! over scalar sampling on top of the vectorized compare. Correlation-group shocks
+//! draw one fired-lane mask per group and are OR-ed over the member masks
+//! (Byzantine shocks override crash lanes; Byzantine outcomes are never downgraded,
+//! mirroring [`CorrelationModel::sample_into`]).
+//!
+//! # Counting and thresholds
+//!
+//! Per-scenario fault counts are accumulated with bit-sliced vertical adders
+//! (Harley–Seal style): `planes[k]` holds bit `k` of every lane's running count, and
+//! adding a node's fault mask is a ripple-carry over the planes. For crash-only
+//! deployments whose predicates are monotone in the fault count (every `standard`
+//! Raft/PBFT configuration), the three guarantees reduce to `count ≤ T` checks,
+//! evaluated for all 64 lanes at once by a bitwise lexicographic comparison over the
+//! planes and tallied with a popcount. Everything else (mixed crash/Byzantine
+//! deployments, non-monotone counting predicates) falls back to a per-lane count
+//! extraction and a precomputed `(crashed, byzantine) → {safe, live, both}` lookup
+//! table — still far cheaper than the scalar path, which re-scans the whole state
+//! vector per scenario.
+//!
+//! # Determinism
+//!
+//! The kernel runs under the same chunked `(seed, chunk index)` scheme as the scalar
+//! engine ([`crate::montecarlo::MC_CHUNK_SIZE`]), so a fixed seed is bit-identical at
+//! any thread count. The packed RNG *stream* differs from the scalar stream by
+//! construction (bitwise lattice draws instead of per-scenario `f64` draws), so
+//! packed and scalar runs agree statistically — within confidence intervals — not
+//! bit-for-bit; `tests/engine_agreement.rs` pins both properties.
+
+use fault_model::correlation::CorrelationModel;
+use fault_model::mode::NodeState;
+use rand::RngCore;
+
+use crate::montecarlo::{
+    map_sample_chunks, report_from_counts, HitCounts, McKernel, MonteCarloReport,
+};
+use crate::protocol::CountingModel;
+
+/// Maximum bit planes a vertical counter carries: counts up to 2¹⁶ − 1 nodes, far
+/// beyond any deployment this repository analyzes.
+const MAX_PLANES: usize = 16;
+
+/// A probability as an inclusive-exclusive bound on the 64-bit uniform lattice:
+/// `u < t` fires with probability `t / 2⁶⁴`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bound {
+    /// Probability 0: never fires, and consumes no randomness.
+    Never,
+    /// Fires when the 64-bit uniform draw is below `t`.
+    Fixed(u64),
+    /// Probability 1: always fires, and consumes no randomness.
+    Always,
+}
+
+/// Converts a probability to its fixed-point threshold. Rounding error is at most
+/// 2⁻⁶⁴ per draw — far below the f64 resolution of the scalar path's thresholds.
+fn fixed_point(p: f64) -> Bound {
+    if p <= 0.0 {
+        Bound::Never
+    } else if p >= 1.0 {
+        Bound::Always
+    } else {
+        // p ∈ (0, 1), so p · 2⁶⁴ ∈ (0, 2⁶⁴); the saturating float→int cast turns a
+        // rounded-up 2⁶⁴ into u64::MAX (probability 1 − 2⁻⁶⁴).
+        match (p * 18_446_744_073_709_551_616.0) as u64 {
+            0 => Bound::Never,
+            t => Bound::Fixed(t),
+        }
+    }
+}
+
+/// Initial `(lt, eq, threshold)` lane state of one lexicographic comparison.
+fn bound_state(bound: Bound) -> (u64, u64, u64) {
+    match bound {
+        Bound::Never => (0, 0, 0),
+        Bound::Always => (!0, 0, 0),
+        Bound::Fixed(t) => (0, !0, t),
+    }
+}
+
+/// Draws 64 scenarios' node states at once: returns `(byzantine, faulty)` lane masks
+/// for thresholds `byz ≤ fault`, by comparing one shared 64-bit uniform per lane
+/// against both thresholds bit by bit (most significant first), early-exiting once
+/// every lane is decided. Lanes still undecided after 64 bits have `u = t` exactly,
+/// which is not `<`.
+#[inline]
+fn split_masks<R: RngCore + ?Sized>(rng: &mut R, byz: Bound, fault: Bound) -> (u64, u64) {
+    let (mut lt_b, mut eq_b, tb) = bound_state(byz);
+    let (mut lt_f, mut eq_f, tf) = bound_state(fault);
+    for k in (0..64).rev() {
+        if eq_b | eq_f == 0 {
+            break;
+        }
+        let r = rng.next_u64();
+        if tb >> k & 1 == 1 {
+            lt_b |= eq_b & !r;
+            eq_b &= r;
+        } else {
+            eq_b &= !r;
+        }
+        if tf >> k & 1 == 1 {
+            lt_f |= eq_f & !r;
+            eq_f &= r;
+        } else {
+            eq_f &= !r;
+        }
+    }
+    debug_assert_eq!(lt_b & !lt_f, 0, "byzantine lanes must be faulty lanes");
+    (lt_b, lt_f)
+}
+
+/// Single-threshold form of [`split_masks`], for correlation-group shocks. With a
+/// `Never` byzantine bound the dual-threshold loop — word consumption and early
+/// exit included — reduces exactly to the single comparison.
+#[inline]
+fn bernoulli_mask<R: RngCore + ?Sized>(rng: &mut R, bound: Bound) -> u64 {
+    split_masks(rng, Bound::Never, bound).1
+}
+
+/// A bit-sliced vertical counter: `planes[k]` holds bit `k` of each lane's count.
+#[derive(Debug, Clone)]
+struct VerticalCounter {
+    planes: [u64; MAX_PLANES],
+    depth: usize,
+}
+
+impl VerticalCounter {
+    /// A counter able to hold counts up to `max_count` in every lane.
+    fn new(max_count: usize) -> Self {
+        let depth = (usize::BITS - max_count.leading_zeros()) as usize;
+        assert!(
+            depth <= MAX_PLANES,
+            "vertical counter supports up to {} nodes, got {max_count}",
+            (1usize << MAX_PLANES) - 1
+        );
+        Self {
+            planes: [0; MAX_PLANES],
+            depth: depth.max(1),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.planes[..self.depth].fill(0);
+    }
+
+    /// Adds 1 to every lane set in `mask` (ripple-carry across the planes).
+    #[inline]
+    fn add(&mut self, mut mask: u64) {
+        for plane in &mut self.planes[..self.depth] {
+            if mask == 0 {
+                return;
+            }
+            let carry = *plane & mask;
+            *plane ^= mask;
+            mask = carry;
+        }
+        debug_assert_eq!(mask, 0, "vertical counter overflow");
+    }
+
+    /// The lane mask of counts `≥ k`, by bitwise lexicographic comparison of every
+    /// lane's count against the constant — O(planes) word ops for all 64 lanes.
+    fn ge_mask(&self, k: usize) -> u64 {
+        if k == 0 {
+            return !0;
+        }
+        if k >> self.depth != 0 {
+            return 0; // k needs more bits than any lane's count can have
+        }
+        let mut gt = 0u64;
+        let mut eq = !0u64;
+        for i in (0..self.depth).rev() {
+            let p = self.planes[i];
+            if k >> i & 1 == 1 {
+                eq &= p;
+            } else {
+                gt |= eq & p;
+                eq &= !p;
+            }
+        }
+        gt | eq
+    }
+}
+
+/// One guarantee's predicate over the per-lane fault count, when it is a monotone
+/// prefix ("true up to a bound").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CountPredicate {
+    /// False for every count.
+    Never,
+    /// True for every count.
+    Always,
+    /// True exactly for counts `≤` the bound.
+    AtMost(usize),
+}
+
+impl CountPredicate {
+    /// The lane mask where the predicate holds.
+    fn mask(self, faults: &VerticalCounter) -> u64 {
+        match self {
+            CountPredicate::Never => 0,
+            CountPredicate::Always => !0,
+            CountPredicate::AtMost(bound) => !faults.ge_mask(bound + 1),
+        }
+    }
+}
+
+/// Classifies `table[c] = predicate(c)` as a monotone prefix, or `None` if the
+/// predicate is not monotone in the fault count.
+fn prefix_predicate(table: &[bool]) -> Option<CountPredicate> {
+    let leading_true = table.iter().take_while(|&&x| x).count();
+    if table[leading_true..].iter().any(|&x| x) {
+        return None;
+    }
+    Some(match leading_true {
+        0 => CountPredicate::Never,
+        t if t == table.len() => CountPredicate::Always,
+        t => CountPredicate::AtMost(t - 1),
+    })
+}
+
+/// Bit flags of the lookup-table plan.
+const FLAG_SAFE: u8 = 1;
+const FLAG_LIVE: u8 = 2;
+const FLAG_BOTH: u8 = 4;
+
+/// How a block's per-lane hits are evaluated.
+#[derive(Debug, Clone)]
+enum HitPlan {
+    /// Crash-only deployment with monotone counting predicates: bit-sliced
+    /// `count ≤ T` comparisons and popcounts, no per-lane work at all.
+    Thresholds {
+        safe: CountPredicate,
+        live: CountPredicate,
+        both: CountPredicate,
+    },
+    /// General case: extract each lane's `(crashed, byzantine)` pair and consult a
+    /// precomputed predicate table (`flags[c · (n + 1) + b]`).
+    Lut { flags: Vec<u8> },
+}
+
+/// One correlation group, compiled for the packed kernel.
+#[derive(Debug, Clone)]
+struct PackedGroup {
+    shock: Bound,
+    mode: NodeState,
+    members: Vec<usize>,
+}
+
+/// A counting model + failure model pair compiled into bit-sliced form. Built once
+/// per run (outside the parallel loop) and shared read-only by every chunk.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedKernel {
+    n: usize,
+    /// Per-node `(byzantine, fault)` thresholds.
+    thresholds: Vec<(Bound, Bound)>,
+    groups: Vec<PackedGroup>,
+    /// No Byzantine mass anywhere: the Byzantine lane masks are identically zero and
+    /// their counter is skipped.
+    crash_only: bool,
+    plan: HitPlan,
+}
+
+impl PackedKernel {
+    pub(crate) fn new<M: CountingModel + ?Sized>(
+        model: &M,
+        failure_model: &CorrelationModel,
+    ) -> Self {
+        let n = failure_model.len();
+        assert_eq!(
+            model.num_nodes(),
+            n,
+            "model and failure model disagree on the cluster size"
+        );
+        let thresholds: Vec<(Bound, Bound)> = failure_model
+            .profiles()
+            .iter()
+            .map(|p| {
+                (
+                    fixed_point(p.byzantine_probability()),
+                    fixed_point(p.fault_probability()),
+                )
+            })
+            .collect();
+        let groups: Vec<PackedGroup> = failure_model
+            .groups()
+            .iter()
+            .map(|g| PackedGroup {
+                shock: fixed_point(g.shock_probability),
+                mode: g.shock_mode,
+                members: g.members.clone(),
+            })
+            .collect();
+        let crash_only = thresholds.iter().all(|&(b, _)| b == Bound::Never)
+            && groups.iter().all(|g| g.mode != NodeState::Byzantine);
+        let plan = if crash_only {
+            let probe = |f: &dyn Fn(usize) -> bool| (0..=n).map(f).collect::<Vec<bool>>();
+            let safe = prefix_predicate(&probe(&|c| model.is_safe_counts(c, 0)));
+            let live = prefix_predicate(&probe(&|c| model.is_live_counts(c, 0)));
+            let both = prefix_predicate(&probe(&|c| model.is_safe_and_live_counts(c, 0)));
+            match (safe, live, both) {
+                (Some(safe), Some(live), Some(both)) => HitPlan::Thresholds { safe, live, both },
+                _ => Self::lut_plan(model, n),
+            }
+        } else {
+            Self::lut_plan(model, n)
+        };
+        Self {
+            n,
+            thresholds,
+            groups,
+            crash_only,
+            plan,
+        }
+    }
+
+    /// Precomputes `(crashed, byzantine) → {safe, live, both}` for every reachable
+    /// count pair.
+    fn lut_plan<M: CountingModel + ?Sized>(model: &M, n: usize) -> HitPlan {
+        let stride = n + 1;
+        let mut flags = vec![0u8; stride * stride];
+        for c in 0..=n {
+            for b in 0..=(n - c) {
+                let mut f = 0u8;
+                if model.is_safe_counts(c, b) {
+                    f |= FLAG_SAFE;
+                }
+                if model.is_live_counts(c, b) {
+                    f |= FLAG_LIVE;
+                }
+                if model.is_safe_and_live_counts(c, b) {
+                    f |= FLAG_BOTH;
+                }
+                flags[c * stride + b] = f;
+            }
+        }
+        HitPlan::Lut { flags }
+    }
+
+    /// Draws and tallies `count` scenarios, 64 per pass (the final pass ragged when
+    /// `count % 64 != 0`; surplus lanes are masked out of the tallies).
+    pub(crate) fn sample_chunk<R: RngCore + ?Sized>(&self, rng: &mut R, count: usize) -> HitCounts {
+        let n = self.n;
+        let mut crash = vec![0u64; n];
+        let mut byz = vec![0u64; n];
+        let mut faults = VerticalCounter::new(n);
+        let mut byz_count = VerticalCounter::new(n);
+        let mut hits = HitCounts::default();
+        let mut remaining = count;
+        while remaining > 0 {
+            let lanes = remaining.min(64);
+            let valid: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+            for (i, &(b, f)) in self.thresholds.iter().enumerate() {
+                let (byz_mask, fault_mask) = split_masks(rng, b, f);
+                byz[i] = byz_mask;
+                crash[i] = fault_mask & !byz_mask;
+            }
+            for group in &self.groups {
+                let fired = bernoulli_mask(rng, group.shock);
+                if fired == 0 {
+                    continue;
+                }
+                match group.mode {
+                    NodeState::Byzantine => {
+                        for &m in &group.members {
+                            byz[m] |= fired;
+                            crash[m] &= !fired;
+                        }
+                    }
+                    NodeState::Crashed => {
+                        for &m in &group.members {
+                            crash[m] |= fired & !byz[m];
+                        }
+                    }
+                    // Nothing constructs "repair" shocks today, but mirror the
+                    // scalar override rule (Byzantine is never downgraded) exactly.
+                    NodeState::Correct => {
+                        for &m in &group.members {
+                            crash[m] &= !fired;
+                        }
+                    }
+                }
+            }
+            let (safe_mask, live_mask, both_mask) = match &self.plan {
+                HitPlan::Thresholds { safe, live, both } => {
+                    faults.reset();
+                    for i in 0..n {
+                        faults.add(crash[i] | byz[i]);
+                    }
+                    (safe.mask(&faults), live.mask(&faults), both.mask(&faults))
+                }
+                HitPlan::Lut { flags } => {
+                    faults.reset();
+                    for &mask in &crash {
+                        faults.add(mask);
+                    }
+                    if !self.crash_only {
+                        byz_count.reset();
+                        for &mask in &byz {
+                            byz_count.add(mask);
+                        }
+                    }
+                    let stride = n + 1;
+                    let mut cp = faults.planes;
+                    let mut bp = byz_count.planes;
+                    let (cd, bd) = (faults.depth, byz_count.depth);
+                    let mut safe_mask = 0u64;
+                    let mut live_mask = 0u64;
+                    let mut both_mask = 0u64;
+                    for lane in 0..lanes {
+                        let mut c = 0usize;
+                        for (k, plane) in cp.iter_mut().enumerate().take(cd) {
+                            c |= ((*plane & 1) as usize) << k;
+                            *plane >>= 1;
+                        }
+                        let mut b = 0usize;
+                        if !self.crash_only {
+                            for (k, plane) in bp.iter_mut().enumerate().take(bd) {
+                                b |= ((*plane & 1) as usize) << k;
+                                *plane >>= 1;
+                            }
+                        }
+                        let f = flags[c * stride + b];
+                        safe_mask |= ((f & FLAG_SAFE) as u64) << lane;
+                        live_mask |= (((f & FLAG_LIVE) >> 1) as u64) << lane;
+                        both_mask |= (((f & FLAG_BOTH) >> 2) as u64) << lane;
+                    }
+                    (safe_mask, live_mask, both_mask)
+                }
+            };
+            hits.safe += (safe_mask & valid).count_ones() as usize;
+            hits.live += (live_mask & valid).count_ones() as usize;
+            hits.both += (both_mask & valid).count_ones() as usize;
+            remaining -= lanes;
+        }
+        hits
+    }
+}
+
+/// Estimates the reliability of a counting model with the bit-sliced batch kernel,
+/// 64 scenarios per pass, across the persistent thread pool.
+///
+/// Deterministic for a fixed `seed` regardless of thread count (the chunked
+/// `(seed, chunk)` scheme of [`crate::montecarlo`]); agrees with the scalar engine
+/// statistically, not bit-for-bit (different RNG stream — see the module docs).
+/// A zero sample budget saturates to one sample.
+pub fn monte_carlo_reliability_packed_par<M: CountingModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloReport {
+    let samples = samples.max(1);
+    let kernel = PackedKernel::new(model, failure_model);
+    let hits = map_sample_chunks(samples, seed, |rng, count| kernel.sample_chunk(rng, count))
+        .into_iter()
+        .fold(HitCounts::default(), std::ops::Add::add);
+    report_from_counts(hits, samples, McKernel::Packed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::counting_reliability;
+    use crate::deployment::Deployment;
+    use crate::montecarlo::MC_CHUNK_SIZE;
+    use crate::pbft_model::PbftModel;
+    use crate::raft_model::RaftModel;
+    use fault_model::correlation::CorrelationGroup;
+    use fault_model::mode::FaultProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn crash_model(n: usize, p: f64) -> CorrelationModel {
+        CorrelationModel::independent(vec![FaultProfile::crash_only(p); n])
+    }
+
+    #[test]
+    fn fixed_point_handles_the_edges() {
+        assert_eq!(fixed_point(0.0), Bound::Never);
+        assert_eq!(fixed_point(-0.1), Bound::Never);
+        assert_eq!(fixed_point(1.0), Bound::Always);
+        assert_eq!(fixed_point(0.5), Bound::Fixed(1u64 << 63));
+        // The largest f64 below 1: the threshold must stay below 2^64 (no wrap) and
+        // land within a few thousand lattice points of the top.
+        let just_below_one = f64::from_bits(1.0f64.to_bits() - 1);
+        match fixed_point(just_below_one) {
+            Bound::Fixed(t) => assert!(t > u64::MAX - 4096, "threshold {t} too far from 2^64"),
+            other => panic!("expected a Fixed bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_masks_match_their_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (p_byz, p_fault) = (0.1, 0.4);
+        let (mut byz_bits, mut fault_bits) = (0u64, 0u64);
+        const BLOCKS: u64 = 4_000;
+        for _ in 0..BLOCKS {
+            let (b, f) = split_masks(&mut rng, fixed_point(p_byz), fixed_point(p_fault));
+            assert_eq!(b & !f, 0, "byzantine lanes must be faulty lanes");
+            byz_bits += u64::from(b.count_ones());
+            fault_bits += u64::from(f.count_ones());
+        }
+        let total = (64 * BLOCKS) as f64;
+        assert!((byz_bits as f64 / total - p_byz).abs() < 0.01);
+        assert!((fault_bits as f64 / total - p_fault).abs() < 0.01);
+        // Degenerate bounds consume no randomness and give constant masks.
+        let before = rng.clone();
+        assert_eq!(split_masks(&mut rng, Bound::Never, Bound::Never), (0, 0));
+        assert_eq!(split_masks(&mut rng, Bound::Never, Bound::Always), (0, !0));
+        assert_eq!(
+            split_masks(&mut rng, Bound::Always, Bound::Always),
+            (!0, !0)
+        );
+        assert_eq!(rng, before, "degenerate bounds must not consume the stream");
+    }
+
+    #[test]
+    fn vertical_counter_matches_a_scalar_recount() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let masks: Vec<u64> = (0..11).map(|_| rng.next_u64()).collect();
+        let mut counter = VerticalCounter::new(masks.len());
+        for &m in &masks {
+            counter.add(m);
+        }
+        for lane in 0..64 {
+            let expected = masks.iter().filter(|&&m| m >> lane & 1 == 1).count();
+            let mut got = 0usize;
+            for k in 0..counter.depth {
+                got |= ((counter.planes[k] >> lane & 1) as usize) << k;
+            }
+            assert_eq!(got, expected, "lane {lane}");
+        }
+        for k in 0..=masks.len() + 1 {
+            let expected: u64 = (0..64)
+                .filter(|&lane| masks.iter().filter(|&&m| m >> lane & 1 == 1).count() >= k)
+                .fold(0, |acc, lane| acc | 1 << lane);
+            assert_eq!(counter.ge_mask(k), expected, "ge_mask({k})");
+        }
+    }
+
+    #[test]
+    fn prefix_predicates_classify_monotone_tables() {
+        assert_eq!(
+            prefix_predicate(&[true, true, false]),
+            Some(CountPredicate::AtMost(1))
+        );
+        assert_eq!(prefix_predicate(&[true; 4]), Some(CountPredicate::Always));
+        assert_eq!(prefix_predicate(&[false; 3]), Some(CountPredicate::Never));
+        assert_eq!(prefix_predicate(&[true, false, true]), None);
+    }
+
+    #[test]
+    fn crash_only_raft_uses_the_threshold_plan_and_matches_exact_counting() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.05);
+        let kernel = PackedKernel::new(&model, &crash_model(5, 0.05));
+        assert!(kernel.crash_only);
+        assert!(matches!(kernel.plan, HitPlan::Thresholds { .. }));
+        let exact = counting_reliability(&model, &deployment);
+        let report = monte_carlo_reliability_packed_par(&model, &crash_model(5, 0.05), 200_000, 11);
+        assert!(
+            report.live.contains(exact.p_live),
+            "exact {} outside [{}, {}]",
+            exact.p_live,
+            report.live.lower,
+            report.live.upper
+        );
+        assert!((report.safe.value - 1.0).abs() < 1e-12);
+        assert_eq!(report.samples, 200_000);
+    }
+
+    #[test]
+    fn mixed_mode_pbft_uses_the_lut_plan_and_matches_exact_counting() {
+        let model = PbftModel::standard(7);
+        let deployment = Deployment::uniform_mixed(7, 0.05, 0.02);
+        let target = CorrelationModel::independent(deployment.profiles().to_vec());
+        let kernel = PackedKernel::new(&model, &target);
+        assert!(!kernel.crash_only);
+        assert!(matches!(kernel.plan, HitPlan::Lut { .. }));
+        let exact = counting_reliability(&model, &deployment);
+        let report = monte_carlo_reliability_packed_par(&model, &target, 200_000, 3);
+        for (estimate, truth, what) in [
+            (report.safe, exact.p_safe, "safe"),
+            (report.live, exact.p_live, "live"),
+            (report.safe_and_live, exact.p_safe_and_live, "safe&live"),
+        ] {
+            assert!(
+                estimate.contains(truth),
+                "{what}: exact {truth} outside [{}, {}]",
+                estimate.lower,
+                estimate.upper
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_shock_probability_is_recovered() {
+        // Independent part cannot fail; the only route to losing liveness is the
+        // full-cluster crash shock, so P[live] must equal 1 − shock.
+        let shock = 0.3;
+        let target =
+            crash_model(5, 0.0).with_group(CorrelationGroup::crash_shock((0..5).collect(), shock));
+        let model = RaftModel::standard(5);
+        let report = monte_carlo_reliability_packed_par(&model, &target, 100_000, 5);
+        assert!(
+            report.live.contains(1.0 - shock),
+            "1 - shock = {} outside [{}, {}]",
+            1.0 - shock,
+            report.live.lower,
+            report.live.upper
+        );
+    }
+
+    #[test]
+    fn byzantine_shock_overrides_crash_lanes() {
+        // Every node crashes independently with certainty; a certain Byzantine shock
+        // must override all of them, so PBFT safety collapses exactly as the scalar
+        // sampler's override rule dictates (Byzantine dominates crash).
+        let target = CorrelationModel::independent(vec![FaultProfile::crash_only(1.0); 4])
+            .with_group(CorrelationGroup::byzantine_shock((0..4).collect(), 1.0));
+        let model = PbftModel::standard(4);
+        let report = monte_carlo_reliability_packed_par(&model, &target, 1_000, 2);
+        // 4 Byzantine nodes out of 4: never safe, never live.
+        assert_eq!(report.safe.value, 0.0);
+        assert_eq!(report.live.value, 0.0);
+    }
+
+    #[test]
+    fn certain_crash_probability_needs_no_randomness() {
+        let model = RaftModel::standard(3);
+        let target = crash_model(3, 1.0);
+        let report = monte_carlo_reliability_packed_par(&model, &target, 10_000, 9);
+        assert_eq!(report.live.value, 0.0, "all nodes always crash");
+        assert_eq!(report.safe.value, 1.0, "crashes never violate safety");
+    }
+
+    #[test]
+    fn ragged_tail_blocks_are_masked_not_dropped() {
+        let model = RaftModel::standard(9);
+        let target = crash_model(9, 0.08);
+        // Neither a multiple of 64 nor of the chunk size.
+        let samples = 2 * MC_CHUNK_SIZE + 77;
+        let report = monte_carlo_reliability_packed_par(&model, &target, samples, 21);
+        assert_eq!(report.samples, samples);
+        let exact = counting_reliability(&model, &Deployment::uniform_crash(9, 0.08));
+        assert!(report.live.contains(exact.p_live));
+    }
+
+    #[test]
+    fn packed_kernel_is_bit_identical_across_thread_counts() {
+        let model = PbftModel::standard(7);
+        let target = CorrelationModel::independent(
+            (0..7)
+                .map(|i| FaultProfile::new(0.02 * (i % 3) as f64, 0.01))
+                .collect(),
+        )
+        .with_group(CorrelationGroup::byzantine_shock(vec![0, 1, 2], 0.005))
+        .with_group(CorrelationGroup::crash_shock(vec![3, 4, 5, 6], 0.01));
+        let samples = 3 * MC_CHUNK_SIZE + 17;
+        let reference = monte_carlo_reliability_packed_par(&model, &target, samples, 42);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let report =
+                pool.install(|| monte_carlo_reliability_packed_par(&model, &target, samples, 42));
+            assert_eq!(report, reference, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn zero_sample_budget_saturates_to_one_sample() {
+        let model = RaftModel::standard(3);
+        let report = monte_carlo_reliability_packed_par(&model, &crash_model(3, 0.1), 0, 1);
+        assert_eq!(report.samples, 1);
+        for e in [report.safe, report.live, report.safe_and_live] {
+            assert!(e.value.is_finite() && 0.0 <= e.lower && e.upper <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the cluster size")]
+    fn size_mismatch_panics() {
+        let model = RaftModel::standard(3);
+        monte_carlo_reliability_packed_par(&model, &crash_model(4, 0.1), 10, 1);
+    }
+}

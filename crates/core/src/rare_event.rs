@@ -334,23 +334,29 @@ impl Proposal {
     }
 }
 
-/// One weighted draw from the defensive mixture: the final failure configuration
-/// (after shock overrides), its importance weight `p/m`, and which shocks fired
-/// (needed by the pilot's CE update).
-fn draw_weighted<R: Rng + ?Sized>(
+/// One weighted draw from the defensive mixture, written into a caller-provided
+/// scratch configuration (the tilted counterpart of
+/// [`CorrelationModel::sample_into`] — the estimator loops are allocation-free, one
+/// scratch buffer per work chunk). Returns the importance weight `p/m`; which shocks
+/// fired (needed by the pilot's CE update) lands in `fired`.
+fn draw_weighted_into<R: Rng + ?Sized>(
     target: &CorrelationModel,
     proposal: &Proposal,
     rng: &mut R,
     fired: &mut Vec<bool>,
-) -> (FailureConfig, f64) {
+    config: &mut FailureConfig,
+) -> f64 {
     let beta = DEFENSIVE_TARGET_FRACTION;
     let from_target = rng.gen::<f64>() < beta;
     // `ratio` accumulates q(x)/p(x) over the latent factors. An overflow to ∞ means
     // the true weight underflows f64 — the sample contributes (correctly) nothing —
     // and an underflow to 0 correctly saturates the weight at its bound 1/β.
     let mut ratio = 1.0f64;
-    let mut states: Vec<NodeState> = Vec::with_capacity(target.len());
-    for (p, q) in target.profiles().iter().zip(&proposal.profiles) {
+    let states = config.states_mut();
+    for (slot, (p, q)) in states
+        .iter_mut()
+        .zip(target.profiles().iter().zip(&proposal.profiles))
+    {
         let d = if from_target { p } else { q };
         let u: f64 = rng.gen();
         let state = if u < d.byzantine_probability() {
@@ -361,7 +367,7 @@ fn draw_weighted<R: Rng + ?Sized>(
             NodeState::Correct
         };
         ratio *= q.probability_of(state) / p.probability_of(state);
-        states.push(state);
+        *slot = state;
     }
     fired.clear();
     for (group, &q_shock) in target.groups().iter().zip(&proposal.shocks) {
@@ -376,7 +382,8 @@ fn draw_weighted<R: Rng + ?Sized>(
         if shock {
             for &m in &group.members {
                 states[m] = match (states[m], group.shock_mode) {
-                    // Mirrors `CorrelationModel::sample`: Byzantine never downgrades.
+                    // Mirrors `CorrelationModel::sample_into`: Byzantine never
+                    // downgrades.
                     (NodeState::Byzantine, _) => NodeState::Byzantine,
                     (_, mode) => mode,
                 };
@@ -384,8 +391,7 @@ fn draw_weighted<R: Rng + ?Sized>(
         }
         fired.push(shock);
     }
-    let weight = 1.0 / (beta + (1.0 - beta) * ratio);
-    (FailureConfig::new(states), weight)
+    1.0 / (beta + (1.0 - beta) * ratio)
 }
 
 /// Per-chunk weighted tallies of the final estimator. Folded sequentially in chunk
@@ -427,8 +433,9 @@ fn estimator_chunk<M: ProtocolModel + ?Sized>(
 ) -> WeightedTally {
     let mut tally = WeightedTally::default();
     let mut fired = Vec::with_capacity(target.groups().len());
+    let mut config = FailureConfig::all_correct(target.len());
     for _ in 0..count {
-        let (config, w) = draw_weighted(target, proposal, rng, &mut fired);
+        let w = draw_weighted_into(target, proposal, rng, &mut fired, &mut config);
         let safe = model.is_safe(&config);
         let live = model.is_live(&config);
         let w2 = w * w;
@@ -495,8 +502,9 @@ fn pilot_chunk<M: ProtocolModel + ?Sized>(
 ) -> PilotTally {
     let mut tally = PilotTally::new(target);
     let mut fired = Vec::with_capacity(target.groups().len());
+    let mut config = FailureConfig::all_correct(target.len());
     for _ in 0..count {
-        let (config, _w) = draw_weighted(target, proposal, rng, &mut fired);
+        draw_weighted_into(target, proposal, rng, &mut fired, &mut config);
         if model.is_safe(&config) && model.is_live(&config) {
             continue;
         }
@@ -622,8 +630,9 @@ pub fn naive_failure_estimate(
     let target = scenario.to_correlation_model();
     let mut rng = StdRng::seed_from_u64(chunk_seed(budget.seed, SELECTOR_SEED_TAG));
     let mut hits = 0usize;
+    let mut config = FailureConfig::all_correct(target.len());
     for _ in 0..SELECTOR_PILOT_SAMPLES {
-        let config = FailureConfig::new(target.sample(&mut rng));
+        target.sample_into(config.states_mut(), &mut rng);
         if !(model.is_safe(&config) && model.is_live(&config)) {
             hits += 1;
         }

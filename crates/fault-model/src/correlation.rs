@@ -53,6 +53,10 @@ impl CorrelationGroup {
 pub struct CorrelationModel {
     profiles: Vec<FaultProfile>,
     groups: Vec<CorrelationGroup>,
+    /// Per-group membership bitsets (`membership[g][i / 64] >> (i % 64) & 1`), built
+    /// once in [`CorrelationModel::with_group`] so per-node membership tests are O(1)
+    /// word ops instead of `Vec::contains` scans in the analysis inner loops.
+    membership: Vec<Box<[u64]>>,
 }
 
 impl CorrelationModel {
@@ -61,6 +65,7 @@ impl CorrelationModel {
         Self {
             profiles,
             groups: Vec::new(),
+            membership: Vec::new(),
         }
     }
 
@@ -70,8 +75,21 @@ impl CorrelationModel {
             group.members.iter().all(|&m| m < self.profiles.len()),
             "group member index out of range"
         );
+        let mut bits = vec![0u64; self.profiles.len().div_ceil(64)].into_boxed_slice();
+        for &m in &group.members {
+            bits[m / 64] |= 1u64 << (m % 64);
+        }
+        self.membership.push(bits);
         self.groups.push(group);
         self
+    }
+
+    /// The membership bitset of group `g` (little-endian words over node indices).
+    /// Internal: the bitsets back [`CorrelationModel::marginal_fault_probabilities`]
+    /// and the tests; samplers iterate the member lists directly.
+    #[cfg(test)]
+    fn group_member_bits(&self, g: usize) -> &[u64] {
+        &self.membership[g]
     }
 
     /// Number of nodes in the model.
@@ -105,8 +123,8 @@ impl CorrelationModel {
         (0..self.profiles.len())
             .map(|i| {
                 let mut survive = self.profiles[i].correct_probability();
-                for g in &self.groups {
-                    if g.members.contains(&i) {
+                for (g, bits) in self.groups.iter().zip(&self.membership) {
+                    if bits[i / 64] >> (i % 64) & 1 == 1 {
                         survive *= 1.0 - g.shock_probability;
                     }
                 }
@@ -115,26 +133,30 @@ impl CorrelationModel {
             .collect()
     }
 
-    /// Samples one joint failure configuration.
+    /// Samples one joint failure configuration into a caller-provided buffer,
+    /// allocation-free. This is the Monte Carlo hot path: the scalar sampling engine
+    /// reuses one scratch buffer per work chunk (see `prob-consensus`'s
+    /// `montecarlo` module).
     ///
     /// Each node first draws its independent outcome from its profile; each correlation
     /// group then fires independently with its shock probability and overrides its
     /// members' states (Byzantine shocks dominate crash outcomes).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<NodeState> {
-        let mut states: Vec<NodeState> = self
-            .profiles
-            .iter()
-            .map(|p| {
-                let u: f64 = rng.gen();
-                if u < p.byzantine_probability() {
-                    NodeState::Byzantine
-                } else if u < p.fault_probability() {
-                    NodeState::Crashed
-                } else {
-                    NodeState::Correct
-                }
-            })
-            .collect();
+    pub fn sample_into<R: Rng + ?Sized>(&self, states: &mut [NodeState], rng: &mut R) {
+        assert_eq!(
+            states.len(),
+            self.profiles.len(),
+            "scratch buffer and model disagree on the cluster size"
+        );
+        for (slot, p) in states.iter_mut().zip(&self.profiles) {
+            let u: f64 = rng.gen();
+            *slot = if u < p.byzantine_probability() {
+                NodeState::Byzantine
+            } else if u < p.fault_probability() {
+                NodeState::Crashed
+            } else {
+                NodeState::Correct
+            };
+        }
         for g in &self.groups {
             if rng.gen::<f64>() < g.shock_probability {
                 for &m in &g.members {
@@ -146,6 +168,13 @@ impl CorrelationModel {
                 }
             }
         }
+    }
+
+    /// Samples one joint failure configuration (allocating; see
+    /// [`CorrelationModel::sample_into`] for the reusable-buffer form).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<NodeState> {
+        let mut states = vec![NodeState::Correct; self.profiles.len()];
+        self.sample_into(&mut states, rng);
         states
     }
 
@@ -159,10 +188,11 @@ impl CorrelationModel {
         rng: &mut R,
     ) -> f64 {
         assert!(samples > 0);
+        let mut scratch = vec![NodeState::Correct; self.profiles.len()];
         let mut hits = 0usize;
         for _ in 0..samples {
-            let faulty = self.sample(rng).iter().filter(|s| s.is_faulty()).count();
-            if faulty >= k {
+            self.sample_into(&mut scratch, rng);
+            if scratch.iter().filter(|s| s.is_faulty()).count() >= k {
                 hits += 1;
             }
         }
@@ -247,5 +277,65 @@ mod tests {
     fn rejects_out_of_range_members() {
         CorrelationModel::independent(uniform(2, 0.01))
             .with_group(CorrelationGroup::crash_shock(vec![5], 0.1));
+    }
+
+    #[test]
+    fn membership_bitsets_match_the_member_lists() {
+        // 70 nodes straddles a bitset word boundary.
+        let model = CorrelationModel::independent(uniform(70, 0.01))
+            .with_group(CorrelationGroup::crash_shock(vec![0, 63, 64, 69], 0.1))
+            .with_group(CorrelationGroup::byzantine_shock(vec![1, 2, 65], 0.05));
+        for (g, group) in model.groups().iter().enumerate() {
+            let bits = model.group_member_bits(g);
+            for i in 0..model.len() {
+                let in_bits = bits[i / 64] >> (i % 64) & 1 == 1;
+                assert_eq!(
+                    in_bits,
+                    group.members.contains(&i),
+                    "group {g} node {i}: bitset disagrees with the member list"
+                );
+            }
+        }
+        // The bitset-backed marginals match a naive contains-based computation.
+        let naive: Vec<f64> = (0..model.len())
+            .map(|i| {
+                let mut survive = model.profiles()[i].correct_probability();
+                for g in model.groups() {
+                    if g.members.contains(&i) {
+                        survive *= 1.0 - g.shock_probability;
+                    }
+                }
+                1.0 - survive
+            })
+            .collect();
+        for (a, b) in model.marginal_fault_probabilities().iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sample_into_matches_sample_for_a_shared_seed() {
+        let model = CorrelationModel::independent(uniform(9, 0.1))
+            .with_group(CorrelationGroup::crash_shock(vec![0, 1, 2], 0.05))
+            .with_group(CorrelationGroup::byzantine_shock(vec![3, 4], 0.02));
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let mut scratch = vec![NodeState::Correct; 9];
+        for _ in 0..200 {
+            let allocated = model.sample(&mut rng_a);
+            model.sample_into(&mut scratch, &mut rng_b);
+            assert_eq!(
+                allocated, scratch,
+                "the two sampling paths share one stream"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the cluster size")]
+    fn sample_into_rejects_a_mis_sized_buffer() {
+        let model = CorrelationModel::independent(uniform(3, 0.1));
+        let mut scratch = vec![NodeState::Correct; 4];
+        model.sample_into(&mut scratch, &mut StdRng::seed_from_u64(1));
     }
 }

@@ -97,7 +97,21 @@ fn format_nanos(nanos: f64) -> String {
     }
 }
 
+/// Whether `full_id` matches the benchmark name filters passed on the command line
+/// (`cargo bench -p bench -- <filter>...`), mirroring criterion's substring filter.
+/// No non-flag arguments means "run everything".
+fn matches_filter(full_id: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| full_id.contains(f.as_str()))
+}
+
 fn run_one(full_id: &str, time_budget: Duration, f: impl FnOnce(&mut Bencher<'_>)) {
+    if !matches_filter(full_id) {
+        return;
+    }
     let mut samples = Vec::new();
     f(&mut Bencher {
         samples: &mut samples,

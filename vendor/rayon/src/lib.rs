@@ -1,19 +1,43 @@
 //! Vendored, API-compatible subset of the `rayon` crate.
 //!
 //! The workspace builds in an offline container, so the slice of rayon the Monte Carlo
-//! engine and the benches use is reimplemented on plain `std::thread::scope`:
-//! `into_par_iter()` on ranges, vectors and slices, the `map` / `reduce` / `sum` /
-//! `collect` adaptors, and a minimal [`ThreadPoolBuilder`] whose `install` scopes a
-//! thread count (used by the determinism-across-thread-counts tests).
+//! engine and the benches use is reimplemented here: `into_par_iter()` on ranges,
+//! vectors and slices, the `map` / `reduce` / `sum` / `collect` adaptors, and a
+//! minimal [`ThreadPoolBuilder`] whose `install` scopes a thread count (used by the
+//! determinism-across-thread-counts tests).
 //!
-//! The execution model is deliberately simple: `map` is an *eager parallel* step — the
-//! input items are split into one contiguous block per worker thread, each block is
-//! mapped on its own thread, and the outputs are reassembled in input order. Downstream
-//! `reduce` / `sum` / `collect` then run sequentially over the already-computed values.
-//! That preserves rayon's observable semantics for the deterministic workloads in this
+//! # Execution model
+//!
+//! `map` is an *eager parallel* step: the input items are split into chunk tasks, the
+//! tasks are executed by a **lazily-initialized persistent worker pool** (see
+//! [`pool`]), and the outputs are reassembled in input order. Downstream `reduce` /
+//! `sum` / `collect` then run sequentially over the already-computed values. That
+//! preserves rayon's observable semantics for the deterministic workloads in this
 //! repository (order-preserving `collect`, order-independent `reduce`) while keeping
-//! the heavy per-item closures — the only part worth parallelising here — off a single
-//! core.
+//! the heavy per-item closures off a single core — and, unlike the previous
+//! `std::thread::scope` shim, without paying a `clone(2)`/`join` pair per worker per
+//! parallel call on the sampling hot path.
+//!
+//! # The persistent pool
+//!
+//! Workers are OS threads spawned once, on first use, and parked on a condition
+//! variable when idle. Work distribution follows rayon's shape at chunk granularity:
+//! a **shared injector queue** receives jobs submitted from outside the pool,
+//! **per-worker deques** receive jobs submitted by a worker (nested parallelism), and
+//! idle workers **steal**: own deque first (LIFO, for locality), then the injector,
+//! then the other workers' deques (FIFO, oldest chunk first). The queues are
+//! mutex-protected — chunk tasks in this repository are thousands of Monte Carlo
+//! samples each, so lock traffic is nanoseconds against hundreds of microseconds of
+//! work, and the simplicity keeps the shim auditable.
+//!
+//! The submitting thread never blocks idly: it executes chunk tasks itself while its
+//! job is unfinished ("caller helps"), which is also what makes nested parallel calls
+//! deadlock-free — a worker that submits a sub-job can always finish that sub-job
+//! alone even if every other worker is busy.
+//!
+//! Panics inside a task are caught on the worker, stored on the job, and re-thrown on
+//! the submitting thread once the job completes, so a panicking closure behaves as it
+//! would under `std::thread::scope` (and workers survive to serve the next job).
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
@@ -23,13 +47,233 @@ thread_local! {
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// The number of worker threads parallel iterators will use on this thread.
+/// The number of worker threads the machine defaults to (the persistent pool's size).
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The number of worker threads parallel iterators will split work for on this
+/// thread: the count pinned by the innermost active [`ThreadPool::install`], or the
+/// persistent pool's size (one worker per hardware thread) outside any `install`.
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|n| n.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    POOL_THREADS
+        .with(|n| n.get())
+        .unwrap_or_else(default_num_threads)
+}
+
+mod pool {
+    //! The lazily-initialized persistent worker pool.
+
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// How a job's chunk closure is stored: a type-erased pointer to the caller's
+    /// stack closure. Soundness: [`execute`] does not return until every chunk has
+    /// finished running, so the pointee outlives every dereference; after the last
+    /// decrement the pointer may dangle inside a still-alive [`Job`], but it is never
+    /// dereferenced again.
+    struct RunnerPtr(*const (dyn Fn(usize) + Sync));
+
+    unsafe impl Send for RunnerPtr {}
+    unsafe impl Sync for RunnerPtr {}
+
+    /// One parallel job: `runner(i)` computes chunk `i`.
+    struct Job {
+        runner: RunnerPtr,
+        /// Chunks not yet completed; guarded so the submitter can sleep on `done`.
+        remaining: Mutex<usize>,
+        done: Condvar,
+        /// First panic payload raised by any chunk, re-thrown by the submitter.
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    /// One claimable unit of work: chunk `index` of `job`.
+    struct Task {
+        job: Arc<Job>,
+        index: usize,
+    }
+
+    impl Task {
+        /// Runs the chunk, records a panic if one escapes, and retires the task.
+        fn run(self) {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: `execute` keeps the closure alive until `remaining` hits
+                // zero, which cannot happen before this call returns.
+                (unsafe { &*self.job.runner.0 })(self.index)
+            }));
+            if let Err(payload) = result {
+                let mut slot = self.job.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            let mut remaining = self.job.remaining.lock().unwrap();
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.job.done.notify_all();
+            }
+        }
+    }
+
+    /// The shared pool state: injector, per-worker deques, and the idle-worker park.
+    struct Pool {
+        /// Jobs submitted from outside the pool land here.
+        injector: Mutex<VecDeque<Task>>,
+        /// Jobs submitted *by* worker `w` (nested parallelism) land in `deques[w]`.
+        deques: Vec<Mutex<VecDeque<Task>>>,
+        /// Generation counter bumped on every push; idle workers wait for it to move.
+        generation: Mutex<u64>,
+        wake: Condvar,
+    }
+
+    thread_local! {
+        /// The index of this thread inside the pool, if it is a pool worker.
+        static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+            const { std::cell::Cell::new(None) };
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    /// The persistent pool, spawning its workers on first use.
+    fn global() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let size = super::default_num_threads();
+            let pool = Pool {
+                injector: Mutex::new(VecDeque::new()),
+                deques: (0..size).map(|_| Mutex::new(VecDeque::new())).collect(),
+                generation: Mutex::new(0),
+                wake: Condvar::new(),
+            };
+            for index in 0..size {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-worker-{index}"))
+                    .spawn(move || worker_main(index))
+                    .expect("spawning a pool worker");
+            }
+            pool
+        })
+    }
+
+    /// Claims one task: own deque newest-first when called from worker `own`, then
+    /// the injector, then the other deques oldest-first.
+    fn claim_task(pool: &Pool, own: Option<usize>) -> Option<Task> {
+        if let Some(w) = own {
+            if let Some(task) = pool.deques[w].lock().unwrap().pop_back() {
+                return Some(task);
+            }
+        }
+        if let Some(task) = pool.injector.lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        let start = own.map_or(0, |w| w + 1);
+        let n = pool.deques.len();
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == own {
+                continue;
+            }
+            if let Some(task) = pool.deques[victim].lock().unwrap().pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// A pool worker: claim tasks until none remain, then park until new work is
+    /// pushed.
+    fn worker_main(index: usize) {
+        WORKER_INDEX.with(|w| w.set(Some(index)));
+        let pool = global();
+        loop {
+            if let Some(task) = claim_task(pool, Some(index)) {
+                task.run();
+                continue;
+            }
+            let mut generation = pool.generation.lock().unwrap();
+            let seen = *generation;
+            // Re-check under the generation lock: a push between the failed claim
+            // and this point bumped the generation, so the wait below falls through.
+            if let Some(task) = claim_task(pool, Some(index)) {
+                drop(generation);
+                task.run();
+                continue;
+            }
+            while *generation == seen {
+                generation = pool.wake.wait(generation).unwrap();
+            }
+        }
+    }
+
+    /// Runs `runner(0..chunks)` across the persistent pool, blocking until every
+    /// chunk has completed. The calling thread executes chunks too while it waits.
+    ///
+    /// Panics raised by any chunk are re-thrown here once the job has fully retired
+    /// (so no chunk can still be borrowing the closure when the stack unwinds).
+    pub fn execute(chunks: usize, runner: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        if chunks == 1 {
+            runner(0);
+            return;
+        }
+        let pool = global();
+        // SAFETY: see `RunnerPtr` — this function does not return (or unwind) until
+        // `remaining` reaches zero, i.e. until no task can touch the pointer again.
+        // The transmute only erases the reference's lifetime into the raw pointer.
+        let runner: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(runner)
+        };
+        let job = Arc::new(Job {
+            runner: RunnerPtr(runner),
+            remaining: Mutex::new(chunks),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let own = WORKER_INDEX.with(|w| w.get());
+        {
+            // Nested submissions go to the submitting worker's own deque (it will
+            // pop them newest-first); outside submissions go to the shared injector.
+            let queue = match own {
+                Some(w) => &pool.deques[w],
+                None => &pool.injector,
+            };
+            let mut queue = queue.lock().unwrap();
+            for index in 0..chunks {
+                queue.push_back(Task {
+                    job: Arc::clone(&job),
+                    index,
+                });
+            }
+        }
+        {
+            let mut generation = pool.generation.lock().unwrap();
+            *generation += 1;
+        }
+        pool.wake.notify_all();
+
+        // Caller helps: run tasks (its own job's chunks, or — rarely — another
+        // concurrent job's, which still makes global progress) until nothing is
+        // claimable, then sleep until the job retires.
+        loop {
+            if *job.remaining.lock().unwrap() == 0 {
+                break;
+            }
+            if let Some(task) = claim_task(pool, own) {
+                task.run();
+                continue;
+            }
+            let mut remaining = job.remaining.lock().unwrap();
+            while *remaining > 0 {
+                remaining = job.done.wait(remaining).unwrap();
+            }
+        }
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 /// Error type returned by [`ThreadPoolBuilder::build`] (the shim cannot fail).
@@ -46,19 +290,22 @@ impl std::error::Error for ThreadPoolBuildError {}
 
 /// A scoped thread-count configuration, mirroring `rayon::ThreadPool`.
 ///
-/// The shim does not keep persistent worker threads; `install` simply pins the thread
-/// count that parallel iterators on this thread will split work into, which is exactly
-/// what the determinism tests need.
+/// The shim executes on one global persistent worker pool; `install` pins the count
+/// that parallel iterators on this thread *split work into*, which is exactly what
+/// the determinism-across-thread-counts tests need, while execution stays on the
+/// shared workers (plus the calling thread).
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `op` with this pool's thread count in effect.
+    /// Runs `op` with this pool's thread count in effect:
+    /// [`current_num_threads`] reports this pool's size for the duration of the
+    /// call, nested `install`s included.
     ///
-    /// The previous thread count is restored even if `op` panics (as with real rayon,
-    /// `install`'s effect ends with the call).
+    /// The previous thread count is restored even if `op` panics (as with real
+    /// rayon, `install`'s effect ends with the call).
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
         struct Restore(Option<usize>);
         impl Drop for Restore {
@@ -102,34 +349,46 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// Applies `f` to every item of `items` using up to [`current_num_threads`] scoped
-/// threads, returning outputs in input order.
+/// Chunk tasks created per splitting thread: a few per thread so the stealing pool
+/// can rebalance ragged per-item costs without making tasks too fine.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Applies `f` to every item of `items` across the persistent pool, returning
+/// outputs in input order.
 fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    use std::sync::Mutex;
+
     let threads = current_num_threads().max(1);
-    if threads == 1 || items.len() <= 1 {
+    let len = items.len();
+    if threads == 1 || len <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut blocks: Vec<Vec<T>> = Vec::new();
+    let chunk_len = len.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let mut blocks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(len.div_ceil(chunk_len));
     let mut items = items;
     while !items.is_empty() {
         let rest = items.split_off(items.len().min(chunk_len));
-        blocks.push(std::mem::replace(&mut items, rest));
+        blocks.push(Mutex::new(Some(std::mem::replace(&mut items, rest))));
     }
+    let slots: Vec<Mutex<Option<Vec<U>>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
     let f = &f;
-    let mut outputs: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = blocks
-            .into_iter()
-            .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon shim worker panicked"))
-            .collect()
+    pool::execute(blocks.len(), &|index| {
+        let block = blocks[index]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("each chunk task claims its block exactly once");
+        let out: Vec<U> = block.into_iter().map(f).collect();
+        *slots[index].lock().unwrap() = Some(out);
     });
-    let mut out = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
-    for block in &mut outputs {
-        out.append(block);
+    let mut out = Vec::with_capacity(len);
+    for slot in slots {
+        out.append(
+            &mut slot
+                .into_inner()
+                .unwrap()
+                .expect("every chunk completed before execute returned"),
+        );
     }
     out
 }
@@ -161,8 +420,8 @@ pub mod iter {
         fn par_iter(&'data self) -> Self::Iter;
     }
 
-    /// The shim's parallel iterator: a materialised item list whose `map` step runs on
-    /// scoped threads.
+    /// The shim's parallel iterator: a materialised item list whose `map` step runs
+    /// on the persistent pool.
     pub struct ParIter<T: Send> {
         items: Vec<T>,
     }
@@ -296,6 +555,8 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::ThreadPoolBuilder;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
 
     #[test]
     fn map_preserves_order() {
@@ -340,6 +601,32 @@ mod tests {
         }
     }
 
+    /// Regression test: `current_num_threads()` inside `install` must report the
+    /// *installed pool's* size — not the persistent pool's worker count, not
+    /// `available_parallelism`, and not a stale outer pin — and nested installs must
+    /// shadow and restore correctly.
+    #[test]
+    fn current_num_threads_reports_installed_pool_size() {
+        let ambient = super::current_num_threads();
+        let outer = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let (inside_outer, inside_inner, back_in_outer) = outer.install(|| {
+            let a = super::current_num_threads();
+            let b = inner.install(super::current_num_threads);
+            let c = super::current_num_threads();
+            (a, b, c)
+        });
+        assert_eq!(inside_outer, 7, "install must pin its own size");
+        assert_eq!(inside_inner, 3, "nested install must shadow the outer pin");
+        assert_eq!(back_in_outer, 7, "leaving the nested install must restore");
+        assert_eq!(
+            super::current_num_threads(),
+            ambient,
+            "leaving install entirely must restore the ambient count"
+        );
+        assert_eq!(outer.current_num_threads(), 7);
+    }
+
     #[test]
     fn install_restores_thread_count_after_a_panic() {
         let outer = super::current_num_threads();
@@ -356,6 +643,33 @@ mod tests {
     }
 
     #[test]
+    fn panic_in_parallel_closure_propagates_to_the_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..64usize)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 33 {
+                            panic!("chunk exploded");
+                        }
+                        x
+                    })
+                    .collect::<Vec<_>>()
+            })
+        }));
+        let payload = caught.expect_err("the chunk panic must reach the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(message, "chunk exploded");
+        // The pool survives a panicking job and serves the next one.
+        let ok: Vec<usize> = pool.install(|| (0..64usize).into_par_iter().map(|x| x).collect());
+        assert_eq!(ok.len(), 64);
+    }
+
+    #[test]
     fn results_identical_across_thread_counts() {
         let reference: Vec<usize> = (0..257usize).into_par_iter().map(|x| x * 3).collect();
         for threads in [1usize, 2, 3, 5, 16] {
@@ -367,5 +681,62 @@ mod tests {
                 pool.install(|| (0..257usize).into_par_iter().map(|x| x * 3).collect());
             assert_eq!(got, reference);
         }
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        // A parallel map whose closure itself runs a parallel map: the inner jobs
+        // are submitted from pool workers (or the helping caller) and must complete
+        // without deadlock because every submitter can run its own chunks.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    (0..100usize)
+                        .into_par_iter()
+                        .map(|j| i * 100 + j)
+                        .sum::<usize>()
+                })
+                .collect()
+        });
+        let expected: Vec<usize> = (0..8)
+            .map(|i| (0..100).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn work_executes_on_persistent_named_workers() {
+        // With more splitting threads than the caller and per-chunk sleeps, the
+        // parked pool workers must wake up and take chunks; their thread names
+        // prove the persistent pool (not ad-hoc scoped threads) ran the work.
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let mut worker_names = BTreeSet::new();
+        for _attempt in 0..3 {
+            let names = Mutex::new(BTreeSet::new());
+            pool.install(|| {
+                (0..32usize).into_par_iter().for_each(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    if let Some(name) = std::thread::current().name() {
+                        names.lock().unwrap().insert(name.to_string());
+                    }
+                });
+            });
+            worker_names.extend(
+                names
+                    .into_inner()
+                    .unwrap()
+                    .into_iter()
+                    .filter(|n| n.starts_with("rayon-shim-worker-")),
+            );
+            if !worker_names.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            !worker_names.is_empty(),
+            "no chunk ever ran on a persistent pool worker"
+        );
     }
 }
