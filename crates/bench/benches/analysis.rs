@@ -176,6 +176,24 @@ fn bench_rare_event(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep(c: &mut Criterion) {
+    // The sweep-amortization headline: the same correlated, packed-kernel-eligible
+    // grid of cells (a convergence sweep over the sample budget), run as one
+    // planned batch vs. as a naive per-cell front-door loop. The planned batch
+    // runs the rare-event selector pilot and compiles the packed kernel once per
+    // (model, scenario) group where the naive loop pays per cell; results are
+    // bit-identical (asserted by the bench crate's tests). `repro --bench` records
+    // the ratio as `sweep_amortization_speedup` in BENCH_analysis.json.
+    let mut group = c.benchmark_group("sweep");
+    group.bench_function(bench::SWEEP_NAIVE_ID.trim_start_matches("sweep/"), |b| {
+        b.iter(bench::sweep_naive_loop)
+    });
+    group.bench_function(bench::SWEEP_PLANNED_ID.trim_start_matches("sweep/"), |b| {
+        b.iter(bench::sweep_planned_batch)
+    });
+    group.finish();
+}
+
 fn bench_auto_selection(c: &mut Criterion) {
     // analyze_auto routes through the engine registry; its overhead over calling the
     // counting engine directly should be negligible.
@@ -231,6 +249,7 @@ criterion_group!(
     bench_monte_carlo,
     bench_packed_vs_scalar,
     bench_rare_event,
+    bench_sweep,
     bench_auto_selection,
     bench_fault_count_distribution,
     bench_paper_tables

@@ -16,11 +16,14 @@ use prob_consensus::cost::{cost_equivalence, default_catalogue, CostEquivalence}
 use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::{durability_claim, DurabilityClaim, PersistenceQuorumModel};
 use prob_consensus::dynamic_quorum::{smallest_raft_quorums, trigger_quorum_comparison};
-use prob_consensus::engine::{AnalysisEngine, Budget, EngineChoice, Scenario};
+use prob_consensus::engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario};
 use prob_consensus::heterogeneity::{heterogeneity_analysis, HeterogeneityAnalysis};
 use prob_consensus::leader::{leader_failure_probability, LeaderPolicy};
 use prob_consensus::montecarlo::{monte_carlo_independent_par, McKernel};
 use prob_consensus::pbft_model::PbftModel;
+use prob_consensus::query::{
+    AnalysisReport, AnalysisSession, CellRecord, CorrelationSpec, FaultAxis, ProtocolSpec, Query,
+};
 use prob_consensus::raft_model::RaftModel;
 use prob_consensus::report::{percent, Table};
 use prob_consensus::timevarying::{reliability_trajectory, summarize};
@@ -36,7 +39,18 @@ use consensus_sim::network::NetworkConfig;
 use consensus_sim::time::SimTime;
 
 /// Experiment `table1`: PBFT reliability at uniform p_u = 1% (Table 1 of the paper).
+/// The N sweep runs as one planned batch through the query API.
 pub fn table1() -> Table {
+    let session = AnalysisSession::new();
+    let report = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Pbft])
+                .nodes([4usize, 5, 7, 8])
+                .fault_probs([0.01])
+                .faults(FaultAxis::Byzantine),
+        )
+        .expect("well-formed Table 1 sweep");
     let mut table = Table::new(
         "Table 1: PBFT reliability, uniform p_u = 1%",
         &[
@@ -50,47 +64,54 @@ pub fn table1() -> Table {
             "Safe and Live %",
         ],
     );
-    for n in [4usize, 5, 7, 8] {
-        let model = PbftModel::standard(n);
-        let report = analyze_auto(
-            &model,
-            &Deployment::uniform_byzantine(n, 0.01),
-            &Budget::default(),
-        )
-        .report;
+    for cell in report.cells() {
+        let model = PbftModel::standard(cell.nodes);
         table.push_row(vec![
-            n.to_string(),
+            cell.nodes.to_string(),
             model.q_eq().to_string(),
             model.q_per().to_string(),
             model.q_vc().to_string(),
             model.q_vc_t().to_string(),
-            report.safe.as_percent(),
-            report.live.as_percent(),
-            report.safe_and_live.as_percent(),
+            cell.outcome.report.safe.as_percent(),
+            cell.outcome.report.live.as_percent(),
+            cell.outcome.report.safe_and_live.as_percent(),
         ]);
     }
     table
 }
 
 /// Experiment `table2`: Raft reliability for uniform node failure p_u (Table 2).
+/// The N × p grid runs as one planned batch through the query API.
 pub fn table2() -> Table {
+    const NS: [usize; 4] = [3, 5, 7, 9];
+    const PS: [f64; 4] = [0.01, 0.02, 0.04, 0.08];
+    let session = AnalysisSession::new();
+    let report = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes(NS)
+                .fault_probs(PS),
+        )
+        .expect("well-formed Table 2 sweep");
     let mut table = Table::new(
         "Table 2: Raft reliability for uniform node failure p_u",
         &[
             "N", "|Q_per|", "|Q_vc|", "S&L p=1%", "S&L p=2%", "S&L p=4%", "S&L p=8%",
         ],
     );
-    for n in [3usize, 5, 7, 9] {
+    for (i, n) in NS.into_iter().enumerate() {
         let model = RaftModel::standard(n);
         let mut row = vec![
             n.to_string(),
             model.q_per().to_string(),
             model.q_vc().to_string(),
         ];
-        for p in [0.01, 0.02, 0.04, 0.08] {
-            let report =
-                analyze_auto(&model, &Deployment::uniform_crash(n, p), &Budget::default()).report;
-            row.push(report.safe_and_live.as_percent());
+        // Grid cells are in axis-nesting order: the p-axis is the inner loop.
+        for j in 0..PS.len() {
+            let cell = report.cell(i * PS.len() + j);
+            debug_assert_eq!(cell.nodes, n);
+            row.push(cell.outcome.report.safe_and_live.as_percent());
         }
         table.push_row(row);
     }
@@ -326,13 +347,8 @@ fn mc_equivalent_samples(p: f64, half_width: f64) -> f64 {
     z * z * p * (1.0 - p) / (half_width * half_width)
 }
 
-fn durability_cell(
-    model: &PersistenceQuorumModel,
-    scenario: Scenario<'_>,
-    exact: f64,
-    budget: &Budget,
-) -> DurabilityEstimate {
-    let outcome = analyze_scenario(model, scenario, budget).expect("well-formed scenario");
+fn durability_cell(record: &CellRecord, exact: f64) -> DurabilityEstimate {
+    let outcome = &record.outcome;
     let (safe, samples, ess) = if let Some(re) = outcome.rare_event {
         (re.safe, re.samples, Some(re.ess))
     } else if let Some(mc) = outcome.monte_carlo {
@@ -369,16 +385,10 @@ pub fn claim_durability_correlated() -> (Table, CorrelatedDurability) {
     let rack = DURABILITY_N / DURABILITY_RACKS;
     let profiles = vec![FaultProfile::crash_only(DURABILITY_P); DURABILITY_N];
 
-    // Cell 1: independent, quorum = the first |Q| nodes. Loss = p^|Q|.
     let independent_deployment = Deployment::from_profiles(profiles.clone());
     let quorum: Vec<usize> = (0..DURABILITY_QUORUM).collect();
-    let model = PersistenceQuorumModel::new(DURABILITY_N, quorum.clone());
-    let independent = durability_cell(
-        &model,
-        Scenario::Independent(&independent_deployment),
-        DURABILITY_P.powi(DURABILITY_QUORUM as i32),
-        &budget,
-    );
+    let packed_model: Arc<dyn prob_consensus::ProtocolModel + Send + Sync> =
+        Arc::new(PersistenceQuorumModel::new(DURABILITY_N, quorum));
 
     // Rack-correlated failure model: nodes 10r..10r+10 share a crash shock.
     let mut correlated = CorrelationModel::independent(profiles);
@@ -388,27 +398,33 @@ pub fn claim_durability_correlated() -> (Table, CorrelatedDurability) {
             DURABILITY_RACK_SHOCK,
         ));
     }
+    let spread: Vec<usize> = (0..DURABILITY_QUORUM).map(|i| i * rack).collect();
+    let spread_model: Arc<dyn prob_consensus::ProtocolModel + Send + Sync> =
+        Arc::new(PersistenceQuorumModel::new(DURABILITY_N, spread));
 
-    // Cell 2: quorum packed into rack 0 (nodes 0..10). Loss = shock + (1-shock)·p^|Q|.
+    // The three cells as one planned batch: (1) independent, quorum = the first
+    // |Q| nodes, loss = p^|Q|; (2) quorum packed into rack 0, loss =
+    // shock + (1-shock)·p^|Q|; (3) quorum spread one node per rack, members
+    // independent of each other with the shock folded into the marginal, loss =
+    // (1-(1-p)(1-shock))^|Q|.
+    let session = AnalysisSession::new();
+    let report = session
+        .run(
+            &Query::new()
+                .budget(budget)
+                .cell("independent", packed_model.clone(), independent_deployment)
+                .cell_correlated("same-rack", packed_model, correlated.clone())
+                .cell_correlated("cross-rack", spread_model, correlated),
+        )
+        .expect("well-formed durability cells");
+    let marginal = 1.0 - (1.0 - DURABILITY_P) * (1.0 - DURABILITY_RACK_SHOCK);
+    let independent = durability_cell(report.cell(0), DURABILITY_P.powi(DURABILITY_QUORUM as i32));
     let same_rack = durability_cell(
-        &model,
-        Scenario::Correlated(&correlated),
+        report.cell(1),
         DURABILITY_RACK_SHOCK
             + (1.0 - DURABILITY_RACK_SHOCK) * DURABILITY_P.powi(DURABILITY_QUORUM as i32),
-        &budget,
     );
-
-    // Cell 3: quorum spread one node per rack; members fail independently of each
-    // other with the shock folded into the marginal. Loss = (1-(1-p)(1-shock))^|Q|.
-    let spread: Vec<usize> = (0..DURABILITY_QUORUM).map(|i| i * rack).collect();
-    let spread_model = PersistenceQuorumModel::new(DURABILITY_N, spread);
-    let marginal = 1.0 - (1.0 - DURABILITY_P) * (1.0 - DURABILITY_RACK_SHOCK);
-    let cross_rack = durability_cell(
-        &spread_model,
-        Scenario::Correlated(&correlated),
-        marginal.powi(DURABILITY_QUORUM as i32),
-        &budget,
-    );
+    let cross_rack = durability_cell(report.cell(2), marginal.powi(DURABILITY_QUORUM as i32));
 
     let mut table = Table::new(
         format!(
@@ -485,9 +501,20 @@ pub fn sim_validation(
     );
     let mut cells = Vec::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    for &n in ns {
+    // Analytic predictions for the whole N axis as one planned batch.
+    let analytic_report = AnalysisSession::new()
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes(ns.iter().copied())
+                .fault_probs([p]),
+        )
+        .expect("well-formed validation sweep");
+    for (index, &n) in ns.iter().enumerate() {
         let deployment = Deployment::uniform_crash(n, p);
-        let analytic = analyze_auto(&RaftModel::standard(n), &deployment, &Budget::default())
+        let analytic = analytic_report
+            .cell(index)
+            .outcome
             .report
             .safe_and_live
             .probability();
@@ -765,6 +792,78 @@ pub fn rare_event_sample_efficiency() -> f64 {
     mc_equivalent_samples(p_loss, report.safe.half_width()) / report.samples as f64
 }
 
+/// Benchmark id of the planned-batch sweep (one [`AnalysisSession::plan`] +
+/// [`execute`](prob_consensus::query::QueryPlan::execute) over the whole grid).
+pub const SWEEP_PLANNED_ID: &str = "sweep/planned-batch";
+/// Benchmark id of the naive per-cell loop over the same grid (one
+/// `analyze_scenario` call per cell, each re-running the selector pilot and
+/// recompiling the packed kernel).
+pub const SWEEP_NAIVE_ID: &str = "sweep/naive-per-cell";
+/// Cluster size of the sweep-amortization workload.
+pub const SWEEP_NODES: usize = 25;
+/// Per-node crash probability of the workload.
+pub const SWEEP_P: f64 = 0.05;
+/// Whole-cluster crash-shock probability: makes the scenario correlated, so the
+/// exact engines cannot take it and every cell lands on the packed Monte Carlo
+/// kernel — the packed-kernel-eligible subset the amortization headline is about.
+pub const SWEEP_SHOCK: f64 = 0.02;
+/// Seed of the sweep workload.
+pub const SWEEP_SEED: u64 = 41;
+/// The convergence axis: per-cell sample budgets of the sweep (CI width vs. spend).
+pub const SWEEP_SAMPLE_AXIS: [usize; 5] = [1_000, 2_000, 4_000, 8_000, 16_000];
+
+/// The sweep-amortization query: a correlated Raft scenario swept over the sample
+/// budget. All five cells share one (model, scenario) signature, so the planned
+/// batch runs the rare-event selector pilot and compiles the packed kernel once,
+/// where the naive loop pays for both per cell.
+pub fn sweep_query() -> Query {
+    Query::new()
+        .protocols([ProtocolSpec::Raft])
+        .nodes([SWEEP_NODES])
+        .fault_probs([SWEEP_P])
+        .correlations([CorrelationSpec::ClusterShock {
+            probability: SWEEP_SHOCK,
+        }])
+        .samples_sweep(SWEEP_SAMPLE_AXIS)
+        .budget(Budget::default().with_seed(SWEEP_SEED))
+}
+
+/// The correlated failure model of the sweep workload (what the naive loop passes
+/// to `analyze_scenario` per cell).
+pub fn sweep_failure_model() -> CorrelationModel {
+    CorrelationModel::independent(vec![FaultProfile::crash_only(SWEEP_P); SWEEP_NODES]).with_group(
+        CorrelationGroup::crash_shock((0..SWEEP_NODES).collect(), SWEEP_SHOCK),
+    )
+}
+
+/// One planned-batch run of the sweep, on a fresh session (so the measured
+/// amortization is within one batch, not across benchmark iterations).
+pub fn sweep_planned_batch() -> AnalysisReport {
+    AnalysisSession::new()
+        .run(&sweep_query())
+        .expect("well-formed sweep query")
+}
+
+/// The naive per-cell loop over the same grid: one front-door call per cell, each
+/// re-running engine selection (selector pilot included) and kernel compilation.
+pub fn sweep_naive_loop() -> Vec<AnalysisOutcome> {
+    let model = RaftModel::standard(SWEEP_NODES);
+    let failure_model = sweep_failure_model();
+    SWEEP_SAMPLE_AXIS
+        .iter()
+        .map(|&samples| {
+            analyze_scenario(
+                &model,
+                Scenario::Correlated(&failure_model),
+                &Budget::default()
+                    .with_seed(SWEEP_SEED)
+                    .with_samples(samples),
+            )
+            .expect("well-formed sweep cell")
+        })
+        .collect()
+}
+
 /// Measures the sequential-scalar vs. parallel-engine speedup on the raft-9
 /// workload at a reduced sample count — the quick version of the
 /// [`MC_SEQUENTIAL_ID`] / [`MC_PARALLEL_ID`] ratio, cheap enough for a CI test.
@@ -849,6 +948,11 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
     out.push(time_one(RARE_EVENT_MC_ID, budget_ms, || {
         monte_carlo_independent_par(&m_re, &d_re, RARE_EVENT_SAMPLES, RARE_EVENT_SEED)
     }));
+
+    // The sweep-amortization pair: the same grid of cells, planned-batch vs.
+    // naive per-cell. Their ratio is `sweep_amortization_speedup`.
+    out.push(time_one(SWEEP_NAIVE_ID, budget_ms, sweep_naive_loop));
+    out.push(time_one(SWEEP_PLANNED_ID, budget_ms, sweep_planned_batch));
     out
 }
 
@@ -883,6 +987,22 @@ pub fn benchmarks_to_json(measurements: &[BenchMeasurement], rare_event_efficien
     json.push_str(&format!(
         "  \"rare_event_sample_efficiency\": {rare_event_efficiency:.1},\n"
     ));
+    if let (Some(naive), Some(planned)) = (
+        measurements.iter().find(|m| m.id == SWEEP_NAIVE_ID),
+        measurements.iter().find(|m| m.id == SWEEP_PLANNED_ID),
+    ) {
+        // Amortized per-cell speedup of the planned batch over the naive loop on
+        // the packed-kernel-eligible sweep (both sides run the same cells, so the
+        // wall-clock ratio is the per-cell ratio).
+        json.push_str(&format!(
+            "  \"sweep_amortization_speedup\": {:.3},\n",
+            naive.mean_ns / planned.mean_ns
+        ));
+        json.push_str(&format!(
+            "  \"sweep_cells\": {},\n",
+            SWEEP_SAMPLE_AXIS.len()
+        ));
+    }
     json.push_str("  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
@@ -1081,6 +1201,36 @@ mod tests {
         });
     }
 
+    /// The sweep contract: the planned batch must produce bit-identical outcomes
+    /// to the naive per-cell loop (the amortization is free of behavioural drift),
+    /// and every cell of this workload must actually land on the packed kernel —
+    /// the subset the `sweep_amortization_speedup` headline is about.
+    #[test]
+    fn sweep_planned_batch_is_bit_identical_to_the_naive_loop() {
+        let planned = sweep_planned_batch();
+        let naive = sweep_naive_loop();
+        assert_eq!(planned.cells().len(), naive.len());
+        for (cell, expected) in planned.cells().iter().zip(&naive) {
+            assert_eq!(&cell.outcome, expected, "{} diverged", cell.label);
+            assert_eq!(cell.engine, EngineChoice::MonteCarlo);
+            assert_eq!(cell.kernel(), Some(McKernel::Packed));
+        }
+    }
+
+    /// The planned batch must amortize per-cell setup (selector pilot, scenario
+    /// conversion, kernel compilation) into a real per-cell speedup. Release
+    /// builds only, best of three probes, with a floor well under the committed
+    /// baseline so a loaded runner cannot flake.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn planned_sweep_amortizes_per_cell_setup() {
+        assert_timing_ratio(1.1, "planned batch vs naive per-cell loop", || {
+            let naive = super::time_one("sweep-probe-naive", 60, sweep_naive_loop).mean_ns;
+            let planned = super::time_one("sweep-probe-planned", 60, sweep_planned_batch).mean_ns;
+            naive / planned
+        });
+    }
+
     /// The committed `BENCH_analysis.json` must report a parallel speedup that is
     /// actually a speedup. This reads the checked-in baseline (deterministic — no
     /// timing in CI), so a regression can only land by committing a bad baseline.
@@ -1112,6 +1262,17 @@ mod tests {
         assert!(
             baseline.contains("\"monte_carlo_samples_per_sec\""),
             "baseline must record the packed kernel's absolute throughput"
+        );
+        // The sweep-amortization ratio is measured within one run on one machine
+        // (same cells both sides), so a floor stays meaningful across hardware.
+        let sweep_speedup = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"sweep_amortization_speedup\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records sweep_amortization_speedup");
+        assert!(
+            sweep_speedup >= 1.3,
+            "committed baseline's planned sweep only {sweep_speedup:.2}x the naive loop"
         );
     }
 

@@ -11,7 +11,7 @@ use fault_model::metrics::Nines;
 
 use crate::counting::counting_reliability;
 use crate::deployment::Deployment;
-use crate::engine::{run_selected, select_engine, AnalysisOutcome, Budget, EngineChoice, Scenario};
+use crate::engine::{select_engine, AnalysisOutcome, Budget, EngineChoice, Scenario};
 use crate::enumeration::{enumerate_reliability, RawReliability};
 use crate::protocol::{CountingModel, ProtocolModel};
 
@@ -89,11 +89,14 @@ pub fn analyze_auto(
     deployment: &Deployment,
     budget: &Budget,
 ) -> AnalysisOutcome {
-    run_selected(model, Scenario::Independent(deployment), budget)
+    // A one-line wrapper over a single-cell query: the sweep-native front door
+    // ([`crate::query`]) runs this exact code path per cell, which is what makes a
+    // planned sweep bit-identical to a hand-rolled per-cell loop.
+    crate::query::analyze_single(model, Scenario::Independent(deployment), budget)
 }
 
 /// Why an analysis request cannot be answered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AnalysisError {
     /// The scenario covers zero nodes. A reliability statement about an empty
     /// deployment is vacuous — neither "100% safe" nor "0% safe" is meaningful — so
@@ -106,6 +109,10 @@ pub enum AnalysisError {
         /// Nodes the scenario covers.
         scenario_nodes: usize,
     },
+    /// The budget's sampling knobs are malformed (NaN tilt, zero ESS floor,
+    /// threshold outside `(0, 1)` — see [`Budget::validate`]); rejected when a
+    /// query is planned, instead of silently poisoning the estimators.
+    InvalidBudget(crate::engine::InvalidBudget),
 }
 
 impl std::fmt::Display for AnalysisError {
@@ -121,6 +128,7 @@ impl std::fmt::Display for AnalysisError {
                 f,
                 "model covers {model_nodes} nodes but the scenario covers {scenario_nodes}"
             ),
+            AnalysisError::InvalidBudget(invalid) => write!(f, "invalid budget: {invalid}"),
         }
     }
 }
@@ -148,7 +156,7 @@ pub fn analyze_scenario(
             scenario_nodes: scenario.len(),
         });
     }
-    Ok(run_selected(model, scenario, budget))
+    Ok(crate::query::analyze_single(model, scenario, budget))
 }
 
 /// The engine [`analyze_auto`] would run for this triple, without running it.
@@ -326,6 +334,27 @@ mod tests {
             .expect("well-formed scenario analyzes");
         assert_eq!(auto.report, scenario.report);
         assert_eq!(auto.engine, scenario.engine);
+    }
+
+    #[test]
+    fn meets_holds_at_exact_nines_boundaries() {
+        // Regression: `meets` compared nines with a strict float `>=` and exact
+        // boundaries like 0.999-vs-3-nines failed by a few ulps (1 - 10^-k is not
+        // representable). The comparison is now log-space with a tolerance.
+        let exactly_three = ReliabilityReport::from_raw(crate::enumeration::RawReliability {
+            p_safe: 1.0,
+            p_live: 0.999,
+            p_safe_and_live: 0.999,
+        });
+        assert!(exactly_three.meets(3.0));
+        assert!(!exactly_three.meets(3.001));
+        let exactly_five = ReliabilityReport::from_raw(crate::enumeration::RawReliability {
+            p_safe: 0.99999,
+            p_live: 0.99999,
+            p_safe_and_live: 0.99999,
+        });
+        assert!(exactly_five.meets(5.0));
+        assert!(!exactly_five.meets(5.1));
     }
 
     #[test]

@@ -250,6 +250,11 @@ impl Budget {
     }
 
     /// A budget requiring at least `ess` effective samples from importance sampling.
+    ///
+    /// An `ess` of `0.0` (no floor, escalation disabled) is accepted here for the
+    /// engine-layer entry points, but rejected by the stricter plan-time
+    /// [`Budget::validate`] the query API runs — see
+    /// [`InvalidBudget::MinEffectiveSamples`].
     pub fn with_min_effective_samples(mut self, ess: f64) -> Self {
         assert!(ess >= 0.0, "ESS floor must be non-negative, got {ess}");
         self.min_effective_samples = ess;
@@ -265,6 +270,13 @@ impl Budget {
 
     /// A budget routing failure probabilities below `threshold` to the
     /// importance-sampling engine (when no exact engine applies).
+    ///
+    /// The closed boundaries are engine-layer conveniences: `0.0` disables the
+    /// rare-event engine outright (its `supports` can never fire) and `1.0` always
+    /// prefers it. Both are accepted here — and by the direct
+    /// [`select_engine`]/[`crate::analyzer::analyze_auto`] paths — but rejected by
+    /// the plan-time [`Budget::validate`] the query API runs, which requires a
+    /// threshold strictly inside `(0, 1)`; see [`InvalidBudget::RareEventThreshold`].
     pub fn with_rare_event_threshold(mut self, threshold: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&threshold),
@@ -273,7 +285,72 @@ impl Budget {
         self.rare_event_threshold = threshold;
         self
     }
+
+    /// Checks the budget's sampling knobs, the plan-time guard of the query API
+    /// ([`crate::query::AnalysisSession::plan`]).
+    ///
+    /// The builder methods assert their own argument ranges, but a `Budget` is a
+    /// plain struct — nothing stops a caller from writing `rare_event_tilt: f64::NAN`
+    /// directly, and the engines would previously accept it silently (a NaN tilt
+    /// poisons every importance weight; a zero ESS floor disables the escalation
+    /// diagnostic; a threshold outside `(0, 1)` either disables the rare-event
+    /// engine entirely or routes *every* scenario to it). Planning a query rejects
+    /// such budgets up front with
+    /// [`AnalysisError::InvalidBudget`](crate::analyzer::AnalysisError):
+    ///
+    /// * `rare_event_tilt` must be finite and either `0` (adaptive) or `≥ 1`;
+    /// * `min_effective_samples` must be a positive finite number (zero would turn
+    ///   the ESS floor into a no-op);
+    /// * `rare_event_threshold` must lie strictly inside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), InvalidBudget> {
+        let tilt = self.rare_event_tilt;
+        if !tilt.is_finite() || !(tilt == 0.0 || tilt >= 1.0) {
+            return Err(InvalidBudget::RareEventTilt(tilt));
+        }
+        let ess = self.min_effective_samples;
+        if !ess.is_finite() || ess <= 0.0 {
+            return Err(InvalidBudget::MinEffectiveSamples(ess));
+        }
+        let threshold = self.rare_event_threshold;
+        if !(threshold > 0.0 && threshold < 1.0) {
+            return Err(InvalidBudget::RareEventThreshold(threshold));
+        }
+        Ok(())
+    }
 }
+
+/// Which [`Budget`] knob failed [`Budget::validate`], carrying the offending value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InvalidBudget {
+    /// `rare_event_tilt` is NaN, infinite, negative, or in `(0, 1)` — a tilt must be
+    /// `0` (adaptive) or inflate fault probabilities (`≥ 1`).
+    RareEventTilt(f64),
+    /// `min_effective_samples` is NaN, infinite, zero or negative.
+    MinEffectiveSamples(f64),
+    /// `rare_event_threshold` is outside the open interval `(0, 1)` (NaN included).
+    RareEventThreshold(f64),
+}
+
+impl std::fmt::Display for InvalidBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidBudget::RareEventTilt(v) => write!(
+                f,
+                "rare_event_tilt must be 0 (adaptive) or a finite value >= 1, got {v}"
+            ),
+            InvalidBudget::MinEffectiveSamples(v) => write!(
+                f,
+                "min_effective_samples must be a positive finite number, got {v}"
+            ),
+            InvalidBudget::RareEventThreshold(v) => write!(
+                f,
+                "rare_event_threshold must lie strictly inside (0, 1), got {v}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvalidBudget {}
 
 /// The result of a unified analysis: the report in "nines", plus which engine produced
 /// it and — when sampling did — the full Monte Carlo estimate.

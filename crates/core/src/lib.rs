@@ -76,11 +76,13 @@ pub mod engine;
 pub mod enumeration;
 pub mod failure;
 pub mod heterogeneity;
+pub mod json;
 pub mod leader;
 pub mod montecarlo;
 pub mod packed;
 pub mod pbft_model;
 pub mod protocol;
+pub mod query;
 pub mod raft_model;
 pub mod rare_event;
 pub mod report;
@@ -91,9 +93,14 @@ pub use analyzer::{
     analyze, analyze_auto, analyze_exact, analyze_scenario, AnalysisError, ReliabilityReport,
 };
 pub use deployment::Deployment;
-pub use engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario};
+pub use engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, InvalidBudget, Scenario};
 pub use failure::FailureConfig;
+pub use json::JsonValue;
 pub use pbft_model::PbftModel;
 pub use protocol::{CountingModel, ProtocolModel};
+pub use query::{
+    logspace, AnalysisReport, AnalysisSession, CellRecord, CorrelationSpec, FaultAxis, Metrics,
+    ProtocolSpec, Query, QueryPlan,
+};
 pub use raft_model::RaftModel;
 pub use rare_event::{ImportanceSamplingEngine, Proposal, RareEventReport};

@@ -322,7 +322,6 @@ pub fn monte_carlo_reliability_par_kernel<M: ProtocolModel + ?Sized>(
     seed: u64,
     kernel: McKernel,
 ) -> MonteCarloReport {
-    let samples = samples.max(1);
     assert_eq!(
         model.num_nodes(),
         failure_model.len(),
@@ -338,6 +337,25 @@ pub fn monte_carlo_reliability_par_kernel<M: ProtocolModel + ?Sized>(
             );
         }
     }
+    monte_carlo_scalar_par(model, failure_model, samples, seed)
+}
+
+/// The scalar kernel across the pool on an already-prepared failure model — the tail
+/// of [`monte_carlo_reliability_par_kernel`], shared with the query API
+/// ([`crate::query`]), whose planned cells convert a scenario to its correlation
+/// model once per cell group instead of once per call.
+pub(crate) fn monte_carlo_scalar_par<M: ProtocolModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloReport {
+    assert_eq!(
+        model.num_nodes(),
+        failure_model.len(),
+        "model and failure model disagree on the cluster size"
+    );
+    let samples = samples.max(1);
     let hits = map_sample_chunks(samples, seed, |rng, count| {
         sample_chunk(model, failure_model, count, rng)
     })

@@ -466,8 +466,20 @@ pub fn monte_carlo_reliability_packed_par<M: CountingModel + ?Sized>(
     samples: usize,
     seed: u64,
 ) -> MonteCarloReport {
-    let samples = samples.max(1);
     let kernel = PackedKernel::new(model, failure_model);
+    packed_par_with_kernel(&kernel, samples, seed)
+}
+
+/// Runs the packed kernel across the pool from an already-compiled [`PackedKernel`] —
+/// the tail of [`monte_carlo_reliability_packed_par`], shared with the query API
+/// ([`crate::query`]), whose planned cells compile the thresholds/LUT once per
+/// (model, failure-model) group and reuse them across every cell of a sweep.
+pub(crate) fn packed_par_with_kernel(
+    kernel: &PackedKernel,
+    samples: usize,
+    seed: u64,
+) -> MonteCarloReport {
+    let samples = samples.max(1);
     let hits = map_sample_chunks(samples, seed, |rng, count| kernel.sample_chunk(rng, count))
         .into_iter()
         .fold(HitCounts::default(), std::ops::Add::add);

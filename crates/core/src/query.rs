@@ -1,0 +1,1454 @@
+//! The sweep-native query API: plan a whole grid of analyses, execute it once.
+//!
+//! The paper's deliverable is not a single number but *tables and curves*:
+//! safety/liveness swept over cluster size N, per-node failure probability p, quorum
+//! configuration, protocol, and correlation structure. The per-cell front door
+//! ([`crate::analyzer::analyze_auto`]) answers exactly one (model, scenario, budget)
+//! triple per call, so every sweep used to be a hand-rolled loop that re-selected
+//! the engine, re-derived packed-kernel thresholds and re-ran the rare-event
+//! selector pilot for every cell. This module is the batch-oriented replacement:
+//!
+//! * [`Query`] — a builder capturing scenario axes as sweeps ([`Query::nodes`],
+//!   [`Query::fault_probs`] — see [`logspace`] — [`Query::protocols`],
+//!   [`Query::correlations`], [`Query::samples_sweep`]), a [`Budget`], the requested
+//!   [`Metrics`], and fully explicit cells ([`Query::cell`]) for scenarios the grid
+//!   axes cannot express.
+//! * [`AnalysisSession`] — owns the engine registry walk, the (optional, pinned)
+//!   rayon pool, and per-(model, scenario) reusable scratch: the converted
+//!   correlation model, compiled packed-kernel thresholds/LUTs, selector-pilot
+//!   estimates and importance-sampling proposals, all keyed by cell signature and
+//!   reused across cells, plans and queries.
+//! * [`AnalysisSession::plan`] → [`QueryPlan`] — engine selection for *all* cells up
+//!   front (validating the budget — see [`Budget::validate`] — and the cell shapes),
+//!   grouping cells that share a (model, scenario) signature so the expensive
+//!   per-group setup runs once per group instead of once per cell.
+//! * [`QueryPlan::execute`] → [`AnalysisReport`] — runs every cell across the
+//!   persistent pool and returns one [`CellRecord`] per cell (engine, kernel,
+//!   estimates with confidence intervals, ESS, wall time), renderable to a
+//!   plain-text [`Table`] and to JSON ([`AnalysisReport::to_json`], via
+//!   [`crate::json`] — no serde in the vendored world).
+//!
+//! # Determinism contract
+//!
+//! Executing a planned cell is **bit-identical** to calling `analyze_auto` /
+//! [`crate::analyzer::analyze_scenario`] on the same triple: both run the same
+//! engine-selection rule and the same chunked `(seed, cell, chunk)` sampling code —
+//! the per-cell front doors are thin wrappers over a single-cell plan. Caching never
+//! changes results, because everything cached is a pure function of the cell
+//! signature: the correlation-model conversion and kernel compilation are
+//! value-deterministic, and the selector pilot / adaptive proposal are cached *per
+//! seed*, so a cache hit returns exactly what the per-cell call would have
+//! recomputed. Cells execute in parallel, but each cell's sampling is chunked by the
+//! thread-count-independent scheme of [`crate::montecarlo`], so reports are
+//! bit-identical at any thread count. `tests/engine_agreement.rs` pins this
+//! plan-vs-loop equivalence over a ≥100-cell grid at several thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use prob_consensus::query::{AnalysisSession, ProtocolSpec, Query};
+//!
+//! let session = AnalysisSession::new();
+//! let query = Query::new()
+//!     .protocols([ProtocolSpec::Raft])
+//!     .nodes([3usize, 5, 7, 9])
+//!     .fault_probs([0.01, 0.08]);
+//! let report = session.run(&query).expect("well-formed query");
+//! assert_eq!(report.cells().len(), 8);
+//! // Raft at N = 3, p = 1%: the paper's 99.97% cell, via the exact counting engine.
+//! assert!(report.cells()[0].outcome.is_exact());
+//! assert_eq!(
+//!     report.cells()[0].outcome.report.safe_and_live.as_percent(),
+//!     "99.97%"
+//! );
+//! println!("{}", report.to_table("Raft sweep"));
+//! let json = report.to_json();
+//! assert!(json.contains("\"engine\": \"counting\""));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use fault_model::correlation::{CorrelationGroup, CorrelationModel};
+
+use crate::analyzer::{AnalysisError, ReliabilityReport};
+use crate::deployment::Deployment;
+use crate::engine::{
+    AnalysisEngine, AnalysisOutcome, Budget, CountingEngine, EngineChoice, EnumerationEngine,
+    Scenario,
+};
+use crate::enumeration::RawReliability;
+use crate::json::JsonValue;
+use crate::montecarlo::McKernel;
+use crate::packed::PackedKernel;
+use crate::pbft_model::PbftModel;
+use crate::protocol::ProtocolModel;
+use crate::raft_model::RaftModel;
+use crate::rare_event::Proposal;
+use crate::report::Table;
+
+/// A protocol family the grid axes can instantiate at any swept cluster size.
+///
+/// Scenarios that need a hand-built model (placement-sensitive durability models,
+/// heterogeneous quorum policies) go through [`Query::cell`] instead, which accepts
+/// any [`ProtocolModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolSpec {
+    /// Raft with majority quorums ([`RaftModel::standard`]).
+    Raft,
+    /// Raft with explicit flexible quorum sizes ([`RaftModel::flexible`]).
+    RaftFlexible {
+        /// Persistence (log replication) quorum size.
+        q_per: usize,
+        /// View-change (leader election) quorum size.
+        q_vc: usize,
+    },
+    /// PBFT with the standard 2f+1 quorums ([`PbftModel::standard`]).
+    Pbft,
+}
+
+impl ProtocolSpec {
+    /// Instantiates the protocol model at cluster size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the underlying constructor rejects `n` (e.g. flexible quorums
+    /// larger than the cluster).
+    pub fn build(&self, n: usize) -> Arc<dyn ProtocolModel + Send + Sync> {
+        match self {
+            ProtocolSpec::Raft => Arc::new(RaftModel::standard(n)),
+            ProtocolSpec::RaftFlexible { q_per, q_vc } => {
+                Arc::new(RaftModel::flexible(n, *q_per, *q_vc))
+            }
+            ProtocolSpec::Pbft => Arc::new(PbftModel::standard(n)),
+        }
+    }
+
+    /// Short label used in cell names and report columns.
+    pub fn label(&self) -> String {
+        match self {
+            ProtocolSpec::Raft => "raft".into(),
+            ProtocolSpec::RaftFlexible { q_per, q_vc } => format!("raft-flex({q_per},{q_vc})"),
+            ProtocolSpec::Pbft => "pbft".into(),
+        }
+    }
+}
+
+/// How the swept per-node failure probability `p` maps onto fault modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAxis {
+    /// Crash faults only: `p` is the crash probability
+    /// ([`Deployment::uniform_crash`]).
+    Crash,
+    /// Byzantine faults only: `p` is the Byzantine probability
+    /// ([`Deployment::uniform_byzantine`]).
+    Byzantine,
+    /// Mixed: `p` is the crash probability, with a fixed Byzantine probability on
+    /// top ([`Deployment::uniform_mixed`]).
+    Mixed {
+        /// Per-node Byzantine probability, constant across the `p` sweep.
+        byzantine: f64,
+    },
+}
+
+impl FaultAxis {
+    fn deployment(&self, n: usize, p: f64) -> Deployment {
+        match self {
+            FaultAxis::Crash => Deployment::uniform_crash(n, p),
+            FaultAxis::Byzantine => Deployment::uniform_byzantine(n, p),
+            FaultAxis::Mixed { byzantine } => Deployment::uniform_mixed(n, p, *byzantine),
+        }
+    }
+
+    fn key(&self) -> (u8, u64) {
+        match self {
+            FaultAxis::Crash => (0, 0),
+            FaultAxis::Byzantine => (1, 0),
+            FaultAxis::Mixed { byzantine } => (2, byzantine.to_bits()),
+        }
+    }
+}
+
+/// A correlation structure applied on top of the independent per-node profiles —
+/// the §2(3) axis of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorrelationSpec {
+    /// No correlation groups: the plain independent deployment.
+    Independent,
+    /// One crash shock covering the whole cluster with the given probability.
+    ClusterShock {
+        /// Probability the whole-cluster shock fires within the window.
+        probability: f64,
+    },
+    /// The cluster split into `racks` contiguous, near-equal groups, each with an
+    /// independent crash shock of the given probability. A rack count of zero is
+    /// treated as one rack; racks beyond the node count end up empty and are
+    /// dropped.
+    RackShock {
+        /// Number of contiguous racks.
+        racks: usize,
+        /// Probability each rack's shock fires within the window.
+        probability: f64,
+    },
+}
+
+impl CorrelationSpec {
+    fn apply(&self, deployment: Deployment) -> ScenarioSpec {
+        match self {
+            CorrelationSpec::Independent => ScenarioSpec::Independent(deployment),
+            CorrelationSpec::ClusterShock { probability } => {
+                let n = deployment.len();
+                ScenarioSpec::Correlated(
+                    CorrelationModel::independent(deployment.profiles().to_vec()).with_group(
+                        CorrelationGroup::crash_shock((0..n).collect(), *probability),
+                    ),
+                )
+            }
+            CorrelationSpec::RackShock { racks, probability } => {
+                let n = deployment.len();
+                let racks = (*racks).max(1);
+                let per_rack = n.div_ceil(racks);
+                let mut model = CorrelationModel::independent(deployment.profiles().to_vec());
+                for r in 0..racks {
+                    let members: Vec<usize> = (r * per_rack..((r + 1) * per_rack).min(n)).collect();
+                    if members.is_empty() {
+                        break;
+                    }
+                    model = model.with_group(CorrelationGroup::crash_shock(members, *probability));
+                }
+                ScenarioSpec::Correlated(model)
+            }
+        }
+    }
+
+    /// Short label used in cell names and report columns.
+    pub fn label(&self) -> String {
+        match self {
+            CorrelationSpec::Independent => "independent".into(),
+            CorrelationSpec::ClusterShock { probability } => {
+                format!("cluster-shock({probability})")
+            }
+            CorrelationSpec::RackShock { racks, probability } => {
+                format!("rack-shock({racks},{probability})")
+            }
+        }
+    }
+
+    fn key(&self) -> (u8, usize, u64) {
+        match self {
+            CorrelationSpec::Independent => (0, 0, 0),
+            CorrelationSpec::ClusterShock { probability } => (1, 0, probability.to_bits()),
+            CorrelationSpec::RackShock { racks, probability } => (2, *racks, probability.to_bits()),
+        }
+    }
+}
+
+/// `count` points spaced evenly on a log scale from `lo` to `hi` inclusive — the
+/// natural fault-probability axis for paper-style sweeps
+/// (`fault_probs(logspace(1e-6, 1e-1, 25))`).
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi` and `count >= 1` (`count == 1` yields just `lo`).
+pub fn logspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(
+        lo > 0.0 && hi >= lo && lo.is_finite() && hi.is_finite(),
+        "logspace needs 0 < lo <= hi, got [{lo}, {hi}]"
+    );
+    assert!(count >= 1, "logspace needs at least one point");
+    if count == 1 {
+        return vec![lo];
+    }
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..count)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp())
+        .collect()
+}
+
+/// Which of the three guarantees a report renders (all by default). The analysis
+/// always computes all three — they fall out of the same pass — so this only
+/// selects columns in [`AnalysisReport::to_table`] / [`AnalysisReport::to_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metrics {
+    /// Render the safety guarantee.
+    pub safe: bool,
+    /// Render the liveness guarantee.
+    pub live: bool,
+    /// Render the combined guarantee.
+    pub safe_and_live: bool,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            safe: true,
+            live: true,
+            safe_and_live: true,
+        }
+    }
+}
+
+/// What one cell runs against: the two [`Scenario`] shapes, owned.
+#[derive(Debug, Clone)]
+enum ScenarioSpec {
+    Independent(Deployment),
+    Correlated(CorrelationModel),
+}
+
+impl ScenarioSpec {
+    fn as_scenario(&self) -> Scenario<'_> {
+        match self {
+            ScenarioSpec::Independent(d) => Scenario::Independent(d),
+            ScenarioSpec::Correlated(c) => Scenario::Correlated(c),
+        }
+    }
+}
+
+/// One fully explicit cell (model + scenario) appended after the grid.
+#[derive(Clone)]
+struct ExplicitCell {
+    label: String,
+    model: Arc<dyn ProtocolModel + Send + Sync>,
+    scenario: ScenarioSpec,
+}
+
+/// A batch analysis request: grid axes whose cartesian product forms the sweep,
+/// plus explicit cells, a budget and the requested metrics. See the module docs for
+/// the full lifecycle.
+///
+/// Grid cells are emitted in axis-nesting order: protocols, then nodes, then fault
+/// probabilities, then correlation variants, then sample budgets — with explicit
+/// cells appended last, in insertion order. [`AnalysisReport::cells`] preserves this
+/// order, so callers can index cells arithmetically when rebuilding a table.
+#[derive(Clone)]
+pub struct Query {
+    protocols: Vec<ProtocolSpec>,
+    nodes: Vec<usize>,
+    fault_probs: Vec<f64>,
+    fault_axis: FaultAxis,
+    correlations: Vec<CorrelationSpec>,
+    sample_budgets: Vec<usize>,
+    budget: Budget,
+    metrics: Metrics,
+    explicit: Vec<ExplicitCell>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Query {
+    /// An empty query: no grid axes, no explicit cells, default budget, crash
+    /// faults, independent correlation, all metrics.
+    pub fn new() -> Self {
+        Self {
+            protocols: Vec::new(),
+            nodes: Vec::new(),
+            fault_probs: Vec::new(),
+            fault_axis: FaultAxis::Crash,
+            correlations: vec![CorrelationSpec::Independent],
+            sample_budgets: Vec::new(),
+            budget: Budget::default(),
+            metrics: Metrics::default(),
+            explicit: Vec::new(),
+        }
+    }
+
+    /// The protocol axis of the grid.
+    pub fn protocols(mut self, protocols: impl IntoIterator<Item = ProtocolSpec>) -> Self {
+        self.protocols = protocols.into_iter().collect();
+        self
+    }
+
+    /// The cluster-size axis of the grid (any iterator of sizes, e.g. `3..=9`).
+    pub fn nodes(mut self, nodes: impl IntoIterator<Item = usize>) -> Self {
+        self.nodes = nodes.into_iter().collect();
+        self
+    }
+
+    /// The per-node fault-probability axis of the grid (see [`logspace`]).
+    pub fn fault_probs(mut self, probs: impl IntoIterator<Item = f64>) -> Self {
+        self.fault_probs = probs.into_iter().collect();
+        self
+    }
+
+    /// How the fault-probability axis maps onto fault modes (crash by default).
+    pub fn faults(mut self, axis: FaultAxis) -> Self {
+        self.fault_axis = axis;
+        self
+    }
+
+    /// The correlation-variant axis of the grid (`[Independent]` by default).
+    pub fn correlations(mut self, specs: impl IntoIterator<Item = CorrelationSpec>) -> Self {
+        self.correlations = specs.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the Monte Carlo sample budget itself — a convergence axis. Each grid
+    /// cell is replicated once per entry with
+    /// [`Budget::with_samples`] applied; when empty (the default) the base budget's
+    /// sample count is used as the single entry.
+    pub fn samples_sweep(mut self, samples: impl IntoIterator<Item = usize>) -> Self {
+        self.sample_budgets = samples.into_iter().collect();
+        self
+    }
+
+    /// The work budget shared by every cell (validated at plan time).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Which guarantees the report renders.
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Appends an explicit cell: any protocol model on an independent deployment.
+    /// For scenarios the grid axes cannot express (placement-sensitive models,
+    /// heterogeneous fleets).
+    pub fn cell(
+        mut self,
+        label: impl Into<String>,
+        model: Arc<dyn ProtocolModel + Send + Sync>,
+        deployment: Deployment,
+    ) -> Self {
+        self.explicit.push(ExplicitCell {
+            label: label.into(),
+            model,
+            scenario: ScenarioSpec::Independent(deployment),
+        });
+        self
+    }
+
+    /// Appends an explicit cell with a correlated failure model.
+    pub fn cell_correlated(
+        mut self,
+        label: impl Into<String>,
+        model: Arc<dyn ProtocolModel + Send + Sync>,
+        target: CorrelationModel,
+    ) -> Self {
+        self.explicit.push(ExplicitCell {
+            label: label.into(),
+            model,
+            scenario: ScenarioSpec::Correlated(target),
+        });
+        self
+    }
+
+    /// Number of cells the query expands to (grid product plus explicit cells).
+    pub fn cell_count(&self) -> usize {
+        let samples_axis = self.sample_budgets.len().max(1);
+        self.protocols.len()
+            * self.nodes.len()
+            * self.fault_probs.len()
+            * self.correlations.len()
+            * samples_axis
+            + self.explicit.len()
+    }
+
+    /// The base budget (before the samples sweep is applied).
+    pub fn base_budget(&self) -> &Budget {
+        &self.budget
+    }
+}
+
+/// Per-(model, scenario) reusable scratch: everything expensive that is a pure
+/// function of the cell signature, computed lazily and shared by every cell of the
+/// group (and, for grid cells, across plans of the same session).
+#[derive(Default)]
+pub(crate) struct GroupScratch {
+    /// The scenario converted to the sampler's form (one profile clone per group
+    /// instead of one per cell).
+    target: OnceLock<Arc<CorrelationModel>>,
+    /// The compiled bit-sliced kernel (fixed-point thresholds + LUT), for counting
+    /// models routed to the packed Monte Carlo kernel.
+    packed: OnceLock<Arc<PackedKernel>>,
+    /// Selector-pilot failure estimates keyed by budget seed (the estimate is a
+    /// deterministic function of (model, scenario, seed)).
+    pilots: Mutex<HashMap<u64, f64>>,
+    /// Importance-sampling proposals keyed by (seed, tilt bits).
+    proposals: Mutex<HashMap<(u64, u64), Arc<Proposal>>>,
+}
+
+impl GroupScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn target(&self, scenario: Scenario<'_>) -> Arc<CorrelationModel> {
+        self.target
+            .get_or_init(|| Arc::new(scenario.to_correlation_model()))
+            .clone()
+    }
+
+    fn packed_kernel(
+        &self,
+        model: &dyn crate::protocol::CountingModel,
+        scenario: Scenario<'_>,
+    ) -> Arc<PackedKernel> {
+        self.packed
+            .get_or_init(|| Arc::new(PackedKernel::new(model, &self.target(scenario))))
+            .clone()
+    }
+
+    fn pilot_estimate(&self, model: &dyn ProtocolModel, scenario: Scenario<'_>, seed: u64) -> f64 {
+        if let Some(&estimate) = self.pilots.lock().unwrap().get(&seed) {
+            return estimate;
+        }
+        let estimate =
+            crate::rare_event::naive_failure_estimate_with(model, &self.target(scenario), seed);
+        self.pilots.lock().unwrap().insert(seed, estimate);
+        estimate
+    }
+
+    fn proposal(
+        &self,
+        model: &dyn ProtocolModel,
+        target: &CorrelationModel,
+        budget: &Budget,
+    ) -> Arc<Proposal> {
+        let key = (budget.seed, budget.rare_event_tilt.to_bits());
+        if let Some(proposal) = self.proposals.lock().unwrap().get(&key) {
+            return proposal.clone();
+        }
+        let proposal = Arc::new(crate::rare_event::select_proposal(model, target, budget));
+        self.proposals
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(proposal)
+            .clone()
+    }
+}
+
+/// Engine selection over prepared scratch: walks the [`crate::engine::ENGINES`]
+/// registry in preference order exactly like [`crate::engine::select_engine`], so
+/// adding or reordering engines changes both front doors together. The one
+/// deviation is deliberate: the importance-sampling engine's `supports` gate runs
+/// a selector pilot, which is served from the group cache here instead of being
+/// re-run per cell (the cached value is what the pilot would have computed — same
+/// model, scenario and seed — so the decision is identical).
+pub(crate) fn choose_engine_prepared(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+    scratch: &GroupScratch,
+) -> EngineChoice {
+    assert!(
+        !scenario.is_empty(),
+        "cannot analyze an empty scenario (zero nodes); see analyzer::AnalysisError"
+    );
+    crate::engine::ENGINES
+        .iter()
+        .find(|engine| match engine.choice() {
+            // Mirrors ImportanceSamplingEngine::supports with the pilot cached
+            // (the !is_empty() half is asserted above).
+            EngineChoice::ImportanceSampling => {
+                budget.rare_event_threshold > 0.0
+                    && scratch.pilot_estimate(model, scenario, budget.seed)
+                        < budget.rare_event_threshold
+            }
+            _ => engine.supports(model, scenario, budget),
+        })
+        .expect("Monte Carlo supports every scenario")
+        .choice()
+}
+
+fn outcome_from_monte_carlo(mc: crate::montecarlo::MonteCarloReport) -> AnalysisOutcome {
+    AnalysisOutcome {
+        report: ReliabilityReport::from_raw(RawReliability {
+            p_safe: mc.safe.value,
+            p_live: mc.live.value,
+            p_safe_and_live: mc.safe_and_live.value,
+        }),
+        engine: EngineChoice::MonteCarlo,
+        monte_carlo: Some(mc),
+        rare_event: None,
+    }
+}
+
+/// Runs `choice` on the triple using the group scratch — the execution half of a
+/// planned cell. The exact engines run as themselves (they have no per-call setup
+/// to amortize); the sampling arms are the bodies of the corresponding
+/// [`AnalysisEngine`] implementations with the per-call setup replaced by the
+/// cached equivalent, so the outcome is bit-identical to the engine's own `run`.
+pub(crate) fn run_prepared(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+    choice: EngineChoice,
+    scratch: &GroupScratch,
+) -> AnalysisOutcome {
+    match choice {
+        EngineChoice::Counting => CountingEngine.run(model, scenario, budget),
+        EngineChoice::Enumeration => EnumerationEngine.run(model, scenario, budget),
+        EngineChoice::MonteCarlo => {
+            if budget.mc_kernel != McKernel::Scalar {
+                if let Some(counting) = model.as_counting() {
+                    let kernel = scratch.packed_kernel(counting, scenario);
+                    return outcome_from_monte_carlo(crate::packed::packed_par_with_kernel(
+                        &kernel,
+                        budget.monte_carlo_samples,
+                        budget.seed,
+                    ));
+                }
+            }
+            let target = scratch.target(scenario);
+            outcome_from_monte_carlo(crate::montecarlo::monte_carlo_scalar_par(
+                model,
+                &target,
+                budget.monte_carlo_samples,
+                budget.seed,
+            ))
+        }
+        EngineChoice::ImportanceSampling => {
+            let target = scratch.target(scenario);
+            let proposal = scratch.proposal(model, &target, budget);
+            crate::rare_event::run_importance_sampling(model, &target, &proposal, budget)
+        }
+    }
+}
+
+/// The single-cell path behind [`crate::analyzer::analyze_auto`] and
+/// [`crate::analyzer::analyze_scenario`]: a one-cell plan with throwaway scratch.
+/// Keeping the per-cell front doors on this exact code path is what makes
+/// [`QueryPlan::execute`] bit-identical to a per-cell loop by construction.
+pub(crate) fn analyze_single(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+) -> AnalysisOutcome {
+    let scratch = GroupScratch::new();
+    let choice = choose_engine_prepared(model, scenario, budget, &scratch);
+    run_prepared(model, scenario, budget, choice, &scratch)
+}
+
+/// Structural identity of a grid cell's (model, scenario) pair — the cache key for
+/// session-level scratch reuse. Only grid cells get session-level keys (their
+/// models and scenarios are built deterministically from the axes); explicit cells
+/// get plan-local scratch instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    protocol: ProtocolSpec,
+    nodes: usize,
+    fault_prob: u64,
+    fault_axis: (u8, u64),
+    correlation: (u8, usize, u64),
+}
+
+/// The sweep-native analysis front door: owns the pool pinning and the reusable
+/// per-(model, scenario) scratch that [`QueryPlan`]s share. See the module docs.
+#[derive(Default)]
+pub struct AnalysisSession {
+    models: Mutex<HashMap<(ProtocolSpec, usize), Arc<dyn ProtocolModel + Send + Sync>>>,
+    groups: Mutex<HashMap<GroupKey, Arc<GroupScratch>>>,
+    pool: Option<Arc<rayon::ThreadPool>>,
+}
+
+impl AnalysisSession {
+    /// A session executing on the process-wide persistent rayon pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A session whose plans and executions run with a pinned thread count
+    /// (primarily for determinism tests; the default pool is usually right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool cannot be built.
+    pub fn with_threads(threads: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool builds");
+        Self {
+            pool: Some(Arc::new(pool)),
+            ..Self::default()
+        }
+    }
+
+    fn model(&self, spec: ProtocolSpec, n: usize) -> Arc<dyn ProtocolModel + Send + Sync> {
+        self.models
+            .lock()
+            .unwrap()
+            .entry((spec, n))
+            .or_insert_with(|| spec.build(n))
+            .clone()
+    }
+
+    /// Cap on cached (model, scenario) scratch groups. Scratch is a pure cache —
+    /// dropping it never changes results, only costs recomputation — so when a
+    /// long-lived session crosses the cap (a few thousand kernels and converted
+    /// correlation models) the cache is simply cleared rather than growing
+    /// without bound. Plans in flight keep their own `Arc`s, so eviction cannot
+    /// invalidate a planned query.
+    const MAX_CACHED_GROUPS: usize = 4_096;
+
+    fn group(&self, key: GroupKey) -> Arc<GroupScratch> {
+        let mut groups = self.groups.lock().unwrap();
+        if groups.len() >= Self::MAX_CACHED_GROUPS && !groups.contains_key(&key) {
+            groups.clear();
+        }
+        groups
+            .entry(key)
+            .or_insert_with(|| Arc::new(GroupScratch::new()))
+            .clone()
+    }
+
+    /// Drops all cached per-(model, scenario) scratch (converted correlation
+    /// models, compiled packed kernels, pilot estimates, learned proposals).
+    /// Purely a memory lever: subsequent plans recompute on demand with
+    /// identical results.
+    pub fn clear_scratch(&self) {
+        self.groups.lock().unwrap().clear();
+        self.models.lock().unwrap().clear();
+    }
+
+    /// Plans a query: validates the budget, expands the axes into cells, selects
+    /// the engine for every cell up front (running each group's selector pilot at
+    /// most once), and groups cells by (model, scenario) signature so kernel
+    /// compilation and proposal learning amortize across the sweep.
+    pub fn plan(&self, query: &Query) -> Result<QueryPlan, AnalysisError> {
+        query
+            .budget
+            .validate()
+            .map_err(AnalysisError::InvalidBudget)?;
+        let sample_axis: Vec<usize> = if query.sample_budgets.is_empty() {
+            vec![query.budget.monte_carlo_samples]
+        } else {
+            query.sample_budgets.clone()
+        };
+        let plan_cells = || -> Result<Vec<PlannedCell>, AnalysisError> {
+            let mut cells = Vec::with_capacity(query.cell_count());
+            for &spec in &query.protocols {
+                for &n in &query.nodes {
+                    if n == 0 {
+                        return Err(AnalysisError::EmptyScenario);
+                    }
+                    let model = self.model(spec, n);
+                    for &p in &query.fault_probs {
+                        let deployment = query.fault_axis.deployment(n, p);
+                        for corr in &query.correlations {
+                            let scenario = corr.apply(deployment.clone());
+                            let scratch = self.group(GroupKey {
+                                protocol: spec,
+                                nodes: n,
+                                fault_prob: p.to_bits(),
+                                fault_axis: query.fault_axis.key(),
+                                correlation: corr.key(),
+                            });
+                            for &samples in &sample_axis {
+                                let budget = query.budget.with_samples(samples);
+                                let engine = choose_engine_prepared(
+                                    model.as_ref(),
+                                    scenario.as_scenario(),
+                                    &budget,
+                                    &scratch,
+                                );
+                                cells.push(PlannedCell {
+                                    label: format!("{}/N={n}/p={p}/{}", spec.label(), corr.label()),
+                                    protocol: spec.label(),
+                                    nodes: n,
+                                    fault_prob: Some(p),
+                                    correlation: corr.label(),
+                                    model: model.clone(),
+                                    scenario: scenario.clone(),
+                                    budget,
+                                    engine,
+                                    scratch: scratch.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            for explicit in &query.explicit {
+                let scenario = explicit.scenario.as_scenario();
+                if scenario.is_empty() {
+                    return Err(AnalysisError::EmptyScenario);
+                }
+                if explicit.model.num_nodes() != scenario.len() {
+                    return Err(AnalysisError::SizeMismatch {
+                        model_nodes: explicit.model.num_nodes(),
+                        scenario_nodes: scenario.len(),
+                    });
+                }
+                let scratch = Arc::new(GroupScratch::new());
+                let engine = choose_engine_prepared(
+                    explicit.model.as_ref(),
+                    scenario,
+                    &query.budget,
+                    &scratch,
+                );
+                let correlation = match &explicit.scenario {
+                    ScenarioSpec::Independent(_) => "independent".to_string(),
+                    ScenarioSpec::Correlated(c) if c.is_correlated() => "correlated".to_string(),
+                    ScenarioSpec::Correlated(_) => "independent".to_string(),
+                };
+                cells.push(PlannedCell {
+                    label: explicit.label.clone(),
+                    protocol: explicit.model.name(),
+                    nodes: explicit.model.num_nodes(),
+                    fault_prob: None,
+                    correlation,
+                    model: explicit.model.clone(),
+                    scenario: explicit.scenario.clone(),
+                    budget: query.budget,
+                    engine,
+                    scratch,
+                });
+            }
+            Ok(cells)
+        };
+        let cells = match &self.pool {
+            Some(pool) => pool.install(plan_cells)?,
+            None => plan_cells()?,
+        };
+        Ok(QueryPlan {
+            cells,
+            metrics: query.metrics,
+            pool: self.pool.clone(),
+        })
+    }
+
+    /// Plans and executes in one call.
+    pub fn run(&self, query: &Query) -> Result<AnalysisReport, AnalysisError> {
+        Ok(self.plan(query)?.execute())
+    }
+}
+
+/// One planned cell: the resolved model/scenario/budget triple, the engine the
+/// selector chose for it, and the shared group scratch.
+struct PlannedCell {
+    label: String,
+    protocol: String,
+    nodes: usize,
+    fault_prob: Option<f64>,
+    correlation: String,
+    model: Arc<dyn ProtocolModel + Send + Sync>,
+    scenario: ScenarioSpec,
+    budget: Budget,
+    engine: EngineChoice,
+    scratch: Arc<GroupScratch>,
+}
+
+/// A planned query: every cell's engine is already selected and every group's
+/// shared setup is ready to be (lazily) compiled once. [`QueryPlan::execute`] may
+/// be called repeatedly; results are deterministic per the module-level contract.
+pub struct QueryPlan {
+    cells: Vec<PlannedCell>,
+    metrics: Metrics,
+    pool: Option<Arc<rayon::ThreadPool>>,
+}
+
+impl std::fmt::Debug for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryPlan")
+            .field("cells", &self.cells.len())
+            .field("engines", &self.engines())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryPlan {
+    /// Number of planned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The engine selected for cell `index` (cells are in query order).
+    pub fn engine(&self, index: usize) -> EngineChoice {
+        self.cells[index].engine
+    }
+
+    /// The engines selected for all cells, in query order.
+    pub fn engines(&self) -> Vec<EngineChoice> {
+        self.cells.iter().map(|c| c.engine).collect()
+    }
+
+    /// The label of cell `index`.
+    pub fn label(&self, index: usize) -> &str {
+        &self.cells[index].label
+    }
+
+    /// Executes every cell across the persistent pool and collects one record per
+    /// cell, in query order. Bit-identical to a per-cell
+    /// [`analyze_auto`](crate::analyzer::analyze_auto) /
+    /// [`analyze_scenario`](crate::analyzer::analyze_scenario) loop at any thread
+    /// count.
+    pub fn execute(&self) -> AnalysisReport {
+        use rayon::prelude::*;
+        let run = || {
+            (0..self.cells.len())
+                .into_par_iter()
+                .map(|index| {
+                    let cell = &self.cells[index];
+                    let start = Instant::now();
+                    let outcome = run_prepared(
+                        cell.model.as_ref(),
+                        cell.scenario.as_scenario(),
+                        &cell.budget,
+                        cell.engine,
+                        &cell.scratch,
+                    );
+                    CellRecord {
+                        label: cell.label.clone(),
+                        protocol: cell.protocol.clone(),
+                        nodes: cell.nodes,
+                        fault_prob: cell.fault_prob,
+                        correlation: cell.correlation.clone(),
+                        samples_budget: cell.budget.monte_carlo_samples,
+                        engine: cell.engine,
+                        outcome,
+                        wall_ns: start.elapsed().as_nanos() as u64,
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let cells = match &self.pool {
+            Some(pool) => pool.install(run),
+            None => run(),
+        };
+        AnalysisReport {
+            metrics: self.metrics,
+            cells,
+        }
+    }
+}
+
+/// One executed cell: where it sits in the sweep, which engine (and kernel) ran,
+/// and the full [`AnalysisOutcome`] with estimates and confidence intervals.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// Human-readable cell id (grid cells: `protocol/N=../p=../correlation`).
+    pub label: String,
+    /// Protocol label (grid cells) or model name (explicit cells).
+    pub protocol: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// The swept per-node fault probability (grid cells only).
+    pub fault_prob: Option<f64>,
+    /// Correlation-variant label.
+    pub correlation: String,
+    /// The sample budget this cell was allotted (sampling engines draw this many).
+    pub samples_budget: usize,
+    /// The engine the planner selected.
+    pub engine: EngineChoice,
+    /// The analysis result, including sampling estimates when an estimator ran.
+    pub outcome: AnalysisOutcome,
+    /// Wall-clock nanoseconds the cell's execution took.
+    pub wall_ns: u64,
+}
+
+impl CellRecord {
+    /// The sampling kernel that drew this cell's samples (Monte Carlo cells only).
+    pub fn kernel(&self) -> Option<McKernel> {
+        self.outcome.monte_carlo.map(|mc| mc.kernel)
+    }
+
+    /// Samples actually drawn (sampling engines only; includes any rare-event ESS
+    /// escalation).
+    pub fn samples_drawn(&self) -> Option<usize> {
+        self.outcome
+            .monte_carlo
+            .map(|mc| mc.samples)
+            .or_else(|| self.outcome.rare_event.map(|re| re.samples))
+    }
+
+    /// Effective sample size (importance-sampling cells only).
+    pub fn ess(&self) -> Option<f64> {
+        self.outcome.rare_event.map(|re| re.ess)
+    }
+
+    /// The 95% interval bounds for one metric, when an estimator produced them.
+    fn bounds(&self, metric: MetricKind) -> Option<(f64, f64)> {
+        let pick = |safe: crate::montecarlo::Estimate,
+                    live: crate::montecarlo::Estimate,
+                    both: crate::montecarlo::Estimate| {
+            let e = match metric {
+                MetricKind::Safe => safe,
+                MetricKind::Live => live,
+                MetricKind::SafeAndLive => both,
+            };
+            (e.lower, e.upper)
+        };
+        if let Some(mc) = self.outcome.monte_carlo {
+            Some(pick(mc.safe, mc.live, mc.safe_and_live))
+        } else {
+            self.outcome
+                .rare_event
+                .map(|re| pick(re.safe, re.live, re.safe_and_live))
+        }
+    }
+
+    fn probability(&self, metric: MetricKind) -> f64 {
+        match metric {
+            MetricKind::Safe => self.outcome.report.safe.probability(),
+            MetricKind::Live => self.outcome.report.live.probability(),
+            MetricKind::SafeAndLive => self.outcome.report.safe_and_live.probability(),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MetricKind {
+    Safe,
+    Live,
+    SafeAndLive,
+}
+
+impl MetricKind {
+    fn name(&self) -> &'static str {
+        match self {
+            MetricKind::Safe => "safe",
+            MetricKind::Live => "live",
+            MetricKind::SafeAndLive => "safe_and_live",
+        }
+    }
+}
+
+/// The structured result set of an executed plan: one [`CellRecord`] per cell, in
+/// query order, renderable as a plain-text [`Table`] or as JSON.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    metrics: Metrics,
+    cells: Vec<CellRecord>,
+}
+
+impl AnalysisReport {
+    /// The executed cells, in query order.
+    pub fn cells(&self) -> &[CellRecord] {
+        &self.cells
+    }
+
+    /// The cell at `index` (query order).
+    pub fn cell(&self, index: usize) -> &CellRecord {
+        &self.cells[index]
+    }
+
+    fn enabled_metrics(&self) -> Vec<MetricKind> {
+        let mut kinds = Vec::new();
+        if self.metrics.safe {
+            kinds.push(MetricKind::Safe);
+        }
+        if self.metrics.live {
+            kinds.push(MetricKind::Live);
+        }
+        if self.metrics.safe_and_live {
+            kinds.push(MetricKind::SafeAndLive);
+        }
+        kinds
+    }
+
+    /// Renders the report as a column-aligned plain-text table.
+    pub fn to_table(&self, title: impl Into<String>) -> Table {
+        let kinds = self.enabled_metrics();
+        let mut headers: Vec<&str> = vec!["cell", "engine"];
+        for kind in &kinds {
+            headers.push(match kind {
+                MetricKind::Safe => "safe",
+                MetricKind::Live => "live",
+                MetricKind::SafeAndLive => "safe&live",
+            });
+        }
+        headers.extend(["95% CI", "ESS", "wall"]);
+        let mut table = Table::new(title, &headers);
+        for cell in &self.cells {
+            let mut row = vec![cell.label.clone(), cell.engine.to_string()];
+            for &kind in &kinds {
+                row.push(crate::report::percent(cell.probability(kind)));
+            }
+            let ci_metric = *kinds.last().unwrap_or(&MetricKind::SafeAndLive);
+            row.push(match cell.bounds(ci_metric) {
+                Some((lower, upper)) => format!("[{lower:.3e}, {upper:.3e}]"),
+                None => "exact".into(),
+            });
+            row.push(
+                cell.ess()
+                    .map_or_else(|| "-".into(), |ess| format!("{ess:.0}")),
+            );
+            row.push(format!("{:.2}ms", cell.wall_ns as f64 / 1e6));
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// The report as a JSON value tree (see [`crate::json`] for the number policy:
+    /// probabilities serialize with full round-trip precision, non-finite values as
+    /// `null`).
+    pub fn to_json_value(&self) -> JsonValue {
+        let kinds = self.enabled_metrics();
+        let cells = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let mut members = vec![
+                    ("label".to_string(), JsonValue::string(&cell.label)),
+                    ("protocol".to_string(), JsonValue::string(&cell.protocol)),
+                    ("nodes".to_string(), JsonValue::number(cell.nodes as f64)),
+                    (
+                        "fault_prob".to_string(),
+                        JsonValue::optional(cell.fault_prob),
+                    ),
+                    (
+                        "correlation".to_string(),
+                        JsonValue::string(&cell.correlation),
+                    ),
+                    (
+                        "engine".to_string(),
+                        JsonValue::string(cell.engine.to_string()),
+                    ),
+                    (
+                        "exact".to_string(),
+                        JsonValue::Bool(cell.outcome.is_exact()),
+                    ),
+                    (
+                        "kernel".to_string(),
+                        cell.kernel().map_or(JsonValue::Null, |k| {
+                            JsonValue::string(format!("{k:?}").to_lowercase())
+                        }),
+                    ),
+                    (
+                        "samples".to_string(),
+                        JsonValue::optional(cell.samples_drawn().map(|s| s as f64)),
+                    ),
+                    ("ess".to_string(), JsonValue::optional(cell.ess())),
+                    (
+                        "wall_ns".to_string(),
+                        JsonValue::number(cell.wall_ns as f64),
+                    ),
+                ];
+                for &kind in &kinds {
+                    let (lower, upper) = match cell.bounds(kind) {
+                        Some((lower, upper)) => {
+                            (JsonValue::number(lower), JsonValue::number(upper))
+                        }
+                        None => (JsonValue::Null, JsonValue::Null),
+                    };
+                    members.push((
+                        kind.name().to_string(),
+                        JsonValue::Object(vec![
+                            (
+                                "value".to_string(),
+                                JsonValue::number(cell.probability(kind)),
+                            ),
+                            ("lower".to_string(), lower),
+                            ("upper".to_string(), upper),
+                        ]),
+                    ));
+                }
+                JsonValue::Object(members)
+            })
+            .collect();
+        JsonValue::Object(vec![("cells".to_string(), JsonValue::Array(cells))])
+    }
+
+    /// The report rendered as a JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{analyze_auto, analyze_scenario};
+    use crate::durability::PersistenceQuorumModel;
+    use fault_model::mode::FaultProfile;
+
+    #[test]
+    fn grid_expands_in_axis_nesting_order() {
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft, ProtocolSpec::Pbft])
+            .nodes([5usize, 7])
+            .fault_probs([0.01, 0.08]);
+        assert_eq!(query.cell_count(), 8);
+        let plan = session.plan(&query).expect("valid query");
+        assert_eq!(plan.len(), 8);
+        assert_eq!(plan.label(0), "raft/N=5/p=0.01/independent");
+        assert_eq!(plan.label(3), "raft/N=7/p=0.08/independent");
+        assert_eq!(plan.label(4), "pbft/N=5/p=0.01/independent");
+        // All counting models on small independent deployments: exact counting.
+        assert!(plan.engines().iter().all(|&e| e == EngineChoice::Counting));
+    }
+
+    #[test]
+    fn planned_cells_match_per_cell_front_door_bit_for_bit() {
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize, 5])
+            .fault_probs([0.01, 0.05])
+            .correlations([
+                CorrelationSpec::Independent,
+                CorrelationSpec::ClusterShock { probability: 0.01 },
+            ])
+            .budget(Budget::default().with_samples(10_000).with_seed(7));
+        let report = session.run(&query).expect("valid query");
+        let mut index = 0;
+        for &n in &[3usize, 5] {
+            for &p in &[0.01, 0.05] {
+                for corr in &[
+                    CorrelationSpec::Independent,
+                    CorrelationSpec::ClusterShock { probability: 0.01 },
+                ] {
+                    let model = RaftModel::standard(n);
+                    let deployment = Deployment::uniform_crash(n, p);
+                    let budget = Budget::default().with_samples(10_000).with_seed(7);
+                    let expected = match corr.apply(deployment) {
+                        ScenarioSpec::Independent(d) => analyze_auto(&model, &d, &budget),
+                        ScenarioSpec::Correlated(c) => {
+                            analyze_scenario(&model, Scenario::Correlated(&c), &budget)
+                                .expect("well-formed")
+                        }
+                    };
+                    assert_eq!(
+                        report.cell(index).outcome,
+                        expected,
+                        "cell {index} ({}) diverged from the per-cell front door",
+                        report.cell(index).label
+                    );
+                    index += 1;
+                }
+            }
+        }
+        assert_eq!(index, report.cells().len());
+    }
+
+    #[test]
+    fn samples_sweep_replicates_cells_and_shares_the_group() {
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([5usize])
+            .fault_probs([0.05])
+            .correlations([CorrelationSpec::ClusterShock { probability: 0.02 }])
+            .samples_sweep([1_000usize, 5_000, 20_000])
+            .budget(Budget::default().with_seed(3));
+        let report = session.run(&query).expect("valid query");
+        assert_eq!(report.cells().len(), 3);
+        for (cell, &samples) in report.cells().iter().zip(&[1_000usize, 5_000, 20_000]) {
+            assert_eq!(cell.samples_budget, samples);
+            assert_eq!(cell.engine, EngineChoice::MonteCarlo);
+            assert_eq!(cell.samples_drawn(), Some(samples));
+            assert_eq!(cell.kernel(), Some(McKernel::Packed));
+        }
+        // Wider budgets should not widen the interval.
+        let widths: Vec<f64> = report
+            .cells()
+            .iter()
+            .map(|c| c.outcome.monte_carlo.unwrap().safe_and_live.half_width())
+            .collect();
+        assert!(widths[0] > widths[2]);
+    }
+
+    #[test]
+    fn explicit_cells_cover_placement_sensitive_models() {
+        let session = AnalysisSession::new();
+        let model: Arc<dyn ProtocolModel + Send + Sync> =
+            Arc::new(PersistenceQuorumModel::new(24, (0..4).collect()));
+        let query = Query::new()
+            .cell(
+                "durability",
+                model.clone(),
+                Deployment::uniform_crash(24, 0.05),
+            )
+            .budget(Budget::default().with_samples(30_000).with_seed(13));
+        let plan = session.plan(&query).expect("valid query");
+        assert_eq!(plan.engines(), vec![EngineChoice::ImportanceSampling]);
+        let report = plan.execute();
+        let cell = report.cell(0);
+        assert_eq!(cell.label, "durability");
+        assert!(cell.ess().expect("importance sampling ran") > 0.0);
+        let expected = analyze_auto(
+            model.as_ref(),
+            &Deployment::uniform_crash(24, 0.05),
+            &Budget::default().with_samples(30_000).with_seed(13),
+        );
+        assert_eq!(cell.outcome, expected);
+    }
+
+    #[test]
+    fn invalid_budgets_are_rejected_at_plan_time() {
+        let session = AnalysisSession::new();
+        let base = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize])
+            .fault_probs([0.01]);
+        let nan_tilt = Budget {
+            rare_event_tilt: f64::NAN,
+            ..Budget::default()
+        };
+        let err = session
+            .plan(&base.clone().budget(nan_tilt))
+            .expect_err("NaN tilt must be rejected");
+        assert!(matches!(
+            err,
+            AnalysisError::InvalidBudget(crate::engine::InvalidBudget::RareEventTilt(_))
+        ));
+        let zero_ess = Budget {
+            min_effective_samples: 0.0,
+            ..Budget::default()
+        };
+        assert!(session.plan(&base.clone().budget(zero_ess)).is_err());
+        let bad_threshold = Budget {
+            rare_event_threshold: 0.0,
+            ..Budget::default()
+        };
+        let err = session
+            .plan(&base.budget(bad_threshold))
+            .expect_err("threshold outside (0,1) must be rejected");
+        assert!(err.to_string().contains("rare_event_threshold"));
+    }
+
+    #[test]
+    fn malformed_cells_yield_clear_errors() {
+        let session = AnalysisSession::new();
+        // Size mismatch between an explicit model and its scenario.
+        let model: Arc<dyn ProtocolModel + Send + Sync> = Arc::new(RaftModel::standard(3));
+        let query = Query::new().cell(
+            "mismatch",
+            model.clone(),
+            Deployment::uniform_crash(4, 0.01),
+        );
+        assert_eq!(
+            session.plan(&query).unwrap_err(),
+            AnalysisError::SizeMismatch {
+                model_nodes: 3,
+                scenario_nodes: 4
+            }
+        );
+        // An empty correlated scenario.
+        let query =
+            Query::new().cell_correlated("empty", model, CorrelationModel::independent(Vec::new()));
+        assert_eq!(
+            session.plan(&query).unwrap_err(),
+            AnalysisError::EmptyScenario
+        );
+    }
+
+    #[test]
+    fn logspace_spans_the_requested_decades() {
+        let points = logspace(1e-6, 1e-1, 25);
+        assert_eq!(points.len(), 25);
+        assert!((points[0] - 1e-6).abs() < 1e-18);
+        assert!((points[24] - 1e-1).abs() < 1e-12);
+        assert!(points.windows(2).all(|w| w[0] < w[1]));
+        // Log-even spacing: constant ratio between neighbours.
+        let r0 = points[1] / points[0];
+        let r23 = points[24] / points[23];
+        assert!((r0 - r23).abs() < 1e-9);
+        assert_eq!(logspace(0.5, 0.5, 1), vec![0.5]);
+    }
+
+    #[test]
+    fn report_table_and_json_render_every_cell() {
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize, 5])
+            .fault_probs([0.01]);
+        let report = session.run(&query).expect("valid query");
+        let table = report.to_table("sweep");
+        assert_eq!(table.num_rows(), 2);
+        assert!(table.rows()[0][1].contains("counting"));
+        let parsed = JsonValue::parse(&report.to_json()).expect("valid JSON");
+        let cells = parsed.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells[0].get("engine").and_then(JsonValue::as_str),
+            Some("counting")
+        );
+        // Exact cells have null interval bounds and null ESS.
+        assert!(cells[0]
+            .get("safe_and_live")
+            .unwrap()
+            .get("lower")
+            .unwrap()
+            .is_null());
+        assert!(cells[0].get("ess").unwrap().is_null());
+        // Probabilities round-trip bit-exactly through the JSON text.
+        let value = cells[0]
+            .get("safe_and_live")
+            .unwrap()
+            .get("value")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert_eq!(
+            value.to_bits(),
+            report
+                .cell(0)
+                .outcome
+                .report
+                .safe_and_live
+                .probability()
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn metrics_filter_report_columns() {
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize])
+            .fault_probs([0.01])
+            .metrics(Metrics {
+                safe: false,
+                live: false,
+                safe_and_live: true,
+            });
+        let report = session.run(&query).expect("valid query");
+        let json = report.to_json();
+        assert!(json.contains("\"safe_and_live\""));
+        assert!(!json.contains("\"live\":"));
+        let table = report.to_table("s&l only");
+        assert_eq!(table.rows()[0].len(), 6); // cell, engine, s&l, CI, ESS, wall
+    }
+
+    #[test]
+    fn session_scratch_is_shared_across_plans() {
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([40usize])
+            .fault_probs([0.02])
+            .correlations([CorrelationSpec::RackShock {
+                racks: 4,
+                probability: 0.01,
+            }])
+            .budget(Budget::default().with_samples(5_000));
+        let first = session.run(&query).expect("valid query");
+        let second = session.run(&query).expect("valid query");
+        assert_eq!(first.cell(0).outcome, second.cell(0).outcome);
+        // One group signature in the session cache despite two plans.
+        assert_eq!(session.groups.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_explicit_cell_matches_front_door() {
+        let profiles: Vec<FaultProfile> = (0..7)
+            .map(|i| FaultProfile::crash_only(0.01 * (i + 1) as f64))
+            .collect();
+        let deployment = Deployment::from_profiles(profiles);
+        let model: Arc<dyn ProtocolModel + Send + Sync> = Arc::new(RaftModel::standard(7));
+        let session = AnalysisSession::new();
+        let report = session
+            .run(&Query::new().cell("hetero", model.clone(), deployment.clone()))
+            .expect("valid query");
+        let expected = analyze_auto(model.as_ref(), &deployment, &Budget::default());
+        assert_eq!(report.cell(0).outcome, expected);
+    }
+}

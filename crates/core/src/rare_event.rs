@@ -628,7 +628,20 @@ pub fn naive_failure_estimate(
     budget: &Budget,
 ) -> f64 {
     let target = scenario.to_correlation_model();
-    let mut rng = StdRng::seed_from_u64(chunk_seed(budget.seed, SELECTOR_SEED_TAG));
+    naive_failure_estimate_with(model, &target, budget.seed)
+}
+
+/// [`naive_failure_estimate`] on an already-converted correlation model — shared
+/// with the query API ([`crate::query`]), which caches the pilot per
+/// (model, scenario, seed) group so a sweep pays for it once instead of per cell.
+/// The estimate depends only on the model, the target and the seed, so the cached
+/// value is exactly what the per-cell call would have computed.
+pub(crate) fn naive_failure_estimate_with(
+    model: &dyn ProtocolModel,
+    target: &CorrelationModel,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(chunk_seed(seed, SELECTOR_SEED_TAG));
     let mut hits = 0usize;
     let mut config = FailureConfig::all_correct(target.len());
     for _ in 0..SELECTOR_PILOT_SAMPLES {
@@ -695,39 +708,63 @@ impl AnalysisEngine for ImportanceSamplingEngine {
         budget: &Budget,
     ) -> AnalysisOutcome {
         let target = scenario.to_correlation_model();
-        let proposal = if budget.rare_event_tilt > 0.0 {
-            Proposal::uniform_tilt(&target, budget.rare_event_tilt.max(1.0))
-        } else {
-            Proposal::adaptive(model, &target, budget.seed)
-        };
-        let mut report = importance_sampling_reliability_par(
+        let proposal = select_proposal(model, &target, budget);
+        run_importance_sampling(model, &target, &proposal, budget)
+    }
+}
+
+/// The proposal the importance-sampling engine samples from for this budget: the
+/// pinned uniform tilt when one is set, the adaptive pilot otherwise. Split out of
+/// [`ImportanceSamplingEngine::run`] so the query API ([`crate::query`]) can cache
+/// the (deterministic, seed-keyed) pilot result per cell group.
+pub(crate) fn select_proposal(
+    model: &dyn ProtocolModel,
+    target: &CorrelationModel,
+    budget: &Budget,
+) -> Proposal {
+    if budget.rare_event_tilt > 0.0 {
+        Proposal::uniform_tilt(target, budget.rare_event_tilt.max(1.0))
+    } else {
+        Proposal::adaptive(model, target, budget.seed)
+    }
+}
+
+/// The estimator half of [`ImportanceSamplingEngine::run`]: the weighted main run,
+/// the one-shot ESS escalation, and the outcome wrapping. Shared verbatim with the
+/// query API so a planned cell is bit-identical to the engine's own run.
+pub(crate) fn run_importance_sampling(
+    model: &dyn ProtocolModel,
+    target: &CorrelationModel,
+    proposal: &Proposal,
+    budget: &Budget,
+) -> AnalysisOutcome {
+    let mut report = importance_sampling_reliability_par(
+        model,
+        target,
+        proposal,
+        budget.monte_carlo_samples,
+        budget.seed,
+    );
+    // One escalation: if the weights collapsed below the ESS floor, spend a
+    // doubled sample budget (fresh stream) before reporting.
+    if !report.meets_min_ess(budget.min_effective_samples) {
+        report = importance_sampling_reliability_par(
             model,
-            &target,
-            &proposal,
-            budget.monte_carlo_samples,
-            budget.seed,
+            target,
+            proposal,
+            budget.monte_carlo_samples.max(1) * 2,
+            budget.seed ^ 0x9E37_79B9_7F4A_7C15,
         );
-        // One escalation: if the weights collapsed below the ESS floor, spend a
-        // doubled sample budget (fresh stream) before reporting.
-        if !report.meets_min_ess(budget.min_effective_samples) {
-            report = importance_sampling_reliability_par(
-                model,
-                &target,
-                &proposal,
-                budget.monte_carlo_samples.max(1) * 2,
-                budget.seed ^ 0x9E37_79B9_7F4A_7C15,
-            );
-        }
-        AnalysisOutcome {
-            report: ReliabilityReport::from_raw(RawReliability {
-                p_safe: report.safe.value,
-                p_live: report.live.value,
-                p_safe_and_live: report.safe_and_live.value,
-            }),
-            engine: EngineChoice::ImportanceSampling,
-            monte_carlo: None,
-            rare_event: Some(report),
-        }
+    }
+    AnalysisOutcome {
+        report: ReliabilityReport::from_raw(RawReliability {
+            p_safe: report.safe.value,
+            p_live: report.live.value,
+            p_safe_and_live: report.safe_and_live.value,
+        }),
+        engine: EngineChoice::ImportanceSampling,
+        monte_carlo: None,
+        rare_event: Some(report),
     }
 }
 

@@ -119,8 +119,24 @@ impl Nines {
     }
 
     /// Whether this probability meets a target expressed in nines.
+    ///
+    /// Compared in log-space with a tolerance: exact-nines boundaries do not
+    /// survive float rounding — `1 - 0.999` evaluates to `1.0000000000000009e-3`,
+    /// so `nines(0.999)` is `2.9999999999999996` and a plain `>=` would deny that
+    /// exactly three nines meet a three-nines target. The tolerance is the
+    /// representation noise of a probability at the target: storing `1 − 10^-k`
+    /// rounds by up to half an ulp of 1.0, which the complement amplifies to
+    /// `(ε/2)·10^k` in relative terms — `(ε/2)·10^k / ln 10` nines — plus a fixed
+    /// 1e-9 floor for the logarithm's own rounding. Both terms are far below any
+    /// meaningful reliability distinction at their respective scales. The slack is
+    /// capped at half a nine: beyond ~16 nines the uncapped formula would exceed
+    /// whole nines and wave anything through, while the boundary cases it exists
+    /// for stop being representable at all (the largest f64 below 1.0 is ~15.95
+    /// nines; `1 − 10^-17` rounds to exactly 1.0, whose nines are infinite).
     pub fn meets(&self, target_nines: f64) -> bool {
-        self.nines() >= target_nines
+        let representation_slack =
+            (f64::EPSILON / 2.0 * 10f64.powf(target_nines) / std::f64::consts::LN_10).min(0.5);
+        self.nines() >= target_nines - representation_slack - 1e-9
     }
 
     /// Formats the probability as a percentage with enough significant digits to show the
@@ -208,5 +224,32 @@ mod tests {
         assert!(n.meets(4.0));
         assert!(!n.meets(5.0));
         assert!((n.complement() - 5e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meets_holds_at_exact_nines_boundaries() {
+        // Regression: 1 - 10^-k is not exactly representable, so -log10(1 - p)
+        // lands a few ulps below k and a strict comparison denied the boundary
+        // (e.g. exactly 0.999 vs a 3-nines target).
+        for k in 1..=12 {
+            let boundary = Nines::from_probability(probability_from_nines(k as f64));
+            assert!(
+                boundary.meets(k as f64),
+                "exactly {k} nines must meet a {k}-nines target (nines() = {})",
+                boundary.nines()
+            );
+        }
+        assert!(Nines::from_probability(0.999).meets(3.0));
+        assert!(Nines::from_probability(0.9999).meets(4.0));
+        // The tolerance must not wave through genuinely lower reliability.
+        assert!(!Nines::from_probability(0.999).meets(3.001));
+        assert!(!Nines::from_probability(0.9989).meets(3.0));
+        assert!(Nines::from_probability(1.0).meets(100.0));
+        // ... including at unrepresentably deep targets, where the uncapped slack
+        // formula would exceed whole nines (regression for the slack cap).
+        assert!(!Nines::from_probability(0.999).meets(17.0));
+        assert!(!Nines::from_probability(0.999).meets(20.0));
+        let best_below_one = Nines::from_probability(f64::from_bits(1.0f64.to_bits() - 1));
+        assert!(!best_below_one.meets(17.0));
     }
 }

@@ -10,14 +10,16 @@
 //! and (4) apply the probability-native mechanisms of §4 — reliability-aware quorum
 //! placement, leader ranking, and preemptive replacement planning.
 
+use std::sync::Arc;
+
 use fault_model::metrics::HOURS_PER_YEAR;
 use fault_model::mode::FaultProfile;
 use fault_model::telemetry::{ClassSpec, TelemetryEstimator, TelemetryGenerator};
-use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::deployment::Deployment;
-use prob_consensus::engine::Budget;
 use prob_consensus::heterogeneity::{durability_under_policy, QuorumPolicy};
 use prob_consensus::leader::{leader_failure_probability, rank_leaders, LeaderPolicy};
+use prob_consensus::protocol::ProtocolModel;
+use prob_consensus::query::{AnalysisSession, Query};
 use prob_consensus::raft_model::RaftModel;
 use prob_consensus::report::Table;
 use rand::rngs::StdRng;
@@ -66,9 +68,19 @@ fn main() {
     profiles.extend(vec![FaultProfile::crash_only(reliable); 3]);
     let deployment = Deployment::from_profiles(profiles);
 
-    // 3. The probabilistic guarantee of plain Raft on this fleet (engine auto-selected).
-    let report = analyze_auto(&RaftModel::standard(7), &deployment, &Budget::default()).report;
-    println!("7-node Raft on the mixed fleet: {report}\n");
+    // 3. The probabilistic guarantee of plain Raft on this fleet. Heterogeneous
+    //    deployments do not fit a uniform grid axis, so they go in as an explicit
+    //    query cell (engine still auto-selected at plan time).
+    let session = AnalysisSession::new();
+    let model: Arc<dyn ProtocolModel + Send + Sync> = Arc::new(RaftModel::standard(7));
+    let analysis = session
+        .run(&Query::new().cell("mixed-fleet", model, deployment.clone()))
+        .expect("well-formed fleet cell");
+    println!(
+        "7-node Raft on the mixed fleet: {}  [engine: {}]\n",
+        analysis.cell(0).outcome.report,
+        analysis.cell(0).engine
+    );
 
     // 4a. Reliability-aware quorum placement (the §3.2 durability example).
     let mut durability = Table::new(

@@ -1,4 +1,4 @@
-//! Quickstart: compute the probabilistic guarantee of a consensus deployment.
+//! Quickstart: sweep the probabilistic guarantees of consensus deployments.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -7,75 +7,103 @@
 //! The paper's headline observation: an f-threshold protocol like Raft claims to be
 //! "safe and live with up to f faults", but once per-node failure probabilities are
 //! acknowledged, a three-node cluster at a 1% annual failure rate is only ~99.97% safe
-//! and live — and nine much flakier nodes can match it.
+//! and live — and nine much flakier nodes can match it. The paper's deliverable is
+//! *tables* of such numbers, so the front door here is sweep-native: describe the
+//! axes once, plan, execute, and render — to a plain-text table or to JSON.
 
-use prob_consensus::analyzer::analyze_auto;
-use prob_consensus::deployment::Deployment;
 use prob_consensus::engine::Budget;
-use prob_consensus::pbft_model::PbftModel;
-use prob_consensus::raft_model::RaftModel;
-use prob_consensus::report::Table;
+use prob_consensus::query::{
+    AnalysisSession, CorrelationSpec, FaultAxis, Metrics, ProtocolSpec, Query,
+};
 
 fn main() {
-    let budget = Budget::default();
+    // One session amortizes engine selection and kernel setup across every query.
+    let session = AnalysisSession::new();
 
-    // 1. Describe the deployment: three nodes, each with a 1% chance of crashing over
-    //    the mission window (a year, say).
-    let deployment = Deployment::uniform_crash(3, 0.01);
-
-    // 2. Pick the protocol model (Theorem 3.2 for Raft with majority quorums).
-    let raft = RaftModel::standard(3);
-
-    // 3. Analyze — the engine (exact counting here) is selected automatically.
-    let outcome = analyze_auto(&raft, &deployment, &budget);
-    let report = outcome.report;
-    println!("Raft, N=3, p_u=1%  [engine: {}]:", outcome.engine);
-    println!("  safe          : {}", report.safe);
-    println!("  live          : {}", report.live);
+    // 1. A single cell is just a 1x1x1 grid: three Raft nodes, each with a 1%
+    //    chance of crashing over the mission window (a year, say).
+    let report = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([3usize])
+                .fault_probs([0.01]),
+        )
+        .expect("well-formed query");
+    let cell = report.cell(0);
     println!(
-        "  safe and live : {}  ({:.2} nines)\n",
-        report.safe_and_live,
-        report.safe_and_live.nines()
+        "Raft, N=3, p_u=1%  [engine: {}]: {}\n",
+        cell.engine, cell.outcome.report
     );
 
-    // 4. The same analysis across cluster sizes and fault rates (Table 2 of the paper).
-    let mut table = Table::new(
-        "Raft safe-and-live probability",
-        &["N", "p=1%", "p=2%", "p=4%", "p=8%"],
+    // 2. The same analysis across cluster sizes and fault rates (Table 2 of the
+    //    paper) — one planned batch instead of a hand-rolled double loop.
+    let table2 = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([3usize, 5, 7, 9])
+                .fault_probs([0.01, 0.02, 0.04, 0.08])
+                .metrics(Metrics {
+                    safe: false,
+                    live: false,
+                    safe_and_live: true,
+                }),
+        )
+        .expect("well-formed query");
+    println!(
+        "{}",
+        table2.to_table("Raft safe-and-live probability (Table 2)")
     );
-    for n in [3usize, 5, 7, 9] {
-        let mut row = vec![n.to_string()];
-        for p in [0.01, 0.02, 0.04, 0.08] {
-            let r = analyze_auto(
-                &RaftModel::standard(n),
-                &Deployment::uniform_crash(n, p),
-                &budget,
-            )
-            .report;
-            row.push(r.safe_and_live.as_percent());
-        }
-        table.push_row(row);
-    }
-    println!("{table}");
 
-    // 5. BFT protocols are probabilistic too (Table 1 of the paper).
-    let pbft = analyze_auto(
-        &PbftModel::standard(4),
-        &Deployment::uniform_byzantine(4, 0.01),
-        &budget,
-    )
-    .report;
-    println!("PBFT, N=4, p_u=1%: safe {} / live {}", pbft.safe, pbft.live);
+    // 3. BFT protocols are probabilistic too (Table 1 of the paper).
+    let pbft = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Pbft])
+                .nodes([4usize, 5, 7, 8])
+                .fault_probs([0.01])
+                .faults(FaultAxis::Byzantine),
+        )
+        .expect("well-formed query");
+    println!("{}", pbft.to_table("PBFT reliability, p_u = 1% (Table 1)"));
 
-    // 6. The headline equivalence: nine cheap 8% nodes match three reliable 1% nodes.
-    let nine_cheap = analyze_auto(
-        &RaftModel::standard(9),
-        &Deployment::uniform_crash(9, 0.08),
-        &budget,
-    )
-    .report;
+    // 4. Correlation is an axis like any other: the same Raft sweep with a 1%
+    //    whole-cluster shock next to the independent baseline. The planner routes
+    //    independent cells to the exact counting engine and correlated cells to
+    //    the packed Monte Carlo kernel — visible in the engine column.
+    let correlated = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([5usize])
+                .fault_probs([0.01, 0.08])
+                .correlations([
+                    CorrelationSpec::Independent,
+                    CorrelationSpec::ClusterShock { probability: 0.01 },
+                ])
+                .budget(Budget::default().with_samples(100_000)),
+        )
+        .expect("well-formed query");
+    println!(
+        "{}",
+        correlated.to_table("Correlated vs independent (N = 5)")
+    );
+
+    // 5. Reports serialize: the same result set as JSON, with full f64 round-trip
+    //    precision on every probability (non-finite values would become null).
+    println!(
+        "JSON dump of the correlated sweep:\n{}",
+        correlated.to_json()
+    );
+
+    // 6. The headline equivalence: nine cheap 8% nodes match three reliable 1%
+    //    nodes — two cells read straight out of the Table 2 report (grid order:
+    //    N-axis outer, p-axis inner).
+    let three_good = table2.cell(0); // N=3, p=1%
+    let nine_cheap = table2.cell(15); // N=9, p=8%
     println!(
         "\n3 nodes @ 1% -> {} | 9 nodes @ 8% -> {}",
-        report.safe_and_live, nine_cheap.safe_and_live
+        three_good.outcome.report.safe_and_live, nine_cheap.outcome.report.safe_and_live
     );
 }

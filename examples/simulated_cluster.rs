@@ -8,6 +8,8 @@
 //! are about: a Raft cluster surviving a leader crash, a Raft cluster losing liveness
 //! when a majority dies, and a PBFT cluster staying safe with an equivocating primary.
 
+use std::sync::Arc;
+
 use consensus_protocols::byzantine::ByzantineBehavior;
 use consensus_protocols::harness::{PbftHarness, RaftHarness};
 use consensus_protocols::pbft::PbftConfig;
@@ -16,6 +18,10 @@ use consensus_sim::fault::FaultSchedule;
 use consensus_sim::network::NetworkConfig;
 use consensus_sim::time::SimTime;
 use fault_model::mode::FaultProfile;
+use prob_consensus::deployment::Deployment;
+use prob_consensus::protocol::ProtocolModel;
+use prob_consensus::query::{AnalysisSession, Query};
+use prob_consensus::raft_model::RaftModel;
 
 fn main() {
     // Scenario 1: a healthy 5-node Raft cluster with a reliability-aware leader.
@@ -26,6 +32,23 @@ fn main() {
         FaultProfile::crash_only(0.02),
         FaultProfile::crash_only(0.08),
     ];
+
+    // What the analysis layer predicts for this fleet over the mission window —
+    // the probability the scenarios below are samples of.
+    let session = AnalysisSession::new();
+    let model: Arc<dyn ProtocolModel + Send + Sync> = Arc::new(RaftModel::standard(5));
+    let prediction = session
+        .run(&Query::new().cell(
+            "sim-fleet",
+            model,
+            Deployment::from_profiles(profiles.clone()),
+        ))
+        .expect("well-formed fleet cell");
+    println!(
+        "[analysis]        predicted guarantees: {}",
+        prediction.cell(0).outcome.report
+    );
+
     let config = reliability_aware_raft_config(&profiles);
     let mut harness = RaftHarness::with_config(config, NetworkConfig::lan(), 1);
     harness.submit_commands(20);

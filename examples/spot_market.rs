@@ -11,6 +11,7 @@
 //! lowest-carbon Raft deployment meeting a reliability target.
 
 use prob_consensus::cost::{cheapest_deployment, cost_equivalence, default_catalogue, Objective};
+use prob_consensus::query::{AnalysisSession, Metrics, ProtocolSpec, Query};
 use prob_consensus::raft_model::RaftModel;
 use prob_consensus::report::Table;
 
@@ -34,6 +35,28 @@ fn main() {
         ]);
     }
     println!("{listing}");
+
+    // Survey the whole (instance reliability x cluster size) space as one planned
+    // sweep before searching: the fault-probability axis is read straight off the
+    // catalogue, and every cell runs through the exact counting engine.
+    let session = AnalysisSession::new();
+    let survey = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([3usize, 5, 7, 9, 11])
+                .fault_probs(catalogue.iter().map(|i| i.fault_probability))
+                .metrics(Metrics {
+                    safe: false,
+                    live: false,
+                    safe_and_live: true,
+                }),
+        )
+        .expect("well-formed catalogue sweep");
+    println!(
+        "{}",
+        survey.to_table("Raft safe-and-live across the catalogue (sweep)")
+    );
 
     let mut results = Table::new(
         "Cheapest Raft deployment meeting a target (clusters up to 11 nodes)",

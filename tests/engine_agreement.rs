@@ -404,6 +404,128 @@ fn parallel_importance_sampling_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The query-API determinism contract (see `crates/core/src/query.rs`): a planned
+/// sweep must be **bit-identical** to a hand-rolled per-cell front-door loop, at
+/// every thread count. The grid is a paper-style sweep — 3 protocols × 5 cluster
+/// sizes × 4 fault probabilities × {independent, cluster-shock}, mixed crash/
+/// Byzantine profiles — plus two explicit placement-sensitive cells, so all four
+/// engines and both Monte Carlo kernels appear among the 122 cells.
+#[test]
+fn query_plan_execute_matches_per_cell_loop_bit_for_bit() {
+    use prob_consensus::analyzer::analyze_scenario;
+    use prob_consensus::engine::AnalysisOutcome;
+    use prob_consensus::query::{AnalysisSession, CorrelationSpec, FaultAxis, ProtocolSpec, Query};
+    use std::sync::Arc;
+
+    const PROTOCOLS: [ProtocolSpec; 3] = [
+        ProtocolSpec::Raft,
+        ProtocolSpec::RaftFlexible { q_per: 3, q_vc: 4 },
+        ProtocolSpec::Pbft,
+    ];
+    const NS: [usize; 5] = [5, 7, 9, 11, 13];
+    const PS: [f64; 4] = [0.01, 0.05, 0.10, 0.25];
+    const BYZANTINE: f64 = 0.005;
+    const SHOCK: f64 = 0.01;
+    const CORRELATIONS: [CorrelationSpec; 2] = [
+        CorrelationSpec::Independent,
+        CorrelationSpec::ClusterShock { probability: SHOCK },
+    ];
+    let budget = Budget::default().with_samples(6_000).with_seed(GRID_SEED);
+
+    // Two explicit cells outside the grid: a rare-event cell (importance
+    // sampling) and a common-failure placement-sensitive cell (scalar-kernel
+    // Monte Carlo — no counting view).
+    let rare_model: Arc<dyn ProtocolModel + Send + Sync> =
+        Arc::new(PersistenceQuorumModel::new(24, (0..4).collect()));
+    let rare_deployment = Deployment::uniform_crash(24, 0.05);
+    let common_model: Arc<dyn ProtocolModel + Send + Sync> =
+        Arc::new(PersistenceQuorumModel::new(30, (0..2).collect()));
+    let common_deployment = Deployment::uniform_crash(30, 0.25);
+
+    let query = Query::new()
+        .protocols(PROTOCOLS)
+        .nodes(NS)
+        .fault_probs(PS)
+        .faults(FaultAxis::Mixed {
+            byzantine: BYZANTINE,
+        })
+        .correlations(CORRELATIONS)
+        .budget(budget)
+        .cell("rare-quorum", rare_model.clone(), rare_deployment.clone())
+        .cell(
+            "common-quorum",
+            common_model.clone(),
+            common_deployment.clone(),
+        );
+    assert!(
+        query.cell_count() >= 100,
+        "a paper-style sweep is >= 100 cells"
+    );
+
+    // The reference: the same cells through the per-cell front doors, in the
+    // grid's axis-nesting order.
+    let mut reference: Vec<AnalysisOutcome> = Vec::with_capacity(query.cell_count());
+    for spec in PROTOCOLS {
+        for n in NS {
+            let model = spec.build(n);
+            for p in PS {
+                let deployment = Deployment::uniform_mixed(n, p, BYZANTINE);
+                for correlation in CORRELATIONS {
+                    reference.push(match correlation {
+                        CorrelationSpec::Independent => {
+                            analyze_auto(model.as_ref(), &deployment, &budget)
+                        }
+                        _ => {
+                            let correlated =
+                                CorrelationModel::independent(deployment.profiles().to_vec())
+                                    .with_group(CorrelationGroup::crash_shock(
+                                        (0..n).collect(),
+                                        SHOCK,
+                                    ));
+                            analyze_scenario(
+                                model.as_ref(),
+                                Scenario::Correlated(&correlated),
+                                &budget,
+                            )
+                            .expect("well-formed scenario")
+                        }
+                    });
+                }
+            }
+        }
+    }
+    reference.push(analyze_auto(rare_model.as_ref(), &rare_deployment, &budget));
+    reference.push(analyze_auto(
+        common_model.as_ref(),
+        &common_deployment,
+        &budget,
+    ));
+
+    let mut engines_seen = std::collections::HashSet::new();
+    for threads in [1usize, 2, 8] {
+        let session = AnalysisSession::with_threads(threads);
+        let plan = session.plan(&query).expect("well-formed sweep");
+        assert_eq!(plan.len(), reference.len());
+        let report = plan.execute();
+        for (index, (cell, expected)) in report.cells().iter().zip(&reference).enumerate() {
+            assert_eq!(
+                &cell.outcome, expected,
+                "cell {index} ({}) diverged from the per-cell loop at {threads} threads",
+                cell.label
+            );
+            engines_seen.insert(cell.engine);
+        }
+    }
+    // The sweep genuinely exercised the whole registry.
+    for engine in [
+        EngineChoice::Counting,
+        EngineChoice::MonteCarlo,
+        EngineChoice::ImportanceSampling,
+    ] {
+        assert!(engines_seen.contains(&engine), "{engine} never selected");
+    }
+}
+
 #[test]
 fn auto_selection_is_consistent_with_explicit_engines() {
     // For a counting model, analyze_auto must reproduce the counting engine bit for bit.

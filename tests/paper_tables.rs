@@ -4,8 +4,8 @@
 
 use prob_consensus::analyzer::analyze_auto;
 use prob_consensus::deployment::Deployment;
-use prob_consensus::engine::Budget;
-use prob_consensus::pbft_model::PbftModel;
+use prob_consensus::engine::{Budget, EngineChoice};
+use prob_consensus::query::{AnalysisSession, FaultAxis, ProtocolSpec, Query};
 use prob_consensus::raft_model::RaftModel;
 use prob_consensus::tradeoff::{compare, pbft_sweep};
 
@@ -23,24 +23,34 @@ fn assert_paper_percent(probability: f64, paper: &str, context: &str) {
 
 #[test]
 fn table1_pbft_all_cells() {
-    // (N, safe %, live %, safe and live %) as printed in Table 1.
+    // (N, safe %, live %, safe and live %) as printed in Table 1, regenerated as
+    // one planned sweep through the query API.
     let rows = [
         (4usize, "99.94", "99.94", "99.94"),
         (5, "99.9990", "99.90", "99.90"),
         (7, "99.997", "99.997", "99.997"),
         (8, "99.99993", "99.995", "99.995"),
     ];
-    for (n, safe, live, both) in rows {
-        let report = analyze_auto(
-            &PbftModel::standard(n),
-            &Deployment::uniform_byzantine(n, 0.01),
-            &Budget::default(),
+    let session = AnalysisSession::new();
+    let plan = session
+        .plan(
+            &Query::new()
+                .protocols([ProtocolSpec::Pbft])
+                .nodes(rows.iter().map(|&(n, ..)| n))
+                .fault_probs([0.01])
+                .faults(FaultAxis::Byzantine),
         )
-        .report;
-        assert_paper_percent(report.safe.probability(), safe, &format!("PBFT N={n} safe"));
-        assert_paper_percent(report.live.probability(), live, &format!("PBFT N={n} live"));
+        .expect("well-formed Table 1 sweep");
+    // Independent counting models: every cell resolves to the exact engine.
+    assert!(plan.engines().iter().all(|&e| e == EngineChoice::Counting));
+    let report = plan.execute();
+    for (cell, (n, safe, live, both)) in report.cells().iter().zip(rows) {
+        assert_eq!(cell.nodes, n);
+        let r = &cell.outcome.report;
+        assert_paper_percent(r.safe.probability(), safe, &format!("PBFT N={n} safe"));
+        assert_paper_percent(r.live.probability(), live, &format!("PBFT N={n} live"));
         assert_paper_percent(
-            report.safe_and_live.probability(),
+            r.safe_and_live.probability(),
             both,
             &format!("PBFT N={n} safe&live"),
         );
@@ -49,23 +59,30 @@ fn table1_pbft_all_cells() {
 
 #[test]
 fn table2_raft_all_cells() {
-    // Columns: p = 1%, 2%, 4%, 8% (safe-and-live), rows N = 3, 5, 7, 9.
+    // Columns: p = 1%, 2%, 4%, 8% (safe-and-live), rows N = 3, 5, 7, 9 — the full
+    // grid as one planned sweep (N-axis outer, p-axis inner in the cell order).
     let rows: [(usize, [&str; 4]); 4] = [
         (3, ["99.97", "99.88", "99.53", "98.18"]),
         (5, ["99.9990", "99.992", "99.94", "99.55"]),
         (7, ["99.99997", "99.9995", "99.992", "99.88"]),
         (9, ["99.999998", "99.99996", "99.9988", "99.97"]),
     ];
-    for (n, cells) in rows {
-        for (p, paper) in [0.01, 0.02, 0.04, 0.08].iter().zip(cells) {
-            let report = analyze_auto(
-                &RaftModel::standard(n),
-                &Deployment::uniform_crash(n, *p),
-                &Budget::default(),
-            )
-            .report;
+    let ps = [0.01, 0.02, 0.04, 0.08];
+    let session = AnalysisSession::new();
+    let report = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes(rows.iter().map(|&(n, _)| n))
+                .fault_probs(ps),
+        )
+        .expect("well-formed Table 2 sweep");
+    for (i, (n, cells)) in rows.into_iter().enumerate() {
+        for (j, (p, paper)) in ps.iter().zip(cells).enumerate() {
+            let cell = report.cell(i * ps.len() + j);
+            assert_eq!((cell.nodes, cell.fault_prob), (n, Some(*p)));
             assert_paper_percent(
-                report.safe_and_live.probability(),
+                cell.outcome.report.safe_and_live.probability(),
                 paper,
                 &format!("Raft N={n} p={p}"),
             );
