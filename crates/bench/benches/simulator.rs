@@ -35,5 +35,25 @@ fn bench_pbft_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_raft_cluster, bench_pbft_cluster);
+fn bench_sim_throughput(c: &mut Criterion) {
+    // The simulation engine's batch path: one full validation cell — a batch of
+    // SIM_THROUGHPUT_TRIALS deterministic 5-node Raft traces with sampled fault
+    // schedules, fanned out across the pool. Per-trace cost is the batch time
+    // divided by the trial count; `repro --bench` records the inverse as
+    // `sim_traces_per_sec` in BENCH_analysis.json.
+    let mut group = c.benchmark_group("sim-throughput");
+    group.sample_size(10);
+    group.bench_function(
+        bench::SIM_THROUGHPUT_ID.trim_start_matches("sim-throughput/"),
+        |b| b.iter(bench::sim_throughput_batch),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raft_cluster,
+    bench_pbft_cluster,
+    bench_sim_throughput
+);
 criterion_main!(benches);

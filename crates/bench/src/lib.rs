@@ -5,6 +5,9 @@
 //! index). The `repro` binary prints them; the unit tests in this crate and the
 //! integration tests at the workspace root assert the headline numbers.
 
+// Documentation is part of this crate's contract: every public item is
+// documented, and CI builds rustdoc with `-D warnings` (see the `docs` job).
+#![warn(missing_docs)]
 use fault_model::correlation::{CorrelationGroup, CorrelationModel};
 use fault_model::curve::WeibullCurve;
 use fault_model::metrics::HOURS_PER_YEAR;
@@ -16,7 +19,9 @@ use prob_consensus::cost::{cost_equivalence, default_catalogue, CostEquivalence}
 use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::{durability_claim, DurabilityClaim, PersistenceQuorumModel};
 use prob_consensus::dynamic_quorum::{smallest_raft_quorums, trigger_quorum_comparison};
-use prob_consensus::engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario};
+use prob_consensus::engine::{
+    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario, SimBudget,
+};
 use prob_consensus::heterogeneity::{heterogeneity_analysis, HeterogeneityAnalysis};
 use prob_consensus::leader::{leader_failure_probability, LeaderPolicy};
 use prob_consensus::montecarlo::{monte_carlo_independent_par, McKernel};
@@ -31,12 +36,6 @@ use prob_consensus::tradeoff::{compare, pbft_sweep};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-
-use consensus_protocols::harness::RaftHarness;
-use consensus_protocols::raft::RaftConfig;
-use consensus_sim::fault::FaultSchedule;
-use consensus_sim::network::NetworkConfig;
-use consensus_sim::time::SimTime;
 
 /// Experiment `table1`: PBFT reliability at uniform p_u = 1% (Table 1 of the paper).
 /// The N sweep runs as one planned batch through the query API.
@@ -484,11 +483,15 @@ pub struct ValidationCell {
     pub empirical: f64,
     /// Number of simulated runs.
     pub trials: usize,
+    /// Standardized analytic-vs-empirical disagreement, from the query API's
+    /// paired [`prob_consensus::query::ValidationRecord`].
+    pub z_score: f64,
 }
 
-/// Experiment `sim-validation`: run the executable Raft under fault schedules sampled
-/// from the analysis deployment and compare the observed safe-and-live rate with the
-/// analytic prediction.
+/// Experiment `sim-validation`: the paper's validation loop as one query — each
+/// analytic cell of the Raft sweep requests a paired simulation run
+/// ([`Query::validate_with_simulation`]), and the report's per-cell z-scores
+/// quantify analytic-vs-empirical agreement.
 pub fn sim_validation(
     ns: &[usize],
     p: f64,
@@ -497,61 +500,43 @@ pub fn sim_validation(
 ) -> (Table, Vec<ValidationCell>) {
     let mut table = Table::new(
         format!("Simulation validation: Raft, p_u = {}%", p * 100.0),
-        &["N", "Analytic S&L", "Empirical S&L", "Trials"],
+        &["N", "Analytic S&L", "Empirical S&L", "Trials", "z"],
     );
-    let mut cells = Vec::new();
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Analytic predictions for the whole N axis as one planned batch.
-    let analytic_report = AnalysisSession::new()
+    let report = AnalysisSession::new()
         .run(
             &Query::new()
                 .protocols([ProtocolSpec::Raft])
                 .nodes(ns.iter().copied())
-                .fault_probs([p]),
+                .fault_probs([p])
+                .budget(Budget::default().with_seed(seed).with_sim(SimBudget {
+                    trials,
+                    horizon_millis: 2_500,
+                    fault_window_millis: 200,
+                    commands: 3,
+                }))
+                .validate_with_simulation(),
         )
         .expect("well-formed validation sweep");
+    let mut cells = Vec::new();
     for (index, &n) in ns.iter().enumerate() {
-        let deployment = Deployment::uniform_crash(n, p);
-        let analytic = analytic_report
-            .cell(index)
-            .outcome
-            .report
-            .safe_and_live
-            .probability();
-        let mut ok = 0usize;
-        for trial in 0..trials {
-            let schedule = FaultSchedule::sample_from_profiles(
-                deployment.profiles(),
-                SimTime::from_millis(200),
-                &mut rng,
-            );
-            let mut harness = RaftHarness::with_config(
-                RaftConfig::standard(n),
-                NetworkConfig::lan(),
-                seed ^ (trial as u64) << 8 | n as u64,
-            )
-            .with_faults(&schedule);
-            harness.submit_commands(3);
-            let outcome = harness.run_for_millis(2_500);
-            // Liveness only counts if a quorum of correct nodes even exists; agreement
-            // must hold regardless.
-            if outcome.safe_and_live() {
-                ok += 1;
-            }
-        }
-        let empirical = ok as f64 / trials as f64;
+        let cell = report.cell(index);
+        let validation = cell
+            .validation
+            .expect("every Raft cell has an executable counterpart");
         table.push_row(vec![
             n.to_string(),
-            percent(analytic),
-            percent(empirical),
-            trials.to_string(),
+            percent(validation.analytic),
+            percent(validation.simulation.safe_and_live.value),
+            validation.simulation.trials.to_string(),
+            format!("{:+.2}", validation.z_score),
         ]);
         cells.push(ValidationCell {
             n,
             p,
-            analytic,
-            empirical,
-            trials,
+            analytic: validation.analytic,
+            empirical: validation.simulation.safe_and_live.value,
+            trials: validation.simulation.trials,
+            z_score: validation.z_score,
         });
     }
     (table, cells)
@@ -661,7 +646,7 @@ pub fn fault_curves() -> Table {
             point.report.safe_and_live.as_percent(),
         ]);
     }
-    let summary = summarize(&trajectory, 3.0);
+    let summary = summarize(&trajectory, 3.0).expect("non-empty trajectory");
     table.push_row(vec![
         "worst point".into(),
         format!(
@@ -764,8 +749,8 @@ pub const RARE_EVENT_SAMPLES: usize = 65_536;
 pub const RARE_EVENT_SEED: u64 = 17;
 
 /// The p ≈ 1e-8 rare-event workload: a 16-node deployment at p_u = 1% whose
-/// persistence quorum is 4 specific nodes, so P[loss] = 0.01⁴ = 1e-8 — one hit per
-/// hundred million plain draws.
+/// persistence quorum is 4 specific nodes, so P\[loss\] = 0.01⁴ = 1e-8 — one hit
+/// per hundred million plain draws.
 pub fn rare_event_workload() -> (PersistenceQuorumModel, Deployment) {
     (
         PersistenceQuorumModel::new(16, (0..4).collect()),
@@ -790,6 +775,33 @@ pub fn rare_event_sample_efficiency() -> f64 {
     let report = outcome.rare_event.expect("importance sampling ran");
     let p_loss = 1.0 - report.safe.value;
     mc_equivalent_samples(p_loss, report.safe.half_width()) / report.samples as f64
+}
+
+/// Benchmark id of the simulation engine's trace-throughput workload: one batch
+/// of discrete-event trials of a 5-node Raft cell. `repro --bench` divides the
+/// batch's wall clock by [`SIM_THROUGHPUT_TRIALS`] and records the result as
+/// `sim_traces_per_sec` in `BENCH_analysis.json`.
+pub const SIM_THROUGHPUT_ID: &str = "sim-throughput/raft-5";
+/// Trials per measured batch of the sim-throughput workload.
+pub const SIM_THROUGHPUT_TRIALS: usize = 32;
+/// Seed of the sim-throughput workload.
+pub const SIM_THROUGHPUT_SEED: u64 = 23;
+
+/// One batch of the sim-throughput workload: 5-node Raft, p_u = 5%, default
+/// horizon/workload, [`SIM_THROUGHPUT_TRIALS`] deterministic traces fanned out
+/// across the pool. Shared by `repro --bench` and the `sim-throughput` criterion
+/// group so both measure the same thing.
+pub fn sim_throughput_batch() -> prob_consensus::simulation::SimulationReport {
+    let model = RaftModel::standard(5);
+    let deployment = Deployment::uniform_crash(5, 0.05);
+    let budget = Budget::default()
+        .with_seed(SIM_THROUGHPUT_SEED)
+        .with_sim_trials(SIM_THROUGHPUT_TRIALS);
+    prob_consensus::simulation::simulate_reliability(
+        &model,
+        Scenario::Independent(&deployment),
+        &budget,
+    )
 }
 
 /// Benchmark id of the planned-batch sweep (one [`AnalysisSession::plan`] +
@@ -953,6 +965,10 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
     // naive per-cell. Their ratio is `sweep_amortization_speedup`.
     out.push(time_one(SWEEP_NAIVE_ID, budget_ms, sweep_naive_loop));
     out.push(time_one(SWEEP_PLANNED_ID, budget_ms, sweep_planned_batch));
+
+    // The simulation engine's trace throughput (per-batch wall clock over
+    // SIM_THROUGHPUT_TRIALS traces → `sim_traces_per_sec`).
+    out.push(time_one(SIM_THROUGHPUT_ID, budget_ms, sim_throughput_batch));
     out
 }
 
@@ -987,6 +1003,15 @@ pub fn benchmarks_to_json(measurements: &[BenchMeasurement], rare_event_efficien
     json.push_str(&format!(
         "  \"rare_event_sample_efficiency\": {rare_event_efficiency:.1},\n"
     ));
+    if let Some(sim) = measurements.iter().find(|m| m.id == SIM_THROUGHPUT_ID) {
+        // Discrete-event traces per second of the 5-node Raft validation cell —
+        // the budget currency of the cross-validation mode (a paired cell costs
+        // `trials / sim_traces_per_sec` seconds).
+        json.push_str(&format!(
+            "  \"sim_traces_per_sec\": {:.3e},\n",
+            SIM_THROUGHPUT_TRIALS as f64 * 1e9 / sim.mean_ns
+        ));
+    }
     if let (Some(naive), Some(planned)) = (
         measurements.iter().find(|m| m.id == SWEEP_NAIVE_ID),
         measurements.iter().find(|m| m.id == SWEEP_PLANNED_ID),
@@ -1135,7 +1160,7 @@ mod tests {
 
     #[test]
     fn sim_validation_tracks_analytic_predictions() {
-        let (_, cells) = sim_validation(&[3], 0.1, 60, 11);
+        let (table, cells) = sim_validation(&[3], 0.1, 60, 11);
         let cell = cells[0];
         // With 60 trials the binomial standard error is ~4 points; allow a wide band.
         assert!(
@@ -1144,6 +1169,27 @@ mod tests {
             cell.analytic,
             cell.empirical
         );
+        // The query API's paired z-score tells the same story in σ units.
+        assert!(
+            cell.z_score.abs() < 4.0,
+            "validation z-score {:.2} out of range",
+            cell.z_score
+        );
+        assert_eq!(
+            table.rows()[0].len(),
+            5,
+            "N, analytic, empirical, trials, z"
+        );
+    }
+
+    #[test]
+    fn sim_throughput_batch_is_deterministic_and_reliable() {
+        let a = sim_throughput_batch();
+        let b = sim_throughput_batch();
+        assert_eq!(a, b, "the throughput workload must be deterministic");
+        assert_eq!(a.trials, SIM_THROUGHPUT_TRIALS);
+        // At p_u = 5% a 5-node cluster nearly always keeps its majority.
+        assert!(a.safe_and_live.value > 0.8);
     }
 
     /// Retries a timing probe a few times before failing: wall-clock ratios on a
@@ -1273,6 +1319,18 @@ mod tests {
         assert!(
             sweep_speedup >= 1.3,
             "committed baseline's planned sweep only {sweep_speedup:.2}x the naive loop"
+        );
+        // The simulation engine's throughput row: traces/sec must be recorded and
+        // positive (absolute floors would be hardware-dependent; the number is
+        // tracked, not gated).
+        let traces_per_sec = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"sim_traces_per_sec\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records sim_traces_per_sec");
+        assert!(
+            traces_per_sec > 0.0,
+            "sim trace throughput must be positive, got {traces_per_sec}"
         );
     }
 

@@ -113,6 +113,17 @@ pub enum AnalysisError {
     /// threshold outside `(0, 1)` — see [`Budget::validate`]); rejected when a
     /// query is planned, instead of silently poisoning the estimators.
     InvalidBudget(crate::engine::InvalidBudget),
+    /// A trajectory cell ([`crate::query::Query::trajectory_cell`]) was given a
+    /// model without a counting view: sweeping a guarantee over mission windows
+    /// re-analyzes the fleet at every step, which is only tractable through the
+    /// O(N³) counting engine. Placement-sensitive models stay steady-state-only.
+    TrajectoryNotCounting,
+    /// The query's [`TimeAxis`](crate::query::TimeAxis) is malformed (non-finite
+    /// or negative horizon, non-positive step or window, NaN target). The
+    /// constructor asserts these, but the axis fields are public — a
+    /// struct-literal axis with a zero step would otherwise make the trajectory
+    /// sampler unbounded — so planning re-checks them.
+    InvalidTimeAxis,
 }
 
 impl std::fmt::Display for AnalysisError {
@@ -129,6 +140,15 @@ impl std::fmt::Display for AnalysisError {
                 "model covers {model_nodes} nodes but the scenario covers {scenario_nodes}"
             ),
             AnalysisError::InvalidBudget(invalid) => write!(f, "invalid budget: {invalid}"),
+            AnalysisError::TrajectoryNotCounting => write!(
+                f,
+                "trajectory cells require a counting model (fault-count predicates)"
+            ),
+            AnalysisError::InvalidTimeAxis => write!(
+                f,
+                "time axis must have a finite non-negative horizon and finite \
+                 positive step/window"
+            ),
         }
     }
 }

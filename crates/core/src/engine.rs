@@ -6,16 +6,19 @@
 //!
 //! * [`Scenario`] — what the analysis runs against: an independent [`Deployment`] or a
 //!   correlated [`CorrelationModel`].
-//! * [`AnalysisEngine`] — the common trait of the four engines, each wrapping one of
-//!   [`crate::enumeration`], [`crate::counting`], [`crate::rare_event`] and
-//!   [`crate::montecarlo`].
-//! * [`Budget`] — how much work (exact configurations, Monte Carlo samples) the caller
-//!   is willing to spend, the sampling seed, and the rare-event knobs (proposal tilt,
-//!   ESS floor, selection threshold).
+//! * [`AnalysisEngine`] — the common trait of the five engines, wrapping
+//!   [`crate::enumeration`], [`crate::counting`], [`crate::rare_event`],
+//!   [`crate::montecarlo`] and [`crate::simulation`].
+//! * [`Budget`] — how much work (exact configurations, Monte Carlo samples,
+//!   simulation trials) the caller is willing to spend, the sampling seed, and the
+//!   rare-event knobs (proposal tilt, ESS floor, selection threshold).
 //! * [`select_engine`] — the auto-selector: exact counting for independent counting
 //!   models, exhaustive enumeration for small non-counting models, importance
 //!   sampling when the failure event is too rare for plain sampling, parallel Monte
-//!   Carlo for everything else.
+//!   Carlo for everything else. The simulation engine is deliberately outside the
+//!   auto-selection registry — it measures the executable system rather than
+//!   evaluating the model, and runs only when explicitly requested (pinned, or via
+//!   the query API's cross-validation mode).
 //! * [`AnalysisOutcome`] — the report, tagged with the engine that produced it and the
 //!   sampling confidence interval when one exists.
 //!
@@ -32,8 +35,10 @@ use crate::enumeration::enumerate_reliability;
 use crate::montecarlo::{monte_carlo_reliability_par_kernel, McKernel, MonteCarloReport};
 use crate::protocol::ProtocolModel;
 use crate::rare_event::RareEventReport;
-// Re-exported so all four engine structs are importable from the engine layer.
+use crate::simulation::SimulationReport;
+// Re-exported so all five engine structs are importable from the engine layer.
 pub use crate::rare_event::ImportanceSamplingEngine;
+pub use crate::simulation::SimulationEngine;
 
 /// What a reliability analysis runs against.
 ///
@@ -130,7 +135,7 @@ impl<'a> From<&'a CorrelationModel> for Scenario<'a> {
     }
 }
 
-/// Identifies one of the four analysis engines.
+/// Identifies one of the five analysis engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineChoice {
     /// Exhaustive enumeration of failure configurations (exact, exponential).
@@ -142,6 +147,11 @@ pub enum EngineChoice {
     ImportanceSampling,
     /// Parallel Monte Carlo sampling (estimate with confidence interval).
     MonteCarlo,
+    /// Empirical discrete-event simulation of the executable protocol under sampled
+    /// fault schedules ([`crate::simulation::SimulationEngine`]). Never auto-selected
+    /// — it measures the *system* rather than the model, so it only runs when a
+    /// caller explicitly asks for empirical validation.
+    Simulation,
 }
 
 impl std::fmt::Display for EngineChoice {
@@ -151,6 +161,7 @@ impl std::fmt::Display for EngineChoice {
             EngineChoice::Counting => "counting",
             EngineChoice::ImportanceSampling => "importance-sampling",
             EngineChoice::MonteCarlo => "monte-carlo",
+            EngineChoice::Simulation => "simulation",
         })
     }
 }
@@ -188,6 +199,46 @@ pub struct Budget {
     /// and `Packed` force a kernel (for benchmarks and cross-kernel agreement
     /// tests).
     pub mc_kernel: McKernel,
+    /// How much work the discrete-event simulation engine
+    /// ([`crate::simulation::SimulationEngine`]) spends when it runs: trial count,
+    /// virtual-time horizon, and client workload per trial.
+    pub sim: SimBudget,
+}
+
+/// The work budget of the simulation engine: one trial is a full discrete-event
+/// run of the executable protocol, so trial counts are in the hundreds where the
+/// analytic samplers draw hundreds of thousands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Number of independent simulation trials (each with its own sampled fault
+    /// schedule and simulator seed). A zero budget saturates to one trial.
+    pub trials: usize,
+    /// Virtual time each trial runs for, in milliseconds. Long enough by default
+    /// for several election timeouts and view changes to play out.
+    pub horizon_millis: u64,
+    /// Prefix of the horizon (milliseconds) within which sampled fault events
+    /// land. Faults arrive early — mirroring the analysis-window semantics, where
+    /// a configuration's faults are in place when its guarantees are judged — and
+    /// the rest of the horizon lets elections and view changes play out.
+    pub fault_window_millis: u64,
+    /// Client commands submitted at the start of each trial — the workload whose
+    /// commitment defines empirical liveness.
+    pub commands: usize,
+}
+
+impl Default for SimBudget {
+    /// 160 trials × 2.5 virtual seconds × 3 commands: enough trials to resolve
+    /// paper-scale probabilities to a few points of standard error, enough virtual
+    /// time for re-elections after injected crashes, at a cost of well under a
+    /// second of wall clock for a 5-node cluster.
+    fn default() -> Self {
+        Self {
+            trials: 160,
+            horizon_millis: 2_500,
+            fault_window_millis: 200,
+            commands: 3,
+        }
+    }
 }
 
 impl Default for Budget {
@@ -207,6 +258,7 @@ impl Default for Budget {
             min_effective_samples: 64.0,
             rare_event_threshold: 1e-6,
             mc_kernel: McKernel::Auto,
+            sim: SimBudget::default(),
         }
     }
 }
@@ -268,6 +320,37 @@ impl Budget {
         self
     }
 
+    /// A budget running `trials` discrete-event simulation trials when the
+    /// simulation engine is invoked (a zero budget saturates to one trial).
+    pub fn with_sim_trials(mut self, trials: usize) -> Self {
+        self.sim.trials = trials;
+        self
+    }
+
+    /// A budget with an explicit simulation work budget (trial count, virtual-time
+    /// horizon and per-trial workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the horizon is zero (a zero-length trial can observe nothing)
+    /// or when the fault window extends past the horizon (faults scheduled after
+    /// the end of a trial would silently never be applied).
+    pub fn with_sim(mut self, sim: SimBudget) -> Self {
+        assert!(
+            sim.horizon_millis > 0,
+            "simulation horizon must be positive"
+        );
+        assert!(
+            sim.fault_window_millis <= sim.horizon_millis,
+            "fault window ({}) must not exceed the horizon ({}): later faults would \
+             silently never be applied",
+            sim.fault_window_millis,
+            sim.horizon_millis
+        );
+        self.sim = sim;
+        self
+    }
+
     /// A budget routing failure probabilities below `threshold` to the
     /// importance-sampling engine (when no exact engine applies).
     ///
@@ -315,6 +398,15 @@ impl Budget {
         if !(threshold > 0.0 && threshold < 1.0) {
             return Err(InvalidBudget::RareEventThreshold(threshold));
         }
+        if self.sim.horizon_millis == 0 {
+            return Err(InvalidBudget::SimHorizon);
+        }
+        if self.sim.fault_window_millis > self.sim.horizon_millis {
+            return Err(InvalidBudget::SimFaultWindow {
+                window_millis: self.sim.fault_window_millis,
+                horizon_millis: self.sim.horizon_millis,
+            });
+        }
         Ok(())
     }
 }
@@ -329,6 +421,18 @@ pub enum InvalidBudget {
     MinEffectiveSamples(f64),
     /// `rare_event_threshold` is outside the open interval `(0, 1)` (NaN included).
     RareEventThreshold(f64),
+    /// The simulation budget's virtual-time horizon is zero — a zero-length trial
+    /// delivers no messages and fires no timers, so its verdicts are vacuous.
+    SimHorizon,
+    /// The simulation budget's fault window extends past its horizon: faults
+    /// scheduled beyond the end of a trial are silently never applied, which
+    /// would bias every empirical rate (and cross-validation z-score) upward.
+    SimFaultWindow {
+        /// The configured fault window, in milliseconds.
+        window_millis: u64,
+        /// The configured horizon it exceeds, in milliseconds.
+        horizon_millis: u64,
+    },
 }
 
 impl std::fmt::Display for InvalidBudget {
@@ -345,6 +449,18 @@ impl std::fmt::Display for InvalidBudget {
             InvalidBudget::RareEventThreshold(v) => write!(
                 f,
                 "rare_event_threshold must lie strictly inside (0, 1), got {v}"
+            ),
+            InvalidBudget::SimHorizon => {
+                write!(f, "sim.horizon_millis must be positive")
+            }
+            InvalidBudget::SimFaultWindow {
+                window_millis,
+                horizon_millis,
+            } => write!(
+                f,
+                "sim.fault_window_millis ({window_millis}) must not exceed \
+                 sim.horizon_millis ({horizon_millis}): later faults would silently \
+                 never be applied"
             ),
         }
     }
@@ -365,6 +481,9 @@ pub struct AnalysisOutcome {
     /// The weighted estimate with confidence intervals and the effective-sample-size
     /// diagnostic, when `engine` is importance sampling.
     pub rare_event: Option<RareEventReport>,
+    /// The empirical trial frequencies and trace-derived statistics, when `engine`
+    /// is the discrete-event simulation engine.
+    pub simulation: Option<SimulationReport>,
 }
 
 impl AnalysisOutcome {
@@ -374,6 +493,12 @@ impl AnalysisOutcome {
             self.engine,
             EngineChoice::Enumeration | EngineChoice::Counting
         )
+    }
+
+    /// Whether the report was measured on the executable system (simulation) rather
+    /// than computed from the protocol model.
+    pub fn is_empirical(&self) -> bool {
+        self.engine == EngineChoice::Simulation
     }
 }
 
@@ -460,6 +585,7 @@ impl AnalysisEngine for EnumerationEngine {
             engine: EngineChoice::Enumeration,
             monte_carlo: None,
             rare_event: None,
+            simulation: None,
         }
     }
 }
@@ -506,6 +632,7 @@ impl AnalysisEngine for CountingEngine {
             engine: EngineChoice::Counting,
             monte_carlo: None,
             rare_event: None,
+            simulation: None,
         }
     }
 }
@@ -563,6 +690,7 @@ impl AnalysisEngine for MonteCarloEngine {
             engine: EngineChoice::MonteCarlo,
             monte_carlo: Some(mc),
             rare_event: None,
+            simulation: None,
         }
     }
 }
@@ -570,6 +698,11 @@ impl AnalysisEngine for MonteCarloEngine {
 /// The engine registry, in auto-selection preference order: exact counting first,
 /// exhaustive enumeration for small non-counting models, importance sampling for
 /// failure events too rare for plain sampling, Monte Carlo as the universal fallback.
+///
+/// The fifth engine ([`SimulationEngine`]) is deliberately absent: it measures the
+/// executable system instead of evaluating the model (milliseconds per trial vs.
+/// nanoseconds per sample), so it never competes with the analytic engines and runs
+/// only when explicitly requested.
 pub static ENGINES: [&dyn AnalysisEngine; 4] = [
     &CountingEngine,
     &EnumerationEngine,

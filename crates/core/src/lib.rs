@@ -19,19 +19,26 @@
 //!   traits.
 //! * [`raft_model`], [`pbft_model`] — Theorem 3.2 and Theorem 3.1 as predicates, with
 //!   configurable quorum sizes.
-//! * [`enumeration`], [`counting`], [`montecarlo`], [`rare_event`] — the four analysis
-//!   engines: exact enumeration over failure configurations, exact dynamic programming
-//!   over fault counts, rayon-parallel Monte Carlo sampling, and importance sampling
-//!   with per-node probability tilting for rare failure events (tail probabilities
-//!   plain sampling cannot resolve).
+//! * [`enumeration`], [`counting`], [`montecarlo`], [`rare_event`], [`simulation`] —
+//!   the five analysis engines: exact enumeration over failure configurations, exact
+//!   dynamic programming over fault counts, rayon-parallel Monte Carlo sampling,
+//!   importance sampling with per-node probability tilting for rare failure events
+//!   (tail probabilities plain sampling cannot resolve), and empirical discrete-event
+//!   simulation of the executable protocols (the validation loop: analytic
+//!   prediction ↔ measured system behaviour).
 //! * [`packed`] — the bit-sliced Monte Carlo kernel: 64 scenarios per pass for
 //!   counting models, auto-selected by the Monte Carlo engine
 //!   (see [`montecarlo::McKernel`]).
 //! * [`engine`] — the unified engine layer: the [`engine::AnalysisEngine`] trait over
-//!   the four engines, [`engine::Scenario`], [`engine::Budget`] and the auto-selector.
+//!   the five engines, [`engine::Scenario`], [`engine::Budget`] and the auto-selector
+//!   (which picks among the four analytic engines; simulation runs only on request).
 //! * [`analyzer`] — the front-end: [`analyzer::analyze_auto`] picks an engine within a
 //!   budget and returns an [`engine::AnalysisOutcome`] (a
 //!   [`analyzer::ReliabilityReport`] tagged with the engine that produced it).
+//! * [`query`] — the sweep-native front door: [`query::Query`] /
+//!   [`query::AnalysisSession`] plan-and-execute whole grids, time-domain trajectory
+//!   cells ([`query::TimeAxis`], repairable fleets) and paired analytic-vs-simulation
+//!   cross-validation with z-scores, rendered to tables and JSON.
 //! * [`durability`] — data-loss analysis: probability that failures cover a persistence
 //!   quorum, and MTTDL-style Markov results.
 //! * [`heterogeneity`] — heterogeneous fleets: quorum placement policies ("require a
@@ -64,6 +71,9 @@
 //! assert!(outcome.is_exact());
 //! ```
 
+// Documentation is part of this crate's contract: every public item is
+// documented, and CI builds rustdoc with `-D warnings` (see the `docs` job).
+#![warn(missing_docs)]
 pub mod analyzer;
 pub mod committee;
 pub mod cost;
@@ -86,6 +96,7 @@ pub mod query;
 pub mod raft_model;
 pub mod rare_event;
 pub mod report;
+pub mod simulation;
 pub mod timevarying;
 pub mod tradeoff;
 
@@ -93,14 +104,18 @@ pub use analyzer::{
     analyze, analyze_auto, analyze_exact, analyze_scenario, AnalysisError, ReliabilityReport,
 };
 pub use deployment::Deployment;
-pub use engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, InvalidBudget, Scenario};
+pub use engine::{
+    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, InvalidBudget, Scenario, SimBudget,
+};
 pub use failure::FailureConfig;
 pub use json::JsonValue;
 pub use pbft_model::PbftModel;
-pub use protocol::{CountingModel, ProtocolModel};
+pub use protocol::{CountingModel, ExecutableSpec, ProtocolModel};
 pub use query::{
     logspace, AnalysisReport, AnalysisSession, CellRecord, CorrelationSpec, FaultAxis, Metrics,
-    ProtocolSpec, Query, QueryPlan,
+    ProtocolSpec, Query, QueryPlan, TimeAxis, TrajectoryKind, TrajectoryPoint, TrajectoryRecord,
+    ValidationRecord,
 };
 pub use raft_model::RaftModel;
 pub use rare_event::{ImportanceSamplingEngine, Proposal, RareEventReport};
+pub use simulation::{SimulationEngine, SimulationReport};

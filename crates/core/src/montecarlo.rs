@@ -62,7 +62,11 @@ pub struct Estimate {
 }
 
 impl Estimate {
-    fn from_counts(hits: usize, samples: usize) -> Self {
+    /// A Wilson-interval estimate from `hits` successes out of `samples` draws.
+    /// Shared by the sampling kernels and the simulation engine
+    /// ([`crate::simulation`]), whose trial frequencies are binomial proportions of
+    /// exactly this shape.
+    pub(crate) fn from_counts(hits: usize, samples: usize) -> Self {
         assert!(samples > 0);
         assert!(hits <= samples, "more hits than samples");
         let n = samples as f64;

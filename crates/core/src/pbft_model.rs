@@ -111,6 +111,15 @@ impl ProtocolModel for PbftModel {
     fn as_counting(&self) -> Option<&dyn CountingModel> {
         Some(self)
     }
+
+    fn executable(&self) -> Option<crate::protocol::ExecutableSpec> {
+        // The simulator's PBFT is built for the standard N = 3f + 1 layout (its
+        // view-change hand-off assumes it); non-standard quorum variants stay
+        // analytic-only. PBFT needs at least 4 nodes to run.
+        let standard = PbftModel::standard(self.n);
+        (self.n >= 4 && *self == standard)
+            .then_some(crate::protocol::ExecutableSpec::Pbft { n: self.n })
+    }
 }
 
 impl CountingModel for PbftModel {

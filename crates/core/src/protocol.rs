@@ -40,6 +40,54 @@ pub trait ProtocolModel: Sync {
     fn as_counting(&self) -> Option<&dyn CountingModel> {
         None
     }
+
+    /// The executable-protocol view of this model, if an implementation of the
+    /// protocol exists on the discrete-event simulator (see [`ExecutableSpec`]).
+    ///
+    /// The time-domain simulation engine
+    /// ([`crate::simulation::SimulationEngine`]) uses this to decide whether a
+    /// model's predictions can be validated empirically: [`crate::raft_model`] and
+    /// [`crate::pbft_model`] override it; abstract models (placement-sensitive
+    /// durability, custom quorum policies) keep the `None` default and stay
+    /// analytic-only.
+    fn executable(&self) -> Option<ExecutableSpec> {
+        None
+    }
+}
+
+/// A description of an executable counterpart of a protocol model: enough to build
+/// the corresponding `consensus-protocols` cluster at the model's configuration.
+///
+/// This is deliberately a plain value (not a trait object) so the simulation engine
+/// can hand it across threads and build one independent cluster per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutableSpec {
+    /// Raft with explicit persistence (commit) and view-change (election) quorums —
+    /// [`RaftConfig::standard`](consensus_protocols::raft::RaftConfig) with
+    /// [`with_quorums`](consensus_protocols::raft::RaftConfig::with_quorums) applied.
+    Raft {
+        /// Cluster size.
+        n: usize,
+        /// Commit (persistence) quorum size, `|Q_per|`.
+        commit_quorum: usize,
+        /// Election (view-change) quorum size, `|Q_vc|`.
+        election_quorum: usize,
+    },
+    /// PBFT with the standard `N = 3f + 1` quorum layout
+    /// ([`PbftConfig::standard`](consensus_protocols::pbft::PbftConfig::standard)).
+    Pbft {
+        /// Cluster size.
+        n: usize,
+    },
+}
+
+impl ExecutableSpec {
+    /// Cluster size of the executable configuration.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            ExecutableSpec::Raft { n, .. } | ExecutableSpec::Pbft { n } => *n,
+        }
+    }
 }
 
 /// A protocol model whose predicates depend only on *how many* nodes crashed and how many

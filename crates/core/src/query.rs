@@ -27,6 +27,17 @@
 //!   estimates with confidence intervals, ESS, wall time), renderable to a
 //!   plain-text [`Table`] and to JSON ([`AnalysisReport::to_json`], via
 //!   [`crate::json`] — no serde in the vendored world).
+//! * **Time domain** — [`Query::time_horizon`] attaches a [`TimeAxis`];
+//!   [`Query::trajectory_cell`] (aging fleets through sliding mission windows) and
+//!   [`Query::repairable_cell`] (λ/μ repairable groups via
+//!   [`fault_model::markov::RepairableGroup`]) produce [`TrajectoryRecord`]s —
+//!   reliability over time, first dip below target, steady-state availability,
+//!   unavailability minutes per year — rendered through the same table
+//!   ([`AnalysisReport::to_trajectory_table`]) and JSON paths.
+//! * **Cross-validation** — [`Query::validate_with_simulation`] pairs every
+//!   executable cell with an empirical run of the fifth engine
+//!   ([`crate::simulation::SimulationEngine`]); the cell's [`ValidationRecord`]
+//!   reports the trial frequencies and the analytic-vs-empirical z-score.
 //!
 //! # Determinism contract
 //!
@@ -71,6 +82,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use fault_model::correlation::{CorrelationGroup, CorrelationModel};
+use fault_model::markov::RepairableGroup;
+use fault_model::metrics::{Nines, HOURS_PER_YEAR};
+use fault_model::node::Fleet;
 
 use crate::analyzer::{AnalysisError, ReliabilityReport};
 use crate::deployment::Deployment;
@@ -80,13 +94,15 @@ use crate::engine::{
 };
 use crate::enumeration::RawReliability;
 use crate::json::JsonValue;
-use crate::montecarlo::McKernel;
+use crate::montecarlo::{McKernel, Z_95};
 use crate::packed::PackedKernel;
 use crate::pbft_model::PbftModel;
 use crate::protocol::ProtocolModel;
 use crate::raft_model::RaftModel;
 use crate::rare_event::Proposal;
 use crate::report::Table;
+use crate::simulation::{SimulationEngine, SimulationReport};
+use crate::timevarying;
 
 /// A protocol family the grid axes can instantiate at any swept cluster size.
 ///
@@ -289,6 +305,204 @@ impl Default for Metrics {
     }
 }
 
+/// The time axis of a trajectory query: how far ahead to look, how often to
+/// sample, and (for fleet cells) how wide each sampled mission window is.
+///
+/// Attached to a query with [`Query::time_horizon`]; consumed by
+/// [`Query::trajectory_cell`] (guarantee of an aging fleet per window) and
+/// [`Query::repairable_cell`] (first-passage reliability of a repairable group).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeAxis {
+    /// How far ahead (hours from now) the trajectory extends.
+    pub horizon_hours: f64,
+    /// Spacing between trajectory samples, in hours.
+    pub step_hours: f64,
+    /// Width of the sliding mission window evaluated at each sample (fleet cells
+    /// only; defaults to the step).
+    pub window_hours: f64,
+    /// Optional reliability target in nines; when set, records report the first
+    /// sample time at which the guarantee drops below it.
+    pub target_nines: Option<f64>,
+}
+
+impl TimeAxis {
+    /// A time axis sampling every `step_hours` out to `horizon_hours`, with the
+    /// mission window defaulting to one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon_hours >= 0` and `step_hours > 0` (both finite).
+    pub fn new(horizon_hours: f64, step_hours: f64) -> Self {
+        assert!(
+            horizon_hours >= 0.0 && horizon_hours.is_finite(),
+            "horizon must be finite and non-negative, got {horizon_hours}"
+        );
+        assert!(
+            step_hours > 0.0 && step_hours.is_finite(),
+            "step must be finite and positive, got {step_hours}"
+        );
+        Self {
+            horizon_hours,
+            step_hours,
+            window_hours: step_hours,
+            target_nines: None,
+        }
+    }
+
+    /// Overrides the sliding mission-window width (fleet cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window_hours > 0` and finite.
+    pub fn with_window(mut self, window_hours: f64) -> Self {
+        assert!(
+            window_hours > 0.0 && window_hours.is_finite(),
+            "window must be finite and positive, got {window_hours}"
+        );
+        self.window_hours = window_hours;
+        self
+    }
+
+    /// Sets the reliability target (in nines) that trajectory records check their
+    /// points against.
+    pub fn with_target_nines(mut self, nines: f64) -> Self {
+        assert!(
+            nines >= 0.0,
+            "target nines must be non-negative, got {nines}"
+        );
+        self.target_nines = Some(nines);
+        self
+    }
+
+    /// The sample times of this axis: `0, step, 2·step, …` up to and including the
+    /// horizon.
+    ///
+    /// Times are computed as `i · step` (never by accumulating `t += step`), so
+    /// floating-point drift cannot silently drop the horizon sample: a horizon
+    /// that is a whole number of steps — within a relative ulp, e.g.
+    /// `horizon = 0.3, step = 0.1` — always yields its final sample.
+    pub fn sample_times(&self) -> Vec<f64> {
+        let steps = (self.horizon_hours / self.step_hours * (1.0 + 1e-12)).floor() as usize;
+        (0..=steps).map(|i| i as f64 * self.step_hours).collect()
+    }
+
+    /// Checks the axis invariants — the plan-time guard for axes built with
+    /// struct-literal syntax, whose `pub` fields bypass the constructor asserts
+    /// (a non-positive step would make [`TimeAxis::sample_times`] unbounded).
+    fn validate(&self) -> Result<(), AnalysisError> {
+        let valid = self.horizon_hours >= 0.0
+            && self.horizon_hours.is_finite()
+            && self.step_hours > 0.0
+            && self.step_hours.is_finite()
+            && self.window_hours > 0.0
+            && self.window_hours.is_finite()
+            && self.target_nines.is_none_or(|n| n >= 0.0 && n.is_finite());
+        if valid {
+            Ok(())
+        } else {
+            Err(AnalysisError::InvalidTimeAxis)
+        }
+    }
+}
+
+impl Default for TimeAxis {
+    /// Five years ahead, sampled quarterly, quarter-wide mission windows — the
+    /// cadence of the paper's aging-fleet walkthrough.
+    fn default() -> Self {
+        Self::new(5.0 * HOURS_PER_YEAR, HOURS_PER_YEAR / 4.0)
+    }
+}
+
+/// Which kind of time-domain cell produced a [`TrajectoryRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryKind {
+    /// An aging fleet swept through sliding mission windows
+    /// ([`Query::trajectory_cell`], backed by
+    /// [`crate::timevarying::reliability_trajectory`]).
+    Fleet,
+    /// A repairable group analysed as a continuous-time Markov chain
+    /// ([`Query::repairable_cell`], backed by
+    /// [`fault_model::markov::RepairableGroup`]).
+    Repairable,
+}
+
+impl TrajectoryKind {
+    /// Short label used in report columns ("fleet" / "repairable").
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrajectoryKind::Fleet => "fleet",
+            TrajectoryKind::Repairable => "repairable",
+        }
+    }
+}
+
+/// One sample of a trajectory: the guarantee at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Hours from now.
+    pub at_hours: f64,
+    /// The guarantee at that time: safe-and-live probability over the mission
+    /// window (fleet cells) or first-passage reliability `R(t)` (repairable cells).
+    pub probability: f64,
+}
+
+/// One executed time-domain cell: the guarantee as a function of time, with the
+/// derived operator metrics (first dip below target, steady-state availability,
+/// mean time to threshold, unavailability minutes per year).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRecord {
+    /// Cell label, as given to [`Query::trajectory_cell`] /
+    /// [`Query::repairable_cell`].
+    pub label: String,
+    /// Which kind of time-domain model produced the record.
+    pub kind: TrajectoryKind,
+    /// The trajectory samples, in time order starting at `t = 0`.
+    pub points: Vec<TrajectoryPoint>,
+    /// The target (in nines) the points were checked against, if one was set on
+    /// the [`TimeAxis`].
+    pub target_nines: Option<f64>,
+    /// First sample time (hours from now) at which the guarantee was below the
+    /// target — `Some(0.0)` when it already starts there, `None` when the target
+    /// held at every sample (or no target was set).
+    pub first_below_target_hours: Option<f64>,
+    /// The lowest probability along the trajectory.
+    pub worst_probability: f64,
+    /// The sample time at which that minimum occurs.
+    pub worst_at_hours: f64,
+    /// Long-run probability that the quorum is available (repairable cells only).
+    pub steady_state_availability: Option<f64>,
+    /// Mean time (hours) until more than the tolerated number of nodes are down
+    /// simultaneously — the MTTDL analogue (repairable cells only; may be
+    /// infinite when the threshold is unreachable).
+    pub mean_time_to_threshold_hours: Option<f64>,
+    /// Long-run expected unavailability in minutes per year (repairable cells
+    /// only).
+    pub unavailability_minutes_per_year: Option<f64>,
+}
+
+/// One paired analytic-vs-empirical check: the simulation run requested by
+/// [`Query::validate_with_simulation`] next to the cell's analytic prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationRecord {
+    /// The empirical trial frequencies and trace statistics.
+    pub simulation: SimulationReport,
+    /// The analytic safe-and-live probability the simulation is checked against.
+    pub analytic: f64,
+    /// Standardized disagreement: `(empirical − analytic) / SE`, with the
+    /// standard error taken from the empirical Wilson interval. |z| ≲ 2 means the
+    /// simulation is consistent with the analytic prediction at the trial budget;
+    /// persistent |z| > 3 flags a modelling (or implementation) gap.
+    pub z_score: f64,
+}
+
+impl ValidationRecord {
+    /// Whether the empirical rate is within `sigmas` standard errors of the
+    /// analytic prediction.
+    pub fn agrees_within(&self, sigmas: f64) -> bool {
+        self.z_score.abs() <= sigmas
+    }
+}
+
 /// What one cell runs against: the two [`Scenario`] shapes, owned.
 #[derive(Debug, Clone)]
 enum ScenarioSpec {
@@ -313,14 +527,54 @@ struct ExplicitCell {
     scenario: ScenarioSpec,
 }
 
+/// One time-domain cell: a fleet swept through mission windows, or a repairable
+/// group analysed as a Markov chain.
+#[derive(Clone)]
+enum TrajectorySpec {
+    Fleet {
+        label: String,
+        model: Arc<dyn ProtocolModel + Send + Sync>,
+        fleet: Fleet,
+    },
+    Repairable {
+        label: String,
+        group: RepairableGroup,
+    },
+}
+
 /// A batch analysis request: grid axes whose cartesian product forms the sweep,
-/// plus explicit cells, a budget and the requested metrics. See the module docs for
-/// the full lifecycle.
+/// plus explicit cells, time-domain cells, a budget and the requested metrics. See
+/// the module docs for the full lifecycle.
 ///
 /// Grid cells are emitted in axis-nesting order: protocols, then nodes, then fault
 /// probabilities, then correlation variants, then sample budgets — with explicit
 /// cells appended last, in insertion order. [`AnalysisReport::cells`] preserves this
 /// order, so callers can index cells arithmetically when rebuilding a table.
+///
+/// # Examples
+///
+/// A steady-state sweep next to a time-domain repairable-fleet cell:
+///
+/// ```
+/// use fault_model::markov::RepairableGroup;
+/// use prob_consensus::query::{AnalysisSession, ProtocolSpec, Query, TimeAxis};
+///
+/// let query = Query::new()
+///     .protocols([ProtocolSpec::Raft])
+///     .nodes([3usize, 5])
+///     .fault_probs([0.01])
+///     .time_horizon(TimeAxis::new(20_000.0, 5_000.0).with_target_nines(3.0))
+///     // 5 nodes, λ = 1e-4/h, repaired in ~10h, majority quorum tolerates 2 down.
+///     .repairable_cell("repairable-5", RepairableGroup::new(5, 1e-4, 0.1, 2));
+/// assert_eq!(query.cell_count(), 2);
+/// assert_eq!(query.trajectory_count(), 1);
+///
+/// let report = AnalysisSession::new().run(&query).expect("well-formed query");
+/// let record = report.trajectory(0);
+/// assert_eq!(record.points.len(), 5); // t = 0, 5k, 10k, 15k, 20k hours
+/// assert_eq!(record.points[0].probability, 1.0);
+/// assert!(record.steady_state_availability.unwrap() > 0.999_999);
+/// ```
 #[derive(Clone)]
 pub struct Query {
     protocols: Vec<ProtocolSpec>,
@@ -332,6 +586,9 @@ pub struct Query {
     budget: Budget,
     metrics: Metrics,
     explicit: Vec<ExplicitCell>,
+    time_axis: Option<TimeAxis>,
+    trajectories: Vec<TrajectorySpec>,
+    validation: bool,
 }
 
 impl Default for Query {
@@ -354,6 +611,9 @@ impl Query {
             budget: Budget::default(),
             metrics: Metrics::default(),
             explicit: Vec::new(),
+            time_axis: None,
+            trajectories: Vec::new(),
+            validation: false,
         }
     }
 
@@ -438,6 +698,70 @@ impl Query {
             scenario: ScenarioSpec::Correlated(target),
         });
         self
+    }
+
+    /// Sets the time axis trajectory cells sample over — see [`TimeAxis`]. Cells
+    /// added by [`Query::trajectory_cell`] / [`Query::repairable_cell`] use
+    /// [`TimeAxis::default`] (five years, quarterly) when no axis is set.
+    pub fn time_horizon(mut self, axis: TimeAxis) -> Self {
+        self.time_axis = Some(axis);
+        self
+    }
+
+    /// Appends a time-domain cell: the guarantee of `model` on the aging `fleet`,
+    /// evaluated over a sliding mission window at every step of the time axis
+    /// (reliability over time, worst point, first dip below the target).
+    ///
+    /// The model must be a counting model ([`crate::protocol::CountingModel`]) of
+    /// the fleet's size; both are checked at plan time.
+    pub fn trajectory_cell(
+        mut self,
+        label: impl Into<String>,
+        model: Arc<dyn ProtocolModel + Send + Sync>,
+        fleet: Fleet,
+    ) -> Self {
+        self.trajectories.push(TrajectorySpec::Fleet {
+            label: label.into(),
+            model,
+            fleet,
+        });
+        self
+    }
+
+    /// Appends a repairable-fleet cell: a group of nodes failing at rate λ and
+    /// repaired at rate μ, analysed as a birth–death Markov chain
+    /// ([`fault_model::markov::RepairableGroup`]) — first-passage reliability
+    /// `R(t)` along the time axis, steady-state quorum availability, mean time to
+    /// threshold exceedance (the MTTDL analogue), and unavailability minutes per
+    /// year.
+    pub fn repairable_cell(mut self, label: impl Into<String>, group: RepairableGroup) -> Self {
+        self.trajectories.push(TrajectorySpec::Repairable {
+            label: label.into(),
+            group,
+        });
+        self
+    }
+
+    /// Requests a paired simulation run for every grid and explicit cell whose
+    /// model has an executable counterpart ([`crate::protocol::ExecutableSpec`]):
+    /// each such cell's [`CellRecord`] carries a [`ValidationRecord`] with the
+    /// empirical safe-and-live frequency and the analytic-vs-empirical z-score.
+    /// Cells without an executable counterpart stay analytic-only.
+    ///
+    /// The trial count — like every other simulation knob (horizon, fault window,
+    /// workload) — comes from the budget's [`SimBudget`](crate::engine::SimBudget)
+    /// (`Budget::with_sim` / [`Budget::with_sim_trials`](crate::engine::Budget::with_sim_trials)),
+    /// so there is exactly one place to tune it.
+    pub fn validate_with_simulation(mut self) -> Self {
+        self.validation = true;
+        self
+    }
+
+    /// Number of time-domain cells ([`Query::trajectory_cell`] /
+    /// [`Query::repairable_cell`]); these render as [`TrajectoryRecord`]s, not
+    /// [`CellRecord`]s, so they are not part of [`Query::cell_count`].
+    pub fn trajectory_count(&self) -> usize {
+        self.trajectories.len()
     }
 
     /// Number of cells the query expands to (grid product plus explicit cells).
@@ -569,6 +893,7 @@ fn outcome_from_monte_carlo(mc: crate::montecarlo::MonteCarloReport) -> Analysis
         engine: EngineChoice::MonteCarlo,
         monte_carlo: Some(mc),
         rare_event: None,
+        simulation: None,
     }
 }
 
@@ -611,6 +936,9 @@ pub(crate) fn run_prepared(
             let proposal = scratch.proposal(model, &target, budget);
             crate::rare_event::run_importance_sampling(model, &target, &proposal, budget)
         }
+        // Never planned (the simulation engine is outside the auto-selection
+        // registry), but kept total so a pinned choice runs correctly.
+        EngineChoice::Simulation => SimulationEngine.run(model, scenario, budget),
     }
 }
 
@@ -643,6 +971,27 @@ struct GroupKey {
 
 /// The sweep-native analysis front door: owns the pool pinning and the reusable
 /// per-(model, scenario) scratch that [`QueryPlan`]s share. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use prob_consensus::engine::EngineChoice;
+/// use prob_consensus::query::{AnalysisSession, ProtocolSpec, Query};
+///
+/// let session = AnalysisSession::new();
+/// let query = Query::new()
+///     .protocols([ProtocolSpec::Raft])
+///     .nodes([3usize])
+///     .fault_probs([0.01]);
+/// // Plan and execute separately (or use `session.run` to do both at once).
+/// let plan = session.plan(&query).expect("well-formed query");
+/// assert_eq!(plan.engine(0), EngineChoice::Counting);
+/// let report = plan.execute();
+/// assert_eq!(
+///     report.cell(0).outcome.report.safe_and_live.as_percent(),
+///     "99.97%"
+/// );
+/// ```
 #[derive(Default)]
 pub struct AnalysisSession {
     models: Mutex<HashMap<(ProtocolSpec, usize), Arc<dyn ProtocolModel + Send + Sync>>>,
@@ -724,6 +1073,14 @@ impl AnalysisSession {
         } else {
             query.sample_budgets.clone()
         };
+        // A validated cell runs its paired simulation only if the model has an
+        // executable counterpart of the scenario's size.
+        let validation_for = |model: &dyn ProtocolModel, scenario: Scenario<'_>| {
+            query.validation
+                && model
+                    .executable()
+                    .is_some_and(|spec| spec.num_nodes() == scenario.len())
+        };
         let plan_cells = || -> Result<Vec<PlannedCell>, AnalysisError> {
             let mut cells = Vec::with_capacity(query.cell_count());
             for &spec in &query.protocols {
@@ -757,6 +1114,10 @@ impl AnalysisSession {
                                     nodes: n,
                                     fault_prob: Some(p),
                                     correlation: corr.label(),
+                                    validate: validation_for(
+                                        model.as_ref(),
+                                        scenario.as_scenario(),
+                                    ),
                                     model: model.clone(),
                                     scenario: scenario.clone(),
                                     budget,
@@ -797,6 +1158,7 @@ impl AnalysisSession {
                     nodes: explicit.model.num_nodes(),
                     fault_prob: None,
                     correlation,
+                    validate: validation_for(explicit.model.as_ref(), scenario),
                     model: explicit.model.clone(),
                     scenario: explicit.scenario.clone(),
                     budget: query.budget,
@@ -806,12 +1168,35 @@ impl AnalysisSession {
             }
             Ok(cells)
         };
+        // Validate the time axis and the time-domain cells up front, like every
+        // other cell shape (the axis fields are public, so a struct-literal axis
+        // can bypass the constructor asserts).
+        let time_axis = query.time_axis.unwrap_or_default();
+        time_axis.validate()?;
+        for spec in &query.trajectories {
+            if let TrajectorySpec::Fleet { model, fleet, .. } = spec {
+                if model.as_counting().is_none() {
+                    return Err(AnalysisError::TrajectoryNotCounting);
+                }
+                if fleet.is_empty() {
+                    return Err(AnalysisError::EmptyScenario);
+                }
+                if model.num_nodes() != fleet.len() {
+                    return Err(AnalysisError::SizeMismatch {
+                        model_nodes: model.num_nodes(),
+                        scenario_nodes: fleet.len(),
+                    });
+                }
+            }
+        }
         let cells = match &self.pool {
             Some(pool) => pool.install(plan_cells)?,
             None => plan_cells()?,
         };
         Ok(QueryPlan {
             cells,
+            trajectories: query.trajectories.clone(),
+            time_axis,
             metrics: query.metrics,
             pool: self.pool.clone(),
         })
@@ -836,6 +1221,9 @@ struct PlannedCell {
     budget: Budget,
     engine: EngineChoice,
     scratch: Arc<GroupScratch>,
+    /// Whether cross-validation was requested and this cell's model has an
+    /// executable counterpart (the trial count lives in the budget's `SimBudget`).
+    validate: bool,
 }
 
 /// A planned query: every cell's engine is already selected and every group's
@@ -843,6 +1231,8 @@ struct PlannedCell {
 /// be called repeatedly; results are deterministic per the module-level contract.
 pub struct QueryPlan {
     cells: Vec<PlannedCell>,
+    trajectories: Vec<TrajectorySpec>,
+    time_axis: TimeAxis,
     metrics: Metrics,
     pool: Option<Arc<rayon::ThreadPool>>,
 }
@@ -853,6 +1243,112 @@ impl std::fmt::Debug for QueryPlan {
             .field("cells", &self.cells.len())
             .field("engines", &self.engines())
             .finish_non_exhaustive()
+    }
+}
+
+/// Runs the paired simulation of a validated cell and standardizes the
+/// disagreement. The standard error is taken from the empirical Wilson interval
+/// (never zero for a finite trial count), so the z-score is always finite.
+fn validation_record(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+    budget: &Budget,
+    analytic: f64,
+) -> ValidationRecord {
+    let simulation = crate::simulation::simulate_reliability(model, scenario, budget);
+    let empirical = simulation.safe_and_live.value;
+    let se = simulation.safe_and_live.half_width() / Z_95;
+    let z_score = if se > 0.0 {
+        (empirical - analytic) / se
+    } else {
+        0.0
+    };
+    ValidationRecord {
+        simulation,
+        analytic,
+        z_score,
+    }
+}
+
+/// Executes one time-domain cell against the plan's time axis.
+fn trajectory_record(spec: &TrajectorySpec, axis: &TimeAxis) -> TrajectoryRecord {
+    match spec {
+        TrajectorySpec::Fleet {
+            label,
+            model,
+            fleet,
+        } => {
+            let counting = model
+                .as_counting()
+                .expect("fleet trajectory models are validated as counting at plan time");
+            let trajectory = timevarying::reliability_trajectory(
+                counting,
+                fleet,
+                axis.window_hours,
+                axis.horizon_hours,
+                axis.step_hours,
+            );
+            let points = trajectory
+                .iter()
+                .map(|p| TrajectoryPoint {
+                    at_hours: p.at_hours,
+                    probability: p.report.safe_and_live.probability(),
+                })
+                .collect();
+            let first_below = axis
+                .target_nines
+                .and_then(|target| timevarying::first_time_below_target(&trajectory, target));
+            let summary = timevarying::summarize(&trajectory, axis.target_nines.unwrap_or(0.0))
+                .expect("trajectories always include the t = 0 point");
+            TrajectoryRecord {
+                label: label.clone(),
+                kind: TrajectoryKind::Fleet,
+                points,
+                target_nines: axis.target_nines,
+                first_below_target_hours: first_below,
+                worst_probability: summary.worst_probability,
+                worst_at_hours: summary.worst_at_hours,
+                steady_state_availability: None,
+                mean_time_to_threshold_hours: None,
+                unavailability_minutes_per_year: None,
+            }
+        }
+        TrajectorySpec::Repairable { label, group } => {
+            let points: Vec<TrajectoryPoint> = axis
+                .sample_times()
+                .into_iter()
+                .map(|t| TrajectoryPoint {
+                    at_hours: t,
+                    probability: group.reliability_at(t),
+                })
+                .collect();
+            let first_below = axis.target_nines.and_then(|target| {
+                points
+                    .iter()
+                    .find(|p| !Nines::from_probability(p.probability).meets(target))
+                    .map(|p| p.at_hours)
+            });
+            let worst = points
+                .iter()
+                .min_by(|a, b| {
+                    a.probability
+                        .partial_cmp(&b.probability)
+                        .expect("reliabilities are never NaN")
+                })
+                .expect("the time axis always samples t = 0");
+            TrajectoryRecord {
+                label: label.clone(),
+                kind: TrajectoryKind::Repairable,
+                target_nines: axis.target_nines,
+                first_below_target_hours: first_below,
+                worst_probability: worst.probability,
+                worst_at_hours: worst.at_hours,
+                points,
+                steady_state_availability: Some(group.steady_state_availability()),
+                mean_time_to_threshold_hours: Some(group.mean_time_to_threshold_exceeded()),
+                unavailability_minutes_per_year: Some(group.unavailability_minutes_per_year()),
+            }
+        }
     }
 }
 
@@ -882,15 +1378,21 @@ impl QueryPlan {
         &self.cells[index].label
     }
 
+    /// Number of planned time-domain cells.
+    pub fn trajectory_count(&self) -> usize {
+        self.trajectories.len()
+    }
+
     /// Executes every cell across the persistent pool and collects one record per
     /// cell, in query order. Bit-identical to a per-cell
     /// [`analyze_auto`](crate::analyzer::analyze_auto) /
     /// [`analyze_scenario`](crate::analyzer::analyze_scenario) loop at any thread
-    /// count.
+    /// count — including the paired validation runs and trajectory records, which
+    /// are deterministic per seed and per axis respectively.
     pub fn execute(&self) -> AnalysisReport {
         use rayon::prelude::*;
         let run = || {
-            (0..self.cells.len())
+            let cells = (0..self.cells.len())
                 .into_par_iter()
                 .map(|index| {
                     let cell = &self.cells[index];
@@ -902,6 +1404,14 @@ impl QueryPlan {
                         cell.engine,
                         &cell.scratch,
                     );
+                    let validation = cell.validate.then(|| {
+                        validation_record(
+                            cell.model.as_ref(),
+                            cell.scenario.as_scenario(),
+                            &cell.budget,
+                            outcome.report.safe_and_live.probability(),
+                        )
+                    });
                     CellRecord {
                         label: cell.label.clone(),
                         protocol: cell.protocol.clone(),
@@ -911,18 +1421,25 @@ impl QueryPlan {
                         samples_budget: cell.budget.monte_carlo_samples,
                         engine: cell.engine,
                         outcome,
+                        validation,
                         wall_ns: start.elapsed().as_nanos() as u64,
                     }
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            let trajectories = (0..self.trajectories.len())
+                .into_par_iter()
+                .map(|index| trajectory_record(&self.trajectories[index], &self.time_axis))
+                .collect::<Vec<_>>();
+            (cells, trajectories)
         };
-        let cells = match &self.pool {
+        let (cells, trajectories) = match &self.pool {
             Some(pool) => pool.install(run),
             None => run(),
         };
         AnalysisReport {
             metrics: self.metrics,
             cells,
+            trajectories,
         }
     }
 }
@@ -947,7 +1464,12 @@ pub struct CellRecord {
     pub engine: EngineChoice,
     /// The analysis result, including sampling estimates when an estimator ran.
     pub outcome: AnalysisOutcome,
-    /// Wall-clock nanoseconds the cell's execution took.
+    /// The paired analytic-vs-empirical check, when the query requested
+    /// cross-validation ([`Query::validate_with_simulation`]) and this cell's
+    /// model has an executable counterpart.
+    pub validation: Option<ValidationRecord>,
+    /// Wall-clock nanoseconds the cell's execution took (paired validation
+    /// included, when one ran).
     pub wall_ns: u64,
 }
 
@@ -1018,12 +1540,14 @@ impl MetricKind {
     }
 }
 
-/// The structured result set of an executed plan: one [`CellRecord`] per cell, in
-/// query order, renderable as a plain-text [`Table`] or as JSON.
+/// The structured result set of an executed plan: one [`CellRecord`] per cell and
+/// one [`TrajectoryRecord`] per time-domain cell, in query order, renderable as
+/// plain-text [`Table`]s or as JSON.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
     metrics: Metrics,
     cells: Vec<CellRecord>,
+    trajectories: Vec<TrajectoryRecord>,
 }
 
 impl AnalysisReport {
@@ -1035,6 +1559,16 @@ impl AnalysisReport {
     /// The cell at `index` (query order).
     pub fn cell(&self, index: usize) -> &CellRecord {
         &self.cells[index]
+    }
+
+    /// The executed time-domain cells, in query order.
+    pub fn trajectories(&self) -> &[TrajectoryRecord] {
+        &self.trajectories
+    }
+
+    /// The trajectory record at `index` (query order).
+    pub fn trajectory(&self, index: usize) -> &TrajectoryRecord {
+        &self.trajectories[index]
     }
 
     fn enabled_metrics(&self) -> Vec<MetricKind> {
@@ -1051,9 +1585,12 @@ impl AnalysisReport {
         kinds
     }
 
-    /// Renders the report as a column-aligned plain-text table.
+    /// Renders the report as a column-aligned plain-text table. When any cell
+    /// carries a paired validation run, two extra columns report the empirical
+    /// safe-and-live frequency and the analytic-vs-empirical z-score.
     pub fn to_table(&self, title: impl Into<String>) -> Table {
         let kinds = self.enabled_metrics();
+        let validated = self.cells.iter().any(|c| c.validation.is_some());
         let mut headers: Vec<&str> = vec!["cell", "engine"];
         for kind in &kinds {
             headers.push(match kind {
@@ -1063,6 +1600,9 @@ impl AnalysisReport {
             });
         }
         headers.extend(["95% CI", "ESS", "wall"]);
+        if validated {
+            headers.extend(["sim s&l", "z"]);
+        }
         let mut table = Table::new(title, &headers);
         for cell in &self.cells {
             let mut row = vec![cell.label.clone(), cell.engine.to_string()];
@@ -1079,7 +1619,55 @@ impl AnalysisReport {
                     .map_or_else(|| "-".into(), |ess| format!("{ess:.0}")),
             );
             row.push(format!("{:.2}ms", cell.wall_ns as f64 / 1e6));
+            if validated {
+                match &cell.validation {
+                    Some(v) => {
+                        row.push(crate::report::percent(v.simulation.safe_and_live.value));
+                        row.push(format!("{:+.2}", v.z_score));
+                    }
+                    None => row.extend(["-".to_string(), "-".to_string()]),
+                }
+            }
             table.push_row(row);
+        }
+        table
+    }
+
+    /// Renders the time-domain cells as a column-aligned plain-text table: one row
+    /// per [`TrajectoryRecord`], with the operator metrics (worst point, first dip
+    /// below target, steady-state availability, MTTF-to-threshold, unavailability
+    /// minutes per year).
+    pub fn to_trajectory_table(&self, title: impl Into<String>) -> Table {
+        let mut table = Table::new(
+            title,
+            &[
+                "cell",
+                "kind",
+                "points",
+                "worst",
+                "worst at (h)",
+                "below target at (h)",
+                "steady-state avail",
+                "MTTF->threshold (h)",
+                "unavail min/yr",
+            ],
+        );
+        for record in &self.trajectories {
+            let optional =
+                |value: Option<f64>, fmt: fn(f64) -> String| value.map_or("-".into(), fmt);
+            table.push_row(vec![
+                record.label.clone(),
+                record.kind.label().to_string(),
+                record.points.len().to_string(),
+                crate::report::percent(record.worst_probability),
+                format!("{:.0}", record.worst_at_hours),
+                optional(record.first_below_target_hours, |t| format!("{t:.0}")),
+                optional(record.steady_state_availability, crate::report::percent),
+                optional(record.mean_time_to_threshold_hours, |t| format!("{t:.3e}")),
+                optional(record.unavailability_minutes_per_year, |m| {
+                    format!("{m:.3}")
+                }),
+            ]);
         }
         table
     }
@@ -1128,6 +1716,43 @@ impl AnalysisReport {
                         "wall_ns".to_string(),
                         JsonValue::number(cell.wall_ns as f64),
                     ),
+                    (
+                        "validation".to_string(),
+                        cell.validation.as_ref().map_or(JsonValue::Null, |v| {
+                            JsonValue::Object(vec![
+                                (
+                                    "empirical".to_string(),
+                                    JsonValue::number(v.simulation.safe_and_live.value),
+                                ),
+                                (
+                                    "lower".to_string(),
+                                    JsonValue::number(v.simulation.safe_and_live.lower),
+                                ),
+                                (
+                                    "upper".to_string(),
+                                    JsonValue::number(v.simulation.safe_and_live.upper),
+                                ),
+                                (
+                                    "trials".to_string(),
+                                    JsonValue::number(v.simulation.trials as f64),
+                                ),
+                                ("analytic".to_string(), JsonValue::number(v.analytic)),
+                                ("z_score".to_string(), JsonValue::number(v.z_score)),
+                                (
+                                    "mean_messages_delivered".to_string(),
+                                    JsonValue::number(v.simulation.mean_messages_delivered),
+                                ),
+                                (
+                                    "mean_leader_changes".to_string(),
+                                    JsonValue::number(v.simulation.mean_leader_changes),
+                                ),
+                                (
+                                    "mean_decided_commands".to_string(),
+                                    JsonValue::number(v.simulation.mean_decided_commands),
+                                ),
+                            ])
+                        }),
+                    ),
                 ];
                 for &kind in &kinds {
                     let (lower, upper) = match cell.bounds(kind) {
@@ -1151,7 +1776,59 @@ impl AnalysisReport {
                 JsonValue::Object(members)
             })
             .collect();
-        JsonValue::Object(vec![("cells".to_string(), JsonValue::Array(cells))])
+        let trajectories = self
+            .trajectories
+            .iter()
+            .map(|record| {
+                let points = record
+                    .points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::Object(vec![
+                            ("at_hours".to_string(), JsonValue::number(p.at_hours)),
+                            ("probability".to_string(), JsonValue::number(p.probability)),
+                        ])
+                    })
+                    .collect();
+                JsonValue::Object(vec![
+                    ("label".to_string(), JsonValue::string(&record.label)),
+                    ("kind".to_string(), JsonValue::string(record.kind.label())),
+                    ("points".to_string(), JsonValue::Array(points)),
+                    (
+                        "target_nines".to_string(),
+                        JsonValue::optional(record.target_nines),
+                    ),
+                    (
+                        "first_below_target_hours".to_string(),
+                        JsonValue::optional(record.first_below_target_hours),
+                    ),
+                    (
+                        "worst_probability".to_string(),
+                        JsonValue::number(record.worst_probability),
+                    ),
+                    (
+                        "worst_at_hours".to_string(),
+                        JsonValue::number(record.worst_at_hours),
+                    ),
+                    (
+                        "steady_state_availability".to_string(),
+                        JsonValue::optional(record.steady_state_availability),
+                    ),
+                    (
+                        "mean_time_to_threshold_hours".to_string(),
+                        JsonValue::optional(record.mean_time_to_threshold_hours),
+                    ),
+                    (
+                        "unavailability_minutes_per_year".to_string(),
+                        JsonValue::optional(record.unavailability_minutes_per_year),
+                    ),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("cells".to_string(), JsonValue::Array(cells)),
+            ("trajectories".to_string(), JsonValue::Array(trajectories)),
+        ])
     }
 
     /// The report rendered as a JSON document.
@@ -1435,6 +2112,363 @@ mod tests {
         assert_eq!(first.cell(0).outcome, second.cell(0).outcome);
         // One group signature in the session cache despite two plans.
         assert_eq!(session.groups.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn time_axis_samples_include_both_endpoints() {
+        let axis = TimeAxis::new(1_000.0, 250.0);
+        assert_eq!(axis.sample_times(), vec![0.0, 250.0, 500.0, 750.0, 1_000.0]);
+        assert_eq!(axis.window_hours, 250.0);
+        // A zero horizon still samples t = 0 (the "now" guarantee).
+        assert_eq!(TimeAxis::new(0.0, 10.0).sample_times(), vec![0.0]);
+        // A step larger than the horizon samples t = 0 only.
+        assert_eq!(TimeAxis::new(5.0, 10.0).sample_times(), vec![0.0]);
+    }
+
+    #[test]
+    fn time_axis_sampling_survives_float_drift() {
+        // Regression: `t += step` accumulation dropped the horizon sample for
+        // steps that are not exactly representable (0.3 / 0.1 < 3.0 in f64).
+        let times = TimeAxis::new(0.3, 0.1).sample_times();
+        assert_eq!(
+            times.len(),
+            4,
+            "0, 0.1, 0.2, 0.3 — horizon included: {times:?}"
+        );
+        assert!((times[3] - 0.3).abs() < 1e-12);
+        // A year of 0.1-hour steps: exactly 87,661 samples, last at the horizon.
+        let times = TimeAxis::new(8_766.0, 0.1).sample_times();
+        assert_eq!(times.len(), 87_661);
+        assert!((times.last().unwrap() - 8_766.0).abs() < 1e-9);
+        // The fleet-trajectory sampler shares the fix.
+        use fault_model::node::Fleet;
+        let traj = crate::timevarying::reliability_trajectory(
+            &RaftModel::standard(3),
+            &Fleet::homogeneous_crash(3, 0.01),
+            0.1,
+            0.3,
+            0.1,
+        );
+        assert_eq!(traj.len(), 4);
+        assert!((traj.last().unwrap().at_hours - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn struct_literal_time_axes_are_validated_at_plan_time() {
+        // The axis fields are public, so a zero step can bypass the constructor
+        // asserts; planning must reject it instead of looping forever in
+        // sample_times on a pool worker.
+        let session = AnalysisSession::new();
+        let bad_axis = TimeAxis {
+            horizon_hours: 1e4,
+            step_hours: 0.0,
+            window_hours: 1.0,
+            target_nines: None,
+        };
+        let query = Query::new()
+            .time_horizon(bad_axis)
+            .repairable_cell("r", RepairableGroup::new(3, 1e-3, 1e-2, 1));
+        assert_eq!(
+            session.plan(&query).unwrap_err(),
+            AnalysisError::InvalidTimeAxis
+        );
+        let nan_window = TimeAxis {
+            window_hours: f64::NAN,
+            ..TimeAxis::new(100.0, 10.0)
+        };
+        assert!(session
+            .plan(&Query::new().time_horizon(nan_window))
+            .is_err());
+    }
+
+    #[test]
+    fn fault_windows_past_the_horizon_are_rejected_at_plan_time() {
+        use crate::engine::SimBudget;
+        // A fault window longer than the horizon would silently drop the late
+        // faults (the simulator never processes events past the deadline),
+        // biasing every empirical rate upward.
+        let session = AnalysisSession::new();
+        let bad = Budget {
+            sim: SimBudget {
+                horizon_millis: 1_000,
+                fault_window_millis: 5_000,
+                ..SimBudget::default()
+            },
+            ..Budget::default()
+        };
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize])
+            .fault_probs([0.01])
+            .budget(bad);
+        let err = session.plan(&query).expect_err("oversized window rejected");
+        assert!(err.to_string().contains("fault_window"), "{err}");
+    }
+
+    #[test]
+    fn repairable_cell_produces_a_full_trajectory_record() {
+        let session = AnalysisSession::new();
+        let report = session
+            .run(
+                &Query::new()
+                    .time_horizon(TimeAxis::new(40_000.0, 10_000.0).with_target_nines(2.0))
+                    .repairable_cell("group", RepairableGroup::new(3, 1e-3, 1e-2, 1)),
+            )
+            .expect("well-formed query");
+        assert!(report.cells().is_empty());
+        assert_eq!(report.trajectories().len(), 1);
+        let record = report.trajectory(0);
+        assert_eq!(record.kind, TrajectoryKind::Repairable);
+        assert_eq!(record.points.len(), 5);
+        assert_eq!(record.points[0].probability, 1.0);
+        // R(t) decreases monotonically toward absorption.
+        assert!(record
+            .points
+            .windows(2)
+            .all(|w| w[1].probability <= w[0].probability + 1e-12));
+        // At these rates the threshold is eventually exceeded: the target dips.
+        assert!(record.first_below_target_hours.is_some());
+        assert_eq!(record.worst_probability, record.points[4].probability);
+        let availability = record.steady_state_availability.expect("repairable cell");
+        assert!(availability > 0.9 && availability < 1.0);
+        let minutes = record
+            .unavailability_minutes_per_year
+            .expect("repairable cell");
+        assert!((minutes - (1.0 - availability) * 8766.0 * 60.0).abs() < 1e-6);
+        assert!(record.mean_time_to_threshold_hours.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fleet_trajectory_cell_matches_the_timevarying_helpers() {
+        use fault_model::metrics::HOURS_PER_YEAR;
+        use fault_model::node::NodeSpec;
+        let fleet: fault_model::node::Fleet = (0..5)
+            .map(|i| {
+                NodeSpec::with_constant_crash(i, 0.0, HOURS_PER_YEAR)
+                    .with_crash_curve(std::sync::Arc::new(fault_model::curve::WeibullCurve::new(
+                        3.0, 70_000.0,
+                    )))
+                    .with_age(10_000.0)
+            })
+            .collect();
+        let axis = TimeAxis::new(4.0 * HOURS_PER_YEAR, HOURS_PER_YEAR)
+            .with_window(HOURS_PER_YEAR / 4.0)
+            .with_target_nines(3.0);
+        let model: Arc<dyn ProtocolModel + Send + Sync> = Arc::new(RaftModel::standard(5));
+        let report = AnalysisSession::new()
+            .run(&Query::new().time_horizon(axis).trajectory_cell(
+                "aging-fleet",
+                model,
+                fleet.clone(),
+            ))
+            .expect("well-formed query");
+        let record = report.trajectory(0);
+        assert_eq!(record.kind, TrajectoryKind::Fleet);
+        let reference = crate::timevarying::reliability_trajectory(
+            &RaftModel::standard(5),
+            &fleet,
+            HOURS_PER_YEAR / 4.0,
+            4.0 * HOURS_PER_YEAR,
+            HOURS_PER_YEAR,
+        );
+        assert_eq!(record.points.len(), reference.len());
+        for (point, expected) in record.points.iter().zip(&reference) {
+            assert_eq!(point.at_hours, expected.at_hours);
+            assert_eq!(
+                point.probability,
+                expected.report.safe_and_live.probability()
+            );
+        }
+        let summary = crate::timevarying::summarize(&reference, 3.0).unwrap();
+        assert_eq!(record.worst_probability, summary.worst_probability);
+        assert_eq!(
+            record.first_below_target_hours,
+            crate::timevarying::first_time_below_target(&reference, 3.0)
+        );
+        assert!(record.steady_state_availability.is_none());
+    }
+
+    #[test]
+    fn trajectory_records_render_to_table_and_json() {
+        let session = AnalysisSession::new();
+        let report = session
+            .run(
+                &Query::new()
+                    .time_horizon(TimeAxis::new(20_000.0, 10_000.0))
+                    .repairable_cell("r1", RepairableGroup::new(3, 1e-3, 1e-2, 1)),
+            )
+            .expect("well-formed query");
+        let table = report.to_trajectory_table("time domain");
+        assert_eq!(table.num_rows(), 1);
+        assert_eq!(table.rows()[0][0], "r1");
+        assert_eq!(table.rows()[0][1], "repairable");
+        assert_eq!(table.rows()[0][2], "3");
+        let parsed = JsonValue::parse(&report.to_json()).expect("valid JSON");
+        let trajectories = parsed.get("trajectories").unwrap().as_array().unwrap();
+        assert_eq!(trajectories.len(), 1);
+        let record = &trajectories[0];
+        assert_eq!(
+            record.get("kind").and_then(JsonValue::as_str),
+            Some("repairable")
+        );
+        let points = record.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 3);
+        // Probabilities round-trip bit-exactly through the JSON text.
+        let p0 = points[0]
+            .get("probability")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert_eq!(
+            p0.to_bits(),
+            report.trajectory(0).points[0].probability.to_bits()
+        );
+        // No target was set: the target fields serialize as null.
+        assert!(record.get("target_nines").unwrap().is_null());
+        assert!(record.get("first_below_target_hours").unwrap().is_null());
+    }
+
+    #[test]
+    fn malformed_trajectory_cells_fail_at_plan_time() {
+        use fault_model::node::Fleet;
+        let session = AnalysisSession::new();
+        // Placement-sensitive models have no counting view: rejected.
+        let durability: Arc<dyn ProtocolModel + Send + Sync> =
+            Arc::new(PersistenceQuorumModel::new(5, vec![0, 1]));
+        let query = Query::new().trajectory_cell(
+            "not-counting",
+            durability,
+            Fleet::homogeneous_crash(5, 0.01),
+        );
+        assert_eq!(
+            session.plan(&query).unwrap_err(),
+            AnalysisError::TrajectoryNotCounting
+        );
+        // Model/fleet size mismatch.
+        let raft: Arc<dyn ProtocolModel + Send + Sync> = Arc::new(RaftModel::standard(3));
+        let query = Query::new().trajectory_cell(
+            "mismatch",
+            raft.clone(),
+            Fleet::homogeneous_crash(5, 0.01),
+        );
+        assert_eq!(
+            session.plan(&query).unwrap_err(),
+            AnalysisError::SizeMismatch {
+                model_nodes: 3,
+                scenario_nodes: 5
+            }
+        );
+        // An empty fleet.
+        let query = Query::new().trajectory_cell("empty", raft, Fleet::new());
+        assert_eq!(
+            session.plan(&query).unwrap_err(),
+            AnalysisError::EmptyScenario
+        );
+    }
+
+    #[test]
+    fn validation_mode_pairs_executable_cells_with_simulation() {
+        use crate::engine::SimBudget;
+        let session = AnalysisSession::new();
+        let model: Arc<dyn ProtocolModel + Send + Sync> =
+            Arc::new(PersistenceQuorumModel::new(24, (0..4).collect()));
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize])
+            .fault_probs([0.2])
+            .cell("abstract", model, Deployment::uniform_crash(24, 0.05))
+            .budget(
+                Budget::default()
+                    .with_samples(20_000)
+                    .with_seed(5)
+                    .with_sim(SimBudget {
+                        trials: 40,
+                        horizon_millis: 2_000,
+                        fault_window_millis: 150,
+                        commands: 2,
+                    }),
+            )
+            .validate_with_simulation();
+        let report = session.run(&query).expect("well-formed query");
+        // The Raft grid cell is executable: it carries a validation record whose
+        // empirical rate tracks the analytic prediction.
+        let validated = report.cell(0).validation.expect("raft cell validated");
+        assert_eq!(validated.simulation.trials, 40);
+        assert!(
+            validated.agrees_within(4.0),
+            "analytic {} vs empirical {} (z = {:.2})",
+            validated.analytic,
+            validated.simulation.safe_and_live.value,
+            validated.z_score
+        );
+        assert_eq!(
+            validated.analytic,
+            report.cell(0).outcome.report.safe_and_live.probability()
+        );
+        // The placement-sensitive cell has no executable counterpart: no pairing.
+        assert!(report.cell(1).validation.is_none());
+        // Rendering: the validation columns appear, with "-" for unpaired cells.
+        let table = report.to_table("validated");
+        // cell, engine, safe, live, safe&live, CI, ESS, wall, sim s&l, z.
+        assert_eq!(table.rows()[0].len(), 10);
+        assert_ne!(table.rows()[0][8], "-");
+        assert_eq!(table.rows()[1][8], "-");
+        // JSON: validation object on the paired cell, null on the other.
+        let parsed = JsonValue::parse(&report.to_json()).expect("valid JSON");
+        let cells = parsed.get("cells").unwrap().as_array().unwrap();
+        let v = cells[0].get("validation").unwrap();
+        assert!(v.get("z_score").unwrap().as_f64().is_some());
+        assert_eq!(v.get("trials").and_then(JsonValue::as_f64), Some(40.0));
+        assert!(cells[1].get("validation").unwrap().is_null());
+    }
+
+    #[test]
+    fn validation_is_deterministic_across_runs_and_thread_counts() {
+        use crate::engine::SimBudget;
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize])
+            .fault_probs([0.15])
+            .budget(Budget::default().with_seed(9).with_sim(SimBudget {
+                trials: 24,
+                horizon_millis: 1_500,
+                fault_window_millis: 100,
+                commands: 2,
+            }))
+            .validate_with_simulation();
+        let reference = AnalysisSession::with_threads(1)
+            .run(&query)
+            .expect("well-formed query");
+        for threads in [2usize, 8] {
+            let report = AnalysisSession::with_threads(threads)
+                .run(&query)
+                .expect("well-formed query");
+            assert_eq!(
+                report.cell(0).validation,
+                reference.cell(0).validation,
+                "validation diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sim_horizon_budgets_are_rejected_at_plan_time() {
+        use crate::engine::SimBudget;
+        let session = AnalysisSession::new();
+        let bad = Budget::default().with_seed(1);
+        let bad = Budget {
+            sim: SimBudget {
+                horizon_millis: 0,
+                ..SimBudget::default()
+            },
+            ..bad
+        };
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([3usize])
+            .fault_probs([0.01])
+            .budget(bad);
+        let err = session.plan(&query).expect_err("zero horizon rejected");
+        assert!(err.to_string().contains("horizon"));
     }
 
     #[test]

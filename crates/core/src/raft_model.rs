@@ -96,6 +96,16 @@ impl ProtocolModel for RaftModel {
     fn as_counting(&self) -> Option<&dyn CountingModel> {
         Some(self)
     }
+
+    fn executable(&self) -> Option<crate::protocol::ExecutableSpec> {
+        // Any quorum configuration is executable: the simulator's Raft takes
+        // explicit commit/election quorum sizes (Flexible-Paxos style).
+        Some(crate::protocol::ExecutableSpec::Raft {
+            n: self.n,
+            commit_quorum: self.q_per,
+            election_quorum: self.q_vc,
+        })
+    }
 }
 
 impl CountingModel for RaftModel {

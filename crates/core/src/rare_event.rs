@@ -135,7 +135,7 @@ const PILOT_SEED_TAG: u64 = 0xCE00_0000;
 /// Invariants maintained by every constructor: each proposal probability is at least
 /// its target counterpart (faults are only ever inflated), zero stays zero (states
 /// the target cannot produce are never proposed), and fault probabilities are capped
-/// at [`MAX_PROPOSAL_FAULT`] so every target-reachable outcome stays reachable.
+/// at `MAX_PROPOSAL_FAULT` (0.95) so every target-reachable outcome stays reachable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Proposal {
     profiles: Vec<FaultProfile>,
@@ -178,7 +178,7 @@ impl Proposal {
 
     /// A uniform scalar tilt: every node's fault probability and every shock
     /// probability is multiplied by `tilt` (floored at the target, capped at
-    /// [`MAX_PROPOSAL_FAULT`]). Adequate for small clusters where most nodes are
+    /// `MAX_PROPOSAL_FAULT` (0.95)). Adequate for small clusters where most nodes are
     /// relevant to the failure event; prefer [`Proposal::adaptive`] at scale.
     pub fn uniform_tilt(target: &CorrelationModel, tilt: f64) -> Self {
         assert!(
@@ -613,7 +613,7 @@ pub fn importance_sampling_reliability_par<M: ProtocolModel + ?Sized>(
 /// The auto-selector's cheap, deterministic estimate of the failure probability
 /// `P[¬(safe ∧ live)]` of this model/scenario pair.
 ///
-/// A small pilot ([`SELECTOR_PILOT_SAMPLES`] plain draws, seeded from the budget
+/// A small pilot (`SELECTOR_PILOT_SAMPLES` (1024) plain draws, seeded from the budget
 /// seed) catches failure events common enough for plain Monte Carlo. When the pilot
 /// observes *zero* failures the pilot resolution (~1e-3) is not informative, so the
 /// estimate falls back to an analytic proxy: the probability that a strict majority
@@ -765,6 +765,7 @@ pub(crate) fn run_importance_sampling(
         engine: EngineChoice::ImportanceSampling,
         monte_carlo: None,
         rare_event: Some(report),
+        simulation: None,
     }
 }
 

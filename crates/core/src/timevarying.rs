@@ -23,7 +23,11 @@ pub struct TimePoint {
 
 /// Evaluates the guarantee of `model` over a sliding mission window of `window_hours`,
 /// starting every `step_hours` from now up to `horizon_hours`.
-pub fn reliability_trajectory<M: CountingModel>(
+///
+/// The trajectory is never empty: the first point is always `t = 0` (the current
+/// guarantee), so boundary queries like [`first_time_below_target`] can report a
+/// fleet that is *already* below target as dipping at time zero.
+pub fn reliability_trajectory<M: CountingModel + ?Sized>(
     model: &M,
     fleet: &Fleet,
     window_hours: f64,
@@ -33,8 +37,12 @@ pub fn reliability_trajectory<M: CountingModel>(
     assert!(window_hours > 0.0 && step_hours > 0.0 && horizon_hours >= 0.0);
     assert_eq!(model.num_nodes(), fleet.len(), "model/fleet size mismatch");
     let mut points = Vec::new();
-    let mut t = 0.0;
-    while t <= horizon_hours {
+    // Sample at i·step (not by accumulating t += step): float drift would
+    // otherwise silently drop the horizon sample when horizon/step is a whole
+    // number that is not exactly representable (e.g. step = 0.1).
+    let steps = (horizon_hours / step_hours * (1.0 + 1e-12)).floor() as usize;
+    for i in 0..=steps {
+        let t = i as f64 * step_hours;
         let profiles = fleet
             .iter()
             .map(|node| {
@@ -49,7 +57,6 @@ pub fn reliability_trajectory<M: CountingModel>(
             at_hours: t,
             report: analyze(model, &deployment),
         });
-        t += step_hours;
     }
     points
 }
@@ -57,6 +64,12 @@ pub fn reliability_trajectory<M: CountingModel>(
 /// The first time (hours from now) at which the safe-and-live guarantee drops below
 /// `target_nines`, if it does within the trajectory — the moment preemptive
 /// reconfiguration should have happened by.
+///
+/// Boundary semantics, pinned by regression tests: a trajectory that *starts*
+/// below the target returns the first sample time (`Some(0.0)` for trajectories
+/// from [`reliability_trajectory`], whose first point is always `t = 0`) — not
+/// `None`, which is reserved for "the target held throughout" (including the
+/// vacuous empty trajectory).
 pub fn first_time_below_target(trajectory: &[TimePoint], target_nines: f64) -> Option<f64> {
     trajectory
         .iter()
@@ -75,20 +88,28 @@ pub struct TrajectorySummary {
     pub target_held: bool,
 }
 
-/// Summarizes a trajectory against a target.
-pub fn summarize(trajectory: &[TimePoint], target_nines: f64) -> TrajectorySummary {
-    assert!(!trajectory.is_empty(), "trajectory must be non-empty");
-    let mut worst = &trajectory[0];
-    for p in trajectory {
+/// Summarizes a trajectory against a target. Returns `None` for an empty
+/// trajectory — there is no worst point to report — instead of panicking, so
+/// callers that compute trajectories from external inputs can surface "nothing to
+/// summarize" as a value.
+///
+/// NaN probabilities cannot occur inside a trajectory: every [`TimePoint`] carries
+/// a [`ReliabilityReport`] whose probabilities are [`fault_model::metrics::Nines`]
+/// values, and `Nines::from_probability` rejects anything outside `[0, 1]` (NaN
+/// included) at construction — covered by tests here.
+pub fn summarize(trajectory: &[TimePoint], target_nines: f64) -> Option<TrajectorySummary> {
+    let mut points = trajectory.iter();
+    let mut worst = points.next()?;
+    for p in points {
         if p.report.safe_and_live.probability() < worst.report.safe_and_live.probability() {
             worst = p;
         }
     }
-    TrajectorySummary {
+    Some(TrajectorySummary {
         worst_probability: worst.report.safe_and_live.probability(),
         worst_at_hours: worst.at_hours,
         target_held: first_time_below_target(trajectory, target_nines).is_none(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +145,7 @@ mod tests {
         let first = traj.first().unwrap().report.safe_and_live.probability();
         let last = traj.last().unwrap().report.safe_and_live.probability();
         assert!(last < first, "guarantee should degrade: {first} -> {last}");
-        let summary = summarize(&traj, 3.0);
+        let summary = summarize(&traj, 3.0).expect("non-empty trajectory");
         assert!((summary.worst_probability - last).abs() < 1e-12);
         assert!(summary.worst_at_hours > 0.0);
     }
@@ -142,7 +163,7 @@ mod tests {
         // A 3-node cluster on aging hardware eventually drops below four nines.
         let dip = first_time_below_target(&traj, 4.0);
         assert!(dip.is_some());
-        let summary = summarize(&traj, 4.0);
+        let summary = summarize(&traj, 4.0).expect("non-empty trajectory");
         assert!(!summary.target_held);
     }
 
@@ -183,7 +204,55 @@ mod tests {
             2.0 * HOURS_PER_YEAR,
             HOURS_PER_YEAR / 2.0,
         );
-        assert!(summarize(&traj, 4.0).target_held);
+        assert!(summarize(&traj, 4.0).expect("non-empty").target_held);
         assert!(first_time_below_target(&traj, 4.0).is_none());
+    }
+
+    #[test]
+    fn trajectory_starting_below_target_dips_at_the_first_sample_time() {
+        // Boundary regression: a fleet that is *already* below target must report
+        // the first sample time (t = 0), not None — None means "target held".
+        let fleet = Fleet::homogeneous_crash(3, 0.2);
+        let traj = reliability_trajectory(
+            &RaftModel::standard(3),
+            &fleet,
+            HOURS_PER_YEAR,
+            2.0 * HOURS_PER_YEAR,
+            HOURS_PER_YEAR,
+        );
+        let p0 = traj[0].report.safe_and_live.probability();
+        assert!(p0 < 0.999, "the fixture must start below three nines: {p0}");
+        assert_eq!(first_time_below_target(&traj, 3.0), Some(0.0));
+        let summary = summarize(&traj, 3.0).expect("non-empty trajectory");
+        assert!(!summary.target_held);
+        // The same trajectory against an already-met target keeps the None = held
+        // reading.
+        assert_eq!(first_time_below_target(&traj, 0.5), None);
+        assert!(summarize(&traj, 0.5).expect("non-empty").target_held);
+    }
+
+    #[test]
+    fn works_through_a_dyn_counting_model() {
+        // The query layer stores models as trait objects; the trajectory helpers
+        // must accept unsized models.
+        let fleet = Fleet::homogeneous_crash(3, 0.05);
+        let model = RaftModel::standard(3);
+        let dynamic: &dyn crate::protocol::CountingModel = &model;
+        let traj = reliability_trajectory(dynamic, &fleet, 100.0, 200.0, 100.0);
+        assert_eq!(traj.len(), 3);
+    }
+
+    #[test]
+    fn empty_trajectory_summarizes_to_none_and_holds_any_target() {
+        assert_eq!(summarize(&[], 3.0), None);
+        assert_eq!(first_time_below_target(&[], 3.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0,1]")]
+    fn nan_probabilities_cannot_enter_a_trajectory() {
+        // TimePoint probabilities are Nines values, which reject NaN at
+        // construction — the reason summarize never has to define NaN ordering.
+        let _ = fault_model::metrics::Nines::from_probability(f64::NAN);
     }
 }

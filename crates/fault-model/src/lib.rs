@@ -36,6 +36,9 @@
 //! assert!(afr_to_hourly_rate(0.04) > 0.0);
 //! ```
 
+// Documentation is part of this crate's contract: every public item is
+// documented, and CI builds rustdoc with `-D warnings` (see the `docs` job).
+#![warn(missing_docs)]
 pub mod correlation;
 pub mod curve;
 pub mod markov;

@@ -101,6 +101,114 @@ impl MarkovChain {
         }
     }
 
+    /// The state distribution at time `t_hours`, starting from state `start` with
+    /// probability one: the row vector `e_start · exp(Q t)`.
+    ///
+    /// Computed by scaling-and-squaring on the generator (scale `Q t` until its
+    /// row-sum norm is ≤ ½, sum a short Taylor series, square back up), which stays
+    /// numerically stable for any horizon — `λ t` in the millions of hours squares
+    /// up in ~30 matrix products instead of overflowing a Poisson series. The
+    /// returned vector is clamped to `[0, 1]` and renormalized, so it is always a
+    /// probability distribution.
+    ///
+    /// This is the transient-analysis primitive behind
+    /// [`RepairableGroup::reliability_at`]: make the over-threshold states
+    /// absorbing, push the initial distribution through `exp(Q t)`, and read off
+    /// how much mass has not yet been absorbed.
+    pub fn transient_distribution(&self, start: usize, t_hours: f64) -> Vec<f64> {
+        assert!(start < self.n, "start state out of range");
+        assert!(
+            t_hours >= 0.0 && t_hours.is_finite(),
+            "time must be finite and non-negative, got {t_hours}"
+        );
+        let n = self.n;
+        let mut distribution = vec![0.0; n];
+        if t_hours == 0.0 {
+            distribution[start] = 1.0;
+            return distribution;
+        }
+        // A = Q·t with the implicit diagonal filled in.
+        let mut a = vec![vec![0.0f64; n]; n];
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i != j {
+                    *cell = self.rates[i][j] * t_hours;
+                }
+            }
+            row[i] = -self.exit_rate(i) * t_hours;
+        }
+        // Scale A down until ‖A‖∞ ≤ ½ so a short Taylor series converges to
+        // machine precision, then square the result back up.
+        let norm = a
+            .iter()
+            .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max);
+        let squarings = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
+        let scale = 2.0f64.powi(-(squarings as i32));
+        for row in &mut a {
+            for cell in row.iter_mut() {
+                *cell *= scale;
+            }
+        }
+        let identity = |n: usize| -> Vec<Vec<f64>> {
+            let mut m = vec![vec![0.0; n]; n];
+            for (i, row) in m.iter_mut().enumerate() {
+                row[i] = 1.0;
+            }
+            m
+        };
+        let mat_mul = |x: &[Vec<f64>], y: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            let mut out = vec![vec![0.0; n]; n];
+            for (i, out_row) in out.iter_mut().enumerate() {
+                for (k, &xik) in x[i].iter().enumerate() {
+                    if xik == 0.0 {
+                        continue;
+                    }
+                    for (j, out_cell) in out_row.iter_mut().enumerate() {
+                        *out_cell += xik * y[k][j];
+                    }
+                }
+            }
+            out
+        };
+        // exp(A) ≈ Σ_{k=0}^{16} A^k / k!  (truncation error < 1e-16 at ‖A‖ ≤ ½).
+        let mut exp = identity(n);
+        let mut term = identity(n);
+        for k in 1..=16u32 {
+            term = mat_mul(&term, &a);
+            let inv_k = 1.0 / k as f64;
+            for row in &mut term {
+                for cell in row.iter_mut() {
+                    *cell *= inv_k;
+                }
+            }
+            for (erow, trow) in exp.iter_mut().zip(&term) {
+                for (e, t) in erow.iter_mut().zip(trow) {
+                    *e += t;
+                }
+            }
+        }
+        for _ in 0..squarings {
+            exp = mat_mul(&exp, &exp);
+        }
+        // Row `start` is the distribution; clamp float drift and renormalize.
+        let mut total = 0.0;
+        for (slot, value) in distribution.iter_mut().zip(&exp[start]) {
+            *slot = value.clamp(0.0, 1.0);
+            total += *slot;
+        }
+        if total > 0.0 {
+            for slot in &mut distribution {
+                *slot /= total;
+            }
+        }
+        distribution
+    }
+
     /// Steady-state distribution π with `π Q = 0` and `Σ π = 1`.
     ///
     /// Returns `None` when the chain has no transitions at all.
@@ -194,6 +302,21 @@ impl BirthDeathChain {
         Self { n, lambda, mu }
     }
 
+    /// Number of nodes in the group.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Per-node failure rate λ (events per hour).
+    pub fn failure_rate(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Per-node repair rate μ (events per hour).
+    pub fn repair_rate(&self) -> f64 {
+        self.mu
+    }
+
     /// Materializes the chain as a [`MarkovChain`] over states `0..=n` failed nodes.
     pub fn chain(&self) -> MarkovChain {
         let mut chain = MarkovChain::new(self.n + 1);
@@ -211,7 +334,31 @@ impl BirthDeathChain {
 }
 
 /// A repairable consensus group analysed as a birth–death chain: mean time to exceed the
-/// fault threshold, and steady-state availability of a quorum.
+/// fault threshold, reliability over time, and steady-state availability of a quorum.
+///
+/// This is the §2 storage-community analysis applied to consensus: `n` nodes fail at
+/// rate λ and are repaired at rate μ, and the deployment keeps its quorum as long as
+/// no more than `tolerated_failures` nodes are down simultaneously. The time-domain
+/// query API (`prob_consensus::query::Query::repairable_cell`) renders these numbers
+/// as trajectory records.
+///
+/// # Examples
+///
+/// ```
+/// use fault_model::markov::RepairableGroup;
+///
+/// // 5 nodes, ~1 failure per 10k hours each, 10-hour mean repair, majority quorum
+/// // (tolerates 2 simultaneous failures).
+/// let group = RepairableGroup::new(5, 1e-4, 0.1, 2);
+/// // A healthy group starts fully reliable and degrades monotonically...
+/// assert_eq!(group.reliability_at(0.0), 1.0);
+/// assert!(group.reliability_at(1_000.0) > group.reliability_at(100_000.0));
+/// // ...while repair keeps the long-run quorum availability extremely high.
+/// assert!(group.steady_state_availability() > 0.999_999);
+/// assert!(group.unavailability_minutes_per_year() < 1.0);
+/// // Mean time until a third node is down concurrently (the MTTDL analogue).
+/// assert!(group.mean_time_to_threshold_exceeded() > 1e6);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RepairableGroup {
     chain: BirthDeathChain,
@@ -249,6 +396,58 @@ impl RepairableGroup {
             Some(pi) => pi[..=self.tolerated_failures].iter().sum(),
             None => 1.0,
         }
+    }
+
+    /// Number of nodes in the group.
+    pub fn group_size(&self) -> usize {
+        self.chain.group_size()
+    }
+
+    /// Number of simultaneous failures the group tolerates.
+    pub fn tolerated_failures(&self) -> usize {
+        self.tolerated_failures
+    }
+
+    /// Per-node failure rate λ (events per hour).
+    pub fn failure_rate(&self) -> f64 {
+        self.chain.failure_rate()
+    }
+
+    /// Per-node repair rate μ (events per hour).
+    pub fn repair_rate(&self) -> f64 {
+        self.chain.repair_rate()
+    }
+
+    /// Probability that the fault threshold has *never* been exceeded by `t_hours`,
+    /// starting from a fully healthy group — the reliability function `R(t)` whose
+    /// mean is [`RepairableGroup::mean_time_to_threshold_exceeded`].
+    ///
+    /// Computed by making every over-threshold state absorbing and pushing the
+    /// initial distribution through the chain with
+    /// [`MarkovChain::transient_distribution`]; the unabsorbed mass is `R(t)`.
+    pub fn reliability_at(&self, t_hours: f64) -> f64 {
+        let mut absorbing = self.chain.chain();
+        // Over-threshold states keep no outgoing transitions: once the threshold is
+        // exceeded the excursion counts forever (first-passage semantics).
+        for state in self.tolerated_failures + 1..=self.chain.n {
+            for to in 0..absorbing.len() {
+                if to != state {
+                    absorbing.set_rate(state, to, 0.0);
+                }
+            }
+        }
+        let distribution = absorbing.transient_distribution(0, t_hours);
+        distribution[..=self.tolerated_failures]
+            .iter()
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Long-run expected minutes per year during which the quorum is unavailable
+    /// (more than the tolerated number of nodes down): the complement of
+    /// [`RepairableGroup::steady_state_availability`] scaled to operator units.
+    pub fn unavailability_minutes_per_year(&self) -> f64 {
+        (1.0 - self.steady_state_availability()) * crate::metrics::HOURS_PER_YEAR * 60.0
     }
 }
 
@@ -325,5 +524,113 @@ mod tests {
     #[test]
     fn chain_without_transitions_has_no_steady_state() {
         assert!(MarkovChain::new(4).steady_state().is_none());
+    }
+
+    #[test]
+    fn transient_distribution_matches_exponential_decay() {
+        // One component failing at rate λ with no repair: P[still up at t] = exp(-λt).
+        let lambda = 0.01;
+        let mut chain = MarkovChain::new(2);
+        chain.set_rate(0, 1, lambda);
+        for t in [0.0, 1.0, 50.0, 100.0, 1_000.0, 100_000.0] {
+            let pi = chain.transient_distribution(0, t);
+            let expected = (-lambda * t).exp();
+            assert!(
+                (pi[0] - expected).abs() < 1e-9,
+                "t={t}: got {} expected {expected}",
+                pi[0]
+            );
+            assert!((pi[0] + pi[1] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transient_distribution_converges_to_steady_state() {
+        let mut chain = MarkovChain::new(2);
+        chain.set_rate(0, 1, 1.0);
+        chain.set_rate(1, 0, 9.0);
+        let pi_inf = chain.steady_state().unwrap();
+        // Relaxation time is 1/(λ+μ) = 0.1h; 1000h is deep in the stationary regime.
+        let pi_t = chain.transient_distribution(0, 1_000.0);
+        for (a, b) in pi_t.iter().zip(&pi_inf) {
+            assert!((a - b).abs() < 1e-9, "transient {a} vs steady {b}");
+        }
+        // And it is a distribution at every horizon, including enormous λt.
+        let far = chain.transient_distribution(1, 1e7);
+        assert!((far.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(far.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn transient_distribution_at_zero_is_the_start_state() {
+        let mut chain = MarkovChain::new(3);
+        chain.set_rate(0, 1, 5.0);
+        chain.set_rate(1, 2, 5.0);
+        assert_eq!(chain.transient_distribution(1, 0.0), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn reliability_curve_is_monotone_and_anchored_at_one() {
+        let group = RepairableGroup::new(3, 1e-3, 1e-2, 1);
+        assert_eq!(group.reliability_at(0.0), 1.0);
+        let mut previous = 1.0;
+        for t in [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0] {
+            let r = group.reliability_at(t);
+            assert!(
+                r <= previous + 1e-12,
+                "reliability must not increase: R({t}) = {r} > {previous}"
+            );
+            previous = r;
+        }
+        // Eventually the threshold is exceeded almost surely (repair only delays it).
+        assert!(group.reliability_at(1e8) < 1e-3);
+    }
+
+    #[test]
+    fn repair_lifts_the_reliability_curve() {
+        let t = 5_000.0;
+        let without = RepairableGroup::new(3, 1e-3, 0.0, 1).reliability_at(t);
+        let with = RepairableGroup::new(3, 1e-3, 0.1, 1).reliability_at(t);
+        assert!(with > without, "repair must help: {with} vs {without}");
+    }
+
+    #[test]
+    fn reliability_mean_is_consistent_with_first_passage_time() {
+        // ∫ R(t) dt = MTTF; check the trapezoid integral against the linear solve.
+        let group = RepairableGroup::new(2, 1e-3, 1e-2, 1);
+        let mttf = group.mean_time_to_threshold_exceeded();
+        let step = mttf / 2_000.0;
+        let mut integral = 0.0;
+        let mut t = 0.0;
+        let mut r_prev = 1.0;
+        // Integrate far enough that the tail is negligible.
+        while t < 12.0 * mttf {
+            t += step;
+            let r = group.reliability_at(t);
+            integral += 0.5 * (r_prev + r) * step;
+            r_prev = r;
+        }
+        assert!(
+            (integral - mttf).abs() / mttf < 0.01,
+            "∫R = {integral} vs MTTF = {mttf}"
+        );
+    }
+
+    #[test]
+    fn unavailability_minutes_match_the_steady_state_complement() {
+        // Single repairable component: availability μ/(λ+μ) = 0.9.
+        let group = RepairableGroup::new(1, 1.0, 9.0, 0);
+        assert!((group.steady_state_availability() - 0.9).abs() < 1e-9);
+        let expected = 0.1 * crate::metrics::HOURS_PER_YEAR * 60.0;
+        assert!((group.unavailability_minutes_per_year() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_accessors_expose_the_configuration() {
+        let group = RepairableGroup::new(5, 1e-4, 0.1, 2);
+        assert_eq!(group.group_size(), 5);
+        assert_eq!(group.tolerated_failures(), 2);
+        assert!((group.failure_rate() - 1e-4).abs() < 1e-18);
+        assert!((group.repair_rate() - 0.1).abs() < 1e-15);
     }
 }

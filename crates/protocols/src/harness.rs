@@ -10,6 +10,7 @@ use consensus_sim::fault::FaultSchedule;
 use consensus_sim::network::NetworkConfig;
 use consensus_sim::runtime::Simulation;
 use consensus_sim::time::SimTime;
+use consensus_sim::trace::TraceStats;
 
 use crate::byzantine::ByzantineBehavior;
 use crate::common::{all_contain, logs_agree, Command, ReplicatedLog};
@@ -130,6 +131,135 @@ impl RaftHarness {
     /// The commands submitted so far.
     pub fn submitted(&self) -> &[Command] {
         &self.submitted
+    }
+}
+
+/// Which executable protocol a batched simulation trial runs.
+///
+/// This is the unit of the batch-trial API ([`run_trial`]) that the analysis
+/// layer's simulation engine fans out in parallel: a plain value describing the
+/// protocol configuration, so thousands of independent trials can be spawned from
+/// one spec without sharing any simulator state.
+#[derive(Debug, Clone)]
+pub enum TrialProtocol {
+    /// Raft with the given configuration (quorum sizes, timeouts, priorities).
+    Raft(RaftConfig),
+    /// PBFT with the given configuration; injected Byzantine nodes stay silent.
+    Pbft(PbftConfig),
+}
+
+/// One batched simulation trial: which protocol to run, over which network, with
+/// how much workload and virtual time.
+#[derive(Debug, Clone)]
+pub struct TrialSpec {
+    /// The protocol and its configuration.
+    pub protocol: TrialProtocol,
+    /// The network model every trial runs on.
+    pub network: NetworkConfig,
+    /// Number of client commands submitted at the start of the trial.
+    pub commands: usize,
+    /// Virtual time the trial runs for, in milliseconds.
+    pub horizon_millis: u64,
+}
+
+impl TrialSpec {
+    /// A standard-quorum Raft trial over a LAN: `commands` client commands with
+    /// `horizon_millis` of virtual time to commit them.
+    pub fn raft(n: usize, commands: usize, horizon_millis: u64) -> Self {
+        Self {
+            protocol: TrialProtocol::Raft(RaftConfig::standard(n)),
+            network: NetworkConfig::lan(),
+            commands,
+            horizon_millis,
+        }
+    }
+
+    /// A standard PBFT trial over a LAN.
+    pub fn pbft(n: usize, commands: usize, horizon_millis: u64) -> Self {
+        Self {
+            protocol: TrialProtocol::Pbft(PbftConfig::standard(n)),
+            network: NetworkConfig::lan(),
+            commands,
+            horizon_millis,
+        }
+    }
+
+    /// Cluster size of the trial.
+    pub fn num_nodes(&self) -> usize {
+        match &self.protocol {
+            TrialProtocol::Raft(config) => config.n,
+            TrialProtocol::Pbft(config) => config.n,
+        }
+    }
+}
+
+/// The verdict of one batched trial, with the trace-derived statistics the
+/// time-domain analysis layer aggregates across a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// The safety/liveness verdict and per-node commit state.
+    pub outcome: ClusterOutcome,
+    /// Leader elections (Raft: highest term reached; PBFT: highest view reached)
+    /// among nodes still correct at the end of the run. Zero means the initial
+    /// leader/primary was never displaced.
+    pub leader_changes: u64,
+    /// Commands decided at *every* correct node (the shortest committed log).
+    pub decided_commands: usize,
+    /// The simulator's counters (messages, drops, timer fires, fault events).
+    pub stats: TraceStats,
+}
+
+/// Runs one deterministic simulation trial: builds the cluster described by
+/// `spec`, installs `schedule`, submits the workload, runs the virtual clock out,
+/// and evaluates the outcome. Identical `(spec, schedule, seed)` triples produce
+/// identical outcomes, which is what lets a batch of trials be fanned out across
+/// threads and still be reproducible.
+pub fn run_trial(spec: &TrialSpec, schedule: &FaultSchedule, seed: u64) -> TrialOutcome {
+    match &spec.protocol {
+        TrialProtocol::Raft(config) => {
+            let mut harness = RaftHarness::with_config(config.clone(), spec.network.clone(), seed)
+                .with_faults(schedule);
+            harness.submit_commands(spec.commands);
+            let outcome = harness.run_for_millis(spec.horizon_millis);
+            let leader_changes = outcome
+                .correct_nodes
+                .iter()
+                .map(|&i| harness.sim().node(i).current_term())
+                .max()
+                .unwrap_or(0)
+                .saturating_sub(1);
+            let decided_commands = outcome.committed_lengths.iter().min().copied().unwrap_or(0);
+            TrialOutcome {
+                leader_changes,
+                decided_commands,
+                stats: harness.sim().stats(),
+                outcome,
+            }
+        }
+        TrialProtocol::Pbft(config) => {
+            let mut harness = PbftHarness::with_config(
+                config.clone(),
+                ByzantineBehavior::Silent,
+                spec.network.clone(),
+                seed,
+            )
+            .with_faults(schedule);
+            harness.submit_commands(spec.commands);
+            let outcome = harness.run_for_millis(spec.horizon_millis);
+            let leader_changes = outcome
+                .correct_nodes
+                .iter()
+                .map(|&i| harness.sim().node(i).view())
+                .max()
+                .unwrap_or(0);
+            let decided_commands = outcome.committed_lengths.iter().min().copied().unwrap_or(0);
+            TrialOutcome {
+                leader_changes,
+                decided_commands,
+                stats: harness.sim().stats(),
+                outcome,
+            }
+        }
     }
 }
 
@@ -371,5 +501,66 @@ mod tests {
         h.submit_commands(2);
         let outcome = h.run_for_millis(1_000);
         assert!(outcome.messages_delivered > 0);
+    }
+
+    #[test]
+    fn run_trial_is_deterministic_per_seed() {
+        let spec = TrialSpec::raft(5, 4, 3_000);
+        let schedule = FaultSchedule::none().crash_at(1, SimTime::from_millis(200));
+        let a = run_trial(&spec, &schedule, 42);
+        let b = run_trial(&spec, &schedule, 42);
+        assert_eq!(a, b);
+        assert!(a.outcome.safe_and_live());
+        assert_eq!(a.decided_commands, 4);
+        assert!(a.stats.messages_delivered > 0);
+        assert_eq!(a.stats.crashes, 1);
+    }
+
+    #[test]
+    fn raft_trial_counts_leader_displacements() {
+        // A healthy run elects once (term 1) and never displaces: zero changes.
+        let healthy = run_trial(&TrialSpec::raft(3, 2, 2_000), &FaultSchedule::none(), 11);
+        assert_eq!(healthy.leader_changes, 0);
+        // Killing the preferred leader mid-run forces a re-election (term >= 2).
+        let config = RaftConfig::standard(5).with_election_priority(vec![0, 1, 2, 3, 4]);
+        let spec = TrialSpec {
+            protocol: TrialProtocol::Raft(config),
+            network: NetworkConfig::lan(),
+            commands: 3,
+            horizon_millis: 5_000,
+        };
+        let schedule = FaultSchedule::none().crash_at(0, SimTime::from_millis(1_000));
+        let displaced = run_trial(&spec, &schedule, 12);
+        assert!(
+            displaced.leader_changes >= 1,
+            "a crashed leader must force an election: {displaced:?}"
+        );
+    }
+
+    #[test]
+    fn pbft_trial_reports_views_and_quorum_loss() {
+        let spec = TrialSpec::pbft(4, 3, 6_000);
+        // Crashing the primary forces at least one view change.
+        let schedule = FaultSchedule::none().crash_at(0, SimTime::from_millis(1));
+        let trial = run_trial(&spec, &schedule, 13);
+        assert!(trial.outcome.agreement);
+        assert!(
+            trial.leader_changes >= 1,
+            "primary crash forces a view change"
+        );
+        // 2f + 1 crashes kill liveness; the trial records the shortfall.
+        let fatal = FaultSchedule::none()
+            .crash_at(0, SimTime::from_millis(1))
+            .crash_at(1, SimTime::from_millis(1));
+        let stalled = run_trial(&spec, &fatal, 14);
+        assert!(stalled.outcome.agreement);
+        assert!(!stalled.outcome.all_committed);
+        assert_eq!(stalled.decided_commands, 0);
+    }
+
+    #[test]
+    fn trial_spec_reports_cluster_size() {
+        assert_eq!(TrialSpec::raft(7, 1, 100).num_nodes(), 7);
+        assert_eq!(TrialSpec::pbft(4, 1, 100).num_nodes(), 4);
     }
 }

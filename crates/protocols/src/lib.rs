@@ -16,7 +16,10 @@
 //!   them (stay silent, equivocate).
 //! * [`harness`] — cluster harnesses: build a simulated cluster, drive a client
 //!   workload, then check *agreement* (no two correct nodes commit conflicting entries)
-//!   and *progress* (all submitted commands commit at all correct nodes).
+//!   and *progress* (all submitted commands commit at all correct nodes). The
+//!   batch-trial API ([`harness::TrialSpec`] / [`harness::run_trial`]) packages one
+//!   deterministic run as a plain value, so the analysis layer's simulation engine
+//!   can fan thousands of trials out across threads.
 //! * [`probabilistic`] — probability-native deployment helpers: reliability-aware leader
 //!   priorities and committee-restricted clusters.
 //!
@@ -34,6 +37,9 @@
 //! assert!(outcome.all_committed);
 //! ```
 
+// Documentation is part of this crate's contract: every public item is
+// documented, and CI builds rustdoc with `-D warnings` (see the `docs` job).
+#![warn(missing_docs)]
 pub mod byzantine;
 pub mod common;
 pub mod harness;
@@ -43,6 +49,8 @@ pub mod raft;
 
 pub use byzantine::ByzantineBehavior;
 pub use common::{Command, LogEntry, ReplicatedLog};
-pub use harness::{ClusterOutcome, PbftHarness, RaftHarness};
+pub use harness::{
+    run_trial, ClusterOutcome, PbftHarness, RaftHarness, TrialOutcome, TrialProtocol, TrialSpec,
+};
 pub use pbft::{PbftConfig, PbftMessage, PbftNode};
 pub use raft::{RaftConfig, RaftMessage, RaftNode, Role};

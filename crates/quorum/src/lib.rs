@@ -33,6 +33,9 @@
 //! assert!(q.always_intersects());
 //! ```
 
+// Documentation is part of this crate's contract: every public item is
+// documented, and CI builds rustdoc with `-D warnings` (see the `docs` job).
+#![warn(missing_docs)]
 pub mod committee;
 pub mod flexible;
 pub mod grid;

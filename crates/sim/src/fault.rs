@@ -4,8 +4,9 @@
 //! profiles (matching the analysis window semantics of the `prob-consensus` crate), or
 //! sampled from full fault curves (hazard-rate driven failure times).
 
+use fault_model::correlation::CorrelationModel;
 use fault_model::curve::FaultCurve;
-use fault_model::mode::FaultProfile;
+use fault_model::mode::{FaultProfile, NodeState};
 use rand::Rng;
 
 use crate::time::SimTime;
@@ -149,6 +150,42 @@ impl FaultSchedule {
         schedule
     }
 
+    /// Samples a schedule from a joint (possibly correlated) failure model over a
+    /// horizon: one failure configuration is drawn from the model — independent
+    /// per-node outcomes plus any common-cause correlation-group shocks — and every
+    /// faulty node receives its fault (crash, or Byzantine turn) at a uniformly
+    /// random time within the horizon, never recovering.
+    ///
+    /// This is the correlated generalization of
+    /// [`FaultSchedule::sample_from_profiles`]: for a groupless model the two draw
+    /// from the same marginal distribution, and either way the realized
+    /// end-of-horizon configuration is distributed exactly as the analysis layer's
+    /// Monte Carlo samples, so empirical safety/liveness rates measured under these
+    /// schedules are directly comparable with analytic (and sampled) probabilities
+    /// — including under rack- or cluster-level shocks no independent sampler can
+    /// express.
+    pub fn sample_from_correlation<R: Rng + ?Sized>(
+        model: &CorrelationModel,
+        horizon: SimTime,
+        rng: &mut R,
+    ) -> Self {
+        let mut schedule = Self::none();
+        for (node, state) in model.sample(rng).into_iter().enumerate() {
+            let kind = match state {
+                NodeState::Correct => continue,
+                NodeState::Crashed => FaultKind::Crash,
+                NodeState::Byzantine => FaultKind::TurnByzantine,
+            };
+            let at = SimTime::from_micros(rng.gen_range(0..=horizon.as_micros()));
+            schedule.add(FaultEvent {
+                time: at,
+                node,
+                kind,
+            });
+        }
+        schedule
+    }
+
     /// Samples crash times from full fault curves: node `i` crashes at the first failure
     /// time drawn from `curves[i]` (starting from `ages[i]`), scaled so that
     /// `hours_per_sim_second` hours of wall-clock hazard map onto one simulated second.
@@ -226,6 +263,61 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let s = FaultSchedule::sample_from_profiles(&profiles, SimTime::from_secs(1), &mut rng);
         assert_eq!(s.events()[0].kind, FaultKind::TurnByzantine);
+    }
+
+    #[test]
+    fn correlation_sampling_reflects_shock_probability() {
+        use fault_model::correlation::CorrelationGroup;
+        // Nodes never fail independently; a 30% whole-group crash shock is the only
+        // fault source, so schedules are either empty or crash every member.
+        let model = CorrelationModel::independent(vec![FaultProfile::crash_only(0.0); 4])
+            .with_group(CorrelationGroup::crash_shock((0..4).collect(), 0.3));
+        let mut rng = StdRng::seed_from_u64(5);
+        let horizon = SimTime::from_secs(10);
+        let trials = 4_000;
+        let mut shocked = 0usize;
+        for _ in 0..trials {
+            let s = FaultSchedule::sample_from_correlation(&model, horizon, &mut rng);
+            assert!(s.is_empty() || s.len() == 4, "shock is all-or-nothing");
+            assert!(s.events().iter().all(|e| e.kind == FaultKind::Crash));
+            assert!(s.events().iter().all(|e| e.time <= horizon));
+            if !s.is_empty() {
+                shocked += 1;
+            }
+        }
+        let rate = shocked as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed shock rate {rate}");
+    }
+
+    #[test]
+    fn correlation_sampling_preserves_byzantine_outcomes() {
+        use fault_model::correlation::CorrelationGroup;
+        let model = CorrelationModel::independent(vec![FaultProfile::byzantine_only(1.0); 2])
+            .with_group(CorrelationGroup::crash_shock(vec![0, 1], 1.0));
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = FaultSchedule::sample_from_correlation(&model, SimTime::from_secs(1), &mut rng);
+        // Byzantine dominates the crash shock, exactly as in the analysis sampler.
+        assert_eq!(s.len(), 2);
+        assert!(s
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::TurnByzantine));
+    }
+
+    #[test]
+    fn groupless_correlation_sampling_matches_profile_marginals() {
+        let profiles = vec![FaultProfile::crash_only(0.25); 5];
+        let model = CorrelationModel::independent(profiles);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 4_000;
+        let mut crashes = 0usize;
+        for _ in 0..trials {
+            crashes +=
+                FaultSchedule::sample_from_correlation(&model, SimTime::from_secs(1), &mut rng)
+                    .len();
+        }
+        let rate = crashes as f64 / (trials * 5) as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed {rate}");
     }
 
     #[test]

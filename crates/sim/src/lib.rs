@@ -54,6 +54,9 @@
 //! assert!(sim.node(0).got_pong);
 //! ```
 
+// Documentation is part of this crate's contract: every public item is
+// documented, and CI builds rustdoc with `-D warnings` (see the `docs` job).
+#![warn(missing_docs)]
 pub mod actor;
 pub mod fault;
 pub mod network;

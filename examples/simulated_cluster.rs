@@ -19,8 +19,9 @@ use consensus_sim::network::NetworkConfig;
 use consensus_sim::time::SimTime;
 use fault_model::mode::FaultProfile;
 use prob_consensus::deployment::Deployment;
+use prob_consensus::engine::{Budget, SimBudget};
 use prob_consensus::protocol::ProtocolModel;
-use prob_consensus::query::{AnalysisSession, Query};
+use prob_consensus::query::{AnalysisSession, ProtocolSpec, Query};
 use prob_consensus::raft_model::RaftModel;
 
 fn main() {
@@ -103,4 +104,39 @@ fn main() {
         "[pbft equivocate] agreement={} all_committed={} correct={:?}",
         outcome.agreement, outcome.all_committed, outcome.correct_nodes
     );
+
+    // Scenario 5: the loop closed — a whole analytic sweep where every cell gets a
+    // paired batch of simulation trials, and the report carries per-cell
+    // analytic-vs-empirical z-scores. This is the query-API form of what the
+    // scenarios above did by hand.
+    let validated = session
+        .run(
+            &Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([3usize, 5])
+                .fault_probs([0.15])
+                .budget(Budget::default().with_seed(17).with_sim(SimBudget {
+                    trials: 80,
+                    horizon_millis: 2_500,
+                    fault_window_millis: 200,
+                    commands: 3,
+                }))
+                .validate_with_simulation(),
+        )
+        .expect("well-formed validated sweep");
+    println!(
+        "\n{}",
+        validated.to_table("Analytic vs simulated (80 trials/cell)")
+    );
+    for cell in validated.cells() {
+        let v = cell.validation.expect("raft cells are executable");
+        println!(
+            "[validated]       {}: analytic {:.4} vs simulated {:.4} (z = {:+.2}, {:.0} msgs/trial)",
+            cell.label,
+            v.analytic,
+            v.simulation.safe_and_live.value,
+            v.z_score,
+            v.simulation.mean_messages_delivered
+        );
+    }
 }

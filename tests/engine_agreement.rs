@@ -526,6 +526,86 @@ fn query_plan_execute_matches_per_cell_loop_bit_for_bit() {
     }
 }
 
+/// The fifth engine's determinism contract: a batch of simulation trials is
+/// bit-identical across thread counts for a fixed seed (trial RNGs are derived
+/// from the trial index, and the verdict tallies are integers).
+#[test]
+fn simulation_engine_is_bit_identical_across_thread_counts() {
+    use prob_consensus::engine::SimBudget;
+    use prob_consensus::simulation::SimulationEngine;
+    let model = RaftModel::standard(3);
+    let profiles = vec![FaultProfile::crash_only(0.15); 3];
+    // A correlated scenario, so the schedule sampler's shock path is exercised.
+    let failure_model = CorrelationModel::independent(profiles)
+        .with_group(CorrelationGroup::crash_shock((0..3).collect(), 0.1));
+    let budget = Budget::default().with_seed(GRID_SEED).with_sim(SimBudget {
+        trials: 24,
+        horizon_millis: 1_500,
+        fault_window_millis: 100,
+        commands: 2,
+    });
+    let scenario = Scenario::Correlated(&failure_model);
+    let reference = SimulationEngine.run(&model, scenario, &budget);
+    assert!(reference.simulation.is_some());
+    for threads in [1usize, 2, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        let outcome = pool.install(|| SimulationEngine.run(&model, scenario, &budget));
+        assert_eq!(
+            outcome.simulation, reference.simulation,
+            "simulation engine diverged at {threads} threads"
+        );
+        assert_eq!(outcome.report, reference.report);
+    }
+}
+
+/// The fifth engine against the first: on a small Raft grid the simulated
+/// safe-and-live frequency must agree with the exact counting engine within 3σ
+/// of its binomial standard error at a fixed seed. (The simulated *system* could
+/// legitimately diverge from the *model* — that disagreement is exactly what the
+/// validation mode exists to surface — so this pins that it does not.)
+#[test]
+fn simulated_frequencies_agree_with_the_counting_engine() {
+    use prob_consensus::engine::SimBudget;
+    use prob_consensus::simulation::SimulationEngine;
+    let budget = Budget::default().with_seed(GRID_SEED).with_sim(SimBudget {
+        trials: 60,
+        horizon_millis: 2_000,
+        fault_window_millis: 100,
+        commands: 2,
+    });
+    for n in [3usize, 5] {
+        for p in [0.1, 0.25] {
+            let model = RaftModel::standard(n);
+            let deployment = Deployment::uniform_crash(n, p);
+            let scenario = Scenario::Independent(&deployment);
+            let exact = CountingEngine
+                .run(&model, scenario, &budget)
+                .report
+                .safe_and_live
+                .probability();
+            let simulated = SimulationEngine
+                .run(&model, scenario, &budget)
+                .simulation
+                .expect("simulation report attached");
+            let se = (exact * (1.0 - exact) / simulated.trials as f64)
+                .sqrt()
+                .max(1e-9);
+            let empirical = simulated.safe_and_live.value;
+            assert!(
+                (empirical - exact).abs() <= 3.0 * se,
+                "Raft N={n} p={p}: exact {exact:.4} vs simulated {empirical:.4} \
+                 (3σ = {:.4})",
+                3.0 * se
+            );
+            // Crash faults never break Raft agreement, analytically or empirically.
+            assert_eq!(simulated.safe.value, 1.0);
+        }
+    }
+}
+
 #[test]
 fn auto_selection_is_consistent_with_explicit_engines() {
     // For a counting model, analyze_auto must reproduce the counting engine bit for bit.

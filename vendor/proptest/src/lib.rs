@@ -133,7 +133,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Vector lengths accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Vector lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;

@@ -10,7 +10,7 @@
 //!
 //! `map` is an *eager parallel* step: the input items are split into chunk tasks, the
 //! tasks are executed by a **lazily-initialized persistent worker pool** (see
-//! [`pool`]), and the outputs are reassembled in input order. Downstream `reduce` /
+//! `pool` module), and the outputs are reassembled in input order. Downstream `reduce` /
 //! `sum` / `collect` then run sequentially over the already-computed values. That
 //! preserves rayon's observable semantics for the deterministic workloads in this
 //! repository (order-preserving `collect`, order-independent `reduce`) while keeping
