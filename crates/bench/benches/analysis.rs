@@ -11,7 +11,7 @@ use prob_consensus::deployment::Deployment;
 use prob_consensus::engine::{AnalysisEngine, Budget, Scenario};
 use prob_consensus::montecarlo::{
     monte_carlo_independent, monte_carlo_independent_par, monte_carlo_reliability_par_kernel,
-    McKernel,
+    monte_carlo_reliability_par_kernel_lanes, McKernel,
 };
 use prob_consensus::pbft_model::PbftModel;
 use prob_consensus::raft_model::RaftModel;
@@ -135,6 +135,33 @@ fn bench_packed_vs_scalar(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_packed_width(c: &mut Criterion) {
+    // The packed kernel at pinned pass widths: 1, 4 and 8 u64 words (64, 256 and
+    // 512 lanes per pass) on the raft-9 workload. Wider passes amortize per-pass
+    // RNG and plan-walk overhead across more lanes and unlock the SIMD popcount
+    // reduction; the W=8 row is the production configuration behind the absolute
+    // `packed_samples_per_sec` baseline in BENCH_analysis.json.
+    let mut group = c.benchmark_group("packed-width");
+    let (model, deployment) = bench::mc_speedup_workload();
+    let scenario =
+        fault_model::correlation::CorrelationModel::independent(deployment.profiles().to_vec());
+    for (id, lane_words) in bench::PACKED_WIDTH_IDS {
+        group.bench_function(id.trim_start_matches("packed-width/"), |b| {
+            b.iter(|| {
+                monte_carlo_reliability_par_kernel_lanes(
+                    &model,
+                    &scenario,
+                    bench::MC_SPEEDUP_SAMPLES,
+                    bench::MC_SPEEDUP_SEED,
+                    McKernel::Packed,
+                    lane_words,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_rare_event(c: &mut Criterion) {
     // The p ≈ 1e-8 workload (16 nodes, 4-node persistence quorum at p_u = 1%).
     // Importance sampling vs. naive Monte Carlo *at the same sample count*: the
@@ -190,6 +217,18 @@ fn bench_sweep(c: &mut Criterion) {
     });
     group.bench_function(bench::SWEEP_PLANNED_ID.trim_start_matches("sweep/"), |b| {
         b.iter(bench::sweep_planned_batch)
+    });
+    // The mixed-workload pair: exact counting cells interleaved with packed Monte
+    // Carlo cells, run through the work-stealing scheduler as one cost-ordered
+    // DAG vs. the cell-at-a-time front-door loop. `repro --bench` records the
+    // batch wall clock as `sweep_wall_clock_ms` and the ratio as
+    // `sweep_mixed_speedup` in BENCH_analysis.json.
+    group.bench_function(
+        bench::SWEEP_MIXED_NAIVE_ID.trim_start_matches("sweep/"),
+        |b| b.iter(bench::sweep_mixed_naive_loop),
+    );
+    group.bench_function(bench::SWEEP_MIXED_ID.trim_start_matches("sweep/"), |b| {
+        b.iter(bench::sweep_mixed_batch)
     });
     group.finish();
 }
@@ -248,6 +287,7 @@ criterion_group!(
     bench_engines,
     bench_monte_carlo,
     bench_packed_vs_scalar,
+    bench_packed_width,
     bench_rare_event,
     bench_sweep,
     bench_auto_selection,

@@ -876,6 +876,78 @@ pub fn sweep_naive_loop() -> Vec<AnalysisOutcome> {
         .collect()
 }
 
+/// Benchmark id of the mixed-workload sweep: exact counting cells and packed
+/// Monte Carlo cells in one plan, executed through the work-stealing scheduler
+/// ([`prob_consensus::query::QueryPlan::execute`]). `repro --bench` records its
+/// wall clock as `sweep_wall_clock_ms` in `BENCH_analysis.json`.
+pub const SWEEP_MIXED_ID: &str = "sweep/mixed-workload";
+/// Benchmark id of the cell-at-a-time front-door loop over the same mixed grid;
+/// the [`SWEEP_MIXED_ID`] / naive ratio is recorded as `sweep_mixed_speedup`.
+pub const SWEEP_MIXED_NAIVE_ID: &str = "sweep/mixed-naive-per-cell";
+
+/// The mixed sweep query: the independent correlation axis lands on the exact
+/// counting engine, the cluster-shock axis on the packed Monte Carlo kernel — the
+/// sweep shape the scheduler's cost-ordered decomposition exists for (exact long
+/// poles interleaved with individually stealable sample chunks).
+pub fn sweep_mixed_query() -> Query {
+    Query::new()
+        .protocols([ProtocolSpec::Raft])
+        .nodes([SWEEP_NODES])
+        .fault_probs([SWEEP_P])
+        .correlations([
+            CorrelationSpec::Independent,
+            CorrelationSpec::ClusterShock {
+                probability: SWEEP_SHOCK,
+            },
+        ])
+        .samples_sweep(SWEEP_SAMPLE_AXIS)
+        .budget(Budget::default().with_seed(SWEEP_SEED))
+}
+
+/// One scheduled run of the mixed sweep, on a fresh session.
+pub fn sweep_mixed_batch() -> AnalysisReport {
+    AnalysisSession::new()
+        .run(&sweep_mixed_query())
+        .expect("well-formed mixed sweep query")
+}
+
+/// The cell-at-a-time reference over the same mixed grid, in the plan's cell
+/// order (correlation variants outer, sample budgets inner).
+pub fn sweep_mixed_naive_loop() -> Vec<AnalysisOutcome> {
+    let model = RaftModel::standard(SWEEP_NODES);
+    let deployment = Deployment::uniform_crash(SWEEP_NODES, SWEEP_P);
+    let failure_model = sweep_failure_model();
+    let mut out = Vec::with_capacity(2 * SWEEP_SAMPLE_AXIS.len());
+    for &samples in &SWEEP_SAMPLE_AXIS {
+        let budget = Budget::default()
+            .with_seed(SWEEP_SEED)
+            .with_samples(samples);
+        out.push(analyze_auto(&model, &deployment, &budget));
+    }
+    for &samples in &SWEEP_SAMPLE_AXIS {
+        let budget = Budget::default()
+            .with_seed(SWEEP_SEED)
+            .with_samples(samples);
+        out.push(
+            analyze_scenario(&model, Scenario::Correlated(&failure_model), &budget)
+                .expect("well-formed mixed sweep cell"),
+        );
+    }
+    out
+}
+
+/// Benchmark ids of the packed kernel at pinned pass widths — 1, 4 and 8 `u64`
+/// words (64, 256 and 512 lanes per pass) — on the [`mc_speedup_workload`]. The
+/// width-8 row is the production configuration ([`PACKED_WIDTH_PRODUCTION_ID`])
+/// behind the absolute `packed_samples_per_sec` baseline in `BENCH_analysis.json`.
+pub const PACKED_WIDTH_IDS: [(&str, usize); 3] = [
+    ("packed-width/w1", 1),
+    ("packed-width/w4", 4),
+    ("packed-width/w8", 8),
+];
+/// See [`PACKED_WIDTH_IDS`].
+pub const PACKED_WIDTH_PRODUCTION_ID: &str = "packed-width/w8";
+
 /// Measures the sequential-scalar vs. parallel-engine speedup on the raft-9
 /// workload at a reduced sample count — the quick version of the
 /// [`MC_SEQUENTIAL_ID`] / [`MC_PARALLEL_ID`] ratio, cheap enough for a CI test.
@@ -943,6 +1015,23 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
         monte_carlo_independent_par(&m_mc, &d_mc, MC_SPEEDUP_SAMPLES, MC_SPEEDUP_SEED)
     }));
 
+    // The packed kernel at pinned pass widths (same workload and seed as the
+    // parallel row; reports are bit-identical at every width). The width-8 row is
+    // the production configuration behind the absolute `packed_samples_per_sec`
+    // baseline.
+    for (id, lane_words) in PACKED_WIDTH_IDS {
+        out.push(time_one(id, budget_ms, || {
+            prob_consensus::montecarlo::monte_carlo_reliability_par_kernel_lanes(
+                &m_mc,
+                &fm_mc,
+                MC_SPEEDUP_SAMPLES,
+                MC_SPEEDUP_SEED,
+                McKernel::Packed,
+                lane_words,
+            )
+        }));
+    }
+
     // The rare-event pair: tilted vs. naive sampling at the same sample count. The
     // wall-clock ratio is the *overhead* of weighting (adaptive pilot included); the
     // ≥100x win is in samples needed, tracked by `rare_event_sample_efficiency`.
@@ -965,6 +1054,16 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
     // naive per-cell. Their ratio is `sweep_amortization_speedup`.
     out.push(time_one(SWEEP_NAIVE_ID, budget_ms, sweep_naive_loop));
     out.push(time_one(SWEEP_PLANNED_ID, budget_ms, sweep_planned_batch));
+
+    // The mixed-workload pair: exact counting cells and packed Monte Carlo cells
+    // in one grid, scheduled batch vs. cell-at-a-time loop. The batch row is the
+    // `sweep_wall_clock_ms` baseline; the ratio is `sweep_mixed_speedup`.
+    out.push(time_one(
+        SWEEP_MIXED_NAIVE_ID,
+        budget_ms,
+        sweep_mixed_naive_loop,
+    ));
+    out.push(time_one(SWEEP_MIXED_ID, budget_ms, sweep_mixed_batch));
 
     // The simulation engine's trace throughput (per-batch wall clock over
     // SIM_THROUGHPUT_TRIALS traces → `sim_traces_per_sec`).
@@ -1000,6 +1099,17 @@ pub fn benchmarks_to_json(measurements: &[BenchMeasurement], rare_event_efficien
             scalar_par.mean_ns / par.mean_ns
         ));
     }
+    if let Some(packed8) = measurements
+        .iter()
+        .find(|m| m.id == PACKED_WIDTH_PRODUCTION_ID)
+    {
+        // Absolute throughput of the production packed configuration (8-word
+        // passes, SIMD compare where the host supports it).
+        json.push_str(&format!(
+            "  \"packed_samples_per_sec\": {:.3e},\n",
+            MC_SPEEDUP_SAMPLES as f64 * 1e9 / packed8.mean_ns
+        ));
+    }
     json.push_str(&format!(
         "  \"rare_event_sample_efficiency\": {rare_event_efficiency:.1},\n"
     ));
@@ -1026,6 +1136,23 @@ pub fn benchmarks_to_json(measurements: &[BenchMeasurement], rare_event_efficien
         json.push_str(&format!(
             "  \"sweep_cells\": {},\n",
             SWEEP_SAMPLE_AXIS.len()
+        ));
+    }
+    if let (Some(naive), Some(mixed)) = (
+        measurements.iter().find(|m| m.id == SWEEP_MIXED_NAIVE_ID),
+        measurements.iter().find(|m| m.id == SWEEP_MIXED_ID),
+    ) {
+        // The mixed exact + Monte Carlo sweep through the work-stealing
+        // scheduler: absolute wall clock per batch, and the speedup over running
+        // the same cells one at a time (same machine, same run, so the ratio
+        // stays meaningful wherever the baseline is regenerated).
+        json.push_str(&format!(
+            "  \"sweep_wall_clock_ms\": {:.3},\n",
+            mixed.mean_ns / 1e6
+        ));
+        json.push_str(&format!(
+            "  \"sweep_mixed_speedup\": {:.3},\n",
+            naive.mean_ns / mixed.mean_ns
         ));
     }
     json.push_str("  \"benchmarks\": [\n");
@@ -1247,6 +1374,44 @@ mod tests {
         });
     }
 
+    /// The scalar kernel across the pool vs. on one thread — the chunked
+    /// scheduling must buy a real speedup once the pool has workers to steal with
+    /// (≥ 2x floor at 4+ workers, best of three probes). On the 1- and 2-core
+    /// runners a pool cannot double a single thread, so only the
+    /// no-pathological-overhead floor (0.9) applies there; the committed
+    /// `BENCH_analysis.json` row records the measured ratio either way. Release
+    /// builds only, like the other wall-clock ratio tests.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn scalar_parallel_kernel_scales_with_the_pool() {
+        let threads = rayon::current_num_threads();
+        let floor = if threads >= 4 { 2.0 } else { 0.9 };
+        let (model, deployment) = mc_speedup_workload();
+        let fm = CorrelationModel::independent(deployment.profiles().to_vec());
+        let samples = 40_000;
+        assert_timing_ratio(floor, "scalar kernel: parallel vs sequential", || {
+            let seq = super::time_one("scalar-seq-probe", 40, || {
+                let mut rng = StdRng::seed_from_u64(MC_SPEEDUP_SEED);
+                prob_consensus::montecarlo::monte_carlo_independent(
+                    &model,
+                    &deployment,
+                    samples,
+                    &mut rng,
+                )
+            });
+            let par = super::time_one("scalar-par-probe", 40, || {
+                prob_consensus::montecarlo::monte_carlo_reliability_par_kernel(
+                    &model,
+                    &fm,
+                    samples,
+                    MC_SPEEDUP_SEED,
+                    McKernel::Scalar,
+                )
+            });
+            seq.mean_ns / par.mean_ns
+        });
+    }
+
     /// The sweep contract: the planned batch must produce bit-identical outcomes
     /// to the naive per-cell loop (the amortization is free of behavioural drift),
     /// and every cell of this workload must actually land on the packed kernel —
@@ -1261,6 +1426,24 @@ mod tests {
             assert_eq!(cell.engine, EngineChoice::MonteCarlo);
             assert_eq!(cell.kernel(), Some(McKernel::Packed));
         }
+    }
+
+    /// Same contract for the mixed workload the work-stealing scheduler targets:
+    /// exact counting cells and packed Monte Carlo cells in one plan must come
+    /// out bit-identical to the cell-at-a-time front-door loop, and the grid must
+    /// actually be mixed (both engines present) or the benchmark measures the
+    /// wrong thing.
+    #[test]
+    fn mixed_sweep_batch_is_bit_identical_to_the_naive_loop() {
+        let batch = sweep_mixed_batch();
+        let naive = sweep_mixed_naive_loop();
+        assert_eq!(batch.cells().len(), naive.len());
+        for (cell, expected) in batch.cells().iter().zip(&naive) {
+            assert_eq!(&cell.outcome, expected, "{} diverged", cell.label);
+        }
+        let engines: Vec<EngineChoice> = batch.cells().iter().map(|c| c.engine).collect();
+        assert!(engines.contains(&EngineChoice::Counting));
+        assert!(engines.contains(&EngineChoice::MonteCarlo));
     }
 
     /// The planned batch must amortize per-cell setup (selector pilot, scenario
@@ -1319,6 +1502,40 @@ mod tests {
         assert!(
             sweep_speedup >= 1.3,
             "committed baseline's planned sweep only {sweep_speedup:.2}x the naive loop"
+        );
+        // The multi-word packed kernel's absolute throughput at the production
+        // width (W=8, 512 lanes/pass). The floor is 4x the single-word kernel's
+        // original 1.67e8 samples/sec: regenerating the baseline on a machine
+        // where the wide kernel cannot clear that bar is a regression.
+        let packed_rate = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"packed_samples_per_sec\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records packed_samples_per_sec");
+        assert!(
+            packed_rate >= 6.68e8,
+            "committed baseline's W=8 packed kernel only {packed_rate:.3e} samples/sec (floor 6.68e8)"
+        );
+        // The mixed exact + Monte Carlo sweep through the work-stealing
+        // scheduler: wall clock is tracked, and the batch must not be slower
+        // than running the same cells one at a time.
+        let sweep_wall_ms = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"sweep_wall_clock_ms\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records sweep_wall_clock_ms");
+        assert!(
+            sweep_wall_ms > 0.0,
+            "mixed sweep wall clock must be positive, got {sweep_wall_ms}"
+        );
+        let mixed_speedup = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"sweep_mixed_speedup\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records sweep_mixed_speedup");
+        assert!(
+            mixed_speedup >= 1.0,
+            "committed baseline's scheduled mixed sweep is slower than per-cell: {mixed_speedup:.2}x"
         );
         // The simulation engine's throughput row: traces/sec must be recorded and
         // positive (absolute floors would be hardware-dependent; the number is

@@ -32,7 +32,7 @@ use crate::analyzer::ReliabilityReport;
 use crate::counting::counting_reliability;
 use crate::deployment::Deployment;
 use crate::enumeration::enumerate_reliability;
-use crate::montecarlo::{monte_carlo_reliability_par_kernel, McKernel, MonteCarloReport};
+use crate::montecarlo::{monte_carlo_reliability_par_kernel_lanes, McKernel, MonteCarloReport};
 use crate::protocol::ProtocolModel;
 use crate::rare_event::RareEventReport;
 use crate::simulation::SimulationReport;
@@ -199,6 +199,13 @@ pub struct Budget {
     /// and `Packed` force a kernel (for benchmarks and cross-kernel agreement
     /// tests).
     pub mc_kernel: McKernel,
+    /// Pass width of the packed kernel, in 64-lane `u64` words (`1..=`
+    /// [`MAX_LANE_WORDS`](crate::packed::MAX_LANE_WORDS)): how many bit-sliced
+    /// blocks one pass runs in lockstep. Results are bit-identical at every width —
+    /// each block draws its own lane stream (see [`crate::packed`]) — so this is
+    /// purely a throughput knob, defaulted to the fastest width and exposed for the
+    /// `packed-width` benchmarks and cross-width agreement tests.
+    pub mc_lane_words: usize,
     /// How much work the discrete-event simulation engine
     /// ([`crate::simulation::SimulationEngine`]) spends when it runs: trial count,
     /// virtual-time horizon, and client workload per trial.
@@ -258,6 +265,7 @@ impl Default for Budget {
             min_effective_samples: 64.0,
             rare_event_threshold: 1e-6,
             mc_kernel: McKernel::Auto,
+            mc_lane_words: crate::packed::DEFAULT_LANE_WORDS,
             sim: SimBudget::default(),
         }
     }
@@ -317,6 +325,19 @@ impl Budget {
     /// restores the default packed-when-counting selection).
     pub fn with_mc_kernel(mut self, kernel: McKernel) -> Self {
         self.mc_kernel = kernel;
+        self
+    }
+
+    /// A budget pinning the packed kernel's pass width to `lane_words` 64-lane
+    /// blocks (`1..=`[`MAX_LANE_WORDS`](crate::packed::MAX_LANE_WORDS)). Results
+    /// are bit-identical at every width; only throughput changes.
+    pub fn with_mc_lane_words(mut self, lane_words: usize) -> Self {
+        assert!(
+            (1..=crate::packed::MAX_LANE_WORDS).contains(&lane_words),
+            "lane_words must be in 1..={}, got {lane_words}",
+            crate::packed::MAX_LANE_WORDS
+        );
+        self.mc_lane_words = lane_words;
         self
     }
 
@@ -384,7 +405,9 @@ impl Budget {
     /// * `rare_event_tilt` must be finite and either `0` (adaptive) or `≥ 1`;
     /// * `min_effective_samples` must be a positive finite number (zero would turn
     ///   the ESS floor into a no-op);
-    /// * `rare_event_threshold` must lie strictly inside `(0, 1)`.
+    /// * `rare_event_threshold` must lie strictly inside `(0, 1)`;
+    /// * `mc_lane_words` must be in `1..=`[`MAX_LANE_WORDS`](crate::packed::MAX_LANE_WORDS)
+    ///   (zero would be a pass that samples nothing).
     pub fn validate(&self) -> Result<(), InvalidBudget> {
         let tilt = self.rare_event_tilt;
         if !tilt.is_finite() || !(tilt == 0.0 || tilt >= 1.0) {
@@ -407,6 +430,9 @@ impl Budget {
                 horizon_millis: self.sim.horizon_millis,
             });
         }
+        if !(1..=crate::packed::MAX_LANE_WORDS).contains(&self.mc_lane_words) {
+            return Err(InvalidBudget::McLaneWords(self.mc_lane_words));
+        }
         Ok(())
     }
 }
@@ -424,6 +450,10 @@ pub enum InvalidBudget {
     /// The simulation budget's virtual-time horizon is zero — a zero-length trial
     /// delivers no messages and fires no timers, so its verdicts are vacuous.
     SimHorizon,
+    /// `mc_lane_words` is outside `1..=`[`MAX_LANE_WORDS`](crate::packed::MAX_LANE_WORDS):
+    /// zero-width passes sample nothing, and the packed kernel's stack scratch is
+    /// sized by the maximum.
+    McLaneWords(usize),
     /// The simulation budget's fault window extends past its horizon: faults
     /// scheduled beyond the end of a trial are silently never applied, which
     /// would bias every empirical rate (and cross-validation z-score) upward.
@@ -453,6 +483,11 @@ impl std::fmt::Display for InvalidBudget {
             InvalidBudget::SimHorizon => {
                 write!(f, "sim.horizon_millis must be positive")
             }
+            InvalidBudget::McLaneWords(v) => write!(
+                f,
+                "mc_lane_words must be in 1..={}, got {v}",
+                crate::packed::MAX_LANE_WORDS
+            ),
             InvalidBudget::SimFaultWindow {
                 window_millis,
                 horizon_millis,
@@ -674,12 +709,13 @@ impl AnalysisEngine for MonteCarloEngine {
                 &owned
             }
         };
-        let mc = monte_carlo_reliability_par_kernel(
+        let mc = monte_carlo_reliability_par_kernel_lanes(
             model,
             failure_model,
             budget.monte_carlo_samples,
             budget.seed,
             budget.mc_kernel,
+            budget.mc_lane_words,
         );
         AnalysisOutcome {
             report: ReliabilityReport::from_raw(crate::enumeration::RawReliability {

@@ -146,7 +146,7 @@ pub struct MonteCarloReport {
 /// Per-chunk hit counters. Integer sums are exact and order-independent, which is what
 /// makes the parallel reduction deterministic regardless of scheduling. Shared with
 /// the bit-sliced kernel in [`crate::packed`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct HitCounts {
     pub(crate) safe: usize,
     pub(crate) live: usize,
@@ -168,19 +168,62 @@ impl std::ops::Add for HitCounts {
 /// Draws `count` configurations from `failure_model` with `rng` and tallies hits.
 ///
 /// Allocation-free inner loop: one scratch [`FailureConfig`] is allocated per chunk
-/// and refilled in place by [`CorrelationModel::sample_into`] for every draw.
-fn sample_chunk<M: ProtocolModel + ?Sized>(
+/// and refilled in place by [`CorrelationModel::sample_into`] for every draw. For
+/// [`CountingModel`](crate::protocol::CountingModel)s the per-draw predicate calls
+/// collapse to one fault-count scan and three table lookups (see
+/// [`counting_sample_chunk`]).
+pub(crate) fn sample_chunk<M: ProtocolModel + ?Sized>(
     model: &M,
     failure_model: &CorrelationModel,
     count: usize,
     rng: &mut impl Rng,
 ) -> HitCounts {
+    if let Some(counting) = model.as_counting() {
+        return counting_sample_chunk(counting, failure_model, count, rng);
+    }
     let mut hits = HitCounts::default();
     let mut scratch = FailureConfig::all_correct(failure_model.len());
     for _ in 0..count {
         failure_model.sample_into(scratch.states_mut(), rng);
         let safe = model.is_safe(&scratch);
         let live = model.is_live(&scratch);
+        if safe {
+            hits.safe += 1;
+        }
+        if live {
+            hits.live += 1;
+        }
+        if safe && live {
+            hits.both += 1;
+        }
+    }
+    hits
+}
+
+/// [`sample_chunk`] for counting models: one scan of the sampled states collapses
+/// to a `(crashed, byzantine)` pair and three count predicates, instead of the two
+/// full state-vector scans (`is_safe`, `is_live`) the generic path pays per draw.
+/// Bit-identical to the generic path by the [`CountingModel`](crate::protocol::CountingModel)
+/// contract — the RNG stream and the predicate values are unchanged.
+fn counting_sample_chunk(
+    model: &dyn crate::protocol::CountingModel,
+    failure_model: &CorrelationModel,
+    count: usize,
+    rng: &mut impl Rng,
+) -> HitCounts {
+    use fault_model::mode::NodeState;
+    let mut hits = HitCounts::default();
+    let mut scratch = FailureConfig::all_correct(failure_model.len());
+    for _ in 0..count {
+        failure_model.sample_into(scratch.states_mut(), rng);
+        let mut crashed = 0usize;
+        let mut byzantine = 0usize;
+        for &state in scratch.states() {
+            crashed += usize::from(state == NodeState::Crashed);
+            byzantine += usize::from(state == NodeState::Byzantine);
+        }
+        let safe = model.is_safe_counts(crashed, byzantine);
+        let live = model.is_live_counts(crashed, byzantine);
         if safe {
             hits.safe += 1;
         }
@@ -243,13 +286,43 @@ pub fn monte_carlo_reliability<M: ProtocolModel + ?Sized, R: Rng + ?Sized>(
 /// 200k-sample run.
 pub const MC_CHUNK_SIZE: usize = 4096;
 
-/// Derives the RNG seed of chunk `index` within a run seeded with `seed` (SplitMix64
-/// finalizer over the pair, so neighbouring chunks get decorrelated streams).
-pub(crate) fn chunk_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// The SplitMix64 finalizer (Steele et al., OOPSLA '14): a bijective avalanche mix,
+/// shared by [`chunk_seed`] and the packed kernel's position-addressed draws
+/// ([`crate::packed`]).
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Derives the RNG seed of chunk `index` within a run seeded with `seed` (SplitMix64
+/// finalizer over the pair, so neighbouring chunks get decorrelated streams).
+pub(crate) fn chunk_seed(seed: u64, index: u64) -> u64 {
+    mix64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Number of [`MC_CHUNK_SIZE`]-sized work units a sample budget splits into (a zero
+/// budget saturates to one sample first). The single source of the chunk layout,
+/// shared by [`map_sample_chunks`] and the sweep scheduler
+/// ([`crate::query`]), which decomposes Monte Carlo cells into exactly these chunks —
+/// identical layout is what keeps the scheduled merge bit-identical to a whole-cell
+/// run.
+pub(crate) fn chunk_count(samples: usize) -> usize {
+    samples.max(1).div_ceil(MC_CHUNK_SIZE)
+}
+
+/// Sample count of chunk `index` within a budget of `samples`: every chunk is
+/// [`MC_CHUNK_SIZE`] except a ragged last one.
+pub(crate) fn chunk_len(samples: usize, index: usize) -> usize {
+    let samples = samples.max(1);
+    let chunks = samples.div_ceil(MC_CHUNK_SIZE);
+    debug_assert!(index < chunks);
+    if index == chunks - 1 {
+        samples - index * MC_CHUNK_SIZE
+    } else {
+        MC_CHUNK_SIZE
+    }
 }
 
 /// The shared chunked-sampling scaffolding behind the plain and tilted
@@ -266,18 +339,12 @@ where
     T: Send,
     F: Fn(&mut StdRng, usize) -> T + Sync,
 {
-    let samples = samples.max(1);
-    let chunks = samples.div_ceil(MC_CHUNK_SIZE);
+    let chunks = chunk_count(samples);
     (0..chunks)
         .into_par_iter()
         .map(|index| {
             let mut rng = StdRng::seed_from_u64(chunk_seed(seed, index as u64));
-            let count = if index == chunks - 1 {
-                samples - index * MC_CHUNK_SIZE
-            } else {
-                MC_CHUNK_SIZE
-            };
-            per_chunk(&mut rng, count)
+            per_chunk(&mut rng, chunk_len(samples, index))
         })
         .collect()
 }
@@ -326,6 +393,27 @@ pub fn monte_carlo_reliability_par_kernel<M: ProtocolModel + ?Sized>(
     seed: u64,
     kernel: McKernel,
 ) -> MonteCarloReport {
+    monte_carlo_reliability_par_kernel_lanes(
+        model,
+        failure_model,
+        samples,
+        seed,
+        kernel,
+        crate::packed::DEFAULT_LANE_WORDS,
+    )
+}
+
+/// [`monte_carlo_reliability_par_kernel`] with an explicit packed pass width
+/// ([`Budget::mc_lane_words`](crate::engine::Budget)); the width is ignored by the
+/// scalar kernel and never changes a packed result, only its throughput.
+pub fn monte_carlo_reliability_par_kernel_lanes<M: ProtocolModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    seed: u64,
+    kernel: McKernel,
+    lane_words: usize,
+) -> MonteCarloReport {
     assert_eq!(
         model.num_nodes(),
         failure_model.len(),
@@ -333,11 +421,12 @@ pub fn monte_carlo_reliability_par_kernel<M: ProtocolModel + ?Sized>(
     );
     if kernel != McKernel::Scalar {
         if let Some(counting) = model.as_counting() {
-            return crate::packed::monte_carlo_reliability_packed_par(
+            return crate::packed::monte_carlo_reliability_packed_par_lanes(
                 counting,
                 failure_model,
                 samples,
                 seed,
+                lane_words,
             );
         }
     }

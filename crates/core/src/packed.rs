@@ -1,4 +1,4 @@
-//! Bit-sliced Monte Carlo kernel: 64 scenarios per pass.
+//! Bit-sliced Monte Carlo kernel: up to 512 scenarios per pass.
 //!
 //! The scalar sampler evaluates one failure configuration at a time: draw a state per
 //! node, then ask the protocol model about the resulting configuration. For
@@ -7,7 +7,7 @@
 //! the lanes of `u64` words, so one word of per-node state answers "is node `i`
 //! crashed?" for 64 scenarios simultaneously.
 //!
-//! # Lane masks from the RNG stream
+//! # Lane masks from position-addressed randomness
 //!
 //! Node `i`'s two thresholds (`P[Byzantine]`, `P[any fault]`) are converted once to
 //! fixed point on the 64-bit uniform lattice (`t = p · 2⁶⁴`). A scenario's uniform
@@ -15,11 +15,48 @@
 //! `k` of all 64 lanes' `u` at once, and a lexicographic comparison from the most
 //! significant bit maintains, per threshold, a "still equal" lane mask and a
 //! "decided less" lane mask. Each random word halves the undecided lanes in
-//! expectation, so ~7–8 words decide all 64 lanes — an ~8× reduction in RNG traffic
-//! over scalar sampling on top of the vectorized compare. Correlation-group shocks
-//! draw one fired-lane mask per group and are OR-ed over the member masks
-//! (Byzantine shocks override crash lanes; Byzantine outcomes are never downgraded,
-//! mirroring [`CorrelationModel::sample_into`]).
+//! expectation, so ~8 words decide all 64 lanes — an ~8× reduction in RNG traffic
+//! over scalar sampling on top of the vectorized compare.
+//!
+//! The random words are *position-addressed* (a counter-based generator, like
+//! Salmon et al.'s Philox/Threefry family): the word feeding bit `k` of draw row
+//! `row` in 64-lane block `b` is
+//!
+//! ```text
+//! word(b, row, k) = mix64(block_seed(b) ^ pos[row][63 − k])
+//! ```
+//!
+//! where `mix64` is the SplitMix64 finalizer and `pos` is a per-kernel table of
+//! precomputed position keys (one row per node, then one per correlation group).
+//! There is no generator state to advance, so a word's value depends only on *where*
+//! it is used, never on how many words anything else consumed — the property all the
+//! determinism and SIMD guarantees below fall out of. Correlation-group shocks are
+//! one more single-threshold row each: their fired-lane mask is OR-ed over the
+//! member masks (Byzantine shocks override crash lanes; Byzantine outcomes are never
+//! downgraded, mirroring [`CorrelationModel::sample_into`]).
+//!
+//! # Multi-word passes
+//!
+//! A pass processes up to [`MAX_LANE_WORDS`] 64-lane *blocks* at once (512 scenarios
+//! at the default width, [`Budget::mc_lane_words`](crate::engine::Budget)). The
+//! lexicographic compare runs over all blocks of a pass in lockstep — the
+//! threshold-bit selectors are hoisted out of the per-word loop and the per-block
+//! update is branchless (`sel = 0 − bit` turns the two threshold cases into mask
+//! arithmetic) — so the serial `eq`-mask dependency chains of independent blocks
+//! pipeline across each other instead of stalling one at a time, and a node's
+//! threshold state is loaded once per pass instead of once per word. Lane masks are
+//! laid out node-major (`mask[node][block]`), keeping one pass's working set —
+//! `2 · n · W` words plus the vertical counters — inside L1 for every deployment
+//! this repository analyzes. Sample counts not divisible by `64 · W` take a ragged
+//! tail: a final short pass (fewer blocks) whose last block masks surplus lanes out
+//! of the tallies.
+//!
+//! On x86-64 hosts with AVX-512 (runtime-detected), width-8 passes take a SIMD fast
+//! path: the 8 blocks of a pass are exactly one 512-bit vector, the compare loop
+//! interleaves two nodes to hide the multiply latency of `mix64`, and the vertical
+//! counters are rippled vector-wide. Because every random word is a pure function of
+//! its position, the SIMD path computes *the same words* as the portable path and
+//! its reports are bit-identical — `packed::tests` asserts this on AVX-512 hosts.
 //!
 //! # Counting and thresholds
 //!
@@ -29,43 +66,67 @@
 //! deployments whose predicates are monotone in the fault count (every `standard`
 //! Raft/PBFT configuration), the three guarantees reduce to `count ≤ T` checks,
 //! evaluated for all 64 lanes at once by a bitwise lexicographic comparison over the
-//! planes and tallied with a popcount. Everything else (mixed crash/Byzantine
-//! deployments, non-monotone counting predicates) falls back to a per-lane count
-//! extraction and a precomputed `(crashed, byzantine) → {safe, live, both}` lookup
-//! table — still far cheaper than the scalar path, which re-scans the whole state
-//! vector per scenario.
+//! planes and tallied with a popcount (predicates that coincide — Raft's liveness
+//! and joint guarantee, say — are compared once and shared). Everything else (mixed
+//! crash/Byzantine deployments, non-monotone counting predicates) falls back to a
+//! per-lane count extraction and a precomputed `(crashed, byzantine) → {safe, live,
+//! both}` lookup table — still far cheaper than the scalar path, which re-scans the
+//! whole state vector per scenario.
 //!
 //! # Determinism
 //!
 //! The kernel runs under the same chunked `(seed, chunk index)` scheme as the scalar
 //! engine ([`crate::montecarlo::MC_CHUNK_SIZE`]), so a fixed seed is bit-identical at
-//! any thread count. The packed RNG *stream* differs from the scalar stream by
-//! construction (bitwise lattice draws instead of per-scenario `f64` draws), so
-//! packed and scalar runs agree statistically — within confidence intervals — not
-//! bit-for-bit; `tests/engine_agreement.rs` pins both properties.
+//! any thread count. Within a chunk, the chunk's `StdRng` contributes exactly one
+//! base word, and the 64-lane block with in-chunk index `b` draws its words from
+//! `block_seed(b) = chunk_seed(base, b)` at the positions described above. A block's
+//! masks therefore depend only on `(base, b)` — never on the pass width grouping the
+//! blocks, the order anything was computed in, or how many words another block
+//! needed — which makes the report bit-identical for **any** lane width `W`, any
+//! thread count, and either the portable or the SIMD compare. (Early exit is sound
+//! for the same reason: once a block's `eq` mask is zero its outputs are fixed, so
+//! processing further bit positions for the *pass* is a no-op for that block.) The
+//! packed RNG *stream* differs from the scalar stream by construction (positional
+//! lattice draws instead of per-scenario `f64` draws), so packed and scalar runs
+//! agree statistically — within confidence intervals — not bit-for-bit;
+//! `tests/engine_agreement.rs` pins all three properties.
 
 use fault_model::correlation::CorrelationModel;
 use fault_model::mode::NodeState;
 use rand::RngCore;
 
 use crate::montecarlo::{
-    map_sample_chunks, report_from_counts, HitCounts, McKernel, MonteCarloReport,
+    chunk_seed, map_sample_chunks, mix64, report_from_counts, HitCounts, McKernel, MonteCarloReport,
 };
 use crate::protocol::CountingModel;
+
+#[cfg(target_arch = "x86_64")]
+#[path = "packed_simd.rs"]
+mod simd;
 
 /// Maximum bit planes a vertical counter carries: counts up to 2¹⁶ − 1 nodes, far
 /// beyond any deployment this repository analyzes.
 const MAX_PLANES: usize = 16;
 
+/// Maximum number of 64-lane `u64` blocks a pass processes at once (512 scenarios).
+/// The pass scratch is stack-sized by this constant; the effective width is the
+/// [`Budget::mc_lane_words`](crate::engine::Budget) knob, clamped to `1..=8`.
+pub const MAX_LANE_WORDS: usize = 8;
+
+/// Default pass width: results are bit-identical at every width (see the module
+/// docs), so the default is simply the fastest one — eight blocks, which is also the
+/// width the AVX-512 fast path engages at (one pass is one 512-bit vector).
+pub const DEFAULT_LANE_WORDS: usize = 8;
+
 /// A probability as an inclusive-exclusive bound on the 64-bit uniform lattice:
 /// `u < t` fires with probability `t / 2⁶⁴`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Bound {
-    /// Probability 0: never fires, and consumes no randomness.
+    /// Probability 0: never fires.
     Never,
     /// Fires when the 64-bit uniform draw is below `t`.
     Fixed(u64),
-    /// Probability 1: always fires, and consumes no randomness.
+    /// Probability 1: always fires.
     Always,
 }
 
@@ -95,43 +156,98 @@ fn bound_state(bound: Bound) -> (u64, u64, u64) {
     }
 }
 
-/// Draws 64 scenarios' node states at once: returns `(byzantine, faulty)` lane masks
-/// for thresholds `byz ≤ fault`, by comparing one shared 64-bit uniform per lane
-/// against both thresholds bit by bit (most significant first), early-exiting once
-/// every lane is decided. Lanes still undecided after 64 bits have `u = t` exactly,
-/// which is not `<`.
-#[inline]
-fn split_masks<R: RngCore + ?Sized>(rng: &mut R, byz: Bound, fault: Bound) -> (u64, u64) {
-    let (mut lt_b, mut eq_b, tb) = bound_state(byz);
-    let (mut lt_f, mut eq_f, tf) = bound_state(fault);
-    for k in (0..64).rev() {
-        if eq_b | eq_f == 0 {
-            break;
-        }
-        let r = rng.next_u64();
-        if tb >> k & 1 == 1 {
-            lt_b |= eq_b & !r;
-            eq_b &= r;
-        } else {
-            eq_b &= !r;
-        }
-        if tf >> k & 1 == 1 {
-            lt_f |= eq_f & !r;
-            eq_f &= r;
-        } else {
-            eq_f &= !r;
-        }
-    }
-    debug_assert_eq!(lt_b & !lt_f, 0, "byzantine lanes must be faulty lanes");
-    (lt_b, lt_f)
+/// The position key feeding bit position `j` (counting from the most significant
+/// comparison step) of draw row `row` — row-major SplitMix64 points, precomputed
+/// into [`PackedKernel::pos`] so the hot loop pays one load instead of a mix.
+/// The `+ 1` keeps position `(0, 0)` off the finalizer's 0 → 0 fixed point.
+fn pos_key(row: usize, j: usize) -> u64 {
+    mix64(((row * 64 + j) as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Single-threshold form of [`split_masks`], for correlation-group shocks. With a
-/// `Never` byzantine bound the dual-threshold loop — word consumption and early
-/// exit included — reduces exactly to the single comparison.
+/// One draw row's dual-threshold lexicographic compare over the `W` blocks of a
+/// pass in lockstep, writing block `b`'s masks to `byz_out[b]` / `fault_out[b]`
+/// (the *fault* mask — the caller subtracts the Byzantine lanes).
+///
+/// The word feeding bit position `j` of block `b` is `mix64(seeds[b] ^ pos_row[j])`
+/// — position-addressed, so blocks have no consumption state to keep consistent and
+/// the loop is branchless over `b` (decided blocks keep computing words, which is a
+/// no-op on their outputs — see the module docs). Degenerate bounds short-circuit to
+/// constant masks without touching `pos_row` at all.
 #[inline]
-fn bernoulli_mask<R: RngCore + ?Sized>(rng: &mut R, bound: Bound) -> u64 {
-    split_masks(rng, Bound::Never, bound).1
+fn split_wide<const W: usize>(
+    seeds: &[u64; W],
+    pos_row: &[u64; 64],
+    byz: Bound,
+    fault: Bound,
+    byz_out: &mut [u64; W],
+    fault_out: &mut [u64; W],
+) {
+    let (lt_b0, eq_b0, tb) = bound_state(byz);
+    let (lt_f0, eq_f0, tf) = bound_state(fault);
+    *byz_out = [lt_b0; W];
+    *fault_out = [lt_f0; W];
+    if eq_b0 | eq_f0 == 0 {
+        return; // both bounds degenerate: constant masks
+    }
+    if eq_b0 == 0 {
+        // Single-threshold fast path (crash-only nodes and group shocks): the
+        // Byzantine compare is settled, skip its mask arithmetic entirely.
+        split_single::<W>(seeds, pos_row, tf, fault_out);
+        debug_assert!(byz_out
+            .iter()
+            .zip(fault_out.iter())
+            .all(|(&b, &f)| b & !f == 0));
+        return;
+    }
+    let mut eq_b = [eq_b0; W];
+    let mut eq_f = [eq_f0; W];
+    for (j, &pos) in pos_row.iter().enumerate() {
+        let k = 63 - j;
+        let sel_b = 0u64.wrapping_sub(tb >> k & 1);
+        let sel_f = 0u64.wrapping_sub(tf >> k & 1);
+        let mut undecided = 0u64;
+        for b in 0..W {
+            let r = mix64(seeds[b] ^ pos);
+            byz_out[b] |= eq_b[b] & !r & sel_b;
+            eq_b[b] &= r ^ !sel_b;
+            fault_out[b] |= eq_f[b] & !r & sel_f;
+            eq_f[b] &= r ^ !sel_f;
+            undecided |= eq_b[b] | eq_f[b];
+        }
+        if undecided == 0 {
+            break;
+        }
+    }
+    for b in 0..W {
+        debug_assert_eq!(
+            byz_out[b] & !fault_out[b],
+            0,
+            "byzantine lanes must be faulty lanes"
+        );
+    }
+}
+
+/// Single-threshold form of the lockstep compare: `out[b]` gets block `b`'s
+/// `u < t` lane mask. Lanes still undecided after 64 bits have `u = t` exactly,
+/// which is not `<`.
+#[inline]
+fn split_single<const W: usize>(seeds: &[u64; W], pos_row: &[u64; 64], t: u64, out: &mut [u64; W]) {
+    let mut eq = [!0u64; W];
+    let mut lt = [0u64; W];
+    for (j, &pos) in pos_row.iter().enumerate() {
+        let sel = 0u64.wrapping_sub(t >> (63 - j) & 1);
+        let mut undecided = 0u64;
+        for b in 0..W {
+            let r = mix64(seeds[b] ^ pos);
+            lt[b] |= eq[b] & !r & sel;
+            eq[b] &= r ^ !sel;
+            undecided |= eq[b];
+        }
+        if undecided == 0 {
+            break;
+        }
+    }
+    *out = lt;
 }
 
 /// A bit-sliced vertical counter: `planes[k]` holds bit `k` of each lane's count.
@@ -271,6 +387,9 @@ pub(crate) struct PackedKernel {
     /// Per-node `(byzantine, fault)` thresholds.
     thresholds: Vec<(Bound, Bound)>,
     groups: Vec<PackedGroup>,
+    /// Position-key rows of the counter-based generator: one row per node, then one
+    /// per correlation group (seed-independent — see [`pos_key`]).
+    pos: Vec<[u64; 64]>,
     /// No Byzantine mass anywhere: the Byzantine lane masks are identically zero and
     /// their counter is skipped.
     crash_only: bool,
@@ -307,6 +426,9 @@ impl PackedKernel {
                 members: g.members.clone(),
             })
             .collect();
+        let pos = (0..n + groups.len())
+            .map(|row| std::array::from_fn(|j| pos_key(row, j)))
+            .collect();
         let crash_only = thresholds.iter().all(|&(b, _)| b == Bound::Never)
             && groups.iter().all(|g| g.mode != NodeState::Byzantine);
         let plan = if crash_only {
@@ -325,6 +447,7 @@ impl PackedKernel {
             n,
             thresholds,
             groups,
+            pos,
             crash_only,
             plan,
         }
@@ -353,121 +476,256 @@ impl PackedKernel {
         HitPlan::Lut { flags }
     }
 
-    /// Draws and tallies `count` scenarios, 64 per pass (the final pass ragged when
-    /// `count % 64 != 0`; surplus lanes are masked out of the tallies).
-    pub(crate) fn sample_chunk<R: RngCore + ?Sized>(&self, rng: &mut R, count: usize) -> HitCounts {
+    /// Draws and tallies `count` scenarios, up to `64 · lane_words` per pass: each
+    /// pass runs `lane_words` 64-lane blocks in lockstep (the final pass ragged —
+    /// fewer blocks, and surplus lanes of the last block masked out of the tallies).
+    ///
+    /// `rng` is the chunk RNG of the `(seed, chunk)` determinism scheme; it
+    /// contributes exactly one word, from which every block's position-addressed
+    /// words are derived by in-chunk block index — see the module docs for why this
+    /// makes the result independent of `lane_words`, the thread count, and the
+    /// portable-vs-SIMD choice.
+    pub(crate) fn sample_chunk<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        count: usize,
+        lane_words: usize,
+    ) -> HitCounts {
+        let base = rng.next_u64();
+        match lane_words.clamp(1, MAX_LANE_WORDS) {
+            1 => self.sample_chunk_w::<1>(base, count),
+            2 => self.sample_chunk_w::<2>(base, count),
+            3 => self.sample_chunk_w::<3>(base, count),
+            4 => self.sample_chunk_w::<4>(base, count),
+            5 => self.sample_chunk_w::<5>(base, count),
+            6 => self.sample_chunk_w::<6>(base, count),
+            7 => self.sample_chunk_w::<7>(base, count),
+            _ => {
+                #[cfg(target_arch = "x86_64")]
+                if simd::available() {
+                    return simd::sample_chunk8(self, base, count);
+                }
+                self.sample_chunk_w::<8>(base, count)
+            }
+        }
+    }
+
+    /// The portable sampler at compile-time width `W` — the reference the SIMD path
+    /// must agree with bit-for-bit.
+    fn sample_chunk_w<const W: usize>(&self, base: u64, count: usize) -> HitCounts {
         let n = self.n;
-        let mut crash = vec![0u64; n];
-        let mut byz = vec![0u64; n];
+        // Node-major lane masks: node i's mask for pass block b is `crash[i][b]`,
+        // so one node's blocks are contiguous for the lockstep compare.
+        let mut crash = vec![[0u64; W]; n];
+        let mut byz = vec![[0u64; W]; n];
         let mut faults = VerticalCounter::new(n);
         let mut byz_count = VerticalCounter::new(n);
         let mut hits = HitCounts::default();
         let mut remaining = count;
+        let mut next_block = 0u64;
         while remaining > 0 {
-            let lanes = remaining.min(64);
-            let valid: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
-            for (i, &(b, f)) in self.thresholds.iter().enumerate() {
-                let (byz_mask, fault_mask) = split_masks(rng, b, f);
-                byz[i] = byz_mask;
-                crash[i] = fault_mask & !byz_mask;
+            let lanes = remaining.min(64 * W);
+            let blocks = lanes.div_ceil(64);
+            // Ragged final pass: seeds past `blocks` address blocks that do not
+            // exist; their masks are computed and discarded (never tallied).
+            let mut seeds = [0u64; W];
+            for (b, s) in seeds.iter_mut().enumerate() {
+                *s = chunk_seed(base, next_block + b as u64);
             }
-            for group in &self.groups {
-                let fired = bernoulli_mask(rng, group.shock);
-                if fired == 0 {
-                    continue;
-                }
-                match group.mode {
-                    NodeState::Byzantine => {
-                        for &m in &group.members {
-                            byz[m] |= fired;
-                            crash[m] &= !fired;
-                        }
-                    }
-                    NodeState::Crashed => {
-                        for &m in &group.members {
-                            crash[m] |= fired & !byz[m];
-                        }
-                    }
-                    // Nothing constructs "repair" shocks today, but mirror the
-                    // scalar override rule (Byzantine is never downgraded) exactly.
-                    NodeState::Correct => {
-                        for &m in &group.members {
-                            crash[m] &= !fired;
-                        }
-                    }
+            for (i, &(bz, ft)) in self.thresholds.iter().enumerate() {
+                split_wide::<W>(&seeds, &self.pos[i], bz, ft, &mut byz[i], &mut crash[i]);
+                for b in 0..W {
+                    crash[i][b] &= !byz[i][b];
                 }
             }
-            let (safe_mask, live_mask, both_mask) = match &self.plan {
-                HitPlan::Thresholds { safe, live, both } => {
-                    faults.reset();
-                    for i in 0..n {
-                        faults.add(crash[i] | byz[i]);
-                    }
-                    (safe.mask(&faults), live.mask(&faults), both.mask(&faults))
-                }
-                HitPlan::Lut { flags } => {
-                    faults.reset();
-                    for &mask in &crash {
-                        faults.add(mask);
-                    }
-                    if !self.crash_only {
-                        byz_count.reset();
-                        for &mask in &byz {
-                            byz_count.add(mask);
-                        }
-                    }
-                    let stride = n + 1;
-                    let mut cp = faults.planes;
-                    let mut bp = byz_count.planes;
-                    let (cd, bd) = (faults.depth, byz_count.depth);
-                    let mut safe_mask = 0u64;
-                    let mut live_mask = 0u64;
-                    let mut both_mask = 0u64;
-                    for lane in 0..lanes {
-                        let mut c = 0usize;
-                        for (k, plane) in cp.iter_mut().enumerate().take(cd) {
-                            c |= ((*plane & 1) as usize) << k;
-                            *plane >>= 1;
-                        }
-                        let mut b = 0usize;
-                        if !self.crash_only {
-                            for (k, plane) in bp.iter_mut().enumerate().take(bd) {
-                                b |= ((*plane & 1) as usize) << k;
-                                *plane >>= 1;
-                            }
-                        }
-                        let f = flags[c * stride + b];
-                        safe_mask |= ((f & FLAG_SAFE) as u64) << lane;
-                        live_mask |= (((f & FLAG_LIVE) >> 1) as u64) << lane;
-                        both_mask |= (((f & FLAG_BOTH) >> 2) as u64) << lane;
-                    }
-                    (safe_mask, live_mask, both_mask)
-                }
-            };
-            hits.safe += (safe_mask & valid).count_ones() as usize;
-            hits.live += (live_mask & valid).count_ones() as usize;
-            hits.both += (both_mask & valid).count_ones() as usize;
+            for (g, group) in self.groups.iter().enumerate() {
+                let mut fired = [0u64; W];
+                let mut zero = [0u64; W];
+                split_wide::<W>(
+                    &seeds,
+                    &self.pos[n + g],
+                    Bound::Never,
+                    group.shock,
+                    &mut zero,
+                    &mut fired,
+                );
+                self.apply_shock(group, &fired, blocks, &mut crash, &mut byz);
+            }
+            let mut lanes_left = lanes;
+            for b in 0..blocks {
+                let block_lanes = lanes_left.min(64);
+                let valid: u64 = if block_lanes == 64 {
+                    !0
+                } else {
+                    (1u64 << block_lanes) - 1
+                };
+                let (safe_mask, live_mask, both_mask) =
+                    self.eval_block::<W>(&crash, &byz, b, block_lanes, &mut faults, &mut byz_count);
+                hits.safe += (safe_mask & valid).count_ones() as usize;
+                hits.live += (live_mask & valid).count_ones() as usize;
+                hits.both += (both_mask & valid).count_ones() as usize;
+                lanes_left -= block_lanes;
+            }
+            next_block += blocks as u64;
             remaining -= lanes;
         }
         hits
     }
+
+    /// Applies one correlation group's fired-lane masks to the node masks of a pass,
+    /// mirroring the scalar override rules of [`CorrelationModel::sample_into`].
+    #[inline]
+    fn apply_shock<const W: usize>(
+        &self,
+        group: &PackedGroup,
+        fired: &[u64; W],
+        blocks: usize,
+        crash: &mut [[u64; W]],
+        byz: &mut [[u64; W]],
+    ) {
+        for (b, &f) in fired.iter().enumerate().take(blocks) {
+            if f == 0 {
+                continue;
+            }
+            match group.mode {
+                NodeState::Byzantine => {
+                    for &m in &group.members {
+                        byz[m][b] |= f;
+                        crash[m][b] &= !f;
+                    }
+                }
+                NodeState::Crashed => {
+                    for &m in &group.members {
+                        crash[m][b] |= f & !byz[m][b];
+                    }
+                }
+                // Nothing constructs "repair" shocks today, but mirror the
+                // scalar override rule (Byzantine is never downgraded) exactly.
+                NodeState::Correct => {
+                    for &m in &group.members {
+                        crash[m][b] &= !f;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tallies one 64-lane block of a pass into `{safe, live, both}` lane masks,
+    /// reading the node-major masks at block column `block`.
+    #[inline]
+    fn eval_block<const W: usize>(
+        &self,
+        crash: &[[u64; W]],
+        byz: &[[u64; W]],
+        block: usize,
+        lanes: usize,
+        faults: &mut VerticalCounter,
+        byz_count: &mut VerticalCounter,
+    ) -> (u64, u64, u64) {
+        let n = self.n;
+        match &self.plan {
+            HitPlan::Thresholds { safe, live, both } => {
+                faults.reset();
+                for i in 0..n {
+                    faults.add(crash[i][block] | byz[i][block]);
+                }
+                // Coinciding predicates share one comparison (Raft's liveness and
+                // joint guarantee, for instance, are the same `count ≤ f` check).
+                let safe_mask = safe.mask(faults);
+                let live_mask = if live == safe {
+                    safe_mask
+                } else {
+                    live.mask(faults)
+                };
+                let both_mask = if both == safe {
+                    safe_mask
+                } else if both == live {
+                    live_mask
+                } else {
+                    both.mask(faults)
+                };
+                (safe_mask, live_mask, both_mask)
+            }
+            HitPlan::Lut { flags } => {
+                faults.reset();
+                for row in crash.iter().take(n) {
+                    faults.add(row[block]);
+                }
+                if !self.crash_only {
+                    byz_count.reset();
+                    for row in byz.iter().take(n) {
+                        byz_count.add(row[block]);
+                    }
+                }
+                let stride = n + 1;
+                let mut cp = faults.planes;
+                let mut bp = byz_count.planes;
+                let (cd, bd) = (faults.depth, byz_count.depth);
+                let mut safe_mask = 0u64;
+                let mut live_mask = 0u64;
+                let mut both_mask = 0u64;
+                for lane in 0..lanes {
+                    let mut c = 0usize;
+                    for (k, plane) in cp.iter_mut().enumerate().take(cd) {
+                        c |= ((*plane & 1) as usize) << k;
+                        *plane >>= 1;
+                    }
+                    let mut b = 0usize;
+                    if !self.crash_only {
+                        for (k, plane) in bp.iter_mut().enumerate().take(bd) {
+                            b |= ((*plane & 1) as usize) << k;
+                            *plane >>= 1;
+                        }
+                    }
+                    let f = flags[c * stride + b];
+                    safe_mask |= ((f & FLAG_SAFE) as u64) << lane;
+                    live_mask |= (((f & FLAG_LIVE) >> 1) as u64) << lane;
+                    both_mask |= (((f & FLAG_BOTH) >> 2) as u64) << lane;
+                }
+                (safe_mask, live_mask, both_mask)
+            }
+        }
+    }
 }
 
 /// Estimates the reliability of a counting model with the bit-sliced batch kernel,
-/// 64 scenarios per pass, across the persistent thread pool.
+/// up to `64 ·` [`DEFAULT_LANE_WORDS`] scenarios per pass, across the persistent
+/// thread pool.
 ///
-/// Deterministic for a fixed `seed` regardless of thread count (the chunked
-/// `(seed, chunk)` scheme of [`crate::montecarlo`]); agrees with the scalar engine
-/// statistically, not bit-for-bit (different RNG stream — see the module docs).
-/// A zero sample budget saturates to one sample.
+/// Deterministic for a fixed `seed` regardless of thread count, pass width, or the
+/// portable-vs-SIMD compare (the chunked `(seed, chunk)` scheme of
+/// [`crate::montecarlo`] plus position-addressed per-block draws — see the module
+/// docs); agrees with the scalar engine statistically, not bit-for-bit (different
+/// RNG stream). A zero sample budget saturates to one sample. Use
+/// [`monte_carlo_reliability_packed_par_lanes`] to pin a pass width.
 pub fn monte_carlo_reliability_packed_par<M: CountingModel + ?Sized>(
     model: &M,
     failure_model: &CorrelationModel,
     samples: usize,
     seed: u64,
 ) -> MonteCarloReport {
+    monte_carlo_reliability_packed_par_lanes(
+        model,
+        failure_model,
+        samples,
+        seed,
+        DEFAULT_LANE_WORDS,
+    )
+}
+
+/// [`monte_carlo_reliability_packed_par`] with an explicit pass width of
+/// `lane_words` `u64` blocks (clamped to `1..=`[`MAX_LANE_WORDS`]). The report is
+/// bit-identical at every width; the knob exists for benchmarks (the `packed-width`
+/// criterion group) and the cross-width agreement tests.
+pub fn monte_carlo_reliability_packed_par_lanes<M: CountingModel + ?Sized>(
+    model: &M,
+    failure_model: &CorrelationModel,
+    samples: usize,
+    seed: u64,
+    lane_words: usize,
+) -> MonteCarloReport {
     let kernel = PackedKernel::new(model, failure_model);
-    packed_par_with_kernel(&kernel, samples, seed)
+    packed_par_with_kernel(&kernel, samples, seed, lane_words)
 }
 
 /// Runs the packed kernel across the pool from an already-compiled [`PackedKernel`] —
@@ -478,11 +736,14 @@ pub(crate) fn packed_par_with_kernel(
     kernel: &PackedKernel,
     samples: usize,
     seed: u64,
+    lane_words: usize,
 ) -> MonteCarloReport {
     let samples = samples.max(1);
-    let hits = map_sample_chunks(samples, seed, |rng, count| kernel.sample_chunk(rng, count))
-        .into_iter()
-        .fold(HitCounts::default(), std::ops::Add::add);
+    let hits = map_sample_chunks(samples, seed, |rng, count| {
+        kernel.sample_chunk(rng, count, lane_words)
+    })
+    .into_iter()
+    .fold(HitCounts::default(), std::ops::Add::add);
     report_from_counts(hits, samples, McKernel::Packed)
 }
 
@@ -496,8 +757,6 @@ mod tests {
     use crate::raft_model::RaftModel;
     use fault_model::correlation::CorrelationGroup;
     use fault_model::mode::FaultProfile;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn crash_model(n: usize, p: f64) -> CorrelationModel {
         CorrelationModel::independent(vec![FaultProfile::crash_only(p); n])
@@ -520,34 +779,53 @@ mod tests {
 
     #[test]
     fn split_masks_match_their_probabilities() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let pos: [u64; 64] = std::array::from_fn(|j| pos_key(0, j));
         let (p_byz, p_fault) = (0.1, 0.4);
+        let (byz, fault) = (fixed_point(p_byz), fixed_point(p_fault));
         let (mut byz_bits, mut fault_bits) = (0u64, 0u64);
         const BLOCKS: u64 = 4_000;
-        for _ in 0..BLOCKS {
-            let (b, f) = split_masks(&mut rng, fixed_point(p_byz), fixed_point(p_fault));
-            assert_eq!(b & !f, 0, "byzantine lanes must be faulty lanes");
-            byz_bits += u64::from(b.count_ones());
-            fault_bits += u64::from(f.count_ones());
+        for block in 0..BLOCKS {
+            let seeds = [chunk_seed(1, block)];
+            let (mut b, mut f) = ([0u64; 1], [0u64; 1]);
+            split_wide::<1>(&seeds, &pos, byz, fault, &mut b, &mut f);
+            assert_eq!(b[0] & !f[0], 0, "byzantine lanes must be faulty lanes");
+            byz_bits += u64::from(b[0].count_ones());
+            fault_bits += u64::from(f[0].count_ones());
         }
         let total = (64 * BLOCKS) as f64;
         assert!((byz_bits as f64 / total - p_byz).abs() < 0.01);
         assert!((fault_bits as f64 / total - p_fault).abs() < 0.01);
-        // Degenerate bounds consume no randomness and give constant masks.
-        let before = rng.clone();
-        assert_eq!(split_masks(&mut rng, Bound::Never, Bound::Never), (0, 0));
-        assert_eq!(split_masks(&mut rng, Bound::Never, Bound::Always), (0, !0));
-        assert_eq!(
-            split_masks(&mut rng, Bound::Always, Bound::Always),
-            (!0, !0)
-        );
-        assert_eq!(rng, before, "degenerate bounds must not consume the stream");
+        // Degenerate bounds give constant masks.
+        let seeds = [chunk_seed(1, 0)];
+        let (mut b, mut f) = ([0u64; 1], [0u64; 1]);
+        split_wide::<1>(&seeds, &pos, Bound::Never, Bound::Never, &mut b, &mut f);
+        assert_eq!((b[0], f[0]), (0, 0));
+        split_wide::<1>(&seeds, &pos, Bound::Never, Bound::Always, &mut b, &mut f);
+        assert_eq!((b[0], f[0]), (0, !0));
+        split_wide::<1>(&seeds, &pos, Bound::Always, Bound::Always, &mut b, &mut f);
+        assert_eq!((b[0], f[0]), (!0, !0));
+    }
+
+    #[test]
+    fn wide_and_narrow_splits_agree_block_for_block() {
+        // The positional generator makes a block's masks a pure function of
+        // (seed, position row): running blocks one at a time or eight in lockstep
+        // must produce identical words.
+        let pos: [u64; 64] = std::array::from_fn(|j| pos_key(3, j));
+        let (byz, fault) = (fixed_point(0.02), fixed_point(0.3));
+        let seeds: [u64; 8] = std::array::from_fn(|b| chunk_seed(99, b as u64));
+        let (mut b8, mut f8) = ([0u64; 8], [0u64; 8]);
+        split_wide::<8>(&seeds, &pos, byz, fault, &mut b8, &mut f8);
+        for b in 0..8 {
+            let (mut b1, mut f1) = ([0u64; 1], [0u64; 1]);
+            split_wide::<1>(&[seeds[b]], &pos, byz, fault, &mut b1, &mut f1);
+            assert_eq!((b1[0], f1[0]), (b8[b], f8[b]), "block {b}");
+        }
     }
 
     #[test]
     fn vertical_counter_matches_a_scalar_recount() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let masks: Vec<u64> = (0..11).map(|_| rng.next_u64()).collect();
+        let masks: Vec<u64> = (0..11).map(|i| mix64(i as u64 + 1000)).collect();
         let mut counter = VerticalCounter::new(masks.len());
         for &m in &masks {
             counter.add(m);
@@ -676,6 +954,78 @@ mod tests {
         assert!(report.live.contains(exact.p_live));
     }
 
+    /// Workloads that, between them, exercise every kernel path: the thresholds
+    /// plan, the LUT plan with Byzantine mass, and correlation shocks of both modes.
+    fn identity_workloads() -> Vec<(Box<dyn CountingModel>, CorrelationModel)> {
+        let mixed = CorrelationModel::independent(
+            (0..7)
+                .map(|i| FaultProfile::new(0.02 * (i % 3) as f64, 0.01))
+                .collect(),
+        )
+        .with_group(CorrelationGroup::byzantine_shock(vec![0, 1, 2], 0.005))
+        .with_group(CorrelationGroup::crash_shock(vec![3, 4, 5, 6], 0.01));
+        vec![
+            (Box::new(RaftModel::standard(9)), crash_model(9, 0.08)),
+            (Box::new(PbftModel::standard(7)), mixed),
+        ]
+    }
+
+    #[test]
+    fn packed_kernel_is_bit_identical_across_lane_widths() {
+        for (model, target) in identity_workloads() {
+            // Sample counts hitting the ragged-tail edges of every width W: one
+            // lane, one block less a lane, a full widest pass ± one lane, and a
+            // multi-chunk count that is ragged at both the chunk and pass level.
+            for samples in [
+                1,
+                63,
+                64 * MAX_LANE_WORDS - 1,
+                64 * MAX_LANE_WORDS + 1,
+                MC_CHUNK_SIZE + 513,
+                3 * MC_CHUNK_SIZE + 17,
+            ] {
+                let reference = monte_carlo_reliability_packed_par_lanes(
+                    model.as_ref(),
+                    &target,
+                    samples,
+                    42,
+                    1,
+                );
+                for w in 2..=MAX_LANE_WORDS {
+                    let report = monte_carlo_reliability_packed_par_lanes(
+                        model.as_ref(),
+                        &target,
+                        samples,
+                        42,
+                        w,
+                    );
+                    assert_eq!(report, reference, "divergence at W={w}, samples={samples}");
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_and_portable_samplers_agree_bit_for_bit() {
+        if !simd::available() {
+            eprintln!("skipping: no AVX-512 on this host");
+            return;
+        }
+        for (model, target) in identity_workloads() {
+            let kernel = PackedKernel::new(model.as_ref(), &target);
+            for count in [1, 63, 64, 511, 512, 513, 640, MC_CHUNK_SIZE] {
+                for base in [0u64, 7, 0xDEAD_BEEF] {
+                    assert_eq!(
+                        simd::sample_chunk8(&kernel, base, count),
+                        kernel.sample_chunk_w::<8>(base, count),
+                        "divergence at count={count}, base={base}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn packed_kernel_is_bit_identical_across_thread_counts() {
         let model = PbftModel::standard(7);
@@ -687,15 +1037,24 @@ mod tests {
         .with_group(CorrelationGroup::byzantine_shock(vec![0, 1, 2], 0.005))
         .with_group(CorrelationGroup::crash_shock(vec![3, 4, 5, 6], 0.01));
         let samples = 3 * MC_CHUNK_SIZE + 17;
-        let reference = monte_carlo_reliability_packed_par(&model, &target, samples, 42);
-        for threads in [1usize, 2, 3, 8] {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("pool");
-            let report =
-                pool.install(|| monte_carlo_reliability_packed_par(&model, &target, samples, 42));
-            assert_eq!(report, reference, "divergence at {threads} threads");
+        for lane_words in [1usize, 4, 8] {
+            let reference =
+                monte_carlo_reliability_packed_par_lanes(&model, &target, samples, 42, lane_words);
+            for threads in [1usize, 2, 3, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool");
+                let report = pool.install(|| {
+                    monte_carlo_reliability_packed_par_lanes(
+                        &model, &target, samples, 42, lane_words,
+                    )
+                });
+                assert_eq!(
+                    report, reference,
+                    "divergence at {threads} threads, W={lane_words}"
+                );
+            }
         }
     }
 

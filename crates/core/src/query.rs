@@ -81,6 +81,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use fault_model::correlation::{CorrelationGroup, CorrelationModel};
 use fault_model::markov::RepairableGroup;
 use fault_model::metrics::{Nines, HOURS_PER_YEAR};
@@ -94,7 +97,9 @@ use crate::engine::{
 };
 use crate::enumeration::RawReliability;
 use crate::json::JsonValue;
-use crate::montecarlo::{McKernel, Z_95};
+use crate::montecarlo::{
+    chunk_count, chunk_len, chunk_seed, report_from_counts, sample_chunk, HitCounts, McKernel, Z_95,
+};
 use crate::packed::PackedKernel;
 use crate::pbft_model::PbftModel;
 use crate::protocol::ProtocolModel;
@@ -920,6 +925,7 @@ pub(crate) fn run_prepared(
                         &kernel,
                         budget.monte_carlo_samples,
                         budget.seed,
+                        budget.mc_lane_words,
                     ));
                 }
             }
@@ -1352,6 +1358,51 @@ fn trajectory_record(spec: &TrajectorySpec, axis: &TimeAxis) -> TrajectoryRecord
     }
 }
 
+/// One schedulable unit of a plan execution. [`QueryPlan::execute`] decomposes the
+/// plan into these, orders them by estimated cost (largest first) and hands them to
+/// the work-stealing pool as individually stealable tasks
+/// ([`rayon::for_each_task`]); every item writes its own result slot, so report
+/// content never depends on which worker ran what, or in what order.
+#[derive(Clone, Copy)]
+enum WorkItem {
+    /// A whole cell through [`run_prepared`] — the exact engines, importance
+    /// sampling and pinned simulation, whose bodies have no chunk structure to
+    /// expose.
+    Cell(usize),
+    /// One sample chunk of a Monte Carlo cell, in the exact
+    /// [`chunk_count`]/[`chunk_len`]/[`chunk_seed`] layout of the whole-cell
+    /// samplers — identical layout is what keeps the scheduled merge bit-identical
+    /// to a per-cell run.
+    McChunk {
+        /// Index of the owning cell.
+        cell: usize,
+        /// Chunk index within the cell's sample budget.
+        chunk: usize,
+    },
+    /// One time-domain trajectory cell.
+    Trajectory(usize),
+}
+
+/// What one executed work item produced (placed into the slot of its item index).
+enum ItemOutput {
+    /// Hit counters of one Monte Carlo sample chunk.
+    Hits(HitCounts),
+    /// A whole cell's outcome.
+    Outcome(AnalysisOutcome),
+    /// A time-domain record.
+    Trajectory(TrajectoryRecord),
+}
+
+/// The kernel [`run_prepared`]'s Monte Carlo arm would select for this cell; the
+/// chunk items replicate the choice so the scheduled report names the same kernel.
+fn mc_kernel_kind(cell: &PlannedCell) -> McKernel {
+    if cell.budget.mc_kernel != McKernel::Scalar && cell.model.as_counting().is_some() {
+        McKernel::Packed
+    } else {
+        McKernel::Scalar
+    }
+}
+
 impl QueryPlan {
     /// Number of planned cells.
     pub fn len(&self) -> usize {
@@ -1383,64 +1434,250 @@ impl QueryPlan {
         self.trajectories.len()
     }
 
-    /// Executes every cell across the persistent pool and collects one record per
-    /// cell, in query order. Bit-identical to a per-cell
+    /// Executes the plan across the persistent pool as one work-stealing DAG and
+    /// collects one record per cell, in query order.
+    ///
+    /// Rather than scheduling cell-at-a-time (which strands the pool on the last
+    /// long cell of a mixed sweep), the plan is decomposed into work items:
+    /// Monte Carlo cells split into their
+    /// [`MC_CHUNK_SIZE`](crate::montecarlo::MC_CHUNK_SIZE) sample chunks, exact /
+    /// importance-sampling cells and trajectories stay whole. Items execute
+    /// largest-estimated-first so the long poles start early and the cheap items
+    /// backfill the stragglers' idle workers; each item writes a slot keyed by its
+    /// item index, and the per-cell merge folds chunk counters in chunk order —
+    /// so the report is **bit-identical** to a sequential per-cell
     /// [`analyze_auto`](crate::analyzer::analyze_auto) /
     /// [`analyze_scenario`](crate::analyzer::analyze_scenario) loop at any thread
-    /// count — including the paired validation runs and trajectory records, which
-    /// are deterministic per seed and per axis respectively.
+    /// count, including the paired validation runs (executed as a second item
+    /// wave, since they need the merged analytic estimates) and the trajectory
+    /// records.
     pub fn execute(&self) -> AnalysisReport {
-        use rayon::prelude::*;
-        let run = || {
-            let cells = (0..self.cells.len())
-                .into_par_iter()
-                .map(|index| {
-                    let cell = &self.cells[index];
-                    let start = Instant::now();
-                    let outcome = run_prepared(
-                        cell.model.as_ref(),
-                        cell.scenario.as_scenario(),
-                        &cell.budget,
-                        cell.engine,
-                        &cell.scratch,
-                    );
-                    let validation = cell.validate.then(|| {
-                        validation_record(
-                            cell.model.as_ref(),
-                            cell.scenario.as_scenario(),
-                            &cell.budget,
-                            outcome.report.safe_and_live.probability(),
-                        )
-                    });
-                    CellRecord {
-                        label: cell.label.clone(),
-                        protocol: cell.protocol.clone(),
-                        nodes: cell.nodes,
-                        fault_prob: cell.fault_prob,
-                        correlation: cell.correlation.clone(),
-                        samples_budget: cell.budget.monte_carlo_samples,
-                        engine: cell.engine,
-                        outcome,
-                        validation,
-                        wall_ns: start.elapsed().as_nanos() as u64,
-                    }
-                })
-                .collect::<Vec<_>>();
-            let trajectories = (0..self.trajectories.len())
-                .into_par_iter()
-                .map(|index| trajectory_record(&self.trajectories[index], &self.time_axis))
-                .collect::<Vec<_>>();
-            (cells, trajectories)
-        };
-        let (cells, trajectories) = match &self.pool {
+        let run = || self.execute_scheduled();
+        match &self.pool {
             Some(pool) => pool.install(run),
             None => run(),
-        };
+        }
+    }
+
+    /// The scheduler behind [`execute`](Self::execute): decompose, run the item
+    /// wave, merge in index order, then run the validation wave.
+    fn execute_scheduled(&self) -> AnalysisReport {
+        let (items, spans) = self.work_items();
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by_key(|&index| (std::cmp::Reverse(self.item_cost(items[index])), index));
+        let slots: Vec<Mutex<Option<(ItemOutput, u64)>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        rayon::for_each_task(order.len(), |position| {
+            let index = order[position];
+            let start = Instant::now();
+            let output = self.run_item(items[index]);
+            *slots[index].lock().unwrap() = Some((output, start.elapsed().as_nanos() as u64));
+        });
+        let mut outputs = slots.into_iter().map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("for_each_task ran every item before returning")
+        });
+
+        // Merge in cell index order. Chunk items were emitted in chunk order, so
+        // the fold below replays exactly the whole-cell samplers' collect-then-fold.
+        let mut merged: Vec<(AnalysisOutcome, u64)> = Vec::with_capacity(self.cells.len());
+        for (cell, &(_, span_len)) in self.cells.iter().zip(&spans) {
+            let mut wall_ns = 0u64;
+            let outcome = if cell.engine == EngineChoice::MonteCarlo {
+                let mut hits = HitCounts::default();
+                for _ in 0..span_len {
+                    let (output, ns) = outputs.next().expect("spans cover the item list");
+                    wall_ns += ns;
+                    match output {
+                        ItemOutput::Hits(chunk_hits) => hits = hits + chunk_hits,
+                        _ => unreachable!("Monte Carlo cells decompose into chunk items"),
+                    }
+                }
+                let samples = cell.budget.monte_carlo_samples.max(1);
+                outcome_from_monte_carlo(report_from_counts(hits, samples, mc_kernel_kind(cell)))
+            } else {
+                let (output, ns) = outputs.next().expect("spans cover the item list");
+                wall_ns += ns;
+                match output {
+                    ItemOutput::Outcome(outcome) => outcome,
+                    _ => unreachable!("non-sampling cells are whole-cell items"),
+                }
+            };
+            merged.push((outcome, wall_ns));
+        }
+        let trajectories: Vec<TrajectoryRecord> = outputs
+            .map(|(output, _)| match output {
+                ItemOutput::Trajectory(record) => record,
+                _ => unreachable!("trajectory items follow the last cell span"),
+            })
+            .collect();
+
+        // Validation wave: each validated cell's paired simulation needs that
+        // cell's merged analytic estimate, so these items run after the merge —
+        // still placement-deterministic, still stealable.
+        let validating: Vec<usize> = (0..self.cells.len())
+            .filter(|&index| self.cells[index].validate)
+            .collect();
+        let validation_slots: Vec<Mutex<Option<(ValidationRecord, u64)>>> =
+            validating.iter().map(|_| Mutex::new(None)).collect();
+        rayon::for_each_task(validating.len(), |position| {
+            let index = validating[position];
+            let cell = &self.cells[index];
+            let start = Instant::now();
+            let record = validation_record(
+                cell.model.as_ref(),
+                cell.scenario.as_scenario(),
+                &cell.budget,
+                merged[index].0.report.safe_and_live.probability(),
+            );
+            *validation_slots[position].lock().unwrap() =
+                Some((record, start.elapsed().as_nanos() as u64));
+        });
+        let mut validations: Vec<Option<ValidationRecord>> =
+            (0..self.cells.len()).map(|_| None).collect();
+        for (&index, slot) in validating.iter().zip(validation_slots) {
+            let (record, ns) = slot
+                .into_inner()
+                .unwrap()
+                .expect("for_each_task ran every validation before returning");
+            validations[index] = Some(record);
+            merged[index].1 += ns;
+        }
+
+        let cells = self
+            .cells
+            .iter()
+            .zip(merged)
+            .zip(validations)
+            .map(|((cell, (outcome, wall_ns)), validation)| CellRecord {
+                label: cell.label.clone(),
+                protocol: cell.protocol.clone(),
+                nodes: cell.nodes,
+                fault_prob: cell.fault_prob,
+                correlation: cell.correlation.clone(),
+                samples_budget: cell.budget.monte_carlo_samples,
+                engine: cell.engine,
+                outcome,
+                validation,
+                wall_ns,
+            })
+            .collect();
         AnalysisReport {
             metrics: self.metrics,
             cells,
             trajectories,
         }
+    }
+
+    /// Decomposes the plan into work items plus, per cell, its `(start, len)` span
+    /// in the item list (trajectory items follow the last cell span).
+    fn work_items(&self) -> (Vec<WorkItem>, Vec<(usize, usize)>) {
+        let mut items = Vec::new();
+        let mut spans = Vec::with_capacity(self.cells.len());
+        for (index, cell) in self.cells.iter().enumerate() {
+            let start = items.len();
+            if cell.engine == EngineChoice::MonteCarlo {
+                for chunk in 0..chunk_count(cell.budget.monte_carlo_samples) {
+                    items.push(WorkItem::McChunk { cell: index, chunk });
+                }
+            } else {
+                items.push(WorkItem::Cell(index));
+            }
+            spans.push((start, items.len() - start));
+        }
+        for index in 0..self.trajectories.len() {
+            items.push(WorkItem::Trajectory(index));
+        }
+        (items, spans)
+    }
+
+    /// Estimated cost of a work item, in arbitrary comparable units. Only the
+    /// *ordering* matters — largest first keeps a sweep's long poles from landing
+    /// after the pool has drained — and the estimate never influences results.
+    fn item_cost(&self, item: WorkItem) -> u64 {
+        match item {
+            WorkItem::McChunk { cell, chunk } => {
+                let cell = &self.cells[cell];
+                let count = chunk_len(cell.budget.monte_carlo_samples, chunk) as u64;
+                let nodes = cell.nodes as u64;
+                // The packed kernel retires ~64 scenarios per word pass; the
+                // scalar kernel walks every node per scenario.
+                match mc_kernel_kind(cell) {
+                    McKernel::Packed => (count * nodes / 64).max(1),
+                    _ => count * nodes,
+                }
+            }
+            WorkItem::Cell(index) => {
+                let cell = &self.cells[index];
+                let nodes = cell.nodes as u64;
+                match cell.engine {
+                    // O(N²) closed form — the cheapest engine by far.
+                    EngineChoice::Counting => nodes * nodes,
+                    // Exponential in the cluster size (capped so the shift is sane).
+                    EngineChoice::Enumeration => 1u64 << nodes.min(40),
+                    // Pilot plus tilted sampling: scalar-sampler cost shape.
+                    EngineChoice::ImportanceSampling | EngineChoice::MonteCarlo => {
+                        cell.budget.monte_carlo_samples.max(1) as u64 * nodes
+                    }
+                    // Discrete-event trials; trial counts are budget-bounded and
+                    // comparable to a sampling cell.
+                    EngineChoice::Simulation => {
+                        cell.budget.monte_carlo_samples.max(1) as u64 * nodes
+                    }
+                }
+            }
+            // Horizon-by-window sweeps of an exact engine: sized like a mid-range
+            // sampling chunk so trajectories start early but never starve chunks.
+            WorkItem::Trajectory(_) => 1 << 20,
+        }
+    }
+
+    /// Executes one work item.
+    fn run_item(&self, item: WorkItem) -> ItemOutput {
+        match item {
+            WorkItem::Cell(index) => {
+                let cell = &self.cells[index];
+                ItemOutput::Outcome(run_prepared(
+                    cell.model.as_ref(),
+                    cell.scenario.as_scenario(),
+                    &cell.budget,
+                    cell.engine,
+                    &cell.scratch,
+                ))
+            }
+            WorkItem::McChunk { cell, chunk } => {
+                let cell = &self.cells[cell];
+                let count = chunk_len(cell.budget.monte_carlo_samples, chunk);
+                let mut rng = StdRng::seed_from_u64(chunk_seed(cell.budget.seed, chunk as u64));
+                let hits = match self.packed_kernel_for(cell) {
+                    Some(kernel) => kernel.sample_chunk(&mut rng, count, cell.budget.mc_lane_words),
+                    None => {
+                        let target = cell.scratch.target(cell.scenario.as_scenario());
+                        sample_chunk(cell.model.as_ref(), &target, count, &mut rng)
+                    }
+                };
+                ItemOutput::Hits(hits)
+            }
+            WorkItem::Trajectory(index) => ItemOutput::Trajectory(trajectory_record(
+                &self.trajectories[index],
+                &self.time_axis,
+            )),
+        }
+    }
+
+    /// The packed kernel for a Monte Carlo cell when [`run_prepared`]'s kernel
+    /// choice would use it — compiled at most once in the shared group scratch —
+    /// or `None` when the cell samples through the scalar kernel.
+    fn packed_kernel_for(&self, cell: &PlannedCell) -> Option<Arc<PackedKernel>> {
+        if cell.budget.mc_kernel == McKernel::Scalar {
+            return None;
+        }
+        let counting = cell.model.as_counting()?;
+        Some(
+            cell.scratch
+                .packed_kernel(counting, cell.scenario.as_scenario()),
+        )
     }
 }
 
@@ -1468,8 +1705,10 @@ pub struct CellRecord {
     /// cross-validation ([`Query::validate_with_simulation`]) and this cell's
     /// model has an executable counterpart.
     pub validation: Option<ValidationRecord>,
-    /// Wall-clock nanoseconds the cell's execution took (paired validation
-    /// included, when one ran).
+    /// Wall-clock nanoseconds spent executing this cell's scheduled work items,
+    /// summed across items (sample chunks may run on different workers
+    /// concurrently, so this is aggregate compute time, not elapsed sweep time;
+    /// the paired validation run is included when one ran).
     pub wall_ns: u64,
 }
 
@@ -1902,6 +2141,94 @@ mod tests {
             }
         }
         assert_eq!(index, report.cells().len());
+    }
+
+    /// Tentpole pin: the work-stealing decomposition (chunked Monte Carlo cells,
+    /// whole exact and importance-sampling cells, trajectory items, the validation
+    /// wave) produces a report byte-identical — JSON with wall times zeroed — to a
+    /// sequential per-cell loop over the same plan, for both the packed and the
+    /// pinned-scalar sampling kernels.
+    #[test]
+    fn scheduled_execution_matches_a_sequential_per_cell_loop_byte_for_byte() {
+        for kernel in [McKernel::Auto, McKernel::Scalar] {
+            let session = AnalysisSession::new();
+            let query = Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([5usize])
+                .fault_probs([0.05])
+                .correlations([
+                    CorrelationSpec::Independent,
+                    CorrelationSpec::ClusterShock { probability: 0.01 },
+                ])
+                .samples_sweep([9_000usize, 20_000])
+                .budget(Budget::default().with_seed(11).with_mc_kernel(kernel))
+                .validate_with_simulation()
+                .cell(
+                    "durability",
+                    Arc::new(PersistenceQuorumModel::new(24, (0..4).collect())),
+                    Deployment::uniform_crash(24, 0.05),
+                )
+                .repairable_cell("repairable-3", RepairableGroup::new(3, 1e-3, 1e-2, 1));
+            let plan = session.plan(&query).expect("valid query");
+            let engines = plan.engines();
+            assert!(
+                engines.contains(&EngineChoice::Counting)
+                    && engines.contains(&EngineChoice::MonteCarlo),
+                "the sweep must mix exact and sampling cells, got {engines:?}"
+            );
+            let mut scheduled = plan.execute();
+            // Sequential reference: every cell whole, in query order, on this thread.
+            let cells: Vec<CellRecord> = plan
+                .cells
+                .iter()
+                .map(|cell| {
+                    let outcome = run_prepared(
+                        cell.model.as_ref(),
+                        cell.scenario.as_scenario(),
+                        &cell.budget,
+                        cell.engine,
+                        &cell.scratch,
+                    );
+                    let validation = cell.validate.then(|| {
+                        validation_record(
+                            cell.model.as_ref(),
+                            cell.scenario.as_scenario(),
+                            &cell.budget,
+                            outcome.report.safe_and_live.probability(),
+                        )
+                    });
+                    CellRecord {
+                        label: cell.label.clone(),
+                        protocol: cell.protocol.clone(),
+                        nodes: cell.nodes,
+                        fault_prob: cell.fault_prob,
+                        correlation: cell.correlation.clone(),
+                        samples_budget: cell.budget.monte_carlo_samples,
+                        engine: cell.engine,
+                        outcome,
+                        validation,
+                        wall_ns: 0,
+                    }
+                })
+                .collect();
+            let reference = AnalysisReport {
+                metrics: plan.metrics,
+                cells,
+                trajectories: plan
+                    .trajectories
+                    .iter()
+                    .map(|spec| trajectory_record(spec, &plan.time_axis))
+                    .collect(),
+            };
+            for cell in &mut scheduled.cells {
+                cell.wall_ns = 0;
+            }
+            assert_eq!(
+                scheduled.to_json(),
+                reference.to_json(),
+                "kernel {kernel:?}: scheduled sweep diverged from the per-cell loop"
+            );
+        }
     }
 
     #[test]

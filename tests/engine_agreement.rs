@@ -248,6 +248,41 @@ fn packed_kernel_handles_ragged_sample_counts() {
     }
 }
 
+/// Pass-width bit-identity for the packed path, through the engine layer: the
+/// positional counter-based RNG keys every lane's draw on its absolute sample
+/// index, so the kernel's answer is independent of how many 64-lane words each
+/// pass packs (W = 1, 4, 8 — 64, 256, 512 lanes). Covers both the crash-only
+/// threshold plan and the mixed-mode LUT plan, with a ragged tail.
+#[test]
+fn packed_kernel_is_bit_identical_across_pass_widths() {
+    let raft = RaftModel::standard(9);
+    let crash = Deployment::uniform_crash(9, 0.08);
+    let pbft = PbftModel::standard(7);
+    let mixed = Deployment::uniform_mixed(7, 0.05, 0.01);
+    let samples = 2 * MC_CHUNK_SIZE + 99;
+    for (model, deployment) in [
+        (&raft as &dyn ProtocolModel, &crash),
+        (&pbft as &dyn ProtocolModel, &mixed),
+    ] {
+        let scenario = Scenario::Independent(deployment);
+        let base = Budget::default()
+            .with_samples(samples)
+            .with_seed(GRID_SEED)
+            .with_mc_kernel(McKernel::Packed);
+        let reference = MonteCarloEngine.run(model, scenario, &base.with_mc_lane_words(1));
+        for lane_words in [4usize, 8] {
+            let wide = MonteCarloEngine.run(model, scenario, &base.with_mc_lane_words(lane_words));
+            assert_eq!(
+                wide.monte_carlo,
+                reference.monte_carlo,
+                "{}: W={lane_words} diverged from W=1",
+                model.name()
+            );
+            assert_eq!(wide.report, reference.report);
+        }
+    }
+}
+
 /// Thread-count bit-identity for the packed path, through the engine layer, on a
 /// correlated mixed-mode scenario with a ragged tail.
 #[test]

@@ -349,6 +349,30 @@ impl ThreadPoolBuilder {
     }
 }
 
+/// Runs `task(0)`, `task(1)`, …, `task(count - 1)` across the persistent pool with
+/// **one stealable unit per index** — no chunk batching.
+///
+/// This is the entry point for callers that have already sized their work: the sweep
+/// scheduler in the core crate decomposes analysis cells into cost-estimated items
+/// and wants each one individually stealable, so one long exact cell cannot strand a
+/// tail of cheap sample chunks batched behind it the way the parallel iterators'
+/// per-thread chunking would. Tasks are pushed in index order and drained through the
+/// usual injector/deque stealing; the calling thread helps until the job retires.
+///
+/// With a pinned thread count of one ([`ThreadPool::install`]) the loop runs
+/// sequentially on the calling thread, in index order. At higher counts execution
+/// order is unspecified — callers must make results deterministic by *placement*
+/// (each task writes its own slot), never by completion order.
+pub fn for_each_task(count: usize, task: impl Fn(usize) + Sync) {
+    if current_num_threads() <= 1 {
+        for index in 0..count {
+            task(index);
+        }
+        return;
+    }
+    pool::execute(count, &task);
+}
+
 /// Chunk tasks created per splitting thread: a few per thread so the stealing pool
 /// can rebalance ragged per-item costs without making tasks too fine.
 const CHUNKS_PER_THREAD: usize = 4;
@@ -681,6 +705,43 @@ mod tests {
                 pool.install(|| (0..257usize).into_par_iter().map(|x| x * 3).collect());
             assert_eq!(got, reference);
         }
+    }
+
+    #[test]
+    fn for_each_task_runs_every_index_exactly_once_at_any_thread_count() {
+        for threads in [1usize, 2, 5, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            for count in [0usize, 1, 2, 97] {
+                let hits: Vec<Mutex<usize>> = (0..count).map(|_| Mutex::new(0)).collect();
+                pool.install(|| {
+                    super::for_each_task(count, |index| {
+                        *hits[index].lock().unwrap() += 1;
+                    });
+                });
+                assert!(
+                    hits.iter().all(|h| *h.lock().unwrap() == 1),
+                    "count {count} at {threads} threads: some index ran 0 or 2+ times"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_task_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                super::for_each_task(64, |index| {
+                    if index == 17 {
+                        panic!("task exploded");
+                    }
+                });
+            });
+        }));
+        assert!(caught.is_err(), "the task panic must reach the caller");
     }
 
     #[test]
