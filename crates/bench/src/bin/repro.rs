@@ -7,9 +7,34 @@
 //! cargo run -p bench --release --bin repro -- table1 table2 claim-tradeoff
 //! cargo run -p bench --release --bin repro -- --list
 //! cargo run -p bench --release --bin repro -- --bench   # writes BENCH_analysis.json
+//! cargo run -p bench --release --bin repro -- serve     # NDJSON service on stdio
+//! cargo run -p bench --release --bin repro -- serve --tcp 127.0.0.1:7878
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// `repro serve`: the analysis service — NDJSON requests on stdin (or TCP
+/// connections), streamed cell records out. See the `repro-server` crate docs
+/// for the protocol.
+fn run_serve(args: &[String]) -> ExitCode {
+    let server = Arc::new(repro_server::Server::new());
+    let result = match args {
+        [] => repro_server::serve_stdio(&server),
+        [flag, addr] if flag == "--tcp" => repro_server::serve_tcp(&server, addr.as_str()),
+        _ => {
+            eprintln!("usage: repro serve [--tcp ADDR]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: serve failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// Times the analysis hot paths and writes the `BENCH_analysis.json` baseline to the
 /// current directory.
@@ -86,12 +111,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("repro — regenerate the paper's tables and claims\n");
-        println!("usage: repro [--list | --bench] <experiment-id>... | all\n");
+        println!("usage: repro [--list | --bench] <experiment-id>... | all");
+        println!("       repro serve [--tcp ADDR]\n");
         println!("experiments:");
         for id in bench::EXPERIMENT_IDS {
             println!("  {id}");
         }
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "serve" {
+        return run_serve(&args[1..]);
     }
     if args.iter().any(|a| a == "--bench") {
         if args.len() > 1 {

@@ -147,6 +147,17 @@ impl ProtocolModel for PersistenceQuorumModel {
     fn is_live(&self, _config: &FailureConfig) -> bool {
         true
     }
+
+    fn cache_signature(&self) -> Option<Vec<u64>> {
+        // Placement-sensitive: the exact member set (not just its size) is the
+        // model's content, so every member index goes into the fingerprint.
+        let mut sig = Vec::with_capacity(3 + self.quorum.len());
+        sig.push(crate::protocol::signature_tags::PERSISTENCE_QUORUM);
+        sig.push(self.n as u64);
+        sig.push(self.quorum.len() as u64);
+        sig.extend(self.quorum.iter().map(|&m| m as u64));
+        Some(sig)
+    }
 }
 
 /// Mean time (hours) until more than `tolerated_failures` nodes of an `n`-node group are

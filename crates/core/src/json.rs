@@ -112,6 +112,51 @@ impl JsonValue {
         Ok(value)
     }
 
+    /// The value as a single-line compact document (no whitespace) — the NDJSON
+    /// writer path: a streamed record is one `to_compact_string` plus `'\n'`, so
+    /// a server never buffers more than one record. Numbers keep the same
+    /// shortest-round-trip formatting as the pretty writer; only whitespace
+    /// differs, so `parse` reads both forms back to the identical tree.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(v) => {
+                debug_assert!(v.is_finite(), "JsonValue::Number holds finite values");
+                out.push_str(&format!("{v}"));
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_indented(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -425,6 +470,59 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compact_writer_round_trips_bit_exactly() {
+        // Awkward doubles: subnormals, extremes, negative zero, long fractions.
+        let values = [
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0, // subnormal
+            f64::MAX,
+            -0.0,
+            1.0 / 3.0,
+            2.225_073_858_507_201e-308,
+            9.869604401089358,
+        ];
+        let doc = JsonValue::Object(vec![
+            (
+                "values".to_string(),
+                JsonValue::Array(values.iter().map(|&v| JsonValue::number(v)).collect()),
+            ),
+            ("label".to_string(), JsonValue::string("a \"quoted\"\nline")),
+        ]);
+        let compact = doc.to_compact_string();
+        assert!(
+            !compact.contains('\n') && !compact.contains(": "),
+            "compact output must be one whitespace-free line: {compact}"
+        );
+        let reparsed = JsonValue::parse(&compact).expect("compact output parses");
+        let bits: Vec<u64> = reparsed.get("values").unwrap().as_array().unwrap()[..]
+            .iter()
+            .map(|v| v.as_f64().unwrap().to_bits())
+            .collect();
+        let expected: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expected, "every f64 must round-trip bit-exactly");
+        // Compact and pretty forms parse to the identical tree.
+        assert_eq!(reparsed, JsonValue::parse(&doc.to_string()).unwrap());
+    }
+
+    #[test]
+    fn compact_writer_maps_non_finite_to_null() {
+        let doc = JsonValue::Array(vec![
+            JsonValue::number(f64::NAN),
+            JsonValue::number(f64::INFINITY),
+            JsonValue::number(f64::NEG_INFINITY),
+            JsonValue::number(1.0),
+        ]);
+        assert_eq!(doc.to_compact_string(), "[null,null,null,1]");
+    }
+
+    #[test]
+    fn compact_empty_containers() {
+        assert_eq!(JsonValue::Array(vec![]).to_compact_string(), "[]");
+        assert_eq!(JsonValue::Object(vec![]).to_compact_string(), "{}");
+    }
 
     #[test]
     fn scalars_render_and_parse() {

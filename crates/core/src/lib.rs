@@ -39,6 +39,10 @@
 //!   [`query::AnalysisSession`] plan-and-execute whole grids, time-domain trajectory
 //!   cells ([`query::TimeAxis`], repairable fleets) and paired analytic-vs-simulation
 //!   cross-validation with z-scores, rendered to tables and JSON.
+//! * [`cache`] — the concurrent cross-request session cache behind
+//!   [`query::AnalysisSession`]: sharded, size-bounded, LRU-evicting scratch
+//!   keyed by cell signature, with hit/miss/eviction counters
+//!   ([`cache::CacheStats`]).
 //! * [`durability`] — data-loss analysis: probability that failures cover a persistence
 //!   quorum, and MTTDL-style Markov results.
 //! * [`heterogeneity`] — heterogeneous fleets: quorum placement policies ("require a
@@ -75,6 +79,7 @@
 // documented, and CI builds rustdoc with `-D warnings` (see the `docs` job).
 #![warn(missing_docs)]
 pub mod analyzer;
+pub mod cache;
 pub mod committee;
 pub mod cost;
 pub mod counting;
@@ -103,6 +108,7 @@ pub mod tradeoff;
 pub use analyzer::{
     analyze, analyze_auto, analyze_exact, analyze_scenario, AnalysisError, ReliabilityReport,
 };
+pub use cache::CacheStats;
 pub use deployment::Deployment;
 pub use engine::{
     AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, InvalidBudget, Scenario, SimBudget,
@@ -113,8 +119,8 @@ pub use pbft_model::PbftModel;
 pub use protocol::{CountingModel, ExecutableSpec, ProtocolModel};
 pub use query::{
     logspace, AnalysisReport, AnalysisSession, CellRecord, CorrelationSpec, FaultAxis, Metrics,
-    ProtocolSpec, Query, QueryPlan, TimeAxis, TrajectoryKind, TrajectoryPoint, TrajectoryRecord,
-    ValidationRecord,
+    ProtocolSpec, Query, QueryPlan, StreamSink, TimeAxis, TrajectoryKind, TrajectoryPoint,
+    TrajectoryRecord, ValidationRecord,
 };
 pub use raft_model::RaftModel;
 pub use rare_event::{ImportanceSamplingEngine, Proposal, RareEventReport};

@@ -120,6 +120,18 @@ impl ProtocolModel for PbftModel {
         (self.n >= 4 && *self == standard)
             .then_some(crate::protocol::ExecutableSpec::Pbft { n: self.n })
     }
+
+    fn cache_signature(&self) -> Option<Vec<u64>> {
+        // All four quorum sizes enter Theorem 3.1's predicates.
+        Some(vec![
+            crate::protocol::signature_tags::PBFT,
+            self.n as u64,
+            self.q_eq as u64,
+            self.q_per as u64,
+            self.q_vc as u64,
+            self.q_vc_t as u64,
+        ])
+    }
 }
 
 impl CountingModel for PbftModel {

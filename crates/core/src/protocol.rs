@@ -53,6 +53,37 @@ pub trait ProtocolModel: Sync {
     fn executable(&self) -> Option<ExecutableSpec> {
         None
     }
+
+    /// A stable *content fingerprint* identifying this model for cross-request
+    /// scratch caching (see [`crate::cache`]).
+    ///
+    /// Two models may return the same fingerprint **only if** their safety and
+    /// liveness predicates are identical on every failure configuration — the
+    /// session cache will hand both the same compiled kernels and learned
+    /// proposals. To make collisions structurally impossible, implementations
+    /// encode their full defining content (type tag plus every parameter), not a
+    /// hash of it; the cache compares fingerprints in full.
+    ///
+    /// `None` (the default) means the model has no stable identity, and every
+    /// plan that uses it gets private, plan-local scratch — always correct, just
+    /// not amortized across requests. [`crate::raft_model::RaftModel`],
+    /// [`crate::pbft_model::PbftModel`] and
+    /// [`crate::durability::PersistenceQuorumModel`] opt in.
+    fn cache_signature(&self) -> Option<Vec<u64>> {
+        None
+    }
+}
+
+/// Type tags namespacing [`ProtocolModel::cache_signature`] fingerprints, so two
+/// different model types can never encode the same words. New implementations
+/// must take a fresh tag.
+pub mod signature_tags {
+    /// [`crate::raft_model::RaftModel`].
+    pub const RAFT: u64 = 1;
+    /// [`crate::pbft_model::PbftModel`].
+    pub const PBFT: u64 = 2;
+    /// [`crate::durability::PersistenceQuorumModel`].
+    pub const PERSISTENCE_QUORUM: u64 = 3;
 }
 
 /// A description of an executable counterpart of a protocol model: enough to build

@@ -78,6 +78,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -90,6 +91,7 @@ use fault_model::metrics::{Nines, HOURS_PER_YEAR};
 use fault_model::node::Fleet;
 
 use crate::analyzer::{AnalysisError, ReliabilityReport};
+use crate::cache::{CacheKey, CacheStats, SessionCache};
 use crate::deployment::Deployment;
 use crate::engine::{
     AnalysisEngine, AnalysisOutcome, Budget, CountingEngine, EngineChoice, EnumerationEngine,
@@ -310,6 +312,23 @@ impl Default for Metrics {
     }
 }
 
+impl Metrics {
+    /// The enabled metrics in rendering order.
+    fn enabled_kinds(&self) -> Vec<MetricKind> {
+        let mut kinds = Vec::new();
+        if self.safe {
+            kinds.push(MetricKind::Safe);
+        }
+        if self.live {
+            kinds.push(MetricKind::Live);
+        }
+        if self.safe_and_live {
+            kinds.push(MetricKind::SafeAndLive);
+        }
+        kinds
+    }
+}
+
 /// The time axis of a trajectory query: how far ahead to look, how often to
 /// sample, and (for fleet cells) how wide each sampled mission window is.
 ///
@@ -483,6 +502,64 @@ pub struct TrajectoryRecord {
     /// Long-run expected unavailability in minutes per year (repairable cells
     /// only).
     pub unavailability_minutes_per_year: Option<f64>,
+}
+
+impl TrajectoryRecord {
+    /// This one trajectory as a JSON value — exactly the element
+    /// [`AnalysisReport::to_json_value`] puts in its `trajectories` array for
+    /// this record (the report path delegates here), so streamed trajectories
+    /// reassemble byte-identically into the one-shot report.
+    pub fn to_json_value(&self) -> JsonValue {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                JsonValue::Object(vec![
+                    ("at_hours".to_string(), JsonValue::number(p.at_hours)),
+                    ("probability".to_string(), JsonValue::number(p.probability)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("label".to_string(), JsonValue::string(&self.label)),
+            ("kind".to_string(), JsonValue::string(self.kind.label())),
+            ("points".to_string(), JsonValue::Array(points)),
+            (
+                "target_nines".to_string(),
+                JsonValue::optional(self.target_nines),
+            ),
+            (
+                "first_below_target_hours".to_string(),
+                JsonValue::optional(self.first_below_target_hours),
+            ),
+            (
+                "worst_probability".to_string(),
+                JsonValue::number(self.worst_probability),
+            ),
+            (
+                "worst_at_hours".to_string(),
+                JsonValue::number(self.worst_at_hours),
+            ),
+            (
+                "steady_state_availability".to_string(),
+                JsonValue::optional(self.steady_state_availability),
+            ),
+            (
+                "mean_time_to_threshold_hours".to_string(),
+                JsonValue::optional(self.mean_time_to_threshold_hours),
+            ),
+            (
+                "unavailability_minutes_per_year".to_string(),
+                JsonValue::optional(self.unavailability_minutes_per_year),
+            ),
+        ])
+    }
+
+    /// This one trajectory as a single compact JSON line (no trailing newline) —
+    /// the NDJSON streaming path, like [`CellRecord::to_json_line`].
+    pub fn to_json_line(&self) -> String {
+        self.to_json_value().to_compact_string()
+    }
 }
 
 /// One paired analytic-vs-empirical check: the simulation run requested by
@@ -962,17 +1039,79 @@ pub(crate) fn analyze_single(
     run_prepared(model, scenario, budget, choice, &scratch)
 }
 
-/// Structural identity of a grid cell's (model, scenario) pair — the cache key for
-/// session-level scratch reuse. Only grid cells get session-level keys (their
-/// models and scenarios are built deterministically from the axes); explicit cells
-/// get plan-local scratch instead.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct GroupKey {
-    protocol: ProtocolSpec,
-    nodes: usize,
-    fault_prob: u64,
+/// Namespace tag of grid-cell cache keys (coordinate encoding).
+const GRID_KEY_TAG: u64 = 0;
+/// Namespace tag of explicit-cell cache keys (content encoding).
+const CONTENT_KEY_TAG: u64 = 1;
+
+/// Structural identity of a grid cell's (model, scenario) pair — the axes build
+/// both deterministically, so the coordinates *are* the content. Fixed layout:
+/// `[tag, protocol variant, q_per, q_vc, n, p bits, axis tag, axis bits,
+/// correlation tag, correlation racks, correlation bits]` (zeroes where a
+/// variant has no such parameter).
+fn grid_key(
+    spec: ProtocolSpec,
+    n: usize,
+    fault_prob: f64,
     fault_axis: (u8, u64),
     correlation: (u8, usize, u64),
+) -> CacheKey {
+    let (variant, q_per, q_vc) = match spec {
+        ProtocolSpec::Raft => (0u64, 0u64, 0u64),
+        ProtocolSpec::RaftFlexible { q_per, q_vc } => (1, q_per as u64, q_vc as u64),
+        ProtocolSpec::Pbft => (2, 0, 0),
+    };
+    CacheKey::from_words(vec![
+        GRID_KEY_TAG,
+        variant,
+        q_per,
+        q_vc,
+        n as u64,
+        fault_prob.to_bits(),
+        fault_axis.0 as u64,
+        fault_axis.1,
+        correlation.0 as u64,
+        correlation.1 as u64,
+        correlation.2,
+    ])
+}
+
+/// Structural identity of an explicit cell's (model, scenario) pair: the model's
+/// [`cache_signature`](ProtocolModel::cache_signature) (length-prefixed) followed
+/// by the scenario's full content — every profile's probability bits plus every
+/// correlation group's members, shock-probability bits and shock mode. `None`
+/// when the model has no stable signature, in which case the cell gets
+/// plan-local scratch (always correct, never amortized).
+fn content_key(model: &dyn ProtocolModel, scenario: Scenario<'_>) -> Option<CacheKey> {
+    let sig = model.cache_signature()?;
+    let mut words = Vec::with_capacity(4 + sig.len() + 2 * scenario.len());
+    words.push(CONTENT_KEY_TAG);
+    words.push(sig.len() as u64);
+    words.extend(sig);
+    let profiles = scenario.profiles();
+    words.push(profiles.len() as u64);
+    for profile in profiles {
+        words.push(profile.crash_probability().to_bits());
+        words.push(profile.byzantine_probability().to_bits());
+    }
+    // An independent deployment encodes as zero correlation groups — it *is* a
+    // correlation model with no groups, and every engine treats them alike.
+    let groups: &[CorrelationGroup] = match scenario {
+        Scenario::Independent(_) => &[],
+        Scenario::Correlated(c) => c.groups(),
+    };
+    words.push(groups.len() as u64);
+    for group in groups {
+        words.push(group.members.len() as u64);
+        words.extend(group.members.iter().map(|&m| m as u64));
+        words.push(group.shock_probability.to_bits());
+        words.push(match group.shock_mode {
+            fault_model::mode::NodeState::Correct => 0,
+            fault_model::mode::NodeState::Crashed => 1,
+            fault_model::mode::NodeState::Byzantine => 2,
+        });
+    }
+    Some(CacheKey::from_words(words))
 }
 
 /// The sweep-native analysis front door: owns the pool pinning and the reusable
@@ -998,17 +1137,41 @@ struct GroupKey {
 ///     "99.97%"
 /// );
 /// ```
-#[derive(Default)]
 pub struct AnalysisSession {
     models: Mutex<HashMap<(ProtocolSpec, usize), Arc<dyn ProtocolModel + Send + Sync>>>,
-    groups: Mutex<HashMap<GroupKey, Arc<GroupScratch>>>,
+    cache: SessionCache,
     pool: Option<Arc<rayon::ThreadPool>>,
 }
 
+impl Default for AnalysisSession {
+    fn default() -> Self {
+        Self::with_cache_capacity(Self::DEFAULT_CACHE_CAPACITY)
+    }
+}
+
 impl AnalysisSession {
+    /// Default bound on cached (model, scenario) scratch groups — a few thousand
+    /// compiled kernels and converted correlation models. Scratch is a pure
+    /// cache: eviction never changes results, only costs recomputation, and
+    /// plans in flight keep their own `Arc`s, so eviction cannot invalidate a
+    /// planned query.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 4_096;
+
     /// A session executing on the process-wide persistent rayon pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A session whose scratch cache is bounded to roughly `capacity` groups
+    /// (LRU eviction past the bound; see [`crate::cache`]). The default
+    /// ([`Self::DEFAULT_CACHE_CAPACITY`]) is right for almost everyone — tight
+    /// bounds exist for memory-constrained servers and for eviction tests.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        Self {
+            models: Mutex::new(HashMap::new()),
+            cache: SessionCache::new(capacity),
+            pool: None,
+        }
     }
 
     /// A session whose plans and executions run with a pinned thread count
@@ -1029,31 +1192,27 @@ impl AnalysisSession {
     }
 
     fn model(&self, spec: ProtocolSpec, n: usize) -> Arc<dyn ProtocolModel + Send + Sync> {
-        self.models
-            .lock()
-            .unwrap()
-            .entry((spec, n))
-            .or_insert_with(|| spec.build(n))
-            .clone()
+        if let Some(model) = self.models.lock().unwrap().get(&(spec, n)) {
+            return Arc::clone(model);
+        }
+        // Build outside the lock: constructors panic on invalid (spec, n)
+        // combinations, and a long-running session (the server) must survive a
+        // rejected plan without poisoning the model cache.
+        let model = spec.build(n);
+        Arc::clone(
+            self.models
+                .lock()
+                .unwrap()
+                .entry((spec, n))
+                .or_insert(model),
+        )
     }
 
-    /// Cap on cached (model, scenario) scratch groups. Scratch is a pure cache —
-    /// dropping it never changes results, only costs recomputation — so when a
-    /// long-lived session crosses the cap (a few thousand kernels and converted
-    /// correlation models) the cache is simply cleared rather than growing
-    /// without bound. Plans in flight keep their own `Arc`s, so eviction cannot
-    /// invalidate a planned query.
-    const MAX_CACHED_GROUPS: usize = 4_096;
-
-    fn group(&self, key: GroupKey) -> Arc<GroupScratch> {
-        let mut groups = self.groups.lock().unwrap();
-        if groups.len() >= Self::MAX_CACHED_GROUPS && !groups.contains_key(&key) {
-            groups.clear();
-        }
-        groups
-            .entry(key)
-            .or_insert_with(|| Arc::new(GroupScratch::new()))
-            .clone()
+    /// A snapshot of the scratch-cache counters (hits, misses, evictions,
+    /// resident entries) — the observability surface behind the server
+    /// protocol's `stats` request.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Drops all cached per-(model, scenario) scratch (converted correlation
@@ -1061,7 +1220,7 @@ impl AnalysisSession {
     /// Purely a memory lever: subsequent plans recompute on demand with
     /// identical results.
     pub fn clear_scratch(&self) {
-        self.groups.lock().unwrap().clear();
+        self.cache.clear();
         self.models.lock().unwrap().clear();
     }
 
@@ -1099,13 +1258,13 @@ impl AnalysisSession {
                         let deployment = query.fault_axis.deployment(n, p);
                         for corr in &query.correlations {
                             let scenario = corr.apply(deployment.clone());
-                            let scratch = self.group(GroupKey {
-                                protocol: spec,
-                                nodes: n,
-                                fault_prob: p.to_bits(),
-                                fault_axis: query.fault_axis.key(),
-                                correlation: corr.key(),
-                            });
+                            let scratch = self.cache.get_or_insert(grid_key(
+                                spec,
+                                n,
+                                p,
+                                query.fault_axis.key(),
+                                corr.key(),
+                            ));
                             for &samples in &sample_axis {
                                 let budget = query.budget.with_samples(samples);
                                 let engine = choose_engine_prepared(
@@ -1146,7 +1305,14 @@ impl AnalysisSession {
                         scenario_nodes: scenario.len(),
                     });
                 }
-                let scratch = Arc::new(GroupScratch::new());
+                // Explicit cells hit the session cache too, keyed by model
+                // content fingerprint + full scenario content — the dominant
+                // server workload is repeated single-cell requests. Models
+                // without a stable signature get plan-local scratch.
+                let scratch = match content_key(explicit.model.as_ref(), scenario) {
+                    Some(key) => self.cache.get_or_insert(key),
+                    None => Arc::new(GroupScratch::new()),
+                };
                 let engine = choose_engine_prepared(
                     explicit.model.as_ref(),
                     scenario,
@@ -1393,6 +1559,37 @@ enum ItemOutput {
     Trajectory(TrajectoryRecord),
 }
 
+/// Observer of a plan execution's per-cell completions, the streaming half of
+/// [`QueryPlan::execute_streaming`]: the scheduler calls [`on_cell`](Self::on_cell)
+/// the moment a cell's last work item retires (validation included), long before
+/// the whole report materializes — which is how the server streams `CellRecord`s
+/// over the wire while later cells are still sampling.
+///
+/// Callbacks fire from pool workers, concurrently (hence `Sync`) and in an
+/// **unspecified order** — completion order depends on scheduling. Every event
+/// carries its query-order index, so a consumer that wants report order
+/// reassembles by index. The records passed here are exactly the records the
+/// returned [`AnalysisReport`] will contain (the streaming path *is* the
+/// execution path; `execute` just attaches a no-op sink).
+pub trait StreamSink: Sync {
+    /// A cell completed: its merged outcome, paired validation (if requested)
+    /// and wall time are final. `index` is the cell's query-order position.
+    fn on_cell(&self, index: usize, record: &CellRecord) {
+        let _ = (index, record);
+    }
+
+    /// A time-domain trajectory cell completed. `index` is its query-order
+    /// position among the plan's trajectory cells.
+    fn on_trajectory(&self, index: usize, record: &TrajectoryRecord) {
+        let _ = (index, record);
+    }
+}
+
+/// The no-op sink behind [`QueryPlan::execute`].
+struct DiscardSink;
+
+impl StreamSink for DiscardSink {}
+
 /// The kernel [`run_prepared`]'s Monte Carlo arm would select for this cell; the
 /// chunk items replicate the choice so the scheduled report names the same kernel.
 fn mc_kernel_kind(cell: &PlannedCell) -> McKernel {
@@ -1448,125 +1645,160 @@ impl QueryPlan {
     /// so the report is **bit-identical** to a sequential per-cell
     /// [`analyze_auto`](crate::analyzer::analyze_auto) /
     /// [`analyze_scenario`](crate::analyzer::analyze_scenario) loop at any thread
-    /// count, including the paired validation runs (executed as a second item
-    /// wave, since they need the merged analytic estimates) and the trajectory
-    /// records.
+    /// count, including the paired validation runs (executed inline on each
+    /// cell's completion, since they need the merged analytic estimates) and the
+    /// trajectory records.
     pub fn execute(&self) -> AnalysisReport {
-        let run = || self.execute_scheduled();
+        self.execute_streaming(&DiscardSink)
+    }
+
+    /// [`execute`](Self::execute) with per-cell completion callbacks: `sink`
+    /// observes every [`CellRecord`] / [`TrajectoryRecord`] the moment it is
+    /// final, before the rest of the plan finishes — see [`StreamSink`]. The
+    /// returned report is the same (bit-identical, cells in query order) as
+    /// `execute`'s; the sink only adds observation, never changes execution.
+    pub fn execute_streaming(&self, sink: &dyn StreamSink) -> AnalysisReport {
+        let run = || self.execute_scheduled(sink);
         match &self.pool {
             Some(pool) => pool.install(run),
             None => run(),
         }
     }
 
-    /// The scheduler behind [`execute`](Self::execute): decompose, run the item
-    /// wave, merge in index order, then run the validation wave.
-    fn execute_scheduled(&self) -> AnalysisReport {
+    /// The scheduler behind [`execute_streaming`](Self::execute_streaming):
+    /// decompose, run the item wave, and complete each cell (merge + inline
+    /// validation + emission) on the worker that retires its last item.
+    fn execute_scheduled(&self, sink: &dyn StreamSink) -> AnalysisReport {
         let (items, spans) = self.work_items();
         let mut order: Vec<usize> = (0..items.len()).collect();
         order.sort_by_key(|&index| (std::cmp::Reverse(self.item_cost(items[index])), index));
         let slots: Vec<Mutex<Option<(ItemOutput, u64)>>> =
             items.iter().map(|_| Mutex::new(None)).collect();
+        // One countdown per cell: the task that makes it hit zero owns the merge,
+        // the paired validation and the emission of that cell's record — so cells
+        // stream out as they complete instead of waiting for the full item wave.
+        let countdown: Vec<AtomicUsize> = spans
+            .iter()
+            .map(|&(_, len)| AtomicUsize::new(len))
+            .collect();
+        let cell_slots: Vec<Mutex<Option<CellRecord>>> =
+            self.cells.iter().map(|_| Mutex::new(None)).collect();
+        let trajectory_slots: Vec<Mutex<Option<TrajectoryRecord>>> =
+            self.trajectories.iter().map(|_| Mutex::new(None)).collect();
         rayon::for_each_task(order.len(), |position| {
             let index = order[position];
             let start = Instant::now();
             let output = self.run_item(items[index]);
-            *slots[index].lock().unwrap() = Some((output, start.elapsed().as_nanos() as u64));
-        });
-        let mut outputs = slots.into_iter().map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("for_each_task ran every item before returning")
-        });
-
-        // Merge in cell index order. Chunk items were emitted in chunk order, so
-        // the fold below replays exactly the whole-cell samplers' collect-then-fold.
-        let mut merged: Vec<(AnalysisOutcome, u64)> = Vec::with_capacity(self.cells.len());
-        for (cell, &(_, span_len)) in self.cells.iter().zip(&spans) {
-            let mut wall_ns = 0u64;
-            let outcome = if cell.engine == EngineChoice::MonteCarlo {
-                let mut hits = HitCounts::default();
-                for _ in 0..span_len {
-                    let (output, ns) = outputs.next().expect("spans cover the item list");
-                    wall_ns += ns;
-                    match output {
-                        ItemOutput::Hits(chunk_hits) => hits = hits + chunk_hits,
-                        _ => unreachable!("Monte Carlo cells decompose into chunk items"),
-                    }
-                }
-                let samples = cell.budget.monte_carlo_samples.max(1);
-                outcome_from_monte_carlo(report_from_counts(hits, samples, mc_kernel_kind(cell)))
-            } else {
-                let (output, ns) = outputs.next().expect("spans cover the item list");
-                wall_ns += ns;
-                match output {
-                    ItemOutput::Outcome(outcome) => outcome,
-                    _ => unreachable!("non-sampling cells are whole-cell items"),
+            let elapsed = start.elapsed().as_nanos() as u64;
+            let cell_index = match items[index] {
+                WorkItem::Cell(cell) | WorkItem::McChunk { cell, .. } => cell,
+                WorkItem::Trajectory(t) => {
+                    let record = match output {
+                        ItemOutput::Trajectory(record) => record,
+                        _ => unreachable!("trajectory items produce trajectory records"),
+                    };
+                    sink.on_trajectory(t, &record);
+                    *trajectory_slots[t].lock().unwrap() = Some(record);
+                    return;
                 }
             };
-            merged.push((outcome, wall_ns));
+            *slots[index].lock().unwrap() = Some((output, elapsed));
+            // AcqRel: the last decrementer must observe every sibling's slot
+            // write (the Mutex release alone orders only same-slot accesses).
+            if countdown[cell_index].fetch_sub(1, Ordering::AcqRel) == 1 {
+                let record = self.complete_cell(cell_index, spans[cell_index], &slots);
+                sink.on_cell(cell_index, &record);
+                *cell_slots[cell_index].lock().unwrap() = Some(record);
+            }
+        });
+        AnalysisReport {
+            metrics: self.metrics,
+            cells: cell_slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap()
+                        .expect("every cell completed before for_each_task returned")
+                })
+                .collect(),
+            trajectories: trajectory_slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap()
+                        .expect("every trajectory completed before for_each_task returned")
+                })
+                .collect(),
         }
-        let trajectories: Vec<TrajectoryRecord> = outputs
-            .map(|(output, _)| match output {
-                ItemOutput::Trajectory(record) => record,
-                _ => unreachable!("trajectory items follow the last cell span"),
-            })
-            .collect();
+    }
 
-        // Validation wave: each validated cell's paired simulation needs that
-        // cell's merged analytic estimate, so these items run after the merge —
-        // still placement-deterministic, still stealable.
-        let validating: Vec<usize> = (0..self.cells.len())
-            .filter(|&index| self.cells[index].validate)
-            .collect();
-        let validation_slots: Vec<Mutex<Option<(ValidationRecord, u64)>>> =
-            validating.iter().map(|_| Mutex::new(None)).collect();
-        rayon::for_each_task(validating.len(), |position| {
-            let index = validating[position];
-            let cell = &self.cells[index];
+    /// Merges a completed cell's item outputs into its final [`CellRecord`],
+    /// running the paired validation inline when the query requested one.
+    ///
+    /// Chunk items sit in the slot span in chunk order, so the fold below replays
+    /// exactly the whole-cell samplers' collect-then-fold — the record is
+    /// bit-identical to a sequential per-cell run no matter which worker gets
+    /// here, or when.
+    fn complete_cell(
+        &self,
+        index: usize,
+        span: (usize, usize),
+        slots: &[Mutex<Option<(ItemOutput, u64)>>],
+    ) -> CellRecord {
+        let cell = &self.cells[index];
+        let (start, len) = span;
+        let mut wall_ns = 0u64;
+        let mut take = |item: usize| -> ItemOutput {
+            let (output, ns) = slots[item]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("the countdown retired after every span slot was written");
+            wall_ns += ns;
+            output
+        };
+        let outcome = if cell.engine == EngineChoice::MonteCarlo {
+            let mut hits = HitCounts::default();
+            for item in start..start + len {
+                match take(item) {
+                    ItemOutput::Hits(chunk_hits) => hits = hits + chunk_hits,
+                    _ => unreachable!("Monte Carlo cells decompose into chunk items"),
+                }
+            }
+            let samples = cell.budget.monte_carlo_samples.max(1);
+            outcome_from_monte_carlo(report_from_counts(hits, samples, mc_kernel_kind(cell)))
+        } else {
+            match take(start) {
+                ItemOutput::Outcome(outcome) => outcome,
+                _ => unreachable!("non-sampling cells are whole-cell items"),
+            }
+        };
+        // The paired simulation needs the merged analytic estimate, so it runs
+        // here, on this cell's completion — not as a plan-wide second wave. It is
+        // a pure function of (model, scenario, budget, estimate), so where it
+        // runs never shows in the record.
+        let validation = cell.validate.then(|| {
             let start = Instant::now();
             let record = validation_record(
                 cell.model.as_ref(),
                 cell.scenario.as_scenario(),
                 &cell.budget,
-                merged[index].0.report.safe_and_live.probability(),
+                outcome.report.safe_and_live.probability(),
             );
-            *validation_slots[position].lock().unwrap() =
-                Some((record, start.elapsed().as_nanos() as u64));
+            wall_ns += start.elapsed().as_nanos() as u64;
+            record
         });
-        let mut validations: Vec<Option<ValidationRecord>> =
-            (0..self.cells.len()).map(|_| None).collect();
-        for (&index, slot) in validating.iter().zip(validation_slots) {
-            let (record, ns) = slot
-                .into_inner()
-                .unwrap()
-                .expect("for_each_task ran every validation before returning");
-            validations[index] = Some(record);
-            merged[index].1 += ns;
-        }
-
-        let cells = self
-            .cells
-            .iter()
-            .zip(merged)
-            .zip(validations)
-            .map(|((cell, (outcome, wall_ns)), validation)| CellRecord {
-                label: cell.label.clone(),
-                protocol: cell.protocol.clone(),
-                nodes: cell.nodes,
-                fault_prob: cell.fault_prob,
-                correlation: cell.correlation.clone(),
-                samples_budget: cell.budget.monte_carlo_samples,
-                engine: cell.engine,
-                outcome,
-                validation,
-                wall_ns,
-            })
-            .collect();
-        AnalysisReport {
-            metrics: self.metrics,
-            cells,
-            trajectories,
+        CellRecord {
+            label: cell.label.clone(),
+            protocol: cell.protocol.clone(),
+            nodes: cell.nodes,
+            fault_prob: cell.fault_prob,
+            correlation: cell.correlation.clone(),
+            samples_budget: cell.budget.monte_carlo_samples,
+            engine: cell.engine,
+            outcome,
+            validation,
+            wall_ns,
         }
     }
 
@@ -1760,6 +1992,113 @@ impl CellRecord {
             MetricKind::SafeAndLive => self.outcome.report.safe_and_live.probability(),
         }
     }
+
+    /// This one cell as a JSON value — exactly the element
+    /// [`AnalysisReport::to_json_value`] puts in its `cells` array for this
+    /// record (the report path delegates here), so streamed cells reassemble
+    /// byte-identically into the one-shot report. `metrics` selects which
+    /// guarantee objects are rendered, as in the report.
+    pub fn to_json_value(&self, metrics: Metrics) -> JsonValue {
+        let mut members = vec![
+            ("label".to_string(), JsonValue::string(&self.label)),
+            ("protocol".to_string(), JsonValue::string(&self.protocol)),
+            ("nodes".to_string(), JsonValue::number(self.nodes as f64)),
+            (
+                "fault_prob".to_string(),
+                JsonValue::optional(self.fault_prob),
+            ),
+            (
+                "correlation".to_string(),
+                JsonValue::string(&self.correlation),
+            ),
+            (
+                "engine".to_string(),
+                JsonValue::string(self.engine.to_string()),
+            ),
+            (
+                "exact".to_string(),
+                JsonValue::Bool(self.outcome.is_exact()),
+            ),
+            (
+                "kernel".to_string(),
+                self.kernel().map_or(JsonValue::Null, |k| {
+                    JsonValue::string(format!("{k:?}").to_lowercase())
+                }),
+            ),
+            (
+                "samples".to_string(),
+                JsonValue::optional(self.samples_drawn().map(|s| s as f64)),
+            ),
+            ("ess".to_string(), JsonValue::optional(self.ess())),
+            (
+                "wall_ns".to_string(),
+                JsonValue::number(self.wall_ns as f64),
+            ),
+            (
+                "validation".to_string(),
+                self.validation.as_ref().map_or(JsonValue::Null, |v| {
+                    JsonValue::Object(vec![
+                        (
+                            "empirical".to_string(),
+                            JsonValue::number(v.simulation.safe_and_live.value),
+                        ),
+                        (
+                            "lower".to_string(),
+                            JsonValue::number(v.simulation.safe_and_live.lower),
+                        ),
+                        (
+                            "upper".to_string(),
+                            JsonValue::number(v.simulation.safe_and_live.upper),
+                        ),
+                        (
+                            "trials".to_string(),
+                            JsonValue::number(v.simulation.trials as f64),
+                        ),
+                        ("analytic".to_string(), JsonValue::number(v.analytic)),
+                        ("z_score".to_string(), JsonValue::number(v.z_score)),
+                        (
+                            "mean_messages_delivered".to_string(),
+                            JsonValue::number(v.simulation.mean_messages_delivered),
+                        ),
+                        (
+                            "mean_leader_changes".to_string(),
+                            JsonValue::number(v.simulation.mean_leader_changes),
+                        ),
+                        (
+                            "mean_decided_commands".to_string(),
+                            JsonValue::number(v.simulation.mean_decided_commands),
+                        ),
+                    ])
+                }),
+            ),
+        ];
+        for kind in metrics.enabled_kinds() {
+            let (lower, upper) = match self.bounds(kind) {
+                Some((lower, upper)) => (JsonValue::number(lower), JsonValue::number(upper)),
+                None => (JsonValue::Null, JsonValue::Null),
+            };
+            members.push((
+                kind.name().to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "value".to_string(),
+                        JsonValue::number(self.probability(kind)),
+                    ),
+                    ("lower".to_string(), lower),
+                    ("upper".to_string(), upper),
+                ]),
+            ));
+        }
+        JsonValue::Object(members)
+    }
+
+    /// This one cell as a single compact JSON line (no trailing newline) — the
+    /// incremental writer path: a streaming server emits each completed cell as
+    /// one NDJSON line instead of buffering a whole report. Numbers keep the
+    /// module's bit-exact round-trip formatting; NaN/infinity render as `null`.
+    pub fn to_json_line(&self, metrics: Metrics) -> String {
+        self.to_json_value(metrics).to_compact_string()
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -1810,18 +2149,25 @@ impl AnalysisReport {
         &self.trajectories[index]
     }
 
+    /// The metric selection this report renders with.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// A copy of the report with every cell's `wall_ns` zeroed — the one
+    /// non-deterministic field. Byte-comparisons between runs (streamed vs.
+    /// one-shot, concurrent vs. sequential) compare `zero_wall_clock()` outputs;
+    /// everything else in a report is bit-identical by the determinism contract.
+    pub fn zero_wall_clock(&self) -> AnalysisReport {
+        let mut report = self.clone();
+        for cell in &mut report.cells {
+            cell.wall_ns = 0;
+        }
+        report
+    }
+
     fn enabled_metrics(&self) -> Vec<MetricKind> {
-        let mut kinds = Vec::new();
-        if self.metrics.safe {
-            kinds.push(MetricKind::Safe);
-        }
-        if self.metrics.live {
-            kinds.push(MetricKind::Live);
-        }
-        if self.metrics.safe_and_live {
-            kinds.push(MetricKind::SafeAndLive);
-        }
-        kinds
+        self.metrics.enabled_kinds()
     }
 
     /// Renders the report as a column-aligned plain-text table. When any cell
@@ -1915,158 +2261,25 @@ impl AnalysisReport {
     /// probabilities serialize with full round-trip precision, non-finite values as
     /// `null`).
     pub fn to_json_value(&self) -> JsonValue {
-        let kinds = self.enabled_metrics();
-        let cells = self
-            .cells
-            .iter()
-            .map(|cell| {
-                let mut members = vec![
-                    ("label".to_string(), JsonValue::string(&cell.label)),
-                    ("protocol".to_string(), JsonValue::string(&cell.protocol)),
-                    ("nodes".to_string(), JsonValue::number(cell.nodes as f64)),
-                    (
-                        "fault_prob".to_string(),
-                        JsonValue::optional(cell.fault_prob),
-                    ),
-                    (
-                        "correlation".to_string(),
-                        JsonValue::string(&cell.correlation),
-                    ),
-                    (
-                        "engine".to_string(),
-                        JsonValue::string(cell.engine.to_string()),
-                    ),
-                    (
-                        "exact".to_string(),
-                        JsonValue::Bool(cell.outcome.is_exact()),
-                    ),
-                    (
-                        "kernel".to_string(),
-                        cell.kernel().map_or(JsonValue::Null, |k| {
-                            JsonValue::string(format!("{k:?}").to_lowercase())
-                        }),
-                    ),
-                    (
-                        "samples".to_string(),
-                        JsonValue::optional(cell.samples_drawn().map(|s| s as f64)),
-                    ),
-                    ("ess".to_string(), JsonValue::optional(cell.ess())),
-                    (
-                        "wall_ns".to_string(),
-                        JsonValue::number(cell.wall_ns as f64),
-                    ),
-                    (
-                        "validation".to_string(),
-                        cell.validation.as_ref().map_or(JsonValue::Null, |v| {
-                            JsonValue::Object(vec![
-                                (
-                                    "empirical".to_string(),
-                                    JsonValue::number(v.simulation.safe_and_live.value),
-                                ),
-                                (
-                                    "lower".to_string(),
-                                    JsonValue::number(v.simulation.safe_and_live.lower),
-                                ),
-                                (
-                                    "upper".to_string(),
-                                    JsonValue::number(v.simulation.safe_and_live.upper),
-                                ),
-                                (
-                                    "trials".to_string(),
-                                    JsonValue::number(v.simulation.trials as f64),
-                                ),
-                                ("analytic".to_string(), JsonValue::number(v.analytic)),
-                                ("z_score".to_string(), JsonValue::number(v.z_score)),
-                                (
-                                    "mean_messages_delivered".to_string(),
-                                    JsonValue::number(v.simulation.mean_messages_delivered),
-                                ),
-                                (
-                                    "mean_leader_changes".to_string(),
-                                    JsonValue::number(v.simulation.mean_leader_changes),
-                                ),
-                                (
-                                    "mean_decided_commands".to_string(),
-                                    JsonValue::number(v.simulation.mean_decided_commands),
-                                ),
-                            ])
-                        }),
-                    ),
-                ];
-                for &kind in &kinds {
-                    let (lower, upper) = match cell.bounds(kind) {
-                        Some((lower, upper)) => {
-                            (JsonValue::number(lower), JsonValue::number(upper))
-                        }
-                        None => (JsonValue::Null, JsonValue::Null),
-                    };
-                    members.push((
-                        kind.name().to_string(),
-                        JsonValue::Object(vec![
-                            (
-                                "value".to_string(),
-                                JsonValue::number(cell.probability(kind)),
-                            ),
-                            ("lower".to_string(), lower),
-                            ("upper".to_string(), upper),
-                        ]),
-                    ));
-                }
-                JsonValue::Object(members)
-            })
-            .collect();
-        let trajectories = self
-            .trajectories
-            .iter()
-            .map(|record| {
-                let points = record
-                    .points
-                    .iter()
-                    .map(|p| {
-                        JsonValue::Object(vec![
-                            ("at_hours".to_string(), JsonValue::number(p.at_hours)),
-                            ("probability".to_string(), JsonValue::number(p.probability)),
-                        ])
-                    })
-                    .collect();
-                JsonValue::Object(vec![
-                    ("label".to_string(), JsonValue::string(&record.label)),
-                    ("kind".to_string(), JsonValue::string(record.kind.label())),
-                    ("points".to_string(), JsonValue::Array(points)),
-                    (
-                        "target_nines".to_string(),
-                        JsonValue::optional(record.target_nines),
-                    ),
-                    (
-                        "first_below_target_hours".to_string(),
-                        JsonValue::optional(record.first_below_target_hours),
-                    ),
-                    (
-                        "worst_probability".to_string(),
-                        JsonValue::number(record.worst_probability),
-                    ),
-                    (
-                        "worst_at_hours".to_string(),
-                        JsonValue::number(record.worst_at_hours),
-                    ),
-                    (
-                        "steady_state_availability".to_string(),
-                        JsonValue::optional(record.steady_state_availability),
-                    ),
-                    (
-                        "mean_time_to_threshold_hours".to_string(),
-                        JsonValue::optional(record.mean_time_to_threshold_hours),
-                    ),
-                    (
-                        "unavailability_minutes_per_year".to_string(),
-                        JsonValue::optional(record.unavailability_minutes_per_year),
-                    ),
-                ])
-            })
-            .collect();
         JsonValue::Object(vec![
-            ("cells".to_string(), JsonValue::Array(cells)),
-            ("trajectories".to_string(), JsonValue::Array(trajectories)),
+            (
+                "cells".to_string(),
+                JsonValue::Array(
+                    self.cells
+                        .iter()
+                        .map(|cell| cell.to_json_value(self.metrics))
+                        .collect(),
+                ),
+            ),
+            (
+                "trajectories".to_string(),
+                JsonValue::Array(
+                    self.trajectories
+                        .iter()
+                        .map(TrajectoryRecord::to_json_value)
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -2437,8 +2650,229 @@ mod tests {
         let first = session.run(&query).expect("valid query");
         let second = session.run(&query).expect("valid query");
         assert_eq!(first.cell(0).outcome, second.cell(0).outcome);
-        // One group signature in the session cache despite two plans.
-        assert_eq!(session.groups.lock().unwrap().len(), 1);
+        // One group signature in the session cache despite two plans: the
+        // second plan's lookup is a hit, not a second resident entry.
+        let stats = session.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn streaming_emits_every_record_exactly_once_and_matches_the_report() {
+        struct Collector {
+            cells: Mutex<Vec<(usize, CellRecord)>>,
+            trajectories: Mutex<Vec<(usize, TrajectoryRecord)>>,
+        }
+        impl StreamSink for Collector {
+            fn on_cell(&self, index: usize, record: &CellRecord) {
+                self.cells.lock().unwrap().push((index, record.clone()));
+            }
+            fn on_trajectory(&self, index: usize, record: &TrajectoryRecord) {
+                self.trajectories
+                    .lock()
+                    .unwrap()
+                    .push((index, record.clone()));
+            }
+        }
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft, ProtocolSpec::Pbft])
+            .nodes([4usize, 16])
+            .fault_probs([0.01, 0.05])
+            .repairable_cell("repairable", RepairableGroup::new(5, 1e-4, 0.1, 2))
+            .budget(Budget::default().with_samples(20_000));
+        let plan = session.plan(&query).expect("valid query");
+        let sink = Collector {
+            cells: Mutex::new(Vec::new()),
+            trajectories: Mutex::new(Vec::new()),
+        };
+        let streamed = plan.execute_streaming(&sink);
+        let oneshot = plan.execute();
+
+        // The streamed report equals a plain execution of the same plan.
+        assert_eq!(streamed.cells().len(), oneshot.cells().len());
+        for (a, b) in streamed.cells().iter().zip(oneshot.cells()) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.label, b.label);
+        }
+
+        // Every cell was emitted exactly once, and each emitted record is the
+        // record the report contains (reassembly by index reproduces the report).
+        let mut cells = sink.cells.into_inner().unwrap();
+        assert_eq!(cells.len(), streamed.cells().len());
+        cells.sort_by_key(|(index, _)| *index);
+        for (position, (index, record)) in cells.iter().enumerate() {
+            assert_eq!(position, *index, "each index emitted exactly once");
+            let in_report = streamed.cell(*index);
+            assert_eq!(record.outcome, in_report.outcome);
+            assert_eq!(record.wall_ns, in_report.wall_ns);
+        }
+        let trajectories = sink.trajectories.into_inner().unwrap();
+        assert_eq!(trajectories.len(), 1);
+        assert_eq!(trajectories[0].0, 0);
+        assert_eq!(
+            trajectories[0].1.points.len(),
+            streamed.trajectory(0).points.len()
+        );
+    }
+
+    #[test]
+    fn identical_explicit_cells_share_one_compiled_kernel() {
+        // The scratch-key blind spot fix: two *separate* requests for the same
+        // explicit (model, scenario) — the dominant server workload — must hit
+        // one cache entry and therefore share one compiled kernel / proposal.
+        let session = AnalysisSession::new();
+        let model = Arc::new(RaftModel::standard(5));
+        let query = Query::new()
+            .cell(
+                "explicit raft",
+                model.clone(),
+                Deployment::uniform_crash(5, 0.02),
+            )
+            .budget(Budget::default().with_samples(5_000));
+        let first = session.run(&query).expect("valid query");
+        let second = session.run(&query).expect("valid query");
+        assert_eq!(first.cell(0).outcome, second.cell(0).outcome);
+        let stats = session.cache_stats();
+        assert_eq!(stats.entries, 1, "one content signature, one entry");
+        assert_eq!(stats.misses, 1, "second request must not re-insert");
+        assert!(stats.hits >= 1, "second request must hit");
+    }
+
+    #[test]
+    fn distinct_explicit_models_never_share_scratch() {
+        // Signature-collision safety: two placement-sensitive durability models
+        // over the same deployment but different quorum members are different
+        // content, so they must get distinct cache entries.
+        let session = AnalysisSession::new();
+        let deployment = Deployment::uniform_crash(6, 0.05);
+        let query = Query::new()
+            .cell(
+                "quorum 012",
+                Arc::new(crate::durability::PersistenceQuorumModel::new(
+                    6,
+                    vec![0, 1, 2],
+                )),
+                deployment.clone(),
+            )
+            .cell(
+                "quorum 345",
+                Arc::new(crate::durability::PersistenceQuorumModel::new(
+                    6,
+                    vec![3, 4, 5],
+                )),
+                deployment,
+            )
+            .budget(Budget::default().with_samples(2_000));
+        let report = session.run(&query).expect("valid query");
+        assert_eq!(report.cells().len(), 2);
+        let stats = session.cache_stats();
+        assert_eq!(stats.entries, 2, "distinct models, distinct entries");
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn tight_capacity_session_evicts_without_changing_results() {
+        // Three scratch groups (three correlation variants) through a session
+        // bounded to one resident entry: the cache must thrash, and thrashing
+        // must be invisible in the results — scratch is a pure cache, so
+        // eviction can only cost recomputation, never change a number.
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([9usize])
+            .fault_probs([0.02])
+            .correlations([
+                CorrelationSpec::ClusterShock { probability: 0.01 },
+                CorrelationSpec::ClusterShock { probability: 0.05 },
+                CorrelationSpec::RackShock {
+                    racks: 3,
+                    probability: 0.01,
+                },
+            ])
+            .budget(Budget::default().with_samples(5_000));
+        let tight = AnalysisSession::with_cache_capacity(1);
+        let first = tight.run(&query).expect("valid query");
+        let second = tight.run(&query).expect("valid query");
+        let reference = AnalysisSession::new().run(&query).expect("valid query");
+        for index in 0..reference.cells().len() {
+            assert_eq!(first.cell(index).outcome, reference.cell(index).outcome);
+            assert_eq!(second.cell(index).outcome, reference.cell(index).outcome);
+        }
+        let stats = tight.cache_stats();
+        assert!(
+            stats.evictions > 0,
+            "three groups through one slot must evict"
+        );
+        assert!(stats.entries <= 1, "the capacity bound must hold");
+    }
+
+    #[test]
+    fn concurrent_executes_match_sequential_results() {
+        // The service contract: many plans in flight against one shared session
+        // (interleaved lookups, inserts and evictions in the scratch cache)
+        // must produce exactly the outcomes a quiet sequential session does.
+        let queries: Vec<Query> = vec![
+            Query::new()
+                .protocols([ProtocolSpec::Raft, ProtocolSpec::Pbft])
+                .nodes([5usize, 9])
+                .fault_probs([0.02])
+                .budget(Budget::default().with_samples(5_000)),
+            Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([7usize])
+                .fault_probs([0.01, 0.05])
+                .correlations([CorrelationSpec::ClusterShock { probability: 0.02 }])
+                .budget(Budget::default().with_samples(5_000)),
+            Query::new()
+                .cell(
+                    "pq",
+                    Arc::new(crate::durability::PersistenceQuorumModel::new(
+                        6,
+                        vec![0, 1, 2],
+                    )),
+                    Deployment::uniform_crash(6, 0.05),
+                )
+                .budget(Budget::default().with_samples(2_000)),
+        ];
+        let expected: Vec<AnalysisReport> = queries
+            .iter()
+            .map(|q| AnalysisSession::new().run(q).expect("valid query"))
+            .collect();
+        let session = AnalysisSession::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|worker: usize| {
+                    let session = &session;
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        // Each worker walks the queries from a different start
+                        // so distinct plans overlap in time.
+                        (0..queries.len())
+                            .map(|step| {
+                                let index = (worker + step) % queries.len();
+                                (index, session.run(&queries[index]).expect("valid query"))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, report) in handle.join().expect("worker panicked") {
+                    let reference = &expected[index];
+                    assert_eq!(report.cells().len(), reference.cells().len());
+                    for cell in 0..reference.cells().len() {
+                        assert_eq!(
+                            report.cell(cell).outcome,
+                            reference.cell(cell).outcome,
+                            "query {index} cell {cell} diverged under concurrency"
+                        );
+                    }
+                }
+            }
+        });
+        let stats = session.cache_stats();
+        assert!(stats.hits > 0, "repeated plans must share scratch");
     }
 
     #[test]

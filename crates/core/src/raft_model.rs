@@ -106,6 +106,16 @@ impl ProtocolModel for RaftModel {
             election_quorum: self.q_vc,
         })
     }
+
+    fn cache_signature(&self) -> Option<Vec<u64>> {
+        // (n, q_per, q_vc) fully determine the counting predicates.
+        Some(vec![
+            crate::protocol::signature_tags::RAFT,
+            self.n as u64,
+            self.q_per as u64,
+            self.q_vc as u64,
+        ])
+    }
 }
 
 impl CountingModel for RaftModel {

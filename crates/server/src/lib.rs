@@ -1,0 +1,1140 @@
+//! Analysis-as-a-service: the long-running front end behind `repro serve`.
+//!
+//! The paper's pitch is operational — operators ask "what reliability does this
+//! deployment give?" continuously as telemetry shifts, not once per offline run.
+//! This crate keeps one [`AnalysisSession`] (and therefore one scratch cache of
+//! converted correlation models, compiled packed kernels, selector pilots and
+//! learned IS proposals) alive across requests and exposes it over a newline-
+//! delimited JSON protocol on stdio or TCP.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in each direction. Requests:
+//!
+//! ```text
+//! {"id":"q1","op":"query","query":{"protocols":["raft"],"nodes":[5],"fault_probs":[0.02]}}
+//! {"id":"s1","op":"stats"}
+//! {"id":"bye","op":"shutdown"}
+//! ```
+//!
+//! Responses are events tagged with the request `id`. A query streams one
+//! `cell` / `trajectory` event per record *as it completes* (unspecified order;
+//! every event carries its query-order `index`), then a `done` summary:
+//!
+//! ```text
+//! {"id":"q1","event":"cell","index":0,"cell":{...}}
+//! {"id":"q1","event":"done","cells":1,"trajectories":0,"wall_ms":2.1}
+//! {"id":"s1","event":"stats","cache":{...},"queries_completed":1,...}
+//! {"id":"bye","event":"shutdown"}
+//! ```
+//!
+//! Queries submitted before a previous one finishes run **concurrently** on the
+//! shared worker pool (each plan is submitted as an owned task; its work items
+//! interleave with every other plan's). `shutdown` drains in-flight queries
+//! before the final event is written. Malformed lines and failed plans produce
+//! an `error` event and never take the server down.
+//!
+//! The streamed cell records are produced by the same execution path as the
+//! one-shot CLI (`QueryPlan::execute_streaming`), so a streamed report
+//! re-assembled by index is byte-identical to a one-shot run of the same query
+//! (modulo the measured `wall_ns` fields).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fault_model::markov::RepairableGroup;
+use prob_consensus::deployment::Deployment;
+use prob_consensus::durability::PersistenceQuorumModel;
+use prob_consensus::engine::Budget;
+use prob_consensus::json::JsonValue;
+use prob_consensus::protocol::ProtocolModel;
+use prob_consensus::query::{
+    AnalysisSession, CellRecord, CorrelationSpec, FaultAxis, Metrics, ProtocolSpec, Query,
+    StreamSink, TimeAxis, TrajectoryRecord,
+};
+
+/// The output side of a connection: every event line is rendered compact,
+/// newline-terminated, and written + flushed under the lock, so concurrent
+/// plans never interleave *within* a line.
+pub type SharedWriter = Arc<Mutex<dyn Write + Send>>;
+
+fn emit(writer: &SharedWriter, value: &JsonValue) {
+    let mut line = value.to_compact_string();
+    line.push('\n');
+    let mut w = writer.lock().expect("writer lock");
+    // A dead peer is not a server error: drop the event and keep serving.
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.flush();
+}
+
+fn event(id: &JsonValue, kind: &str, rest: Vec<(String, JsonValue)>) -> JsonValue {
+    let mut members = vec![
+        ("id".to_string(), id.clone()),
+        ("event".to_string(), JsonValue::string(kind)),
+    ];
+    members.extend(rest);
+    JsonValue::Object(members)
+}
+
+fn error_event(id: &JsonValue, message: impl Into<String>) -> JsonValue {
+    event(
+        id,
+        "error",
+        vec![("message".to_string(), JsonValue::string(message.into()))],
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "internal error".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query JSON → `Query`
+// ---------------------------------------------------------------------------
+
+fn as_bool(v: &JsonValue) -> Option<bool> {
+    match v {
+        JsonValue::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn as_usize(v: &JsonValue) -> Option<usize> {
+    let f = v.as_f64()?;
+    (f >= 0.0 && f.fract() == 0.0 && f <= u32::MAX as f64).then_some(f as usize)
+}
+
+fn as_u64(v: &JsonValue) -> Option<u64> {
+    let f = v.as_f64()?;
+    (f >= 0.0 && f.fract() == 0.0 && f <= 2f64.powi(53)).then_some(f as u64)
+}
+
+fn field<'a>(obj: &'a JsonValue, key: &str, what: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing '{key}'"))
+}
+
+fn num_field(obj: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    field(obj, key, what)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: '{key}' must be a number"))
+}
+
+fn usize_field(obj: &JsonValue, key: &str, what: &str) -> Result<usize, String> {
+    field(obj, key, what)?
+        .as_usize()
+        .ok_or_else(|| format!("{what}: '{key}' must be a non-negative integer"))
+}
+
+trait JsonExt {
+    fn as_usize(&self) -> Option<usize>;
+}
+
+impl JsonExt for JsonValue {
+    fn as_usize(&self) -> Option<usize> {
+        as_usize(self)
+    }
+}
+
+fn parse_protocol(v: &JsonValue) -> Result<ProtocolSpec, String> {
+    match v.as_str() {
+        Some("raft") => return Ok(ProtocolSpec::Raft),
+        Some("pbft") => return Ok(ProtocolSpec::Pbft),
+        Some(other) => return Err(format!("unknown protocol '{other}'")),
+        None => {}
+    }
+    if let Some(flex) = v.get("raft_flexible") {
+        return Ok(ProtocolSpec::RaftFlexible {
+            q_per: usize_field(flex, "q_per", "raft_flexible")?,
+            q_vc: usize_field(flex, "q_vc", "raft_flexible")?,
+        });
+    }
+    Err("protocol must be \"raft\", \"pbft\" or {\"raft_flexible\":{...}}".to_string())
+}
+
+fn parse_faults(v: &JsonValue) -> Result<FaultAxis, String> {
+    match v.as_str() {
+        Some("crash") => return Ok(FaultAxis::Crash),
+        Some("byzantine") => return Ok(FaultAxis::Byzantine),
+        Some(other) => return Err(format!("unknown fault axis '{other}'")),
+        None => {}
+    }
+    if let Some(mixed) = v.get("mixed") {
+        return Ok(FaultAxis::Mixed {
+            byzantine: num_field(mixed, "byzantine", "mixed faults")?,
+        });
+    }
+    Err("faults must be \"crash\", \"byzantine\" or {\"mixed\":{\"byzantine\":p}}".to_string())
+}
+
+fn parse_correlation(v: &JsonValue) -> Result<CorrelationSpec, String> {
+    match v.as_str() {
+        Some("independent") => return Ok(CorrelationSpec::Independent),
+        Some(other) => return Err(format!("unknown correlation '{other}'")),
+        None => {}
+    }
+    if let Some(shock) = v.get("cluster_shock") {
+        return Ok(CorrelationSpec::ClusterShock {
+            probability: num_field(shock, "probability", "cluster_shock")?,
+        });
+    }
+    if let Some(shock) = v.get("rack_shock") {
+        return Ok(CorrelationSpec::RackShock {
+            racks: usize_field(shock, "racks", "rack_shock")?,
+            probability: num_field(shock, "probability", "rack_shock")?,
+        });
+    }
+    Err(
+        "correlation must be \"independent\", {\"cluster_shock\":{...}} or {\"rack_shock\":{...}}"
+            .to_string(),
+    )
+}
+
+fn parse_fault_probs(v: &JsonValue) -> Result<Vec<f64>, String> {
+    if let Some(items) = v.as_array() {
+        return items
+            .iter()
+            .map(|p| {
+                p.as_f64()
+                    .ok_or_else(|| "fault_probs: not a number".to_string())
+            })
+            .collect();
+    }
+    if let Some(spec) = v.get("logspace") {
+        let lo = num_field(spec, "lo", "logspace")?;
+        let hi = num_field(spec, "hi", "logspace")?;
+        let count = usize_field(spec, "count", "logspace")?;
+        if !(lo > 0.0 && hi >= lo && lo.is_finite() && hi.is_finite() && count >= 1) {
+            return Err(format!(
+                "logspace needs 0 < lo <= hi and count >= 1, got [{lo}, {hi}] x{count}"
+            ));
+        }
+        return Ok(prob_consensus::query::logspace(lo, hi, count));
+    }
+    Err(
+        "fault_probs must be an array of numbers or {\"logspace\":{\"lo\",\"hi\",\"count\"}}"
+            .to_string(),
+    )
+}
+
+fn parse_deployment(v: &JsonValue) -> Result<Deployment, String> {
+    if let Some(spec) = v.get("uniform_crash") {
+        let n = usize_field(spec, "n", "uniform_crash")?;
+        let p = num_field(spec, "p", "uniform_crash")?;
+        check_probability(p, "uniform_crash p")?;
+        return Ok(Deployment::uniform_crash(n, p));
+    }
+    if let Some(spec) = v.get("uniform_byzantine") {
+        let n = usize_field(spec, "n", "uniform_byzantine")?;
+        let p = num_field(spec, "p", "uniform_byzantine")?;
+        check_probability(p, "uniform_byzantine p")?;
+        return Ok(Deployment::uniform_byzantine(n, p));
+    }
+    if let Some(spec) = v.get("uniform_mixed") {
+        let n = usize_field(spec, "n", "uniform_mixed")?;
+        let crash = num_field(spec, "crash", "uniform_mixed")?;
+        let byzantine = num_field(spec, "byzantine", "uniform_mixed")?;
+        check_probability(crash, "uniform_mixed crash")?;
+        check_probability(byzantine, "uniform_mixed byzantine")?;
+        return Ok(Deployment::uniform_mixed(n, crash, byzantine));
+    }
+    Err(
+        "deployment must be {\"uniform_crash\"|\"uniform_byzantine\"|\"uniform_mixed\":{...}}"
+            .to_string(),
+    )
+}
+
+fn check_probability(p: f64, what: &str) -> Result<(), String> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(format!("{what} must be a probability in [0, 1], got {p}"))
+    }
+}
+
+fn parse_cell_model(
+    v: &JsonValue,
+    n: usize,
+) -> Result<Arc<dyn ProtocolModel + Send + Sync>, String> {
+    if let Some(spec) = v.get("persistence_quorum") {
+        let quorum: Vec<usize> = spec
+            .get("quorum")
+            .and_then(|q| q.as_array())
+            .ok_or("persistence_quorum: 'quorum' must be an array of node indices")?
+            .iter()
+            .map(|m| as_usize(m).ok_or("persistence_quorum: bad member index".to_string()))
+            .collect::<Result<_, _>>()?;
+        if quorum.is_empty() {
+            return Err("persistence_quorum: quorum cannot be empty".to_string());
+        }
+        let mut seen = vec![false; n];
+        for &m in &quorum {
+            if m >= n {
+                return Err(format!(
+                    "persistence_quorum: member {m} out of range for {n} nodes"
+                ));
+            }
+            if std::mem::replace(&mut seen[m], true) {
+                return Err(format!("persistence_quorum: member {m} repeated"));
+            }
+        }
+        return Ok(Arc::new(PersistenceQuorumModel::new(n, quorum)));
+    }
+    // Everything else is a grid protocol spec instantiated at the cell's size.
+    Ok(parse_protocol(v)?.build(n))
+}
+
+fn parse_time_axis(v: &JsonValue) -> Result<TimeAxis, String> {
+    let horizon = num_field(v, "horizon_hours", "time_axis")?;
+    let step = num_field(v, "step_hours", "time_axis")?;
+    if !(horizon >= 0.0 && horizon.is_finite() && step > 0.0 && step.is_finite()) {
+        return Err(format!(
+            "time_axis needs horizon >= 0 and step > 0, got {horizon}/{step}"
+        ));
+    }
+    let mut axis = TimeAxis::new(horizon, step);
+    if let Some(window) = v.get("window_hours") {
+        let w = window
+            .as_f64()
+            .ok_or("time_axis: 'window_hours' must be a number")?;
+        if !(w > 0.0 && w.is_finite()) {
+            return Err(format!("time_axis window must be positive, got {w}"));
+        }
+        axis = axis.with_window(w);
+    }
+    if let Some(target) = v.get("target_nines") {
+        let t = target
+            .as_f64()
+            .ok_or("time_axis: 'target_nines' must be a number")?;
+        axis = axis.with_target_nines(t);
+    }
+    Ok(axis)
+}
+
+/// A parsed `query` request body: the [`Query`] plus the metrics selection the
+/// streaming sink needs to serialize cell records exactly as the report would.
+pub struct ParsedQuery {
+    /// The query, ready for [`AnalysisSession::plan`].
+    pub query: Query,
+    /// The report metrics selection (default: all three guarantees).
+    pub metrics: Metrics,
+}
+
+/// Parses the `query` object of a `{"op":"query"}` request into a [`Query`].
+///
+/// Unknown keys are rejected — a misspelled axis silently defaulting would be
+/// the worst possible failure mode for an operator tool.
+pub fn parse_query(spec: &JsonValue) -> Result<ParsedQuery, String> {
+    let JsonValue::Object(members) = spec else {
+        return Err("query must be an object".to_string());
+    };
+    let mut query = Query::new();
+    let mut budget = Budget::default();
+    let mut metrics = Metrics::default();
+    for (key, value) in members {
+        match key.as_str() {
+            "protocols" => {
+                let specs: Vec<ProtocolSpec> = value
+                    .as_array()
+                    .ok_or("protocols must be an array")?
+                    .iter()
+                    .map(parse_protocol)
+                    .collect::<Result<_, _>>()?;
+                query = query.protocols(specs);
+            }
+            "nodes" => {
+                let nodes: Vec<usize> = value
+                    .as_array()
+                    .ok_or("nodes must be an array")?
+                    .iter()
+                    .map(|n| as_usize(n).ok_or("nodes: not a non-negative integer".to_string()))
+                    .collect::<Result<_, _>>()?;
+                query = query.nodes(nodes);
+            }
+            "fault_probs" => query = query.fault_probs(parse_fault_probs(value)?),
+            "faults" => query = query.faults(parse_faults(value)?),
+            "correlations" => {
+                let specs: Vec<CorrelationSpec> = value
+                    .as_array()
+                    .ok_or("correlations must be an array")?
+                    .iter()
+                    .map(parse_correlation)
+                    .collect::<Result<_, _>>()?;
+                query = query.correlations(specs);
+            }
+            "samples" => {
+                budget = budget.with_samples(as_usize(value).ok_or("samples must be an integer")?);
+            }
+            "seed" => budget = budget.with_seed(as_u64(value).ok_or("seed must be an integer")?),
+            "samples_sweep" => {
+                let sweep: Vec<usize> = value
+                    .as_array()
+                    .ok_or("samples_sweep must be an array")?
+                    .iter()
+                    .map(|s| as_usize(s).ok_or("samples_sweep: not an integer".to_string()))
+                    .collect::<Result<_, _>>()?;
+                query = query.samples_sweep(sweep);
+            }
+            "validate" => {
+                if as_bool(value).ok_or("validate must be a boolean")? {
+                    query = query.validate_with_simulation();
+                }
+            }
+            "metrics" => {
+                let m = Metrics {
+                    safe: value.get("safe").map_or(Ok(true), |v| {
+                        as_bool(v).ok_or("metrics.safe must be a boolean")
+                    })?,
+                    live: value.get("live").map_or(Ok(true), |v| {
+                        as_bool(v).ok_or("metrics.live must be a boolean")
+                    })?,
+                    safe_and_live: value.get("safe_and_live").map_or(Ok(true), |v| {
+                        as_bool(v).ok_or("metrics.safe_and_live must be a boolean")
+                    })?,
+                };
+                metrics = m;
+                query = query.metrics(m);
+            }
+            "time_axis" => query = query.time_horizon(parse_time_axis(value)?),
+            "cells" => {
+                for cell in value.as_array().ok_or("cells must be an array")? {
+                    let label = field(cell, "label", "cell")?
+                        .as_str()
+                        .ok_or("cell: 'label' must be a string")?
+                        .to_string();
+                    let deployment = parse_deployment(field(cell, "deployment", "cell")?)?;
+                    let model = parse_cell_model(field(cell, "model", "cell")?, deployment.len())?;
+                    query = query.cell(label, model, deployment);
+                }
+            }
+            "repairable_cells" => {
+                for cell in value
+                    .as_array()
+                    .ok_or("repairable_cells must be an array")?
+                {
+                    let label = field(cell, "label", "repairable cell")?
+                        .as_str()
+                        .ok_or("repairable cell: 'label' must be a string")?
+                        .to_string();
+                    let n = usize_field(cell, "n", "repairable cell")?;
+                    let lambda = num_field(cell, "lambda", "repairable cell")?;
+                    let mu = num_field(cell, "mu", "repairable cell")?;
+                    let tolerated = usize_field(cell, "tolerated_failures", "repairable cell")?;
+                    if n == 0 || tolerated >= n {
+                        return Err(format!(
+                            "repairable cell needs 0 <= tolerated_failures < n, got {tolerated}/{n}"
+                        ));
+                    }
+                    if !(lambda > 0.0 && lambda.is_finite() && mu >= 0.0 && mu.is_finite()) {
+                        return Err(format!(
+                            "repairable cell needs lambda > 0 and mu >= 0, got {lambda}/{mu}"
+                        ));
+                    }
+                    query = query
+                        .repairable_cell(label, RepairableGroup::new(n, lambda, mu, tolerated));
+                }
+            }
+            other => return Err(format!("unknown query key '{other}'")),
+        }
+    }
+    query = query.budget(budget);
+    if query.cell_count() == 0 && query.trajectory_count() == 0 {
+        return Err("query expands to zero cells".to_string());
+    }
+    Ok(ParsedQuery { query, metrics })
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// Running totals behind the protocol's `stats` request — the first
+/// observability hook for the service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Query requests that ran to completion (a `done` event was emitted).
+    pub queries_completed: u64,
+    /// Wall time of the most recently completed plan, in milliseconds.
+    pub last_plan_wall_ms: f64,
+    /// Total wall time across all completed plans, in milliseconds.
+    pub total_plan_wall_ms: f64,
+}
+
+/// The service: one shared [`AnalysisSession`] (scratch cache + worker pool)
+/// serving any number of concurrent NDJSON connections and queries.
+pub struct Server {
+    session: Arc<AnalysisSession>,
+    stats: Mutex<ServerStats>,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How a handled request line affects the connection loop.
+enum Action {
+    /// Fully handled inline (stats, errors).
+    Handled,
+    /// A query was submitted; the connection tracks it for draining.
+    Spawned(rayon::TaskSet),
+    /// Drain in-flight queries, acknowledge, and close the connection.
+    Shutdown(JsonValue),
+}
+
+/// The streaming sink of one in-flight query: every completed record becomes
+/// one NDJSON event on the shared writer the moment it is final.
+struct NdjsonSink {
+    id: JsonValue,
+    metrics: Metrics,
+    writer: SharedWriter,
+}
+
+impl StreamSink for NdjsonSink {
+    fn on_cell(&self, index: usize, record: &CellRecord) {
+        emit(
+            &self.writer,
+            &event(
+                &self.id,
+                "cell",
+                vec![
+                    ("index".to_string(), JsonValue::number(index as f64)),
+                    ("cell".to_string(), record.to_json_value(self.metrics)),
+                ],
+            ),
+        );
+    }
+
+    fn on_trajectory(&self, index: usize, record: &TrajectoryRecord) {
+        emit(
+            &self.writer,
+            &event(
+                &self.id,
+                "trajectory",
+                vec![
+                    ("index".to_string(), JsonValue::number(index as f64)),
+                    ("trajectory".to_string(), record.to_json_value()),
+                ],
+            ),
+        );
+    }
+}
+
+impl Server {
+    /// A server over a fresh session with the default cache capacity.
+    pub fn new() -> Self {
+        Self::with_session(Arc::new(AnalysisSession::new()))
+    }
+
+    /// A server over an existing session (shared cache across front ends).
+    pub fn with_session(session: Arc<AnalysisSession>) -> Self {
+        Self {
+            session,
+            stats: Mutex::new(ServerStats::default()),
+        }
+    }
+
+    /// The shared session behind every request.
+    pub fn session(&self) -> &Arc<AnalysisSession> {
+        &self.session
+    }
+
+    /// A snapshot of the per-plan wall-time counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    fn stats_event(&self, id: &JsonValue) -> JsonValue {
+        let cache = self.session.cache_stats();
+        let stats = self.stats();
+        event(
+            id,
+            "stats",
+            vec![
+                (
+                    "cache".to_string(),
+                    JsonValue::Object(vec![
+                        ("hits".to_string(), JsonValue::number(cache.hits as f64)),
+                        ("misses".to_string(), JsonValue::number(cache.misses as f64)),
+                        (
+                            "evictions".to_string(),
+                            JsonValue::number(cache.evictions as f64),
+                        ),
+                        (
+                            "entries".to_string(),
+                            JsonValue::number(cache.entries as f64),
+                        ),
+                        ("hit_rate".to_string(), JsonValue::number(cache.hit_rate())),
+                    ]),
+                ),
+                (
+                    "queries_completed".to_string(),
+                    JsonValue::number(stats.queries_completed as f64),
+                ),
+                (
+                    "plan_wall_ms".to_string(),
+                    JsonValue::Object(vec![
+                        (
+                            "last".to_string(),
+                            JsonValue::number(stats.last_plan_wall_ms),
+                        ),
+                        (
+                            "total".to_string(),
+                            JsonValue::number(stats.total_plan_wall_ms),
+                        ),
+                    ]),
+                ),
+            ],
+        )
+    }
+}
+
+/// Handles one request line: plans and submits queries (returning the
+/// [`rayon::TaskSet`] handle so the connection can drain it), answers
+/// `stats` inline, and turns every failure into an `error` event.
+fn handle_line(server: &Arc<Server>, line: &str, writer: &SharedWriter) -> Action {
+    let request = match JsonValue::parse(line) {
+        Ok(v) => v,
+        Err(err) => {
+            emit(
+                writer,
+                &error_event(&JsonValue::Null, format!("bad JSON: {err}")),
+            );
+            return Action::Handled;
+        }
+    };
+    let id = request.get("id").cloned().unwrap_or(JsonValue::Null);
+    match request.get("op").and_then(|op| op.as_str()) {
+        Some("query") => {
+            let Some(spec) = request.get("query") else {
+                emit(writer, &error_event(&id, "query request missing 'query'"));
+                return Action::Handled;
+            };
+            let parsed = match parse_query(spec) {
+                Ok(parsed) => parsed,
+                Err(err) => {
+                    emit(writer, &error_event(&id, err));
+                    return Action::Handled;
+                }
+            };
+            // Planning validates budgets and may panic deep in model
+            // constructors on adversarial input; neither may kill the
+            // connection.
+            let plan = match catch_unwind(AssertUnwindSafe(|| server.session.plan(&parsed.query))) {
+                Ok(Ok(plan)) => plan,
+                Ok(Err(err)) => {
+                    emit(writer, &error_event(&id, format!("plan failed: {err}")));
+                    return Action::Handled;
+                }
+                Err(payload) => {
+                    emit(
+                        writer,
+                        &error_event(&id, format!("plan failed: {}", panic_message(payload))),
+                    );
+                    return Action::Handled;
+                }
+            };
+            let server = Arc::clone(server);
+            let writer = Arc::clone(writer);
+            let metrics = parsed.metrics;
+            // One owned task per plan: many plans' work-item DAGs interleave
+            // on the one persistent pool (nested `for_each_task` inside the
+            // plan is deadlock-free by the pool's caller-helps design).
+            let task: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(move |_| {
+                let sink = NdjsonSink {
+                    id: id.clone(),
+                    metrics,
+                    writer: Arc::clone(&writer),
+                };
+                let start = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| plan.execute_streaming(&sink))) {
+                    Ok(report) => {
+                        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                        {
+                            let mut stats = server.stats.lock().expect("stats lock");
+                            stats.queries_completed += 1;
+                            stats.last_plan_wall_ms = wall_ms;
+                            stats.total_plan_wall_ms += wall_ms;
+                        }
+                        emit(
+                            &writer,
+                            &event(
+                                &id,
+                                "done",
+                                vec![
+                                    (
+                                        "cells".to_string(),
+                                        JsonValue::number(report.cells().len() as f64),
+                                    ),
+                                    (
+                                        "trajectories".to_string(),
+                                        JsonValue::number(report.trajectories().len() as f64),
+                                    ),
+                                    ("wall_ms".to_string(), JsonValue::number(wall_ms)),
+                                ],
+                            ),
+                        );
+                    }
+                    Err(payload) => {
+                        emit(
+                            &writer,
+                            &error_event(
+                                &id,
+                                format!("execution failed: {}", panic_message(payload)),
+                            ),
+                        );
+                    }
+                }
+            });
+            Action::Spawned(rayon::submit_tasks(1, task))
+        }
+        Some("stats") => {
+            emit(writer, &server.stats_event(&id));
+            Action::Handled
+        }
+        Some("shutdown") => Action::Shutdown(id),
+        Some(other) => {
+            emit(writer, &error_event(&id, format!("unknown op '{other}'")));
+            Action::Handled
+        }
+        None => {
+            emit(writer, &error_event(&id, "request missing 'op'"));
+            Action::Handled
+        }
+    }
+}
+
+/// Serves one connection: reads request lines until EOF or a `shutdown`
+/// request, then drains every in-flight query before returning. Returns `true`
+/// when the connection asked the server to shut down.
+pub fn serve_connection(
+    server: &Arc<Server>,
+    reader: impl BufRead,
+    writer: SharedWriter,
+) -> std::io::Result<bool> {
+    let mut in_flight: Vec<rayon::TaskSet> = Vec::new();
+    let mut shutdown_id = None;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_line(server, &line, &writer) {
+            Action::Handled => {}
+            Action::Spawned(set) => {
+                // Opportunistically shed finished handles so a long-lived
+                // connection's drain list stays proportional to in-flight work.
+                in_flight.retain(|s| !s.is_complete());
+                in_flight.push(set);
+            }
+            Action::Shutdown(id) => {
+                shutdown_id = Some(id);
+                break;
+            }
+        }
+    }
+    // Graceful drain: in-flight plans stream out completely (the submitting
+    // side helps execute them rather than just blocking).
+    for set in in_flight {
+        set.join();
+    }
+    match shutdown_id {
+        Some(id) => {
+            emit(&writer, &event(&id, "shutdown", Vec::new()));
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// `repro serve`: the stdio front end — NDJSON requests on stdin, events on
+/// stdout. Returns after EOF or a `shutdown` request, with all work drained.
+pub fn serve_stdio(server: &Arc<Server>) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let writer: SharedWriter = Arc::new(Mutex::new(std::io::stdout()));
+    serve_connection(server, stdin.lock(), writer).map(|_| ())
+}
+
+/// `repro serve --tcp ADDR`: the TCP front end. Every connection speaks the
+/// same line protocol against the same shared session; a `shutdown` request on
+/// any connection drains that connection, then stops accepting and waits for
+/// the remaining connections to finish.
+pub fn serve_tcp(server: &Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    // Polling accept: a blocking accept could not observe a shutdown requested
+    // on an already-open connection.
+    listener.set_nonblocking(true)?;
+    eprintln!("repro serve: listening on {}", listener.local_addr()?);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut connections = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = Arc::clone(server);
+                let stop = Arc::clone(&stop);
+                connections.push(std::thread::spawn(move || {
+                    if let Ok(true) = handle_tcp_connection(&server, stream) {
+                        stop.store(true, Ordering::Release);
+                    }
+                }));
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                connections.retain(|c| !c.is_finished());
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+    Ok(())
+}
+
+fn handle_tcp_connection(server: &Arc<Server>, stream: TcpStream) -> std::io::Result<bool> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer: SharedWriter = Arc::new(Mutex::new(stream));
+    serve_connection(server, reader, writer)
+}
+
+/// Runs one complete in-memory exchange against `server`: feeds `input` (one
+/// request per line) through [`serve_connection`] and returns the emitted
+/// NDJSON output. The backbone of the smoke tests and the `server-throughput`
+/// bench.
+pub fn run_exchange(server: &Arc<Server>, input: &str) -> String {
+    let out = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let writer: SharedWriter = Arc::clone(&out) as SharedWriter;
+    serve_connection(server, std::io::Cursor::new(input.to_string()), writer)
+        .expect("in-memory exchange cannot fail on IO");
+    let bytes = out.lock().expect("output lock").clone();
+    String::from_utf8(bytes).expect("server output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Events of one exchange, parsed line by line.
+    fn events(output: &str) -> Vec<JsonValue> {
+        output
+            .lines()
+            .map(|line| JsonValue::parse(line).expect("every output line is one JSON object"))
+            .collect()
+    }
+
+    fn events_for<'a>(events: &'a [JsonValue], id: &str, kind: &str) -> Vec<&'a JsonValue> {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("id").and_then(|v| v.as_str()) == Some(id)
+                    && e.get("event").and_then(|v| v.as_str()) == Some(kind)
+            })
+            .collect()
+    }
+
+    /// Recursively zeroes every measured `wall_ns` member so two runs of the
+    /// same query compare byte-identically.
+    fn zero_wall_ns(value: &mut JsonValue) {
+        match value {
+            JsonValue::Object(members) => {
+                for (key, member) in members {
+                    if key == "wall_ns" {
+                        *member = JsonValue::number(0.0);
+                    } else {
+                        zero_wall_ns(member);
+                    }
+                }
+            }
+            JsonValue::Array(items) => items.iter_mut().for_each(zero_wall_ns),
+            _ => {}
+        }
+    }
+
+    const MIXED_QUERY: &str = r#"{"protocols":["raft","pbft"],"nodes":[4,7],"fault_probs":[0.01,0.05],"samples":20000,"seed":7,"cells":[{"label":"pq","model":{"persistence_quorum":{"quorum":[0,1,2]}},"deployment":{"uniform_crash":{"n":8,"p":0.02}}}],"repairable_cells":[{"label":"repairable-5","n":5,"lambda":1e-4,"mu":0.1,"tolerated_failures":2}]}"#;
+
+    /// Builds the same query through the library front door.
+    fn mixed_query_library() -> ParsedQuery {
+        parse_query(&JsonValue::parse(MIXED_QUERY).unwrap()).expect("fixture parses")
+    }
+
+    #[test]
+    fn streamed_cells_reassemble_into_the_one_shot_report() {
+        let server = Arc::new(Server::new());
+        let input = format!(
+            "{{\"id\":\"q1\",\"op\":\"query\",\"query\":{MIXED_QUERY}}}\n{{\"id\":\"bye\",\"op\":\"shutdown\"}}\n"
+        );
+        let output = run_exchange(&server, &input);
+        let events = events(&output);
+
+        // One-shot reference run of the identical query on a fresh session.
+        let reference = AnalysisSession::new()
+            .run(&mixed_query_library().query)
+            .expect("reference run succeeds");
+        let expected = reference.to_json_value();
+        let expected_cells = expected.get("cells").unwrap().as_array().unwrap();
+        let expected_trajectories = expected.get("trajectories").unwrap().as_array().unwrap();
+
+        let done = events_for(&events, "q1", "done");
+        assert_eq!(done.len(), 1, "exactly one done event: {output}");
+        assert_eq!(
+            done[0].get("cells").unwrap().as_f64().unwrap() as usize,
+            expected_cells.len()
+        );
+        assert!(done[0].get("wall_ms").unwrap().as_f64().unwrap() > 0.0);
+
+        let cell_events = events_for(&events, "q1", "cell");
+        assert_eq!(cell_events.len(), expected_cells.len());
+        let mut seen = vec![false; expected_cells.len()];
+        for event in cell_events {
+            let index = event.get("index").unwrap().as_f64().unwrap() as usize;
+            assert!(
+                !std::mem::replace(&mut seen[index], true),
+                "index {index} emitted twice"
+            );
+            let mut streamed = event.get("cell").unwrap().clone();
+            let mut expected_cell = expected_cells[index].clone();
+            zero_wall_ns(&mut streamed);
+            zero_wall_ns(&mut expected_cell);
+            // Byte-identical serialization, not just structural equality.
+            assert_eq!(
+                streamed.to_compact_string(),
+                expected_cell.to_compact_string(),
+                "cell {index} differs from the one-shot run"
+            );
+        }
+
+        let trajectory_events = events_for(&events, "q1", "trajectory");
+        assert_eq!(trajectory_events.len(), expected_trajectories.len());
+        for event in trajectory_events {
+            let index = event.get("index").unwrap().as_f64().unwrap() as usize;
+            assert_eq!(
+                event.get("trajectory").unwrap().to_compact_string(),
+                expected_trajectories[index].to_compact_string()
+            );
+        }
+
+        // The shutdown acknowledgment is the last line (drain before ack).
+        let last = events.last().unwrap();
+        assert_eq!(last.get("event").unwrap().as_str(), Some("shutdown"));
+        assert_eq!(last.get("id").unwrap().as_str(), Some("bye"));
+    }
+
+    #[test]
+    fn concurrent_queries_all_complete_and_match() {
+        let server = Arc::new(Server::new());
+        // Two copies of the same plan plus a distinct one, all submitted before
+        // any finishes; the shared cache must not corrupt either result.
+        let other =
+            r#"{"protocols":["raft"],"nodes":[9],"fault_probs":[0.02],"samples":30000,"seed":11}"#;
+        let input = format!(
+            "{{\"id\":\"a\",\"op\":\"query\",\"query\":{MIXED_QUERY}}}\n\
+             {{\"id\":\"b\",\"op\":\"query\",\"query\":{other}}}\n\
+             {{\"id\":\"c\",\"op\":\"query\",\"query\":{MIXED_QUERY}}}\n\
+             {{\"id\":\"bye\",\"op\":\"shutdown\"}}\n"
+        );
+        let output = run_exchange(&server, &input);
+        let events = events(&output);
+        for id in ["a", "b", "c"] {
+            assert_eq!(
+                events_for(&events, id, "done").len(),
+                1,
+                "query {id}: {output}"
+            );
+            assert!(
+                events_for(&events, id, "error").is_empty(),
+                "query {id} errored"
+            );
+        }
+        // The identical plans a and c stream byte-identical cells (the cache
+        // shares their scratch; determinism survives the interleaving).
+        let collect = |id: &str| -> Vec<String> {
+            let mut cells: Vec<(usize, String)> = events_for(&events, id, "cell")
+                .iter()
+                .map(|e| {
+                    let mut cell = e.get("cell").unwrap().clone();
+                    zero_wall_ns(&mut cell);
+                    (
+                        e.get("index").unwrap().as_f64().unwrap() as usize,
+                        cell.to_compact_string(),
+                    )
+                })
+                .collect();
+            cells.sort();
+            cells.into_iter().map(|(_, cell)| cell).collect()
+        };
+        assert_eq!(collect("a"), collect("c"));
+    }
+
+    #[test]
+    fn stats_request_reports_cache_counters_and_wall_time() {
+        let server = Arc::new(Server::new());
+        let input = format!(
+            "{{\"id\":\"q\",\"op\":\"query\",\"query\":{MIXED_QUERY}}}\n\
+             {{\"id\":\"bye\",\"op\":\"shutdown\"}}\n"
+        );
+        run_exchange(&server, &input);
+        // The connection drained before returning, so stats on a second
+        // connection see the completed plan.
+        let output = run_exchange(&server, "{\"id\":\"s\",\"op\":\"stats\"}\n");
+        let events = events(&output);
+        let stats = events_for(&events, "s", "stats");
+        assert_eq!(stats.len(), 1);
+        let cache = stats[0].get("cache").unwrap();
+        assert!(cache.get("misses").unwrap().as_f64().unwrap() > 0.0);
+        assert!(cache.get("entries").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            stats[0].get("queries_completed").unwrap().as_f64().unwrap(),
+            1.0
+        );
+        assert!(
+            stats[0]
+                .get("plan_wall_ms")
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        // A repeated identical query is the dominant server workload: it must
+        // hit the warm cache.
+        run_exchange(
+            &server,
+            &format!("{{\"id\":\"q2\",\"op\":\"query\",\"query\":{MIXED_QUERY}}}\n"),
+        );
+        assert!(server.session().cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn malformed_requests_produce_error_events_not_crashes() {
+        let server = Arc::new(Server::new());
+        let input = "not json at all\n\
+                     {\"id\":\"x\",\"op\":\"frobnicate\"}\n\
+                     {\"id\":\"y\",\"op\":\"query\"}\n\
+                     {\"id\":\"z\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[3],\"fault_probs\":[0.01],\"unknown_axis\":1}}\n\
+                     {\"id\":\"w\",\"op\":\"query\",\"query\":{\"protocols\":[{\"raft_flexible\":{\"q_per\":9,\"q_vc\":9}}],\"nodes\":[3],\"fault_probs\":[0.01]}}\n\
+                     {\"id\":\"ok\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[3],\"fault_probs\":[0.01]}}\n\
+                     {\"id\":\"bye\",\"op\":\"shutdown\"}\n";
+        let output = run_exchange(&server, input);
+        let events = events(&output);
+        // Four failures, each its own error event...
+        assert_eq!(events_for(&events, "x", "error").len(), 1);
+        assert_eq!(events_for(&events, "y", "error").len(), 1);
+        assert_eq!(events_for(&events, "z", "error").len(), 1);
+        assert_eq!(events_for(&events, "w", "error").len(), 1, "{output}");
+        // ...and the well-formed query after them still runs to completion.
+        assert_eq!(events_for(&events, "ok", "done").len(), 1);
+        assert_eq!(events_for(&events, "ok", "cell").len(), 1);
+    }
+
+    #[test]
+    fn tcp_front_end_speaks_the_same_protocol() {
+        use std::io::{BufRead, BufReader, Write};
+        let server = Arc::new(Server::new());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener.local_addr().unwrap();
+        let serve = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("client connects");
+                handle_tcp_connection(&server, stream).expect("connection serves")
+            })
+        };
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client
+            .write_all(
+                b"{\"id\":\"q\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[5],\"fault_probs\":[0.02]}}\n{\"id\":\"bye\",\"op\":\"shutdown\"}\n",
+            )
+            .unwrap();
+        let mut lines = Vec::new();
+        for line in BufReader::new(client.try_clone().unwrap()).lines() {
+            lines.push(line.unwrap());
+        }
+        assert!(serve.join().unwrap(), "connection reported shutdown");
+        let events: Vec<JsonValue> = lines.iter().map(|l| JsonValue::parse(l).unwrap()).collect();
+        assert_eq!(events_for(&events, "q", "cell").len(), 1);
+        assert_eq!(events_for(&events, "q", "done").len(), 1);
+        assert_eq!(
+            events.last().unwrap().get("event").unwrap().as_str(),
+            Some("shutdown")
+        );
+    }
+
+    #[test]
+    fn parse_query_covers_every_axis() {
+        let spec = JsonValue::parse(
+            r#"{"protocols":["raft",{"raft_flexible":{"q_per":4,"q_vc":3}},"pbft"],
+                "nodes":[4,7],
+                "fault_probs":{"logspace":{"lo":1e-4,"hi":1e-1,"count":4}},
+                "faults":{"mixed":{"byzantine":0.001}},
+                "correlations":["independent",{"cluster_shock":{"probability":0.01}},{"rack_shock":{"racks":3,"probability":0.02}}],
+                "samples":5000,"seed":9,"samples_sweep":[1000,5000],
+                "validate":false,
+                "metrics":{"safe":true,"live":false,"safe_and_live":true},
+                "time_axis":{"horizon_hours":20000,"step_hours":5000,"target_nines":3.0},
+                "repairable_cells":[{"label":"r","n":5,"lambda":1e-4,"mu":0.1,"tolerated_failures":2}]}"#,
+        )
+        .unwrap();
+        let parsed = parse_query(&spec).expect("full-axis query parses");
+        // 3 protocols x 2 nodes x 4 probs x 3 correlations x 2 sample budgets.
+        assert_eq!(parsed.query.cell_count(), 144);
+        assert_eq!(parsed.query.trajectory_count(), 1);
+        assert!(!parsed.metrics.live && parsed.metrics.safe);
+    }
+
+    #[test]
+    fn parse_query_rejects_unknown_keys_and_bad_values() {
+        for (bad, needle) in [
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"typo":1}"#,
+                "unknown query key",
+            ),
+            (
+                r#"{"protocols":["paxos"],"nodes":[3],"fault_probs":[0.01]}"#,
+                "unknown protocol",
+            ),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"faults":"gamma-ray"}"#,
+                "unknown fault axis",
+            ),
+            (r#"{"protocols":["raft"],"nodes":[3]}"#, "zero cells"),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":{"logspace":{"lo":0.1,"hi":0.001,"count":3}}}"#,
+                "logspace",
+            ),
+            (
+                r#"{"cells":[{"label":"pq","model":{"persistence_quorum":{"quorum":[0,0]}},"deployment":{"uniform_crash":{"n":4,"p":0.1}}}]}"#,
+                "repeated",
+            ),
+            (
+                r#"{"cells":[{"label":"pq","model":{"persistence_quorum":{"quorum":[9]}},"deployment":{"uniform_crash":{"n":4,"p":0.1}}}]}"#,
+                "out of range",
+            ),
+            (
+                r#"{"cells":[{"label":"c","model":"raft","deployment":{"uniform_crash":{"n":4,"p":1.5}}}]}"#,
+                "probability",
+            ),
+            (
+                r#"{"repairable_cells":[{"label":"r","n":3,"lambda":1e-4,"mu":0.1,"tolerated_failures":3}]}"#,
+                "tolerated_failures",
+            ),
+        ] {
+            let err = parse_query(&JsonValue::parse(bad).unwrap())
+                .err()
+                .unwrap_or_else(|| panic!("{bad} should be rejected"));
+            assert!(err.contains(needle), "error for {bad} was '{err}'");
+        }
+    }
+}

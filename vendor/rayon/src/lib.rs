@@ -80,9 +80,22 @@ mod pool {
     unsafe impl Send for RunnerPtr {}
     unsafe impl Sync for RunnerPtr {}
 
+    /// The two ways a job owns its closure. Blocking [`execute`] borrows the
+    /// caller's stack closure behind a type-erased pointer (zero allocation on the
+    /// sampling hot path); asynchronously [`submit`]ted jobs must own their
+    /// closure, because the submitting stack frame is free to unwind (or
+    /// `mem::forget` the [`TaskSet`]) while tasks are still running — a borrowed
+    /// pointer would be unsound there.
+    enum Runner {
+        /// Borrowed from a blocked `execute` caller; see [`RunnerPtr`].
+        Borrowed(RunnerPtr),
+        /// Owned by the job itself; lives until the last task retires.
+        Owned(Arc<dyn Fn(usize) + Send + Sync>),
+    }
+
     /// One parallel job: `runner(i)` computes chunk `i`.
     struct Job {
-        runner: RunnerPtr,
+        runner: Runner,
         /// Chunks not yet completed; guarded so the submitter can sleep on `done`.
         remaining: Mutex<usize>,
         done: Condvar,
@@ -100,9 +113,12 @@ mod pool {
         /// Runs the chunk, records a panic if one escapes, and retires the task.
         fn run(self) {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // SAFETY: `execute` keeps the closure alive until `remaining` hits
-                // zero, which cannot happen before this call returns.
-                (unsafe { &*self.job.runner.0 })(self.index)
+                match &self.job.runner {
+                    // SAFETY: `execute` keeps the closure alive until `remaining`
+                    // hits zero, which cannot happen before this call returns.
+                    Runner::Borrowed(ptr) => (unsafe { &*ptr.0 })(self.index),
+                    Runner::Owned(f) => f(self.index),
+                }
             }));
             if let Err(payload) = result {
                 let mut slot = self.job.panic.lock().unwrap();
@@ -205,6 +221,57 @@ mod pool {
         }
     }
 
+    /// Enqueues one task per chunk of `job` and wakes the workers.
+    fn enqueue(pool: &Pool, job: &Arc<Job>, chunks: usize, own: Option<usize>) {
+        {
+            // Nested submissions go to the submitting worker's own deque (it will
+            // pop them newest-first); outside submissions go to the shared injector.
+            let queue = match own {
+                Some(w) => &pool.deques[w],
+                None => &pool.injector,
+            };
+            let mut queue = queue.lock().unwrap();
+            for index in 0..chunks {
+                queue.push_back(Task {
+                    job: Arc::clone(job),
+                    index,
+                });
+            }
+        }
+        {
+            let mut generation = pool.generation.lock().unwrap();
+            *generation += 1;
+        }
+        pool.wake.notify_all();
+    }
+
+    /// Caller helps: run tasks (the job's own chunks, or — under concurrent jobs —
+    /// another job's, which still makes global progress) until nothing is
+    /// claimable, then sleep until `job` retires.
+    fn help_until_done(pool: &Pool, job: &Job, own: Option<usize>) {
+        loop {
+            if *job.remaining.lock().unwrap() == 0 {
+                break;
+            }
+            if let Some(task) = claim_task(pool, own) {
+                task.run();
+                continue;
+            }
+            let mut remaining = job.remaining.lock().unwrap();
+            while *remaining > 0 {
+                remaining = job.done.wait(remaining).unwrap();
+            }
+        }
+    }
+
+    /// Re-throws the first panic any of `job`'s chunks raised, if one did.
+    fn rethrow(job: &Job) {
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
     /// Runs `runner(0..chunks)` across the persistent pool, blocking until every
     /// chunk has completed. The calling thread executes chunks too while it waits.
     ///
@@ -226,53 +293,68 @@ mod pool {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(runner)
         };
         let job = Arc::new(Job {
-            runner: RunnerPtr(runner),
+            runner: Runner::Borrowed(RunnerPtr(runner)),
             remaining: Mutex::new(chunks),
             done: Condvar::new(),
             panic: Mutex::new(None),
         });
         let own = WORKER_INDEX.with(|w| w.get());
-        {
-            // Nested submissions go to the submitting worker's own deque (it will
-            // pop them newest-first); outside submissions go to the shared injector.
-            let queue = match own {
-                Some(w) => &pool.deques[w],
-                None => &pool.injector,
-            };
-            let mut queue = queue.lock().unwrap();
-            for index in 0..chunks {
-                queue.push_back(Task {
-                    job: Arc::clone(&job),
-                    index,
-                });
-            }
-        }
-        {
-            let mut generation = pool.generation.lock().unwrap();
-            *generation += 1;
-        }
-        pool.wake.notify_all();
+        enqueue(pool, &job, chunks, own);
+        help_until_done(pool, &job, own);
+        rethrow(&job);
+    }
 
-        // Caller helps: run tasks (its own job's chunks, or — rarely — another
-        // concurrent job's, which still makes global progress) until nothing is
-        // claimable, then sleep until the job retires.
-        loop {
-            if *job.remaining.lock().unwrap() == 0 {
-                break;
-            }
-            if let Some(task) = claim_task(pool, own) {
-                task.run();
-                continue;
-            }
-            let mut remaining = job.remaining.lock().unwrap();
-            while *remaining > 0 {
-                remaining = job.done.wait(remaining).unwrap();
-            }
+    /// A handle to a batch of tasks submitted asynchronously with
+    /// [`submit_tasks`](crate::submit_tasks): the
+    /// submitter keeps running (e.g. accepting more requests) while the pool works,
+    /// and [`join`](TaskSet::join)s when it needs completion.
+    ///
+    /// Dropping the handle without joining is safe — the tasks keep running to
+    /// completion on the pool (the job owns its closure), it just becomes
+    /// impossible to observe when they finish or to see their panics.
+    #[must_use = "dropping a TaskSet makes its completion and panics unobservable"]
+    pub struct TaskSet {
+        job: Arc<Job>,
+    }
+
+    impl TaskSet {
+        /// Whether every task of the set has retired (non-blocking).
+        pub fn is_complete(&self) -> bool {
+            *self.job.remaining.lock().unwrap() == 0
         }
-        let payload = job.panic.lock().unwrap().take();
-        if let Some(payload) = payload {
-            std::panic::resume_unwind(payload);
+
+        /// Blocks until every task of the set has retired, helping the pool run
+        /// claimable tasks while it waits (so joining from inside a worker cannot
+        /// deadlock). Re-throws the first panic any task raised.
+        pub fn join(self) {
+            let pool = global();
+            let own = WORKER_INDEX.with(|w| w.get());
+            help_until_done(pool, &self.job, own);
+            rethrow(&self.job);
         }
+    }
+
+    /// Enqueues `runner(0..chunks)` on the persistent pool and returns immediately
+    /// with a [`TaskSet`] handle; the closure is owned by the job, so the caller's
+    /// stack is free to move on (unlike [`execute`], which borrows).
+    ///
+    /// Tasks run on the global workers regardless of any
+    /// [`ThreadPool::install`](super::ThreadPool::install) pin on the submitting
+    /// thread — the pin is thread-local state for *splitting* decisions, and the
+    /// submitting thread is precisely not the one running these tasks.
+    pub fn submit(chunks: usize, runner: Arc<dyn Fn(usize) + Send + Sync>) -> TaskSet {
+        let job = Arc::new(Job {
+            runner: Runner::Owned(runner),
+            remaining: Mutex::new(chunks),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        if chunks > 0 {
+            let pool = global();
+            let own = WORKER_INDEX.with(|w| w.get());
+            enqueue(pool, &job, chunks, own);
+        }
+        TaskSet { job }
     }
 }
 
@@ -371,6 +453,24 @@ pub fn for_each_task(count: usize, task: impl Fn(usize) + Sync) {
         return;
     }
     pool::execute(count, &task);
+}
+
+pub use pool::TaskSet;
+
+/// Submits `task(0)`, `task(1)`, …, `task(count - 1)` to the persistent pool and
+/// returns immediately with a [`TaskSet`] handle — the asynchronous counterpart of
+/// [`for_each_task`], for callers (like a long-running analysis service) that
+/// interleave many independent jobs on the one pool instead of blocking on each.
+///
+/// The closure must be owned (`Arc`) because the submitting stack frame may
+/// return, unwind, or drop the handle while tasks are still running; a borrowed
+/// closure here would be unsound. Tasks submitted by different callers drain
+/// through the same injector/deque stealing as everything else, so sets
+/// interleave at task granularity. Join the handle to wait for completion and
+/// observe panics; a submitter inside the pool helps run tasks while joining, so
+/// nested submission cannot deadlock.
+pub fn submit_tasks(count: usize, task: std::sync::Arc<dyn Fn(usize) + Send + Sync>) -> TaskSet {
+    pool::submit(count, task)
 }
 
 /// Chunk tasks created per splitting thread: a few per thread so the stealing pool
@@ -742,6 +842,93 @@ mod tests {
             });
         }));
         assert!(caught.is_err(), "the task panic must reach the caller");
+    }
+
+    #[test]
+    fn submit_tasks_runs_every_index_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        for count in [0usize, 1, 2, 97] {
+            let hits: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..count).map(|_| AtomicUsize::new(0)).collect());
+            let set = super::submit_tasks(count, {
+                let hits = hits.clone();
+                Arc::new(move |index| {
+                    hits[index].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            set.join();
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "count {count}: some index ran 0 or 2+ times"
+            );
+        }
+    }
+
+    #[test]
+    fn submitted_sets_interleave_and_join_independently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // Two concurrently submitted sets share the pool; each join observes only
+        // its own completion.
+        let a_done = Arc::new(AtomicUsize::new(0));
+        let b_done = Arc::new(AtomicUsize::new(0));
+        let a = super::submit_tasks(64, {
+            let a_done = a_done.clone();
+            Arc::new(move |_| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                a_done.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        let b = super::submit_tasks(64, {
+            let b_done = b_done.clone();
+            Arc::new(move |_| {
+                b_done.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        b.join();
+        assert_eq!(b_done.load(Ordering::Relaxed), 64);
+        a.join();
+        assert_eq!(a_done.load(Ordering::Relaxed), 64);
+        assert!(a_done.load(Ordering::Relaxed) == 64 && b_done.load(Ordering::Relaxed) == 64);
+    }
+
+    #[test]
+    fn submit_tasks_propagates_panics_on_join() {
+        use std::sync::Arc;
+        let set = super::submit_tasks(
+            32,
+            Arc::new(|index| {
+                if index == 9 {
+                    panic!("submitted task exploded");
+                }
+            }),
+        );
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| set.join()));
+        assert!(caught.is_err(), "the task panic must reach join()");
+    }
+
+    #[test]
+    fn dropped_task_set_still_completes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        let set = super::submit_tasks(16, {
+            let done = done.clone();
+            Arc::new(move |_| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        drop(set);
+        // The job owns its closure, so the tasks run to completion on the pool.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while done.load(Ordering::Relaxed) < 16 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dropped set's tasks never completed"
+            );
+            std::thread::yield_now();
+        }
     }
 
     #[test]
