@@ -50,10 +50,30 @@ fn bench_sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sim_faults(c: &mut Criterion) {
+    // The adversarial fault environments on the same batch path: every trial
+    // draws a scheduled environment event (a gray slow-down of the pinned Raft
+    // leader, or a PBFT partition that heals before the horizon) on top of the
+    // sampled crash schedule. `repro --bench` records the gray batch's inverse
+    // per-trace cost as `gray_failure_traces_per_sec` in BENCH_analysis.json.
+    let mut group = c.benchmark_group("sim-faults");
+    group.sample_size(10);
+    group.bench_function(
+        bench::GRAY_FAULT_ID.trim_start_matches("sim-faults/"),
+        |b| b.iter(bench::gray_primary_batch),
+    );
+    group.bench_function(
+        bench::HEAL_FAULT_ID.trim_start_matches("sim-faults/"),
+        |b| b.iter(bench::partition_heal_batch),
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_raft_cluster,
     bench_pbft_cluster,
-    bench_sim_throughput
+    bench_sim_throughput,
+    bench_sim_faults
 );
 criterion_main!(benches);

@@ -50,7 +50,11 @@ fn run_bench_baseline() -> ExitCode {
             m.id, m.mean_ns, m.iters
         );
     }
-    let json = bench::benchmarks_to_json(&measurements, bench::rare_event_sample_efficiency());
+    let json = bench::benchmarks_to_json(
+        &measurements,
+        bench::rare_event_sample_efficiency(),
+        bench::divergence_smoke(),
+    );
     match std::fs::write("BENCH_analysis.json", &json) {
         Ok(()) => {
             println!("\nwrote BENCH_analysis.json");

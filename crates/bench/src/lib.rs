@@ -20,7 +20,7 @@ use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::{durability_claim, DurabilityClaim, PersistenceQuorumModel};
 use prob_consensus::dynamic_quorum::{smallest_raft_quorums, trigger_quorum_comparison};
 use prob_consensus::engine::{
-    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario, SimBudget,
+    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, FaultEnvironment, Scenario, SimBudget,
 };
 use prob_consensus::heterogeneity::{heterogeneity_analysis, HeterogeneityAnalysis};
 use prob_consensus::leader::{leader_failure_probability, LeaderPolicy};
@@ -513,6 +513,7 @@ pub fn sim_validation(
                     horizon_millis: 2_500,
                     fault_window_millis: 200,
                     commands: 3,
+                    ..SimBudget::default()
                 }))
                 .validate_with_simulation(),
         )
@@ -802,6 +803,92 @@ pub fn sim_throughput_batch() -> prob_consensus::simulation::SimulationReport {
         Scenario::Independent(&deployment),
         &budget,
     )
+}
+
+/// Benchmark id of the gray-failure workload: a batch of 5-node Raft traces
+/// under [`FaultEnvironment::GrayPrimary`], where the environment schedule
+/// turns the pinned initial leader slow-but-alive mid-window. `repro --bench`
+/// divides the batch's wall clock by [`SIM_FAULTS_TRIALS`] and records the
+/// result as `gray_failure_traces_per_sec` in `BENCH_analysis.json`.
+pub const GRAY_FAULT_ID: &str = "sim-faults/gray-primary-raft-5";
+/// Benchmark id of the healing-partition workload: a batch of 4-node PBFT
+/// traces under [`FaultEnvironment::PartitionHeal`] — a half/half partition
+/// opens mid-window and heals before the horizon.
+pub const HEAL_FAULT_ID: &str = "sim-faults/partition-heal-pbft-4";
+/// Trials per measured batch of the sim-faults workloads.
+pub const SIM_FAULTS_TRIALS: usize = 16;
+/// Seed of the sim-faults workloads.
+pub const SIM_FAULTS_SEED: u64 = 31;
+/// Seed of the [`divergence_smoke`] query. The gray-primary cell at this seed
+/// is a known-divergent cell: the pinned leader goes slow-but-alive, the
+/// cluster's liveness collapses empirically, and the crash/Byzantine-only
+/// analytic model keeps predicting near-perfect reliability.
+pub const DIVERGENCE_SMOKE_SEED: u64 = 13;
+
+/// One batch of the gray-failure workload: 5-node Raft, p_u = 5%, with the
+/// environment schedule slowing the initial leader by
+/// [`prob_consensus::simulation::GRAY_SLOW_FACTOR`] mid-window. Shared by
+/// `repro --bench` and the `sim-faults` criterion group so both measure the
+/// same thing.
+pub fn gray_primary_batch() -> prob_consensus::simulation::SimulationReport {
+    let model = RaftModel::standard(5);
+    let deployment = Deployment::uniform_crash(5, 0.05);
+    let budget = Budget::default()
+        .with_seed(SIM_FAULTS_SEED)
+        .with_sim_trials(SIM_FAULTS_TRIALS)
+        .with_fault_environment(FaultEnvironment::GrayPrimary);
+    prob_consensus::simulation::simulate_reliability(
+        &model,
+        Scenario::Independent(&deployment),
+        &budget,
+    )
+}
+
+/// One batch of the healing-partition workload: 4-node PBFT, p_u = 5%, with a
+/// partition that opens mid-window and heals before the horizon in every trial.
+pub fn partition_heal_batch() -> prob_consensus::simulation::SimulationReport {
+    let model = PbftModel::standard(4);
+    let deployment = Deployment::uniform_crash(4, 0.05);
+    let budget = Budget::default()
+        .with_seed(SIM_FAULTS_SEED)
+        .with_sim_trials(SIM_FAULTS_TRIALS)
+        .with_fault_environment(FaultEnvironment::PartitionHeal);
+    prob_consensus::simulation::simulate_reliability(
+        &model,
+        Scenario::Independent(&deployment),
+        &budget,
+    )
+}
+
+/// The divergence smoke check behind the `divergence_smoke_divergent_cells` row
+/// of `BENCH_analysis.json`: one paired analytic-vs-simulation query of a
+/// 5-node Raft cell under a clean and a gray-primary environment. The analytic
+/// model cannot see gray failures, so the gray cell's empirical liveness falls
+/// more than [`prob_consensus::query::DIVERGENCE_Z`] standard errors below the
+/// analytic prediction and is flagged as a first-class divergence finding.
+/// Returns the number of flagged cells (the committed baseline asserts ≥ 1).
+pub fn divergence_smoke() -> usize {
+    let report =
+        AnalysisSession::new()
+            .run(
+                &Query::new()
+                    .protocols([ProtocolSpec::Raft])
+                    .nodes([5])
+                    .fault_probs([0.01])
+                    .fault_environments([FaultEnvironment::Clean, FaultEnvironment::GrayPrimary])
+                    .budget(Budget::default().with_seed(DIVERGENCE_SMOKE_SEED).with_sim(
+                        SimBudget {
+                            trials: 32,
+                            horizon_millis: 2_000,
+                            fault_window_millis: 150,
+                            commands: 2,
+                            ..SimBudget::default()
+                        },
+                    ))
+                    .validate_with_simulation(),
+            )
+            .expect("well-formed divergence smoke query");
+    report.divergent_cells().len()
 }
 
 /// Benchmark id of the planned-batch sweep (one [`AnalysisSession::plan`] +
@@ -1108,6 +1195,12 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
     // SIM_THROUGHPUT_TRIALS traces → `sim_traces_per_sec`).
     out.push(time_one(SIM_THROUGHPUT_ID, budget_ms, sim_throughput_batch));
 
+    // The adversarial fault environments: a gray (slow-but-alive) primary and
+    // a healing partition, per-batch wall clock over SIM_FAULTS_TRIALS traces
+    // → `gray_failure_traces_per_sec`.
+    out.push(time_one(GRAY_FAULT_ID, budget_ms, gray_primary_batch));
+    out.push(time_one(HEAL_FAULT_ID, budget_ms, partition_heal_batch));
+
     // The service pair: one full NDJSON exchange against a fresh server (every
     // request repeats setup) vs. a long-lived server with a warm session cache.
     // The warm row is the `server_queries_per_sec` baseline; the ratio is
@@ -1122,10 +1215,15 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
 }
 
 /// Renders measurements as the `BENCH_analysis.json` baseline document.
-/// `rare_event_efficiency` is the [`rare_event_sample_efficiency`] number, computed
-/// once by the caller (the estimator run is not a timing measurement, so it does not
-/// belong inside serialization and is not bounded by the bench time budget).
-pub fn benchmarks_to_json(measurements: &[BenchMeasurement], rare_event_efficiency: f64) -> String {
+/// `rare_event_efficiency` is the [`rare_event_sample_efficiency`] number and
+/// `divergence_smoke_cells` the [`divergence_smoke`] count, each computed once
+/// by the caller (neither is a timing measurement, so they do not belong inside
+/// serialization and are not bounded by the bench time budget).
+pub fn benchmarks_to_json(
+    measurements: &[BenchMeasurement],
+    rare_event_efficiency: f64,
+    divergence_smoke_cells: usize,
+) -> String {
     let threads = rayon::current_num_threads();
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
@@ -1172,6 +1270,23 @@ pub fn benchmarks_to_json(measurements: &[BenchMeasurement], rare_event_efficien
             SIM_THROUGHPUT_TRIALS as f64 * 1e9 / sim.mean_ns
         ));
     }
+    if let Some(gray) = measurements.iter().find(|m| m.id == GRAY_FAULT_ID) {
+        // Traces per second under the gray-primary environment: every trial
+        // carries a scheduled slow-down event and a pinned leader, so this row
+        // prices the adversarial-environment validation cells relative to
+        // `sim_traces_per_sec`.
+        json.push_str(&format!(
+            "  \"gray_failure_traces_per_sec\": {:.3e},\n",
+            SIM_FAULTS_TRIALS as f64 * 1e9 / gray.mean_ns
+        ));
+    }
+    // The divergence smoke row: how many cells of the [`divergence_smoke`]
+    // query were flagged as analytic-vs-empirical divergences. The baseline
+    // test asserts the floor of 1 — the gray-primary cell must always be
+    // caught, or the cross-validation mode has gone blind.
+    json.push_str(&format!(
+        "  \"divergence_smoke_divergent_cells\": {divergence_smoke_cells},\n"
+    ));
     if let (Some(naive), Some(planned)) = (
         measurements.iter().find(|m| m.id == SWEEP_NAIVE_ID),
         measurements.iter().find(|m| m.id == SWEEP_PLANNED_ID),
@@ -1383,6 +1498,49 @@ mod tests {
         assert_eq!(a.trials, SIM_THROUGHPUT_TRIALS);
         // At p_u = 5% a 5-node cluster nearly always keeps its majority.
         assert!(a.safe_and_live.value > 0.8);
+    }
+
+    #[test]
+    fn sim_faults_batches_are_deterministic_and_adversarial() {
+        let gray = gray_primary_batch();
+        assert_eq!(
+            gray,
+            gray_primary_batch(),
+            "the gray-failure workload must be deterministic"
+        );
+        assert_eq!(gray.trials, SIM_FAULTS_TRIALS);
+        // Every trial schedules one slow-down of the pinned leader; gray events
+        // never count as injected faults (the node is alive the whole window).
+        assert_eq!(gray.total_gray_events, SIM_FAULTS_TRIALS as u64);
+        // The gray primary stalls replication: safety holds but liveness
+        // collapses far below the clean workload's near-perfect rate.
+        assert!(gray.safe.value > 0.99);
+        assert!(
+            gray.live.value < 0.5,
+            "a leader slowed 100,000x should stall liveness, got {}",
+            gray.live.value
+        );
+
+        let heal = partition_heal_batch();
+        assert_eq!(
+            heal,
+            partition_heal_batch(),
+            "the healing-partition workload must be deterministic"
+        );
+        // Every trial schedules a partition and its heal (two network events).
+        assert_eq!(heal.total_net_events, 2 * SIM_FAULTS_TRIALS as u64);
+        assert!(heal.safe.value > 0.99);
+    }
+
+    #[test]
+    fn divergence_smoke_flags_the_gray_primary_cell() {
+        // The floor committed in BENCH_analysis.json: the analytic model cannot
+        // see gray failures, so the gray-primary cell of the smoke query must
+        // always surface as a divergence finding.
+        assert!(
+            divergence_smoke() >= 1,
+            "the known-divergent gray-primary cell was not flagged"
+        );
     }
 
     /// Retries a timing probe a few times before failing: wall-clock ratios on a
@@ -1656,6 +1814,32 @@ mod tests {
         assert!(
             traces_per_sec > 0.0,
             "sim trace throughput must be positive, got {traces_per_sec}"
+        );
+        // The adversarial-environment rows: gray-failure trace throughput is
+        // tracked (positive, not hardware-gated), and the divergence smoke
+        // query must have flagged the known-divergent gray-primary cell — the
+        // floor is 1, and a baseline regenerated with a blind cross-validation
+        // mode fails here.
+        let gray_rate = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"gray_failure_traces_per_sec\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records gray_failure_traces_per_sec");
+        assert!(
+            gray_rate > 0.0,
+            "gray-failure trace throughput must be positive, got {gray_rate}"
+        );
+        let divergent_cells = baseline
+            .lines()
+            .find_map(|l| {
+                l.trim()
+                    .strip_prefix("\"divergence_smoke_divergent_cells\": ")
+            })
+            .and_then(|v| v.trim_end_matches(',').parse::<usize>().ok())
+            .expect("baseline records divergence_smoke_divergent_cells");
+        assert!(
+            divergent_cells >= 1,
+            "committed baseline's divergence smoke flagged no cells"
         );
         // The service rows: the sustained warm-server request rate is tracked
         // (positive, not hardware-gated), and the warm-cache payoff — measured

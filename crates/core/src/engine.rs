@@ -212,6 +212,73 @@ pub struct Budget {
     pub sim: SimBudget,
 }
 
+/// The adversarial fault environment a simulation trial runs inside, *on top of*
+/// the sampled crash/Byzantine schedule. The analytic engines cannot see any of
+/// these — they model boolean per-node faults only — which is exactly the point:
+/// environments are where [`validate_with_simulation`](crate::query::Query::validate_with_simulation)
+/// is expected to surface divergence rather than agreement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FaultEnvironment {
+    /// LAN network, no extra events: the baseline the analytic model describes.
+    #[default]
+    Clean,
+    /// The preferred leader / view-0 primary goes gray (alive but ~1000x slow) at
+    /// a sampled time inside the fault window and never recovers. Liveness hinges
+    /// on election timeouts and the view-change watchdog noticing a node that is
+    /// not dead.
+    GrayPrimary,
+    /// The cluster splits into two groups (the pinned leader on the minority
+    /// side) at a sampled time, healing at half the horizon. Commits stall until
+    /// the heal; whether they recover within the horizon is the empirical
+    /// question.
+    PartitionHeal,
+    /// A WAN with a heavy-tailed (bounded-Pareto) delay distribution and light
+    /// loss, plus a sampled asymmetric link-quality override: one direction of
+    /// one link turns lossy mid-window while the reverse stays clean.
+    WanLossy,
+}
+
+impl FaultEnvironment {
+    /// Every environment, in presentation order.
+    pub const ALL: [FaultEnvironment; 4] = [
+        FaultEnvironment::Clean,
+        FaultEnvironment::GrayPrimary,
+        FaultEnvironment::PartitionHeal,
+        FaultEnvironment::WanLossy,
+    ];
+
+    /// Stable label used in cell labels, tables, and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEnvironment::Clean => "clean",
+            FaultEnvironment::GrayPrimary => "gray-primary",
+            FaultEnvironment::PartitionHeal => "partition-heal",
+            FaultEnvironment::WanLossy => "wan-lossy",
+        }
+    }
+
+    /// Stable small integer for cache keys and seed salting.
+    pub fn key(&self) -> u64 {
+        match self {
+            FaultEnvironment::Clean => 0,
+            FaultEnvironment::GrayPrimary => 1,
+            FaultEnvironment::PartitionHeal => 2,
+            FaultEnvironment::WanLossy => 3,
+        }
+    }
+
+    /// Parses a label as produced by [`FaultEnvironment::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|e| e.label() == label)
+    }
+}
+
+impl std::fmt::Display for FaultEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The work budget of the simulation engine: one trial is a full discrete-event
 /// run of the executable protocol, so trial counts are in the hundreds where the
 /// analytic samplers draw hundreds of thousands.
@@ -231,6 +298,19 @@ pub struct SimBudget {
     /// Client commands submitted at the start of each trial — the workload whose
     /// commitment defines empirical liveness.
     pub commands: usize,
+    /// The adversarial environment trials run inside (gray primary, healing
+    /// partition, lossy WAN — [`FaultEnvironment::Clean`] by default). Affects
+    /// only the simulation side of a cell; the analytic engines have no notion of
+    /// it.
+    pub environment: FaultEnvironment,
+}
+
+impl SimBudget {
+    /// Sets the fault environment.
+    pub fn with_environment(mut self, environment: FaultEnvironment) -> Self {
+        self.environment = environment;
+        self
+    }
 }
 
 impl Default for SimBudget {
@@ -244,6 +324,7 @@ impl Default for SimBudget {
             horizon_millis: 2_500,
             fault_window_millis: 200,
             commands: 3,
+            environment: FaultEnvironment::Clean,
         }
     }
 }
@@ -345,6 +426,14 @@ impl Budget {
     /// simulation engine is invoked (a zero budget saturates to one trial).
     pub fn with_sim_trials(mut self, trials: usize) -> Self {
         self.sim.trials = trials;
+        self
+    }
+
+    /// A budget whose simulation trials run inside the given adversarial fault
+    /// environment (see [`FaultEnvironment`]). Only the simulation side of a cell
+    /// changes; analytic results are environment-blind by construction.
+    pub fn with_fault_environment(mut self, environment: FaultEnvironment) -> Self {
+        self.sim.environment = environment;
         self
     }
 

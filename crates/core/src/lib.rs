@@ -111,16 +111,17 @@ pub use analyzer::{
 pub use cache::CacheStats;
 pub use deployment::Deployment;
 pub use engine::{
-    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, InvalidBudget, Scenario, SimBudget,
+    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, FaultEnvironment, InvalidBudget,
+    Scenario, SimBudget,
 };
 pub use failure::FailureConfig;
 pub use json::JsonValue;
 pub use pbft_model::PbftModel;
 pub use protocol::{CountingModel, ExecutableSpec, ProtocolModel};
 pub use query::{
-    logspace, AnalysisReport, AnalysisSession, CellRecord, CorrelationSpec, FaultAxis, Metrics,
-    ProtocolSpec, Query, QueryPlan, StreamSink, TimeAxis, TrajectoryKind, TrajectoryPoint,
-    TrajectoryRecord, ValidationRecord,
+    logspace, AnalysisReport, AnalysisSession, CellRecord, CorrelationSpec, Divergence,
+    DivergenceDirection, FaultAxis, Metrics, ProtocolSpec, Query, QueryPlan, StreamSink, TimeAxis,
+    TrajectoryKind, TrajectoryPoint, TrajectoryRecord, ValidationRecord, DIVERGENCE_Z,
 };
 pub use raft_model::RaftModel;
 pub use rare_event::{ImportanceSamplingEngine, Proposal, RareEventReport};

@@ -95,7 +95,7 @@ use crate::cache::{CacheKey, CacheStats, SessionCache};
 use crate::deployment::Deployment;
 use crate::engine::{
     AnalysisEngine, AnalysisOutcome, Budget, CountingEngine, EngineChoice, EnumerationEngine,
-    Scenario,
+    FaultEnvironment, Scenario,
 };
 use crate::enumeration::RawReliability;
 use crate::json::JsonValue;
@@ -562,6 +562,68 @@ impl TrajectoryRecord {
     }
 }
 
+/// The z-score threshold past which a validated cell is flagged as a
+/// first-class divergence finding ([`Divergence`]): |z| above this means the
+/// empirical rate is not a sampling fluctuation around the analytic prediction
+/// but a modelling gap the analytic engines cannot see — the query API's version
+/// of the paper's "real life is uncertain" check.
+pub const DIVERGENCE_Z: f64 = 3.0;
+
+/// Which side of the analytic prediction the empirical measurement landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceDirection {
+    /// The system measured *worse* than the model predicts — the dangerous
+    /// direction: the analytic guarantee overpromises (e.g. a gray primary
+    /// stalls liveness while the fault model, which only knows crash/Byzantine
+    /// booleans, reports the cluster fully healthy).
+    EmpiricalBelow,
+    /// The system measured *better* than the model predicts — the conservative
+    /// direction (e.g. the analytic mission-window semantics count a fault the
+    /// executable cluster had time to ride out).
+    EmpiricalAbove,
+}
+
+impl DivergenceDirection {
+    /// Short label used in tables and JSON: `"below"` / `"above"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            DivergenceDirection::EmpiricalBelow => "below",
+            DivergenceDirection::EmpiricalAbove => "above",
+        }
+    }
+}
+
+impl std::fmt::Display for DivergenceDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A flagged analytic-vs-empirical divergence: the empirical safe-and-live
+/// frequency landed more than [`DIVERGENCE_Z`] standard errors from the analytic
+/// prediction. Surfaced as a first-class finding — direction and magnitude in
+/// the table, a structured object in JSON, enumerable via
+/// [`AnalysisReport::divergent_cells`] — never hidden in a raw z column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Divergence {
+    /// Which side of the prediction the measurement landed on.
+    pub direction: DivergenceDirection,
+    /// Absolute gap between the empirical frequency and the analytic
+    /// probability, in probability units (not standard errors).
+    pub magnitude: f64,
+}
+
+impl Divergence {
+    /// The gap as a signed value: negative when the system measured worse than
+    /// the model predicts.
+    pub fn signed_gap(&self) -> f64 {
+        match self.direction {
+            DivergenceDirection::EmpiricalBelow => -self.magnitude,
+            DivergenceDirection::EmpiricalAbove => self.magnitude,
+        }
+    }
+}
+
 /// One paired analytic-vs-empirical check: the simulation run requested by
 /// [`Query::validate_with_simulation`] next to the cell's analytic prediction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -575,6 +637,11 @@ pub struct ValidationRecord {
     /// simulation is consistent with the analytic prediction at the trial budget;
     /// persistent |z| > 3 flags a modelling (or implementation) gap.
     pub z_score: f64,
+    /// The fault environment the paired simulation ran under (the cell budget's
+    /// [`crate::engine::SimBudget::environment`]).
+    pub environment: FaultEnvironment,
+    /// The structured divergence finding, present iff |z| > [`DIVERGENCE_Z`].
+    pub divergence: Option<Divergence>,
 }
 
 impl ValidationRecord {
@@ -665,6 +732,7 @@ pub struct Query {
     fault_axis: FaultAxis,
     correlations: Vec<CorrelationSpec>,
     sample_budgets: Vec<usize>,
+    environments: Vec<FaultEnvironment>,
     budget: Budget,
     metrics: Metrics,
     explicit: Vec<ExplicitCell>,
@@ -690,6 +758,7 @@ impl Query {
             fault_axis: FaultAxis::Crash,
             correlations: vec![CorrelationSpec::Independent],
             sample_budgets: Vec::new(),
+            environments: Vec::new(),
             budget: Budget::default(),
             metrics: Metrics::default(),
             explicit: Vec::new(),
@@ -735,6 +804,26 @@ impl Query {
     /// sample count is used as the single entry.
     pub fn samples_sweep(mut self, samples: impl IntoIterator<Item = usize>) -> Self {
         self.sample_budgets = samples.into_iter().collect();
+        self
+    }
+
+    /// The fault-environment axis of the grid: each grid cell is replicated once
+    /// per entry with the environment applied to its simulation budget
+    /// ([`crate::engine::SimBudget::environment`]). When empty (the default) the
+    /// base budget's environment is the single entry, so queries that never
+    /// mention environments behave exactly as before.
+    ///
+    /// The axis shapes the *empirical* side only: the analytic engines model
+    /// crash/Byzantine faults, not gray failures or healing partitions, so the
+    /// analytic columns of an environment-swept grid repeat across environments —
+    /// which is the point. Paired with [`Query::validate_with_simulation`], cells
+    /// where the executable system measurably departs from the analytic
+    /// prediction are flagged as [`Divergence`] findings.
+    pub fn fault_environments(
+        mut self,
+        environments: impl IntoIterator<Item = FaultEnvironment>,
+    ) -> Self {
+        self.environments = environments.into_iter().collect();
         self
     }
 
@@ -849,11 +938,13 @@ impl Query {
     /// Number of cells the query expands to (grid product plus explicit cells).
     pub fn cell_count(&self) -> usize {
         let samples_axis = self.sample_budgets.len().max(1);
+        let environment_axis = self.environments.len().max(1);
         self.protocols.len()
             * self.nodes.len()
             * self.fault_probs.len()
             * self.correlations.len()
             * samples_axis
+            * environment_axis
             + self.explicit.len()
     }
 
@@ -1238,6 +1329,11 @@ impl AnalysisSession {
         } else {
             query.sample_budgets.clone()
         };
+        let environment_axis: Vec<FaultEnvironment> = if query.environments.is_empty() {
+            vec![query.budget.sim.environment]
+        } else {
+            query.environments.clone()
+        };
         // A validated cell runs its paired simulation only if the model has an
         // executable counterpart of the scenario's size.
         let validation_for = |model: &dyn ProtocolModel, scenario: Scenario<'_>| {
@@ -1266,29 +1362,46 @@ impl AnalysisSession {
                                 corr.key(),
                             ));
                             for &samples in &sample_axis {
-                                let budget = query.budget.with_samples(samples);
-                                let engine = choose_engine_prepared(
-                                    model.as_ref(),
-                                    scenario.as_scenario(),
-                                    &budget,
-                                    &scratch,
-                                );
-                                cells.push(PlannedCell {
-                                    label: format!("{}/N={n}/p={p}/{}", spec.label(), corr.label()),
-                                    protocol: spec.label(),
-                                    nodes: n,
-                                    fault_prob: Some(p),
-                                    correlation: corr.label(),
-                                    validate: validation_for(
+                                // The environment axis nests innermost: it only
+                                // varies the paired simulation, so cells across
+                                // it share the analytic engine choice and the
+                                // group scratch (the analytic side is
+                                // environment-blind by construction).
+                                for &environment in &environment_axis {
+                                    let budget = query
+                                        .budget
+                                        .with_samples(samples)
+                                        .with_fault_environment(environment);
+                                    let engine = choose_engine_prepared(
                                         model.as_ref(),
                                         scenario.as_scenario(),
-                                    ),
-                                    model: model.clone(),
-                                    scenario: scenario.clone(),
-                                    budget,
-                                    engine,
-                                    scratch: scratch.clone(),
-                                });
+                                        &budget,
+                                        &scratch,
+                                    );
+                                    let mut label =
+                                        format!("{}/N={n}/p={p}/{}", spec.label(), corr.label());
+                                    if environment != FaultEnvironment::Clean {
+                                        label.push_str("/env=");
+                                        label.push_str(environment.label());
+                                    }
+                                    cells.push(PlannedCell {
+                                        label,
+                                        protocol: spec.label(),
+                                        nodes: n,
+                                        fault_prob: Some(p),
+                                        correlation: corr.label(),
+                                        environment,
+                                        validate: validation_for(
+                                            model.as_ref(),
+                                            scenario.as_scenario(),
+                                        ),
+                                        model: model.clone(),
+                                        scenario: scenario.clone(),
+                                        budget,
+                                        engine,
+                                        scratch: scratch.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -1324,12 +1437,15 @@ impl AnalysisSession {
                     ScenarioSpec::Correlated(c) if c.is_correlated() => "correlated".to_string(),
                     ScenarioSpec::Correlated(_) => "independent".to_string(),
                 };
+                // Explicit cells keep the base budget's environment — the axis
+                // sweeps the grid; a bespoke cell pins its own budget.
                 cells.push(PlannedCell {
                     label: explicit.label.clone(),
                     protocol: explicit.model.name(),
                     nodes: explicit.model.num_nodes(),
                     fault_prob: None,
                     correlation,
+                    environment: query.budget.sim.environment,
                     validate: validation_for(explicit.model.as_ref(), scenario),
                     model: explicit.model.clone(),
                     scenario: explicit.scenario.clone(),
@@ -1388,6 +1504,7 @@ struct PlannedCell {
     nodes: usize,
     fault_prob: Option<f64>,
     correlation: String,
+    environment: FaultEnvironment,
     model: Arc<dyn ProtocolModel + Send + Sync>,
     scenario: ScenarioSpec,
     budget: Budget,
@@ -1435,10 +1552,24 @@ fn validation_record(
     } else {
         0.0
     };
+    // A divergence past the z-threshold is promoted to a structured finding:
+    // direction (is the analytic guarantee overpromising or conservative?) and
+    // magnitude in probability units, so consumers never have to re-derive the
+    // verdict from the raw z column.
+    let divergence = (z_score.abs() > DIVERGENCE_Z).then(|| Divergence {
+        direction: if empirical < analytic {
+            DivergenceDirection::EmpiricalBelow
+        } else {
+            DivergenceDirection::EmpiricalAbove
+        },
+        magnitude: (empirical - analytic).abs(),
+    });
     ValidationRecord {
         simulation,
         analytic,
         z_score,
+        environment: budget.sim.environment,
+        divergence,
     }
 }
 
@@ -1553,8 +1684,8 @@ enum WorkItem {
 enum ItemOutput {
     /// Hit counters of one Monte Carlo sample chunk.
     Hits(HitCounts),
-    /// A whole cell's outcome.
-    Outcome(AnalysisOutcome),
+    /// A whole cell's outcome (boxed: an outcome is by far the widest variant).
+    Outcome(Box<AnalysisOutcome>),
     /// A time-domain record.
     Trajectory(TrajectoryRecord),
 }
@@ -1769,7 +1900,7 @@ impl QueryPlan {
             outcome_from_monte_carlo(report_from_counts(hits, samples, mc_kernel_kind(cell)))
         } else {
             match take(start) {
-                ItemOutput::Outcome(outcome) => outcome,
+                ItemOutput::Outcome(outcome) => *outcome,
                 _ => unreachable!("non-sampling cells are whole-cell items"),
             }
         };
@@ -1794,6 +1925,7 @@ impl QueryPlan {
             nodes: cell.nodes,
             fault_prob: cell.fault_prob,
             correlation: cell.correlation.clone(),
+            environment: cell.environment,
             samples_budget: cell.budget.monte_carlo_samples,
             engine: cell.engine,
             outcome,
@@ -1870,13 +2002,13 @@ impl QueryPlan {
         match item {
             WorkItem::Cell(index) => {
                 let cell = &self.cells[index];
-                ItemOutput::Outcome(run_prepared(
+                ItemOutput::Outcome(Box::new(run_prepared(
                     cell.model.as_ref(),
                     cell.scenario.as_scenario(),
                     &cell.budget,
                     cell.engine,
                     &cell.scratch,
-                ))
+                )))
             }
             WorkItem::McChunk { cell, chunk } => {
                 let cell = &self.cells[cell];
@@ -1927,6 +2059,10 @@ pub struct CellRecord {
     pub fault_prob: Option<f64>,
     /// Correlation-variant label.
     pub correlation: String,
+    /// The fault environment this cell's empirical side runs under
+    /// ([`Query::fault_environments`]; [`FaultEnvironment::Clean`] when the query
+    /// has no environment axis). The analytic outcome is environment-blind.
+    pub environment: FaultEnvironment,
     /// The sample budget this cell was allotted (sampling engines draw this many).
     pub samples_budget: usize,
     /// The engine the planner selected.
@@ -2012,6 +2148,10 @@ impl CellRecord {
                 JsonValue::string(&self.correlation),
             ),
             (
+                "environment".to_string(),
+                JsonValue::string(self.environment.label()),
+            ),
+            (
                 "engine".to_string(),
                 JsonValue::string(self.engine.to_string()),
             ),
@@ -2057,6 +2197,22 @@ impl CellRecord {
                         ("analytic".to_string(), JsonValue::number(v.analytic)),
                         ("z_score".to_string(), JsonValue::number(v.z_score)),
                         (
+                            "environment".to_string(),
+                            JsonValue::string(v.environment.label()),
+                        ),
+                        (
+                            "divergence".to_string(),
+                            v.divergence.map_or(JsonValue::Null, |d| {
+                                JsonValue::Object(vec![
+                                    (
+                                        "direction".to_string(),
+                                        JsonValue::string(d.direction.label()),
+                                    ),
+                                    ("magnitude".to_string(), JsonValue::number(d.magnitude)),
+                                ])
+                            }),
+                        ),
+                        (
                             "mean_messages_delivered".to_string(),
                             JsonValue::number(v.simulation.mean_messages_delivered),
                         ),
@@ -2067,6 +2223,14 @@ impl CellRecord {
                         (
                             "mean_decided_commands".to_string(),
                             JsonValue::number(v.simulation.mean_decided_commands),
+                        ),
+                        (
+                            "total_gray_events".to_string(),
+                            JsonValue::number(v.simulation.total_gray_events as f64),
+                        ),
+                        (
+                            "total_net_events".to_string(),
+                            JsonValue::number(v.simulation.total_net_events as f64),
                         ),
                     ])
                 }),
@@ -2154,6 +2318,22 @@ impl AnalysisReport {
         self.metrics
     }
 
+    /// The cells whose paired validation flagged a [`Divergence`] — analytic and
+    /// empirical disagree by more than [`DIVERGENCE_Z`] standard errors — in
+    /// query order. Empty when no cell was validated or every validated cell
+    /// agrees. The canonical consumer loop for environment sweeps: run the grid,
+    /// then ask which cells the analytic engines got measurably wrong.
+    pub fn divergent_cells(&self) -> Vec<&CellRecord> {
+        self.cells
+            .iter()
+            .filter(|cell| {
+                cell.validation
+                    .as_ref()
+                    .is_some_and(|v| v.divergence.is_some())
+            })
+            .collect()
+    }
+
     /// A copy of the report with every cell's `wall_ns` zeroed — the one
     /// non-deterministic field. Byte-comparisons between runs (streamed vs.
     /// one-shot, concurrent vs. sequential) compare `zero_wall_clock()` outputs;
@@ -2171,8 +2351,11 @@ impl AnalysisReport {
     }
 
     /// Renders the report as a column-aligned plain-text table. When any cell
-    /// carries a paired validation run, two extra columns report the empirical
-    /// safe-and-live frequency and the analytic-vs-empirical z-score.
+    /// carries a paired validation run, three extra columns report the empirical
+    /// safe-and-live frequency, the analytic-vs-empirical z-score, and the
+    /// divergence verdict — `ok` when the measurement is consistent with the
+    /// prediction, or the signed gap (e.g. `-0.42 below`) when the cell is a
+    /// flagged [`Divergence`] finding.
     pub fn to_table(&self, title: impl Into<String>) -> Table {
         let kinds = self.enabled_metrics();
         let validated = self.cells.iter().any(|c| c.validation.is_some());
@@ -2186,7 +2369,7 @@ impl AnalysisReport {
         }
         headers.extend(["95% CI", "ESS", "wall"]);
         if validated {
-            headers.extend(["sim s&l", "z"]);
+            headers.extend(["sim s&l", "z", "divergence"]);
         }
         let mut table = Table::new(title, &headers);
         for cell in &self.cells {
@@ -2209,8 +2392,12 @@ impl AnalysisReport {
                     Some(v) => {
                         row.push(crate::report::percent(v.simulation.safe_and_live.value));
                         row.push(format!("{:+.2}", v.z_score));
+                        row.push(match v.divergence {
+                            Some(d) => format!("{:+.3} {}", d.signed_gap(), d.direction),
+                            None => "ok".to_string(),
+                        });
                     }
-                    None => row.extend(["-".to_string(), "-".to_string()]),
+                    None => row.extend(["-".to_string(), "-".to_string(), "-".to_string()]),
                 }
             }
             table.push_row(row);
@@ -2416,6 +2603,7 @@ mod tests {
                         nodes: cell.nodes,
                         fault_prob: cell.fault_prob,
                         correlation: cell.correlation.clone(),
+                        environment: cell.environment,
                         samples_budget: cell.budget.monte_carlo_samples,
                         engine: cell.engine,
                         outcome,
@@ -3128,7 +3316,7 @@ mod tests {
 
     #[test]
     fn validation_mode_pairs_executable_cells_with_simulation() {
-        use crate::engine::SimBudget;
+        use crate::engine::{FaultEnvironment, SimBudget};
         let session = AnalysisSession::new();
         let model: Arc<dyn ProtocolModel + Send + Sync> =
             Arc::new(PersistenceQuorumModel::new(24, (0..4).collect()));
@@ -3146,6 +3334,7 @@ mod tests {
                         horizon_millis: 2_000,
                         fault_window_millis: 150,
                         commands: 2,
+                        environment: FaultEnvironment::Clean,
                     }),
             )
             .validate_with_simulation();
@@ -3169,10 +3358,11 @@ mod tests {
         assert!(report.cell(1).validation.is_none());
         // Rendering: the validation columns appear, with "-" for unpaired cells.
         let table = report.to_table("validated");
-        // cell, engine, safe, live, safe&live, CI, ESS, wall, sim s&l, z.
-        assert_eq!(table.rows()[0].len(), 10);
+        // cell, engine, safe, live, safe&live, CI, ESS, wall, sim s&l, z, divergence.
+        assert_eq!(table.rows()[0].len(), 11);
         assert_ne!(table.rows()[0][8], "-");
         assert_eq!(table.rows()[1][8], "-");
+        assert_eq!(table.rows()[1][10], "-");
         // JSON: validation object on the paired cell, null on the other.
         let parsed = JsonValue::parse(&report.to_json()).expect("valid JSON");
         let cells = parsed.get("cells").unwrap().as_array().unwrap();
@@ -3184,7 +3374,7 @@ mod tests {
 
     #[test]
     fn validation_is_deterministic_across_runs_and_thread_counts() {
-        use crate::engine::SimBudget;
+        use crate::engine::{FaultEnvironment, SimBudget};
         let query = Query::new()
             .protocols([ProtocolSpec::Raft])
             .nodes([3usize])
@@ -3194,6 +3384,7 @@ mod tests {
                 horizon_millis: 1_500,
                 fault_window_millis: 100,
                 commands: 2,
+                environment: FaultEnvironment::Clean,
             }))
             .validate_with_simulation();
         let reference = AnalysisSession::with_threads(1)
@@ -3207,6 +3398,143 @@ mod tests {
                 report.cell(0).validation,
                 reference.cell(0).validation,
                 "validation diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn gray_primary_environment_cells_are_flagged_as_divergent() {
+        use crate::engine::{FaultEnvironment, SimBudget};
+        // The acceptance cell of the fault-environment axis: the analytic
+        // engines see a near-perfect crash-only deployment, while the executable
+        // cluster's pinned leader goes gray and liveness collapses. The gap must
+        // surface as a first-class divergence finding — helper, table and JSON —
+        // not stay buried in a raw z column.
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([5usize])
+            .fault_probs([0.01])
+            .fault_environments([FaultEnvironment::Clean, FaultEnvironment::GrayPrimary])
+            .budget(Budget::default().with_seed(13).with_sim(SimBudget {
+                trials: 32,
+                horizon_millis: 2_000,
+                fault_window_millis: 150,
+                commands: 2,
+                environment: FaultEnvironment::Clean,
+            }))
+            .validate_with_simulation();
+        assert_eq!(query.cell_count(), 2);
+        let report = AnalysisSession::new()
+            .run(&query)
+            .expect("well-formed query");
+        // The clean cell agrees: both sides see the same crash-only world.
+        let clean_cell = report.cell(0);
+        assert_eq!(clean_cell.environment, FaultEnvironment::Clean);
+        let clean = clean_cell.validation.expect("clean cell validated");
+        assert!(
+            clean.divergence.is_none(),
+            "clean cell must agree, got z = {:.2}",
+            clean.z_score
+        );
+        // The gray cell diverges in the dangerous direction.
+        let gray_cell = report.cell(1);
+        assert_eq!(gray_cell.environment, FaultEnvironment::GrayPrimary);
+        assert!(
+            gray_cell.label.ends_with("/env=gray-primary"),
+            "environment cells are labelled: {}",
+            gray_cell.label
+        );
+        let gray = gray_cell.validation.expect("gray cell validated");
+        assert_eq!(gray.environment, FaultEnvironment::GrayPrimary);
+        assert!(gray.simulation.total_gray_events > 0);
+        let finding = gray.divergence.expect("a gray primary must diverge");
+        assert_eq!(finding.direction, DivergenceDirection::EmpiricalBelow);
+        assert!(
+            finding.magnitude > 0.5,
+            "the liveness collapse is large: {}",
+            finding.magnitude
+        );
+        assert!(gray.z_score < -DIVERGENCE_Z);
+        // Analytic columns repeat across the environment axis (env-blind).
+        assert_eq!(
+            clean_cell.outcome.report.safe_and_live.probability(),
+            gray_cell.outcome.report.safe_and_live.probability()
+        );
+        // First-class surfacing: the helper, the table column, the JSON object.
+        let divergent = report.divergent_cells();
+        assert_eq!(divergent.len(), 1);
+        assert!(std::ptr::eq(divergent[0], gray_cell));
+        let table = report.to_table("environment sweep");
+        assert_eq!(table.rows()[0][10], "ok");
+        assert!(
+            table.rows()[1][10].contains("below"),
+            "{}",
+            table.rows()[1][10]
+        );
+        let parsed = JsonValue::parse(&report.to_json()).expect("valid JSON");
+        let cells = parsed.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(
+            cells[1].get("environment").and_then(JsonValue::as_str),
+            Some("gray-primary")
+        );
+        assert!(cells[0]
+            .get("validation")
+            .unwrap()
+            .get("divergence")
+            .unwrap()
+            .is_null());
+        let d = cells[1]
+            .get("validation")
+            .unwrap()
+            .get("divergence")
+            .unwrap();
+        assert_eq!(
+            d.get("direction").and_then(JsonValue::as_str),
+            Some("below")
+        );
+        assert_eq!(
+            d.get("magnitude").and_then(JsonValue::as_f64),
+            Some(finding.magnitude)
+        );
+    }
+
+    #[test]
+    fn environment_cells_are_bit_identical_across_thread_counts() {
+        use crate::engine::{FaultEnvironment, SimBudget};
+        // The determinism contract survives the adversarial environments: the
+        // per-trial schedules derive from the salted chunk seed, never from
+        // worker identity, so a gray-primary or partition-heal sweep serializes
+        // byte-identically at any thread count.
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([5usize])
+            .fault_probs([0.05])
+            .fault_environments([
+                FaultEnvironment::GrayPrimary,
+                FaultEnvironment::PartitionHeal,
+            ])
+            .budget(Budget::default().with_seed(29).with_sim(SimBudget {
+                trials: 16,
+                horizon_millis: 1_500,
+                fault_window_millis: 100,
+                commands: 2,
+                environment: FaultEnvironment::Clean,
+            }))
+            .validate_with_simulation();
+        let reference = AnalysisSession::with_threads(1)
+            .run(&query)
+            .expect("well-formed query")
+            .zero_wall_clock()
+            .to_json();
+        for threads in [2usize, 8] {
+            let report = AnalysisSession::with_threads(threads)
+                .run(&query)
+                .expect("well-formed query")
+                .zero_wall_clock()
+                .to_json();
+            assert_eq!(
+                report, reference,
+                "environment sweep diverged at {threads} threads"
             );
         }
     }

@@ -56,14 +56,16 @@ use consensus_protocols::harness::{run_trial, TrialProtocol, TrialSpec};
 use consensus_protocols::pbft::PbftConfig;
 use consensus_protocols::raft::RaftConfig;
 use consensus_sim::fault::FaultSchedule;
-use consensus_sim::network::NetworkConfig;
+use consensus_sim::network::{LinkQuality, NetworkConfig};
 use consensus_sim::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::analyzer::ReliabilityReport;
-use crate::engine::{AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, Scenario, SimBudget};
+use crate::engine::{
+    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, FaultEnvironment, Scenario, SimBudget,
+};
 use crate::enumeration::RawReliability;
 use crate::montecarlo::Estimate;
 use crate::protocol::{ExecutableSpec, ProtocolModel};
@@ -72,6 +74,20 @@ use crate::protocol::{ExecutableSpec, ProtocolModel};
 /// simulation engine and the Monte Carlo samplers draw decorrelated streams from
 /// the same budget seed.
 const SIM_SEED_SALT: u64 = 0x51D0_7EAC_E5EE_D001;
+
+/// Stretch factor applied to the pinned leader under
+/// [`FaultEnvironment::GrayPrimary`]: large enough that a sub-millisecond LAN
+/// hop stretches past any multi-second horizon, so the gray node — provably
+/// alive, never marked faulty — cannot catch up on replicated entries within
+/// the mission window. ×1,000 is not enough: a 100 µs hop stretched to 100 ms
+/// still commits inside a 2 s horizon, which is precisely the insidious
+/// "slow but technically working" regime; ×100,000 pins the divergence.
+pub const GRAY_SLOW_FACTOR: f64 = 100_000.0;
+
+/// Drop probability of the asymmetric link override injected by
+/// [`FaultEnvironment::WanLossy`] (one direction of the 0→1 link; the reverse
+/// direction stays at the base WAN loss).
+const WAN_LOSSY_LINK_DROP: f64 = 0.25;
 
 /// Empirical reliability measured over a batch of discrete-event simulation trials.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +111,12 @@ pub struct SimulationReport {
     pub mean_decided_commands: f64,
     /// Total fault events (crashes and Byzantine turns) injected across all trials.
     pub total_faults_injected: u64,
+    /// Total gray-failure events (slow-downs and speed-ups) applied across all
+    /// trials. Always zero under [`FaultEnvironment::Clean`].
+    pub total_gray_events: u64,
+    /// Total scheduled network events (partitions, heals, link overrides) applied
+    /// across all trials. Always zero under [`FaultEnvironment::Clean`].
+    pub total_net_events: u64,
 }
 
 /// Integer per-trial tallies; their sum is associative and commutative, which is
@@ -108,6 +130,8 @@ struct TrialTally {
     leader_changes: u64,
     decided_commands: u64,
     faults_injected: u64,
+    gray_events: u64,
+    net_events: u64,
 }
 
 impl std::ops::Add for TrialTally {
@@ -122,11 +146,16 @@ impl std::ops::Add for TrialTally {
             leader_changes: self.leader_changes + other.leader_changes,
             decided_commands: self.decided_commands + other.decided_commands,
             faults_injected: self.faults_injected + other.faults_injected,
+            gray_events: self.gray_events + other.gray_events,
+            net_events: self.net_events + other.net_events,
         }
     }
 }
 
-/// Builds the per-trial workload for an executable configuration under a budget.
+/// Builds the per-trial workload for an executable configuration under a budget,
+/// specialized to the budget's fault environment: the network model it implies,
+/// and — for environments that target "the primary" — a pinned leader so the
+/// targeted node is the one that actually leads.
 fn trial_spec(spec: ExecutableSpec, sim: &SimBudget) -> TrialSpec {
     let protocol = match spec {
         ExecutableSpec::Raft {
@@ -138,11 +167,61 @@ fn trial_spec(spec: ExecutableSpec, sim: &SimBudget) -> TrialSpec {
         ),
         ExecutableSpec::Pbft { n } => TrialProtocol::Pbft(PbftConfig::standard(n)),
     };
-    TrialSpec {
+    let base = TrialSpec {
         protocol,
         network: NetworkConfig::lan(),
         commands: sim.commands,
         horizon_millis: sim.horizon_millis,
+    };
+    match sim.environment {
+        FaultEnvironment::Clean => base,
+        FaultEnvironment::GrayPrimary | FaultEnvironment::PartitionHeal => {
+            base.with_pinned_leader()
+        }
+        FaultEnvironment::WanLossy => base.with_network(NetworkConfig::wan_heavy_tailed()),
+    }
+}
+
+/// Appends the environment's scheduled events to a sampled crash/Byzantine
+/// schedule, drawing event times from the per-trial RNG — the same RNG, in the
+/// same order, at every thread count, which is what keeps environment cells
+/// bit-identical under parallel fan-out. [`FaultEnvironment::Clean`] draws
+/// nothing, so clean cells reproduce pre-environment results bit-for-bit.
+fn apply_environment(
+    environment: FaultEnvironment,
+    n: usize,
+    sim: &SimBudget,
+    schedule: FaultSchedule,
+    rng: &mut StdRng,
+) -> FaultSchedule {
+    let window_micros = SimTime::from_millis(sim.fault_window_millis).as_micros();
+    match environment {
+        FaultEnvironment::Clean => schedule,
+        FaultEnvironment::GrayPrimary => {
+            // The pinned leader goes gray at a sampled time inside the fault
+            // window and never recovers: alive, correct, and useless.
+            let at = SimTime::from_micros(rng.gen_range(0..=window_micros));
+            schedule.slow_down_at(0, GRAY_SLOW_FACTOR, at)
+        }
+        FaultEnvironment::PartitionHeal => {
+            // Split with the pinned leader on the minority side, heal at half the
+            // horizon (never before the partition starts): the empirical question
+            // is whether the remaining half-horizon is enough to recover.
+            let at = SimTime::from_micros(rng.gen_range(0..=window_micros));
+            let heal = SimTime::from_millis(sim.horizon_millis / 2).max(at);
+            let minority: Vec<usize> = (0..n / 2).collect();
+            let majority: Vec<usize> = (n / 2..n).collect();
+            schedule
+                .partition_at(vec![minority, majority], at)
+                .heal_at(heal)
+        }
+        FaultEnvironment::WanLossy => {
+            // One direction of the 0→1 link turns lossy at a sampled time; the
+            // reverse direction keeps the base WAN loss — asymmetric degradation
+            // on top of the heavy-tailed delay distribution.
+            let at = SimTime::from_micros(rng.gen_range(0..=window_micros));
+            schedule.link_override_at(0, 1, LinkQuality::lossy(WAN_LOSSY_LINK_DROP), at)
+        }
     }
 }
 
@@ -188,6 +267,13 @@ pub fn simulate_reliability(
                 index as u64,
             ));
             let schedule = FaultSchedule::sample_from_correlation(&target, fault_window, &mut rng);
+            let schedule = apply_environment(
+                budget.sim.environment,
+                spec.num_nodes(),
+                &budget.sim,
+                schedule,
+                &mut rng,
+            );
             let sim_seed: u64 = rng.gen();
             let trial = run_trial(&workload, &schedule, sim_seed);
             TrialTally {
@@ -198,6 +284,10 @@ pub fn simulate_reliability(
                 leader_changes: trial.leader_changes,
                 decided_commands: trial.decided_commands as u64,
                 faults_injected: trial.stats.crashes + trial.stats.byzantine_turns,
+                gray_events: trial.stats.slow_downs + trial.stats.speed_ups,
+                net_events: trial.stats.partitions_started
+                    + trial.stats.partitions_healed
+                    + trial.stats.link_overrides,
             }
         })
         .collect::<Vec<_>>()
@@ -213,6 +303,8 @@ pub fn simulate_reliability(
         mean_leader_changes: per_trial(tally.leader_changes),
         mean_decided_commands: per_trial(tally.decided_commands),
         total_faults_injected: tally.faults_injected,
+        total_gray_events: tally.gray_events,
+        total_net_events: tally.net_events,
     }
 }
 
@@ -278,6 +370,7 @@ mod tests {
             horizon_millis: 2_000,
             fault_window_millis: 150,
             commands: 2,
+            environment: FaultEnvironment::Clean,
         })
     }
 
@@ -340,6 +433,7 @@ mod tests {
             horizon_millis: 1_000,
             fault_window_millis: 100,
             commands: 1,
+            environment: FaultEnvironment::Clean,
         });
         let report = simulate_reliability(&model, Scenario::Independent(&deployment), &budget);
         assert_eq!(report.trials, 1);
@@ -370,5 +464,70 @@ mod tests {
         let model = PersistenceQuorumModel::new(5, vec![0, 1]);
         let deployment = Deployment::uniform_crash(5, 0.05);
         simulate_reliability(&model, Scenario::Independent(&deployment), &quick_budget(1));
+    }
+
+    #[test]
+    fn gray_primary_environment_stalls_liveness_the_analytic_model_cannot_see() {
+        // Zero crash probability: the analytic model calls this deployment perfectly
+        // reliable. The gray-primary environment slows the pinned leader without
+        // ever marking it faulty — empirical liveness collapses while safety holds.
+        // This asymmetry is the known-divergent cell of ROADMAP item 3.
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.0);
+        let scenario = Scenario::Independent(&deployment);
+        let clean = simulate_reliability(&model, scenario, &quick_budget(12));
+        let gray_budget = quick_budget(12).with_fault_environment(FaultEnvironment::GrayPrimary);
+        let gray = simulate_reliability(&model, scenario, &gray_budget);
+        assert_eq!(clean.total_gray_events, 0);
+        assert_eq!(gray.total_gray_events, 12, "one slow-down per trial");
+        assert_eq!(gray.safe.value, 1.0, "gray failure must never break safety");
+        assert!(
+            gray.live.value < clean.live.value,
+            "a gray leader must cost liveness: clean {} vs gray {}",
+            clean.live.value,
+            gray.live.value
+        );
+        assert_eq!(
+            gray.total_faults_injected, 0,
+            "gray events are not boolean faults"
+        );
+    }
+
+    #[test]
+    fn partition_heal_environment_injects_net_events_every_trial() {
+        let model = PbftModel::standard(4);
+        let deployment = Deployment::uniform_crash(4, 0.0);
+        let scenario = Scenario::Independent(&deployment);
+        let budget = quick_budget(8).with_fault_environment(FaultEnvironment::PartitionHeal);
+        let report = simulate_reliability(&model, scenario, &budget);
+        assert_eq!(
+            report.total_net_events, 16,
+            "one partition and one heal per trial"
+        );
+        assert_eq!(report.safe.value, 1.0, "partitions must never break safety");
+    }
+
+    #[test]
+    fn wan_lossy_environment_runs_heavy_tailed_and_overrides_a_link() {
+        let model = RaftModel::standard(3);
+        let deployment = Deployment::uniform_crash(3, 0.0);
+        let scenario = Scenario::Independent(&deployment);
+        let budget = quick_budget(6).with_fault_environment(FaultEnvironment::WanLossy);
+        let report = simulate_reliability(&model, scenario, &budget);
+        assert_eq!(report.total_net_events, 6, "one link override per trial");
+        assert_eq!(report.safe.value, 1.0);
+    }
+
+    #[test]
+    fn environment_reports_are_deterministic_per_seed() {
+        let model = RaftModel::standard(5);
+        let deployment = Deployment::uniform_crash(5, 0.05);
+        let scenario = Scenario::Independent(&deployment);
+        for environment in FaultEnvironment::ALL {
+            let budget = quick_budget(10).with_fault_environment(environment);
+            let a = simulate_reliability(&model, scenario, &budget);
+            let b = simulate_reliability(&model, scenario, &budget);
+            assert_eq!(a, b, "environment {environment} must be deterministic");
+        }
     }
 }

@@ -184,6 +184,26 @@ impl TrialSpec {
         }
     }
 
+    /// Replaces the network model.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Pins node 0 as the preferred leader: for Raft, installs the identity
+    /// election priority so node 0 wins the first election (and re-elections
+    /// prefer the lowest-ranked live node); PBFT already starts with node 0 as
+    /// the view-0 primary, so this is a no-op there. Fault environments that
+    /// target "the primary" use this so gray failures land on the node that
+    /// actually leads.
+    pub fn with_pinned_leader(mut self) -> Self {
+        if let TrialProtocol::Raft(config) = self.protocol {
+            let n = config.n;
+            self.protocol = TrialProtocol::Raft(config.with_election_priority((0..n).collect()));
+        }
+        self
+    }
+
     /// Cluster size of the trial.
     pub fn num_nodes(&self) -> usize {
         match &self.protocol {
@@ -453,6 +473,117 @@ mod tests {
             .correct_nodes
             .iter()
             .any(|&i| h.sim().node(i).view() > 0));
+    }
+
+    #[test]
+    fn raft_reelects_away_from_a_gray_leader() {
+        // Node 0 wins the first election (priority), replicates a batch, then goes
+        // gray at t=1s: alive, correct, but 1000x slow. Its heartbeats stop arriving
+        // within the followers' 150–300 ms election timeout, so the cluster must
+        // re-elect — without ever marking node 0 faulty.
+        let schedule = FaultSchedule::none().slow_down_at(0, 1_000.0, SimTime::from_millis(1_000));
+        let config = RaftConfig::standard(5).with_election_priority(vec![0, 1, 2, 3, 4]);
+        let mut h =
+            RaftHarness::with_config(config, NetworkConfig::lan(), 21).with_faults(&schedule);
+        h.submit_commands(5);
+        h.run_for_millis(900);
+        h.submit_commands(5);
+        let outcome = h.run_for_millis(6_000);
+        assert!(outcome.agreement, "gray failure must never break safety");
+        assert_eq!(
+            outcome.correct_nodes,
+            vec![0, 1, 2, 3, 4],
+            "a slow node is still correct"
+        );
+        let max_term = (0..5)
+            .map(|i| h.sim().node(i).current_term())
+            .max()
+            .unwrap();
+        assert!(
+            max_term > 1,
+            "followers must elect a new leader away from the gray one, term {max_term}"
+        );
+        // The healthy majority keeps committing; the gray node itself lags behind —
+        // progress is made, just not by everyone.
+        assert_eq!(*outcome.committed_lengths.iter().max().unwrap(), 10);
+    }
+
+    #[test]
+    fn raft_partition_heal_restores_progress() {
+        // A 2/3 split of a 5-node cluster with the pinned leader in the minority:
+        // no quorum on the leader's side, so commits stall until the scheduled heal.
+        let schedule = FaultSchedule::none()
+            .partition_at(vec![vec![0, 1], vec![2, 3, 4]], SimTime::from_millis(700))
+            .heal_at(SimTime::from_millis(2_500));
+        let config = RaftConfig::standard(5).with_election_priority(vec![0, 1, 2, 3, 4]);
+        let mut h =
+            RaftHarness::with_config(config, NetworkConfig::lan(), 22).with_faults(&schedule);
+        h.submit_commands(5);
+        h.run_for_millis(800); // past the partition start
+        h.submit_commands(5);
+        let mid = h.run_for_millis(1_500); // now at 2.3s, partition still active
+        assert!(
+            !mid.all_committed,
+            "the second batch cannot commit across the partition, lengths {:?}",
+            mid.committed_lengths
+        );
+        let outcome = h.run_for_millis(6_000);
+        assert!(outcome.agreement);
+        assert!(
+            outcome.all_committed,
+            "after the heal every node catches up, lengths {:?}",
+            outcome.committed_lengths
+        );
+    }
+
+    #[test]
+    fn pbft_gray_primary_trips_the_view_change_watchdog() {
+        // The view-0 primary goes gray immediately: alive but 1000x slow, so its
+        // pre-prepares arrive long after the replicas' 300 ms progress watchdog
+        // fires. The watchdog path — not crash detection — must rotate the view.
+        let schedule = FaultSchedule::none().slow_down_at(0, 1_000.0, SimTime::from_millis(1));
+        let mut h = PbftHarness::new(4, NetworkConfig::lan(), 23).with_faults(&schedule);
+        h.submit_commands(5);
+        let outcome = h.run_for_millis(8_000);
+        assert!(outcome.agreement, "gray primary must never break safety");
+        assert_eq!(
+            outcome.correct_nodes,
+            vec![0, 1, 2, 3],
+            "the gray primary is never marked faulty"
+        );
+        assert!(
+            (1..4).any(|i| h.sim().node(i).view() > 0),
+            "replicas must vote the gray primary out via the watchdog"
+        );
+        // The three healthy replicas form a quorum and keep deciding; given a long
+        // enough horizon even the gray node's stretched deliveries land.
+        assert!(
+            outcome.all_committed,
+            "view changes restore progress, lengths {:?}",
+            outcome.committed_lengths
+        );
+    }
+
+    #[test]
+    fn pbft_partition_heal_restores_progress() {
+        // Isolate the primary, then heal: the majority side changes view and
+        // commits; after the heal the old primary rejoins without breaking safety.
+        let schedule = FaultSchedule::none()
+            .partition_at(vec![vec![0], vec![1, 2, 3]], SimTime::from_millis(1))
+            .heal_at(SimTime::from_millis(3_000));
+        let mut h = PbftHarness::new(4, NetworkConfig::lan(), 24).with_faults(&schedule);
+        h.submit_commands(5);
+        let outcome = h.run_for_millis(10_000);
+        assert!(outcome.agreement);
+        assert!(
+            (1..4).any(|i| h.sim().node(i).view() > 0),
+            "the majority side must move past the isolated primary's view"
+        );
+        assert!(
+            outcome.committed_lengths.iter().any(|&l| l >= 5),
+            "the healed cluster commits the workload, lengths {:?}",
+            outcome.committed_lengths
+        );
     }
 
     #[test]

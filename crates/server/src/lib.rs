@@ -49,7 +49,7 @@ use std::time::Instant;
 use fault_model::markov::RepairableGroup;
 use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::PersistenceQuorumModel;
-use prob_consensus::engine::Budget;
+use prob_consensus::engine::{Budget, FaultEnvironment};
 use prob_consensus::json::JsonValue;
 use prob_consensus::protocol::ProtocolModel;
 use prob_consensus::query::{
@@ -391,6 +391,25 @@ pub fn parse_query(spec: &JsonValue) -> Result<ParsedQuery, String> {
                     query = query.validate_with_simulation();
                 }
             }
+            "environments" => {
+                let environments: Vec<FaultEnvironment> = value
+                    .as_array()
+                    .ok_or("environments must be an array")?
+                    .iter()
+                    .map(|e| {
+                        let label = e
+                            .as_str()
+                            .ok_or_else(|| "environments: entries must be strings".to_string())?;
+                        FaultEnvironment::from_label(label).ok_or_else(|| {
+                            format!(
+                                "environments: unknown environment '{label}' (one of: clean, \
+                                 gray-primary, partition-heal, wan-lossy)"
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                query = query.fault_environments(environments);
+            }
             "metrics" => {
                 let m = Metrics {
                     safe: value.get("safe").map_or(Ok(true), |v| {
@@ -716,22 +735,124 @@ fn handle_line(server: &Arc<Server>, line: &str, writer: &SharedWriter) -> Actio
     }
 }
 
+/// Upper bound on one request line, in bytes. A line longer than this is not a
+/// plausible query — it is a runaway or hostile client — and buffering it
+/// unbounded would let one connection exhaust server memory. Oversized lines
+/// produce an `error` event and a clean close (in-flight queries still drain).
+pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20;
+
+/// Per-connection read timeout for TCP connections. A peer that goes silent
+/// mid-session (half-open connection, wedged client) would otherwise pin its
+/// connection thread forever; after this long with no bytes, the connection
+/// gets an `error` event and a clean close.
+pub const TCP_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+
+/// Reads one newline-terminated request line of at most
+/// [`MAX_REQUEST_LINE_BYTES`], without buffering more than that.
+///
+/// Returns `Ok(None)` on EOF, `Ok(Some(Err(())))` when the line exceeds the
+/// bound, and propagates IO errors (including read timeouts) to the caller.
+fn read_request_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Option<Result<(), ()>>> {
+    buf.clear();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        };
+        if available.is_empty() {
+            // EOF: a final unterminated line is still served if non-empty.
+            return Ok(if buf.is_empty() { None } else { Some(Ok(())) });
+        }
+        let room = MAX_REQUEST_LINE_BYTES - buf.len();
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                let over = newline > room;
+                buf.extend_from_slice(&available[..newline.min(room)]);
+                reader.consume(newline + 1);
+                return Ok(Some(if over { Err(()) } else { Ok(()) }));
+            }
+            None if available.len() > room => {
+                // Over the cap with no line end in sight: stop buffering — the
+                // connection is about to close, so nothing needs resyncing.
+                let consumed = available.len();
+                reader.consume(consumed);
+                return Ok(Some(Err(())));
+            }
+            None => {
+                let consumed = available.len();
+                buf.extend_from_slice(available);
+                reader.consume(consumed);
+            }
+        }
+    }
+}
+
 /// Serves one connection: reads request lines until EOF or a `shutdown`
 /// request, then drains every in-flight query before returning. Returns `true`
 /// when the connection asked the server to shut down.
+///
+/// The read side is hardened against misbehaving peers: request lines are
+/// bounded by [`MAX_REQUEST_LINE_BYTES`], and a read timeout on the underlying
+/// stream (see [`TCP_READ_TIMEOUT`]) is treated as a protocol event, not an IO
+/// failure — both emit an `error` event, drain in-flight queries, and close the
+/// connection cleanly.
 pub fn serve_connection(
     server: &Arc<Server>,
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     writer: SharedWriter,
 ) -> std::io::Result<bool> {
     let mut in_flight: Vec<rayon::TaskSet> = Vec::new();
     let mut shutdown_id = None;
-    for line in reader.lines() {
-        let line = line?;
+    let mut buf = Vec::new();
+    loop {
+        match read_request_line(&mut reader, &mut buf) {
+            Ok(None) => break,
+            Ok(Some(Err(()))) => {
+                emit(
+                    &writer,
+                    &error_event(
+                        &JsonValue::Null,
+                        format!(
+                            "request line exceeds {MAX_REQUEST_LINE_BYTES} bytes; closing \
+                             connection"
+                        ),
+                    ),
+                );
+                break;
+            }
+            Ok(Some(Ok(()))) => {}
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                emit(
+                    &writer,
+                    &error_event(&JsonValue::Null, "read timed out; closing connection"),
+                );
+                break;
+            }
+            Err(err) => return Err(err),
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            emit(
+                &writer,
+                &error_event(
+                    &JsonValue::Null,
+                    "request line is not UTF-8; closing connection",
+                ),
+            );
+            break;
+        };
         if line.trim().is_empty() {
             continue;
         }
-        match handle_line(server, &line, &writer) {
+        match handle_line(server, line, &writer) {
             Action::Handled => {}
             Action::Spawned(set) => {
                 // Opportunistically shed finished handles so a long-lived
@@ -804,6 +925,9 @@ pub fn serve_tcp(server: &Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Res
 }
 
 fn handle_tcp_connection(server: &Arc<Server>, stream: TcpStream) -> std::io::Result<bool> {
+    // A silent peer must not pin this connection thread forever; the timeout
+    // surfaces in `serve_connection` as an `error` event plus a clean close.
+    stream.set_read_timeout(Some(TCP_READ_TIMEOUT))?;
     let reader = BufReader::new(stream.try_clone()?);
     let writer: SharedWriter = Arc::new(Mutex::new(stream));
     serve_connection(server, reader, writer)
@@ -1018,6 +1142,106 @@ mod tests {
     }
 
     #[test]
+    fn oversized_request_lines_error_and_close_cleanly() {
+        let server = Arc::new(Server::new());
+        // A request line one byte over the cap, with a well-formed query queued
+        // behind it: the oversized line produces an `error` event and closes the
+        // connection — the trailing request is never read.
+        let mut input = String::new();
+        input.push_str("{\"id\":\"big\",\"op\":\"query\",\"query\":{\"pad\":\"");
+        input.push_str(&"x".repeat(MAX_REQUEST_LINE_BYTES + 1 - input.len()));
+        input.push_str("\nafter-the-close not json\n");
+        let output = run_exchange(&server, &input);
+        let emitted = events(&output);
+        assert_eq!(emitted.len(), 1, "exactly one event, got: {output}");
+        assert_eq!(
+            emitted[0].get("event").and_then(|v| v.as_str()),
+            Some("error")
+        );
+        let message = emitted[0]
+            .get("message")
+            .and_then(|v| v.as_str())
+            .expect("error events carry a message");
+        assert!(message.contains("exceeds"), "{message}");
+        // A line at exactly the cap is still served (the error it draws is the
+        // parser's, not the reader's — proving the read path let it through).
+        let mut exact = String::from("{\"id\":\"fits\",\"op\":\"nope\"");
+        exact.push_str(&" ".repeat(MAX_REQUEST_LINE_BYTES - exact.len() - 1));
+        exact.push('}');
+        assert_eq!(exact.len(), MAX_REQUEST_LINE_BYTES);
+        exact.push('\n');
+        let output = run_exchange(&server, &exact);
+        let emitted = events(&output);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(
+            emitted[0].get("id").and_then(|v| v.as_str()),
+            Some("fits"),
+            "{output}"
+        );
+    }
+
+    /// A reader that yields some lines, then fails like a TCP read timeout.
+    struct TimingOutReader {
+        data: std::io::Cursor<Vec<u8>>,
+        timed_out: bool,
+    }
+
+    impl std::io::Read for TimingOutReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.data.read(buf)?;
+            if n == 0 {
+                if self.timed_out {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "simulated read timeout",
+                    ));
+                }
+                self.timed_out = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "simulated read timeout",
+                ));
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_timeouts_error_and_close_cleanly() {
+        // A connection that answers one request and then goes silent past the
+        // read timeout: the timeout becomes an `error` event and a clean close
+        // (Ok(false) — not an IO failure, not a shutdown), after the completed
+        // query's events have all streamed.
+        let server = Arc::new(Server::new());
+        let reader = BufReader::new(TimingOutReader {
+            data: std::io::Cursor::new(
+                b"{\"id\":\"q\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[3],\"fault_probs\":[0.01]}}\n"
+                    .to_vec(),
+            ),
+            timed_out: false,
+        });
+        let out = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let writer: SharedWriter = Arc::clone(&out) as SharedWriter;
+        let shutdown =
+            serve_connection(&server, reader, writer).expect("a read timeout is not an IO failure");
+        assert!(!shutdown);
+        let bytes = out.lock().expect("output lock").clone();
+        let output = String::from_utf8(bytes).expect("UTF-8 output");
+        let events = events(&output);
+        assert_eq!(events_for(&events, "q", "done").len(), 1, "{output}");
+        let timeouts: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("event").and_then(|v| v.as_str()) == Some("error")
+                    && e.get("message")
+                        .and_then(|v| v.as_str())
+                        .is_some_and(|m| m.contains("timed out"))
+            })
+            .collect();
+        assert_eq!(timeouts.len(), 1, "{output}");
+    }
+
+    #[test]
     fn malformed_requests_produce_error_events_not_crashes() {
         let server = Arc::new(Server::new());
         let input = "not json at all\n\
@@ -1082,14 +1306,16 @@ mod tests {
                 "correlations":["independent",{"cluster_shock":{"probability":0.01}},{"rack_shock":{"racks":3,"probability":0.02}}],
                 "samples":5000,"seed":9,"samples_sweep":[1000,5000],
                 "validate":false,
+                "environments":["clean","gray-primary"],
                 "metrics":{"safe":true,"live":false,"safe_and_live":true},
                 "time_axis":{"horizon_hours":20000,"step_hours":5000,"target_nines":3.0},
                 "repairable_cells":[{"label":"r","n":5,"lambda":1e-4,"mu":0.1,"tolerated_failures":2}]}"#,
         )
         .unwrap();
         let parsed = parse_query(&spec).expect("full-axis query parses");
-        // 3 protocols x 2 nodes x 4 probs x 3 correlations x 2 sample budgets.
-        assert_eq!(parsed.query.cell_count(), 144);
+        // 3 protocols x 2 nodes x 4 probs x 3 correlations x 2 sample budgets
+        // x 2 fault environments.
+        assert_eq!(parsed.query.cell_count(), 288);
         assert_eq!(parsed.query.trajectory_count(), 1);
         assert!(!parsed.metrics.live && parsed.metrics.safe);
     }
@@ -1129,6 +1355,14 @@ mod tests {
             (
                 r#"{"repairable_cells":[{"label":"r","n":3,"lambda":1e-4,"mu":0.1,"tolerated_failures":3}]}"#,
                 "tolerated_failures",
+            ),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"environments":["solar-flare"]}"#,
+                "unknown environment",
+            ),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"environments":[7]}"#,
+                "must be strings",
             ),
         ] {
             let err = parse_query(&JsonValue::parse(bad).unwrap())

@@ -1,18 +1,23 @@
-//! Fault schedules: when nodes crash, recover, or turn Byzantine.
+//! Fault schedules: when nodes crash, recover, turn Byzantine, or go gray — and when
+//! the network itself partitions, heals, or degrades per link.
 //!
 //! A schedule can be written explicitly (for targeted tests), sampled from per-node fault
 //! profiles (matching the analysis window semantics of the `prob-consensus` crate), or
-//! sampled from full fault curves (hazard-rate driven failure times).
+//! sampled from full fault curves (hazard-rate driven failure times). Besides per-node
+//! fault events, a schedule carries a second lane of [`NetEvent`]s that reconfigure the
+//! network mid-run: partitions that later heal, and asymmetric per-link loss/delay
+//! overrides — the fault classes a fixed-`f` model cannot express.
 
 use fault_model::correlation::CorrelationModel;
 use fault_model::curve::FaultCurve;
 use fault_model::mode::{FaultProfile, NodeState};
 use rand::Rng;
 
+use crate::network::LinkQuality;
 use crate::time::SimTime;
 
 /// What happens to a node at a scheduled time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// The node stops: no messages sent or received, timers do not fire.
     Crash,
@@ -20,10 +25,35 @@ pub enum FaultKind {
     Recover,
     /// The node starts behaving maliciously (actors decide what that means).
     TurnByzantine,
+    /// Gray failure: the node stays alive and correct, but everything it does is
+    /// stretched by `factor` — outgoing and incoming message latencies and its own
+    /// timer delays. The node itself has no idea it is slow; nothing in the actor API
+    /// reports it. This is the slow-but-alive case fixed-`f` fault models miss.
+    SlowDown {
+        /// Multiplier (> 0) applied to the node's message latencies and timer delays.
+        /// Values above 1 slow the node down; the identity factor 1.0 is a no-op.
+        factor: f64,
+    },
+    /// Ends a gray failure: the node's timing returns to normal (factor 1.0).
+    SpeedUp,
+}
+
+impl FaultKind {
+    /// Whether this event leaves the node faulty in the boolean sense used by the
+    /// analytic layer. Gray events do not: a slow node is still correct and live,
+    /// which is exactly why analytic and empirical estimates diverge under gray
+    /// failure.
+    pub fn counts_as_faulty(&self) -> Option<bool> {
+        match self {
+            FaultKind::Crash | FaultKind::TurnByzantine => Some(true),
+            FaultKind::Recover => Some(false),
+            FaultKind::SlowDown { .. } | FaultKind::SpeedUp => None,
+        }
+    }
 }
 
 /// One scheduled fault event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {
     /// When the event takes effect.
     pub time: SimTime,
@@ -33,10 +63,46 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
-/// An ordered list of fault events to inject into a simulation.
+/// A scheduled change to the network as a whole (as opposed to a single node).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetEventKind {
+    /// Partition the network into the given groups: messages flow only within a
+    /// group, and nodes not listed in any group are isolated.
+    PartitionStart {
+        /// The partition groups.
+        groups: Vec<Vec<usize>>,
+    },
+    /// Heal any partition: the network becomes fully connected again.
+    PartitionHeal,
+    /// Install (or replace) a directed per-link quality override from `from` to
+    /// `to`. Overrides are asymmetric: the reverse direction is unaffected unless
+    /// it is overridden separately.
+    LinkOverride {
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Loss/extra-delay parameters for the link.
+        quality: LinkQuality,
+    },
+    /// Remove every per-link override installed so far.
+    ClearLinkOverrides,
+}
+
+/// One scheduled network event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetEvent {
+    /// When the event takes effect.
+    pub time: SimTime,
+    /// What changes.
+    pub kind: NetEventKind,
+}
+
+/// An ordered list of fault and network events to inject into a simulation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSchedule {
     events: Vec<FaultEvent>,
+    net_events: Vec<NetEvent>,
 }
 
 impl FaultSchedule {
@@ -45,10 +111,24 @@ impl FaultSchedule {
         Self::default()
     }
 
-    /// Adds an event.
+    /// Adds an event, keeping the vector time-ordered.
+    ///
+    /// Insertion is ordered (binary search for the slot, one `Vec::insert`) rather
+    /// than push-then-sort, so building an `n`-event schedule costs O(n log n)
+    /// comparisons instead of the O(n² log n) of re-sorting per insertion. Events
+    /// with equal timestamps keep their insertion order — the same guarantee the
+    /// previous stable sort gave — so iteration order never depends on how a
+    /// schedule was built.
     pub fn add(&mut self, event: FaultEvent) {
-        self.events.push(event);
-        self.events.sort_by_key(|e| e.time);
+        let at = self.events.partition_point(|e| e.time <= event.time);
+        self.events.insert(at, event);
+    }
+
+    /// Adds a network event, keeping the network lane time-ordered with the same
+    /// equal-timestamp insertion-order guarantee as [`FaultSchedule::add`].
+    pub fn add_net(&mut self, event: NetEvent) {
+        let at = self.net_events.partition_point(|e| e.time <= event.time);
+        self.net_events.insert(at, event);
     }
 
     /// Convenience: crash `node` at `time`.
@@ -81,24 +161,88 @@ impl FaultSchedule {
         self
     }
 
-    /// The scheduled events in time order.
+    /// Convenience: gray-fail `node` at `time`, stretching its latencies and timer
+    /// delays by `factor`.
+    pub fn slow_down_at(mut self, node: usize, factor: f64, time: SimTime) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "slow-down factor must be positive and finite"
+        );
+        self.add(FaultEvent {
+            time,
+            node,
+            kind: FaultKind::SlowDown { factor },
+        });
+        self
+    }
+
+    /// Convenience: end a gray failure on `node` at `time`.
+    pub fn speed_up_at(mut self, node: usize, time: SimTime) -> Self {
+        self.add(FaultEvent {
+            time,
+            node,
+            kind: FaultKind::SpeedUp,
+        });
+        self
+    }
+
+    /// Convenience: partition the network into `groups` at `time`.
+    pub fn partition_at(mut self, groups: Vec<Vec<usize>>, time: SimTime) -> Self {
+        self.add_net(NetEvent {
+            time,
+            kind: NetEventKind::PartitionStart { groups },
+        });
+        self
+    }
+
+    /// Convenience: heal any partition at `time`.
+    pub fn heal_at(mut self, time: SimTime) -> Self {
+        self.add_net(NetEvent {
+            time,
+            kind: NetEventKind::PartitionHeal,
+        });
+        self
+    }
+
+    /// Convenience: install a directed link-quality override at `time`.
+    pub fn link_override_at(
+        mut self,
+        from: usize,
+        to: usize,
+        quality: LinkQuality,
+        time: SimTime,
+    ) -> Self {
+        self.add_net(NetEvent {
+            time,
+            kind: NetEventKind::LinkOverride { from, to, quality },
+        });
+        self
+    }
+
+    /// The scheduled per-node fault events in time order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
 
-    /// Number of scheduled events.
+    /// The scheduled network events in time order.
+    pub fn net_events(&self) -> &[NetEvent] {
+        &self.net_events
+    }
+
+    /// Number of scheduled per-node fault events (network events not included).
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether the schedule is empty.
+    /// Whether the schedule is empty (no fault events and no network events).
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.net_events.is_empty()
     }
 
     /// Nodes that are scheduled to crash (and never recover) or turn Byzantine at some
     /// point — i.e. the failure configuration this schedule realizes by the end of the
-    /// horizon.
+    /// horizon. Gray events ([`FaultKind::SlowDown`]/[`FaultKind::SpeedUp`]) never
+    /// count: a slow node is alive and correct, merely late.
     pub fn eventually_faulty(&self, num_nodes: usize) -> Vec<usize> {
         (0..num_nodes)
             .filter(|&n| {
@@ -107,9 +251,8 @@ impl FaultSchedule {
                     if e.node != n {
                         continue;
                     }
-                    match e.kind {
-                        FaultKind::Crash | FaultKind::TurnByzantine => faulty = true,
-                        FaultKind::Recover => faulty = false,
+                    if let Some(now_faulty) = e.kind.counts_as_faulty() {
+                        faulty = now_faulty;
                     }
                 }
                 faulty
@@ -233,6 +376,55 @@ mod tests {
     }
 
     #[test]
+    fn same_timestamp_events_keep_insertion_order() {
+        // Three events at the same instant plus one earlier and one later, inserted in
+        // a scrambled order: the equal-timestamp trio must come back in insertion
+        // order (crash 0, recover 1, byzantine 2), pinned so iteration order can
+        // never depend on how the sort/insert is implemented.
+        let t = SimTime::from_millis(20);
+        let s = FaultSchedule::none()
+            .crash_at(9, SimTime::from_millis(90))
+            .crash_at(0, t)
+            .recover_at(1, t)
+            .byzantine_at(2, t)
+            .crash_at(8, SimTime::from_millis(1));
+        let order: Vec<(u64, usize)> = s
+            .events()
+            .iter()
+            .map(|e| (e.time.as_micros(), e.node))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1_000, 8),
+                (20_000, 0),
+                (20_000, 1),
+                (20_000, 2),
+                (90_000, 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn same_timestamp_net_events_keep_insertion_order() {
+        let t = SimTime::from_millis(5);
+        let s = FaultSchedule::none()
+            .heal_at(SimTime::from_millis(50))
+            .partition_at(vec![vec![0], vec![1, 2]], t)
+            .heal_at(t);
+        assert_eq!(s.net_events().len(), 3);
+        assert!(matches!(
+            s.net_events()[0].kind,
+            NetEventKind::PartitionStart { .. }
+        ));
+        assert!(matches!(
+            s.net_events()[1].kind,
+            NetEventKind::PartitionHeal
+        ));
+        assert_eq!(s.net_events()[2].time, SimTime::from_millis(50));
+    }
+
+    #[test]
     fn eventually_faulty_accounts_for_recovery() {
         let s = FaultSchedule::none()
             .crash_at(0, SimTime::from_millis(10))
@@ -240,6 +432,35 @@ mod tests {
             .crash_at(1, SimTime::from_millis(10))
             .byzantine_at(2, SimTime::from_millis(5));
         assert_eq!(s.eventually_faulty(4), vec![1, 2]);
+    }
+
+    #[test]
+    fn eventually_faulty_crash_recover_crash_is_faulty() {
+        let s = FaultSchedule::none()
+            .crash_at(0, SimTime::from_millis(10))
+            .recover_at(0, SimTime::from_millis(20))
+            .crash_at(0, SimTime::from_millis(30));
+        assert_eq!(s.eventually_faulty(2), vec![0]);
+    }
+
+    #[test]
+    fn eventually_faulty_recover_without_prior_crash_is_correct() {
+        let s = FaultSchedule::none().recover_at(1, SimTime::from_millis(10));
+        assert!(s.eventually_faulty(3).is_empty());
+    }
+
+    #[test]
+    fn gray_events_do_not_count_as_eventually_faulty() {
+        let s = FaultSchedule::none()
+            .slow_down_at(0, 16.0, SimTime::from_millis(10))
+            .slow_down_at(1, 4.0, SimTime::from_millis(5))
+            .speed_up_at(1, SimTime::from_millis(50))
+            .partition_at(vec![vec![0], vec![1, 2]], SimTime::from_millis(1))
+            .heal_at(SimTime::from_millis(40));
+        assert!(s.eventually_faulty(3).is_empty());
+        // ... even interleaved with real faults the gray events change nothing.
+        let s = s.crash_at(2, SimTime::from_millis(20));
+        assert_eq!(s.eventually_faulty(3), vec![2]);
     }
 
     #[test]

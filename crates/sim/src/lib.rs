@@ -65,8 +65,8 @@ pub mod time;
 pub mod trace;
 
 pub use actor::{Actor, Context};
-pub use fault::{FaultEvent, FaultKind, FaultSchedule};
-pub use network::NetworkConfig;
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, NetEvent, NetEventKind};
+pub use network::{DelayDistribution, LinkQuality, NetworkConfig};
 pub use runtime::Simulation;
 pub use time::SimTime;
 pub use trace::TraceStats;

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, Context};
-use crate::fault::{FaultKind, FaultSchedule};
+use crate::fault::{FaultKind, FaultSchedule, NetEventKind};
 use crate::network::NetworkConfig;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent, TraceStats};
@@ -18,6 +18,16 @@ enum Payload<M> {
     Deliver { from: usize, to: usize, msg: M },
     Timer { node: usize, tag: u64 },
     Fault { node: usize, kind: FaultKind },
+    Net { kind: NetEventKind },
+}
+
+/// Stretches a duration by a gray-failure factor. The identity factor is the common
+/// case and must stay bit-exact, so it short-circuits before any float arithmetic.
+fn stretch(t: SimTime, factor: f64) -> SimTime {
+    if factor == 1.0 {
+        return t;
+    }
+    SimTime::from_micros((t.as_micros() as f64 * factor).round() as u64)
 }
 
 /// A deterministic discrete-event simulation of `A` actors exchanging messages of type
@@ -30,6 +40,7 @@ pub struct Simulation<M, A> {
     nodes: Vec<A>,
     crashed: Vec<bool>,
     byzantine: Vec<bool>,
+    slow_factor: Vec<f64>,
     network: NetworkConfig,
     net_rng: StdRng,
     node_rngs: Vec<StdRng>,
@@ -55,6 +66,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             nodes: actors,
             crashed: vec![false; n],
             byzantine: vec![false; n],
+            slow_factor: vec![1.0; n],
             network,
             net_rng: StdRng::seed_from_u64(master.gen()),
             node_rngs,
@@ -67,7 +79,10 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         sim
     }
 
-    /// Installs a fault schedule (typically before running).
+    /// Installs a fault schedule (typically before running). Both lanes are queued:
+    /// per-node fault events and whole-network events (partitions, heals, link
+    /// overrides), so a schedule alone can reconfigure the network mid-run without
+    /// any out-of-band `set_network` calls.
     pub fn with_fault_schedule(mut self, schedule: &FaultSchedule) -> Self {
         for event in schedule.events() {
             assert!(
@@ -79,6 +94,14 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
                 Payload::Fault {
                     node: event.node,
                     kind: event.kind,
+                },
+            );
+        }
+        for event in schedule.net_events() {
+            self.push_event(
+                event.time,
+                Payload::Net {
+                    kind: event.kind.clone(),
                 },
             );
         }
@@ -126,6 +149,18 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         self.byzantine[id]
     }
 
+    /// The node's current gray-failure stretch factor (1.0 when healthy).
+    pub fn slow_factor(&self, id: usize) -> f64 {
+        self.slow_factor[id]
+    }
+
+    /// Whether a node is currently gray-failed (slowed). Note this is deliberately
+    /// *not* part of [`Simulation::correct_nodes`]: a slow node is correct, which is
+    /// the whole point of gray failures.
+    pub fn is_slowed(&self, id: usize) -> bool {
+        self.slow_factor[id] != 1.0
+    }
+
     /// Ids of nodes that are neither crashed nor Byzantine.
     pub fn correct_nodes(&self) -> Vec<usize> {
         (0..self.nodes.len())
@@ -149,7 +184,8 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         assert!(to < self.nodes.len(), "destination out of range");
         let latency = self.network.sample_latency(&mut self.net_rng);
         self.stats.messages_sent += 1;
-        let at = self.now + latency;
+        // A gray-failed destination receives late, like every message it handles.
+        let at = self.now + stretch(latency, self.slow_factor[to]);
         // External clients are node-less; use the destination as the nominal sender.
         self.push_event(at, Payload::Deliver { from: to, to, msg });
     }
@@ -185,6 +221,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
                 }
             }
             Payload::Fault { node, kind } => self.apply_fault(node, kind),
+            Payload::Net { kind } => self.apply_net(kind),
         }
         true
     }
@@ -228,6 +265,8 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
                 FaultKind::Crash => "crash",
                 FaultKind::Recover => "recover",
                 FaultKind::TurnByzantine => "byzantine",
+                FaultKind::SlowDown { .. } => "slow-down",
+                FaultKind::SpeedUp => "speed-up",
             },
         });
         match kind {
@@ -252,6 +291,59 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
                     self.nodes[node].on_turn_byzantine();
                 }
             }
+            // Gray failures: the node is never told — there is no actor callback,
+            // because a real gray-failed node does not know it is slow. Only the
+            // environment (latencies, timer delays) changes.
+            FaultKind::SlowDown { factor } => {
+                assert!(
+                    factor > 0.0 && factor.is_finite(),
+                    "slow-down factor must be positive and finite"
+                );
+                self.slow_factor[node] = factor;
+                self.stats.slow_downs += 1;
+            }
+            FaultKind::SpeedUp => {
+                if self.slow_factor[node] != 1.0 {
+                    self.slow_factor[node] = 1.0;
+                    self.stats.speed_ups += 1;
+                }
+            }
+        }
+    }
+
+    fn apply_net(&mut self, kind: NetEventKind) {
+        match kind {
+            NetEventKind::PartitionStart { groups } => {
+                self.network = std::mem::take(&mut self.network).with_partition(groups);
+                self.stats.partitions_started += 1;
+                self.trace.record(TraceEvent::Network {
+                    at: self.now,
+                    kind: "partition",
+                });
+            }
+            NetEventKind::PartitionHeal => {
+                self.network = std::mem::take(&mut self.network).healed();
+                self.stats.partitions_healed += 1;
+                self.trace.record(TraceEvent::Network {
+                    at: self.now,
+                    kind: "heal",
+                });
+            }
+            NetEventKind::LinkOverride { from, to, quality } => {
+                self.network.set_link_override(from, to, quality);
+                self.stats.link_overrides += 1;
+                self.trace.record(TraceEvent::Network {
+                    at: self.now,
+                    kind: "link-override",
+                });
+            }
+            NetEventKind::ClearLinkOverrides => {
+                self.network.clear_link_overrides();
+                self.trace.record(TraceEvent::Network {
+                    at: self.now,
+                    kind: "clear-link-overrides",
+                });
+            }
         }
     }
 
@@ -271,14 +363,22 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
                 self.stats.messages_partitioned += 1;
                 continue;
             }
-            if self.network.sample_drop(&mut self.net_rng) {
+            if self.network.sample_link_drop(id, to, &mut self.net_rng) {
                 self.stats.messages_dropped += 1;
                 continue;
             }
-            let latency = self.network.sample_latency(&mut self.net_rng);
-            self.push_event(now + latency, Payload::Deliver { from: id, to, msg });
+            let latency = self.network.sample_link_latency(id, to, &mut self.net_rng);
+            // A gray failure on either endpoint stretches the exchange: a slow
+            // sender flushes late, a slow receiver processes late.
+            let factor = self.slow_factor[id].max(self.slow_factor[to]);
+            self.push_event(
+                now + stretch(latency, factor),
+                Payload::Deliver { from: id, to, msg },
+            );
         }
         for (delay, tag) in timers {
+            // A gray-failed node's clock effectively runs slow: its timers fire late.
+            let delay = stretch(delay, self.slow_factor[id]);
             self.push_event(now + delay, Payload::Timer { node: id, tag });
         }
     }
@@ -453,5 +553,144 @@ mod tests {
         let processed = sim.run_to_completion(10_000);
         assert!(processed > 0);
         assert!(!sim.step(), "queue should be drained");
+    }
+
+    #[test]
+    fn slow_nodes_stay_alive_but_fall_behind() {
+        // Slow node 1 by 100x from the start: the ring token keeps circulating (no
+        // message is lost — gray nodes are alive), it just takes far longer, so at a
+        // deadline that comfortably finishes a healthy run the slowed ring has made
+        // less progress.
+        let schedule = FaultSchedule::none().slow_down_at(1, 100.0, SimTime::ZERO);
+        let mut sim = Simulation::new(cluster(4), NetworkConfig::default(), 11)
+            .with_fault_schedule(&schedule);
+        sim.run_until(SimTime::from_millis(20));
+        let slowed: u64 = (0..4).map(|i| sim.node(i).received).sum();
+        assert!(sim.is_slowed(1));
+        assert_eq!(sim.slow_factor(1), 100.0);
+        assert_eq!(sim.stats().slow_downs, 1);
+        assert!(slowed < 20, "slowed ring should not finish, saw {slowed}");
+        // The node still counts as correct: gray is not faulty.
+        assert_eq!(sim.correct_nodes(), vec![0, 1, 2, 3]);
+        // Let it run long enough and every hop completes — nothing was lost.
+        sim.run_until(SimTime::from_secs(5));
+        let total: u64 = (0..4).map(|i| sim.node(i).received).sum();
+        assert_eq!(total, 20, "gray failure delays but never loses the token");
+    }
+
+    #[test]
+    fn speed_up_restores_normal_timing() {
+        let schedule = FaultSchedule::none()
+            .slow_down_at(0, 50.0, SimTime::ZERO)
+            .speed_up_at(0, SimTime::from_millis(10));
+        let mut sim = Simulation::new(cluster(3), NetworkConfig::default(), 12)
+            .with_fault_schedule(&schedule);
+        sim.run_until(SimTime::from_millis(5));
+        assert!(sim.is_slowed(0));
+        sim.run_until(SimTime::from_secs(2));
+        assert!(!sim.is_slowed(0));
+        assert_eq!(sim.stats().speed_ups, 1);
+        let total: u64 = (0..3).map(|i| sim.node(i).received).sum();
+        assert_eq!(total, 20);
+    }
+
+    /// Sets a 5 ms timer whenever a message arrives; records whether it fired.
+    struct Pinger {
+        received: bool,
+        timer_fired: bool,
+    }
+
+    impl Actor<Token> for Pinger {
+        fn on_start(&mut self, _ctx: &mut Context<Token>) {}
+
+        fn on_message(&mut self, _from: usize, _msg: Token, ctx: &mut Context<Token>) {
+            self.received = true;
+            ctx.set_timer(SimTime::from_millis(5), 1);
+        }
+
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<Token>) {
+            self.timer_fired = true;
+        }
+    }
+
+    #[test]
+    fn slow_timers_fire_late() {
+        // A 100x slow-down on node 0, then a message whose handler arms a 5 ms timer:
+        // the timer is stretched to 500 ms (and the inject latency to 10–100 ms).
+        let actors = (0..2)
+            .map(|_| Pinger {
+                received: false,
+                timer_fired: false,
+            })
+            .collect();
+        let schedule = FaultSchedule::none().slow_down_at(0, 100.0, SimTime::ZERO);
+        let mut sim: Simulation<Token, Pinger> =
+            Simulation::new(actors, NetworkConfig::default(), 13).with_fault_schedule(&schedule);
+        sim.run_until(SimTime::from_millis(1));
+        sim.inject(0, Token(0));
+        sim.run_until(SimTime::from_millis(300));
+        assert!(sim.node(0).received, "message arrives (late, not lost)");
+        assert!(
+            !sim.node(0).timer_fired,
+            "stretched timer must not fire yet"
+        );
+        sim.run_until(SimTime::from_millis(700));
+        assert!(sim.node(0).timer_fired);
+    }
+
+    #[test]
+    fn scheduled_partition_blocks_and_heal_restores() {
+        // No manual set_network: the schedule itself drives the partition lifecycle.
+        // The start-of-run token hop 0→1 is already in flight when the partition
+        // lands, so it delivers; the ring then runs 1→2→3 inside the majority group
+        // and dies at the 3→0 group boundary.
+        let schedule = FaultSchedule::none()
+            .partition_at(vec![vec![0], vec![1, 2, 3]], SimTime::ZERO)
+            .heal_at(SimTime::from_millis(100));
+        let mut sim = Simulation::new(cluster(4), NetworkConfig::default(), 14)
+            .with_fault_schedule(&schedule);
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.node(0).received, 0, "token blocked at the partition");
+        assert!(sim.stats().messages_partitioned >= 1);
+        assert_eq!(sim.stats().partitions_started, 1);
+        // After the scheduled heal, a fresh token makes the full circuit.
+        sim.run_until(SimTime::from_millis(150));
+        assert_eq!(sim.stats().partitions_healed, 1);
+        sim.inject(0, Token(1));
+        sim.run_until(SimTime::from_secs(1));
+        let total: u64 = (0..4).map(|i| sim.node(i).received).sum();
+        assert!(total >= 20);
+    }
+
+    #[test]
+    fn scheduled_link_override_drops_one_direction() {
+        use crate::network::LinkQuality;
+        // Node 0 → 1 becomes fully lossy at t=0. The start-of-run hop 0→1 is already
+        // in flight so it delivers; the token circles once and the second 0→1 send
+        // is dropped, stalling the ring — while the 1→0-free path kept working.
+        let schedule =
+            FaultSchedule::none().link_override_at(0, 1, LinkQuality::lossy(1.0), SimTime::ZERO);
+        let mut sim = Simulation::new(cluster(3), NetworkConfig::default(), 15)
+            .with_fault_schedule(&schedule);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(1).received, 1, "only the pre-override hop lands");
+        assert!(sim.stats().messages_dropped >= 1);
+        assert_eq!(sim.stats().link_overrides, 1);
+    }
+
+    #[test]
+    fn gray_failures_and_net_events_are_deterministic() {
+        let run = |seed| {
+            let schedule = FaultSchedule::none()
+                .slow_down_at(2, 7.5, SimTime::from_millis(1))
+                .partition_at(vec![vec![0, 1], vec![2, 3]], SimTime::from_millis(5))
+                .heal_at(SimTime::from_millis(40))
+                .speed_up_at(2, SimTime::from_millis(60));
+            let mut sim = Simulation::new(cluster(4), NetworkConfig::wan_heavy_tailed(), seed)
+                .with_fault_schedule(&schedule);
+            sim.run_until(SimTime::from_secs(2));
+            (sim.stats(), sim.now())
+        };
+        assert_eq!(run(99), run(99));
     }
 }

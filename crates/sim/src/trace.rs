@@ -23,6 +23,16 @@ pub struct TraceStats {
     pub recoveries: u64,
     /// Byzantine-turn events applied.
     pub byzantine_turns: u64,
+    /// Gray slow-down events applied.
+    pub slow_downs: u64,
+    /// Gray speed-up (recovery-from-slow) events applied.
+    pub speed_ups: u64,
+    /// Scheduled partitions started.
+    pub partitions_started: u64,
+    /// Scheduled partition heals applied.
+    pub partitions_healed: u64,
+    /// Per-link quality overrides installed by scheduled events.
+    pub link_overrides: u64,
 }
 
 impl TraceStats {
@@ -63,7 +73,16 @@ pub enum TraceEvent {
         at: SimTime,
         /// Affected node.
         node: usize,
-        /// Description of the fault ("crash", "recover", "byzantine").
+        /// Description of the fault ("crash", "recover", "byzantine", "slow-down",
+        /// "speed-up").
+        kind: &'static str,
+    },
+    /// A scheduled network event was applied (whole-network, no single node).
+    Network {
+        /// Application time.
+        at: SimTime,
+        /// Description of the change ("partition", "heal", "link-override",
+        /// "clear-link-overrides").
         kind: &'static str,
     },
 }

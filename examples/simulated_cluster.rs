@@ -120,6 +120,7 @@ fn main() {
                     horizon_millis: 2_500,
                     fault_window_millis: 200,
                     commands: 3,
+                    ..SimBudget::default()
                 }))
                 .validate_with_simulation(),
         )

@@ -578,6 +578,7 @@ fn simulation_engine_is_bit_identical_across_thread_counts() {
         horizon_millis: 1_500,
         fault_window_millis: 100,
         commands: 2,
+        ..SimBudget::default()
     });
     let scenario = Scenario::Correlated(&failure_model);
     let reference = SimulationEngine.run(&model, scenario, &budget);
@@ -610,6 +611,7 @@ fn simulated_frequencies_agree_with_the_counting_engine() {
         horizon_millis: 2_000,
         fault_window_millis: 100,
         commands: 2,
+        ..SimBudget::default()
     });
     for n in [3usize, 5] {
         for p in [0.1, 0.25] {

@@ -84,6 +84,7 @@ fn empirical_safe_and_live_rate_tracks_analysis() {
             horizon_millis: 2_000,
             fault_window_millis: 100,
             commands: 2,
+            ..SimBudget::default()
         }))
         .validate_with_simulation();
     let report = AnalysisSession::new()
@@ -128,6 +129,7 @@ fn correlated_shock_validation_tracks_analysis() {
                     horizon_millis: 2_000,
                     fault_window_millis: 100,
                     commands: 2,
+                    ..SimBudget::default()
                 }),
         )
         .validate_with_simulation();
