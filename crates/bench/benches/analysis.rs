@@ -233,6 +233,19 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_epistemic(c: &mut Criterion) {
+    // The second-order posterior sweep: one correlated Raft cell re-analyzed
+    // under 64 deterministic posterior parameter draws, every draw its own
+    // scheduled packed Monte Carlo run. `repro --bench` derives
+    // `posterior_draws_per_sec` from this row in BENCH_analysis.json.
+    let mut group = c.benchmark_group("epistemic");
+    group.bench_function(
+        bench::EPISTEMIC_SWEEP_ID.trim_start_matches("epistemic/"),
+        |b| b.iter(bench::epistemic_sweep_batch),
+    );
+    group.finish();
+}
+
 fn bench_auto_selection(c: &mut Criterion) {
     // analyze_auto routes through the engine registry; its overhead over calling the
     // counting engine directly should be negligible.
@@ -290,6 +303,7 @@ criterion_group!(
     bench_packed_width,
     bench_rare_event,
     bench_sweep,
+    bench_epistemic,
     bench_auto_selection,
     bench_fault_count_distribution,
     bench_paper_tables

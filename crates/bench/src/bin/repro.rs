@@ -54,6 +54,7 @@ fn run_bench_baseline() -> ExitCode {
         &measurements,
         bench::rare_event_sample_efficiency(),
         bench::divergence_smoke(),
+        bench::epistemic_interval_width(),
     );
     match std::fs::write("BENCH_analysis.json", &json) {
         Ok(()) => {

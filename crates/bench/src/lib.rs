@@ -1062,6 +1062,71 @@ pub fn server_query_warm(server: &Arc<repro_server::Server>) -> String {
     repro_server::run_exchange(server, SERVER_BENCH_REQUEST)
 }
 
+/// Benchmark id of the second-order posterior sweep: one Raft cell re-analyzed
+/// under [`EPISTEMIC_DRAWS`] deterministic posterior parameter draws through the
+/// work-stealing scheduler. `repro --bench` derives `posterior_draws_per_sec`
+/// from this row in `BENCH_analysis.json`.
+pub const EPISTEMIC_SWEEP_ID: &str = "epistemic/posterior-sweep-raft-5";
+/// Cluster size of the epistemic workload. Small on purpose: at five nodes the
+/// per-node fault probability drives the safe-and-live answer (three crashes
+/// break the quorum at realistic rates), so the posterior draws actually spread
+/// the estimate — at [`SWEEP_NODES`] the correlated shock dominates and every
+/// draw would return the same number.
+pub const EPISTEMIC_NODES: usize = 5;
+/// Posterior draws per cell of the epistemic workload.
+pub const EPISTEMIC_DRAWS: usize = 64;
+/// Beta posterior alpha of the workload: 8 observed failures under a Jeffreys
+/// prior (8 + 0.5).
+pub const EPISTEMIC_ALPHA: f64 = 8.5;
+/// Beta posterior beta of the workload: 191 survivals under a Jeffreys prior,
+/// so the posterior mean sits near the [`SWEEP_P`] point estimate.
+pub const EPISTEMIC_BETA: f64 = 191.5;
+/// Seed of the epistemic workload.
+pub const EPISTEMIC_SEED: u64 = 47;
+/// Per-draw sample budget of the epistemic workload: small enough that the
+/// benchmark prices the per-draw scheduling overhead, not raw kernel throughput.
+pub const EPISTEMIC_SAMPLES: usize = 4_000;
+
+/// The epistemic query: a correlated five-node Raft cell re-run under a
+/// fleet-telemetry posterior (Beta(8.5, 191.5), mean ≈ [`SWEEP_P`]). Every
+/// posterior draw is an independently scheduled packed Monte Carlo run, so this
+/// workload measures the full second-order loop: draw planning, per-draw cache
+/// keying, scheduling and the epistemic/aleatoric interval split.
+pub fn epistemic_query() -> Query {
+    Query::new()
+        .protocols([ProtocolSpec::Raft])
+        .nodes([EPISTEMIC_NODES])
+        .fault_probs([SWEEP_P])
+        .correlations([CorrelationSpec::ClusterShock {
+            probability: SWEEP_SHOCK,
+        }])
+        .budget(
+            Budget::default()
+                .with_seed(EPISTEMIC_SEED)
+                .with_samples(EPISTEMIC_SAMPLES),
+        )
+        .posterior(EPISTEMIC_DRAWS, EPISTEMIC_ALPHA, EPISTEMIC_BETA)
+}
+
+/// One scheduled run of the epistemic workload, on a fresh session.
+pub fn epistemic_sweep_batch() -> AnalysisReport {
+    AnalysisSession::new()
+        .run(&epistemic_query())
+        .expect("well-formed epistemic query")
+}
+
+/// The epistemic credible-interval width of the workload's single cell — the
+/// `epistemic_interval_width` baseline row. Deterministic (fixed seed, fixed
+/// posterior), so the committed number is reproducible anywhere.
+pub fn epistemic_interval_width() -> f64 {
+    let report = epistemic_sweep_batch();
+    report.cells()[0]
+        .epistemic
+        .as_ref()
+        .expect("the epistemic workload always carries a posterior report")
+        .epistemic_width()
+}
+
 /// Benchmark ids of the packed kernel at pinned pass widths — 1, 4 and 8 `u64`
 /// words (64, 256 and 512 lanes per pass) — on the [`mc_speedup_workload`]. The
 /// width-8 row is the production configuration ([`PACKED_WIDTH_PRODUCTION_ID`])
@@ -1211,18 +1276,29 @@ pub fn analysis_benchmarks(budget_ms: u64) -> Vec<BenchMeasurement> {
     out.push(time_one(SERVER_QUERY_WARM_ID, budget_ms, || {
         server_query_warm(&warm_server)
     }));
+
+    // The second-order posterior sweep: 64 deterministic posterior draws through
+    // the scheduler on one correlated cell. The row prices the whole epistemic
+    // loop and backs the `posterior_draws_per_sec` baseline.
+    out.push(time_one(
+        EPISTEMIC_SWEEP_ID,
+        budget_ms,
+        epistemic_sweep_batch,
+    ));
     out
 }
 
 /// Renders measurements as the `BENCH_analysis.json` baseline document.
-/// `rare_event_efficiency` is the [`rare_event_sample_efficiency`] number and
-/// `divergence_smoke_cells` the [`divergence_smoke`] count, each computed once
-/// by the caller (neither is a timing measurement, so they do not belong inside
+/// `rare_event_efficiency` is the [`rare_event_sample_efficiency`] number,
+/// `divergence_smoke_cells` the [`divergence_smoke`] count and
+/// `epistemic_width` the [`epistemic_interval_width`] number, each computed once
+/// by the caller (none is a timing measurement, so they do not belong inside
 /// serialization and are not bounded by the bench time budget).
 pub fn benchmarks_to_json(
     measurements: &[BenchMeasurement],
     rare_event_efficiency: f64,
     divergence_smoke_cells: usize,
+    epistemic_width: f64,
 ) -> String {
     let threads = rayon::current_num_threads();
     let mut json = String::from("{\n");
@@ -1320,6 +1396,22 @@ pub fn benchmarks_to_json(
             naive.mean_ns / mixed.mean_ns
         ));
     }
+    if let Some(ep) = measurements.iter().find(|m| m.id == EPISTEMIC_SWEEP_ID) {
+        // Posterior draws resolved per second on the second-order workload:
+        // the throughput currency of epistemic mode (a K-draw cell costs
+        // `K / posterior_draws_per_sec` seconds on top of its first-order run).
+        json.push_str(&format!(
+            "  \"posterior_draws_per_sec\": {:.3e},\n",
+            EPISTEMIC_DRAWS as f64 * 1e9 / ep.mean_ns
+        ));
+    }
+    // The epistemic interval-width row: the 90% credible interval of the
+    // safe-and-live probability induced by the Beta(8.5, 191.5) telemetry
+    // posterior on the workload cell. Deterministic, so the baseline test can
+    // assert the floor (> 0 — second-order mode must actually widen the answer).
+    json.push_str(&format!(
+        "  \"epistemic_interval_width\": {epistemic_width:.6},\n"
+    ));
     if let (Some(cold), Some(warm)) = (
         measurements.iter().find(|m| m.id == SERVER_QUERY_COLD_ID),
         measurements.iter().find(|m| m.id == SERVER_QUERY_WARM_ID),
@@ -1668,6 +1760,67 @@ mod tests {
         let engines: Vec<EngineChoice> = batch.cells().iter().map(|c| c.engine).collect();
         assert!(engines.contains(&EngineChoice::Counting));
         assert!(engines.contains(&EngineChoice::MonteCarlo));
+    }
+
+    /// The epistemic workload's floor: the posterior sweep must produce a real
+    /// second-order report — [`EPISTEMIC_DRAWS`] resolved draws, an epistemic
+    /// credible interval strictly wider than zero, and an aleatoric interval
+    /// alongside it — and the whole thing must be deterministic (byte-identical
+    /// JSON across fresh sessions), or the committed
+    /// `epistemic_interval_width` baseline row is meaningless.
+    #[test]
+    fn epistemic_sweep_reports_a_deterministic_interval() {
+        let report = epistemic_sweep_batch();
+        assert_eq!(report.cells().len(), 1);
+        let cell = &report.cells()[0];
+        let ep = cell
+            .epistemic
+            .as_ref()
+            .expect("the posterior budget must surface an epistemic report");
+        assert_eq!(ep.draws.len(), EPISTEMIC_DRAWS);
+        assert!(
+            ep.epistemic_width() > 0.0,
+            "second-order mode must widen the answer: {ep:?}"
+        );
+        assert!(
+            ep.aleatoric_width() > 0.0,
+            "the Monte Carlo cell must keep its sampling interval: {ep:?}"
+        );
+        assert_eq!(epistemic_interval_width(), ep.epistemic_width());
+        let again = epistemic_sweep_batch();
+        assert_eq!(
+            report.zero_wall_clock().to_json(),
+            again.zero_wall_clock().to_json(),
+            "the epistemic workload must be deterministic across sessions"
+        );
+    }
+
+    /// The committed `BENCH_analysis.json` must carry the epistemic rows, and
+    /// the interval width it records must be a real (positive) width — the
+    /// deterministic counterpart of the in-process floor above, so a regression
+    /// can only land by committing a bad baseline.
+    #[test]
+    fn committed_baseline_reports_a_real_epistemic_interval() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
+        let baseline = std::fs::read_to_string(path).expect("BENCH_analysis.json is committed");
+        let width = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"epistemic_interval_width\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records epistemic_interval_width");
+        assert!(
+            width > 0.0,
+            "committed baseline reports a degenerate epistemic interval: {width}"
+        );
+        let draws_per_sec = baseline
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"posterior_draws_per_sec\": "))
+            .and_then(|v| v.trim_end_matches(',').parse::<f64>().ok())
+            .expect("baseline records posterior_draws_per_sec");
+        assert!(
+            draws_per_sec > 0.0,
+            "committed baseline reports a non-positive posterior draw rate: {draws_per_sec}"
+        );
     }
 
     /// The planned batch must amortize per-cell setup (selector pilot, scenario

@@ -210,6 +210,63 @@ pub struct Budget {
     /// ([`crate::simulation::SimulationEngine`]) spends when it runs: trial count,
     /// virtual-time horizon, and client workload per trial.
     pub sim: SimBudget,
+    /// The second-order (epistemic) axis: when set, every planned cell
+    /// additionally runs `draws` posterior parameter draws through its engine
+    /// and reports an epistemic credible interval next to the per-draw
+    /// aleatoric one — see [`crate::epistemic`]. `None` (the default) keeps
+    /// the first-order point-estimate behavior, and a budget of one draw
+    /// degenerates to it bit-for-bit.
+    pub epistemic: Option<EpistemicBudget>,
+}
+
+/// The second-order analysis budget: how many posterior draws to run per cell,
+/// the Beta posterior over the fault-probability *scale* they are drawn from,
+/// and the credible level of the reported epistemic interval.
+///
+/// The constructors are deliberately assert-free — a budget arriving over the
+/// wire (the `"posterior"` query key of `repro serve`) must fail at plan time
+/// with a recoverable [`InvalidBudget`], not a panic. [`Budget::validate`]
+/// enforces the ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpistemicBudget {
+    /// Number of posterior parameter draws per cell. Must be positive; a
+    /// single draw degenerates to the first-order report (no epistemic block).
+    pub draws: usize,
+    /// `alpha` hyperparameter of the Beta posterior (e.g. failures + 1/2
+    /// under the Jeffreys update). Must be finite and positive.
+    pub alpha: f64,
+    /// `beta` hyperparameter of the Beta posterior (e.g. successes + 1/2
+    /// under the Jeffreys update). Must be finite and positive.
+    pub beta: f64,
+    /// Credible level of the reported epistemic interval, strictly inside
+    /// `(0, 1)`; defaults to [`EpistemicBudget::DEFAULT_LEVEL`].
+    pub level: f64,
+}
+
+impl EpistemicBudget {
+    /// The default credible level of the epistemic interval (a central 90%
+    /// interval — the level the calibration diagnostics in
+    /// [`crate::epistemic`] are tested at).
+    pub const DEFAULT_LEVEL: f64 = 0.9;
+
+    /// An epistemic budget of `draws` posterior draws from Beta(alpha, beta)
+    /// at the default credible level. No argument checking here — see
+    /// [`Budget::validate`].
+    pub fn new(draws: usize, alpha: f64, beta: f64) -> Self {
+        Self {
+            draws,
+            alpha,
+            beta,
+            level: Self::DEFAULT_LEVEL,
+        }
+    }
+
+    /// Sets the credible level of the reported epistemic interval (validated
+    /// at plan time, not here).
+    pub fn with_level(mut self, level: f64) -> Self {
+        self.level = level;
+        self
+    }
 }
 
 /// The adversarial fault environment a simulation trial runs inside, *on top of*
@@ -348,6 +405,7 @@ impl Default for Budget {
             mc_kernel: McKernel::Auto,
             mc_lane_words: crate::packed::DEFAULT_LANE_WORDS,
             sim: SimBudget::default(),
+            epistemic: None,
         }
     }
 }
@@ -461,6 +519,27 @@ impl Budget {
         self
     }
 
+    /// A budget running `draws` posterior parameter draws per cell, drawn from
+    /// a Beta(`alpha`, `beta`) posterior over the fault-probability scale, at
+    /// the default credible level (see [`EpistemicBudget`]).
+    ///
+    /// Deliberately assert-free: malformed hyperparameters arriving over the
+    /// wire must surface as a recoverable plan-time [`InvalidBudget`], never a
+    /// panic. [`Budget::validate`] rejects `draws == 0`, non-finite or
+    /// non-positive hyperparameters, and out-of-range levels.
+    pub fn with_posterior(mut self, draws: usize, alpha: f64, beta: f64) -> Self {
+        self.epistemic = Some(EpistemicBudget::new(draws, alpha, beta));
+        self
+    }
+
+    /// A budget with an explicit epistemic (second-order) budget, including a
+    /// non-default credible level. Validated at plan time like
+    /// [`Budget::with_posterior`].
+    pub fn with_epistemic(mut self, epistemic: EpistemicBudget) -> Self {
+        self.epistemic = Some(epistemic);
+        self
+    }
+
     /// A budget routing failure probabilities below `threshold` to the
     /// importance-sampling engine (when no exact engine applies).
     ///
@@ -522,6 +601,20 @@ impl Budget {
         if !(1..=crate::packed::MAX_LANE_WORDS).contains(&self.mc_lane_words) {
             return Err(InvalidBudget::McLaneWords(self.mc_lane_words));
         }
+        if let Some(ep) = self.epistemic {
+            if ep.draws == 0 {
+                return Err(InvalidBudget::EpistemicDraws);
+            }
+            if !(ep.alpha.is_finite() && ep.alpha > 0.0 && ep.beta.is_finite() && ep.beta > 0.0) {
+                return Err(InvalidBudget::EpistemicHyperparameters {
+                    alpha: ep.alpha,
+                    beta: ep.beta,
+                });
+            }
+            if !(ep.level.is_finite() && ep.level > 0.0 && ep.level < 1.0) {
+                return Err(InvalidBudget::EpistemicLevel(ep.level));
+            }
+        }
         Ok(())
     }
 }
@@ -552,6 +645,20 @@ pub enum InvalidBudget {
         /// The configured horizon it exceeds, in milliseconds.
         horizon_millis: u64,
     },
+    /// The epistemic budget asks for zero posterior draws — a second-order
+    /// analysis with no draws has no posterior to summarize.
+    EpistemicDraws,
+    /// A Beta hyperparameter of the epistemic budget is NaN, infinite, zero or
+    /// negative: Beta(alpha, beta) requires both to be finite and positive.
+    EpistemicHyperparameters {
+        /// The configured `alpha` hyperparameter.
+        alpha: f64,
+        /// The configured `beta` hyperparameter.
+        beta: f64,
+    },
+    /// The epistemic credible level is outside the open interval `(0, 1)`
+    /// (NaN included) — no central interval exists at such a level.
+    EpistemicLevel(f64),
 }
 
 impl std::fmt::Display for InvalidBudget {
@@ -585,6 +692,18 @@ impl std::fmt::Display for InvalidBudget {
                 "sim.fault_window_millis ({window_millis}) must not exceed \
                  sim.horizon_millis ({horizon_millis}): later faults would silently \
                  never be applied"
+            ),
+            InvalidBudget::EpistemicDraws => {
+                write!(f, "epistemic.draws must be positive (got 0)")
+            }
+            InvalidBudget::EpistemicHyperparameters { alpha, beta } => write!(
+                f,
+                "epistemic hyperparameters must be finite and positive, \
+                 got alpha={alpha} beta={beta}"
+            ),
+            InvalidBudget::EpistemicLevel(v) => write!(
+                f,
+                "epistemic.level must lie strictly inside (0, 1), got {v}"
             ),
         }
     }

@@ -43,6 +43,12 @@
 //!   [`query::AnalysisSession`]: sharded, size-bounded, LRU-evicting scratch
 //!   keyed by cell signature, with hit/miss/eviction counters
 //!   ([`cache::CacheStats`]).
+//! * [`epistemic`] — second-order uncertainty: deterministic posterior
+//!   parameter draws ([`epistemic::posterior_draws`]) propagated through the
+//!   engines by the query planner, the resulting
+//!   [`epistemic::EpistemicReport`] separating epistemic (parameter) from
+//!   aleatoric (sampling) intervals, and calibration diagnostics
+//!   ([`epistemic::calibrate`]) against known ground truth.
 //! * [`durability`] — data-loss analysis: probability that failures cover a persistence
 //!   quorum, and MTTDL-style Markov results.
 //! * [`heterogeneity`] — heterogeneous fleets: quorum placement policies ("require a
@@ -89,6 +95,7 @@ pub mod dynamic_quorum;
 pub mod end_to_end;
 pub mod engine;
 pub mod enumeration;
+pub mod epistemic;
 pub mod failure;
 pub mod heterogeneity;
 pub mod json;
@@ -111,8 +118,12 @@ pub use analyzer::{
 pub use cache::CacheStats;
 pub use deployment::Deployment;
 pub use engine::{
-    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, FaultEnvironment, InvalidBudget,
-    Scenario, SimBudget,
+    AnalysisEngine, AnalysisOutcome, Budget, EngineChoice, EpistemicBudget, FaultEnvironment,
+    InvalidBudget, Scenario, SimBudget,
+};
+pub use epistemic::{
+    calibrate, posterior_draws, CalibrationConfig, CalibrationReport, EpistemicDraw,
+    EpistemicReport, PosteriorDraw,
 };
 pub use failure::FailureConfig;
 pub use json::JsonValue;

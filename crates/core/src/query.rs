@@ -98,6 +98,7 @@ use crate::engine::{
     FaultEnvironment, Scenario,
 };
 use crate::enumeration::RawReliability;
+use crate::epistemic::{EpistemicDraw, EpistemicReport};
 use crate::json::JsonValue;
 use crate::montecarlo::{
     chunk_count, chunk_len, chunk_seed, report_from_counts, sample_chunk, HitCounts, McKernel, Z_95,
@@ -666,6 +667,32 @@ impl ScenarioSpec {
             ScenarioSpec::Correlated(c) => Scenario::Correlated(c),
         }
     }
+
+    /// The scenario with every fault profile rescaled by `factor` — the
+    /// per-draw transform of the epistemic mode. Crash/Byzantine structure and
+    /// the `[0, 1]` clamps come from [`fault_model::mode::FaultProfile::scaled`];
+    /// correlation-group shock probabilities are deliberately untouched (the
+    /// posterior models per-node telemetry, not common-cause shocks).
+    fn scaled(&self, factor: f64) -> ScenarioSpec {
+        let scale = |profiles: &[fault_model::mode::FaultProfile]| {
+            profiles
+                .iter()
+                .map(|p| p.scaled(factor))
+                .collect::<Vec<_>>()
+        };
+        match self {
+            ScenarioSpec::Independent(d) => {
+                ScenarioSpec::Independent(Deployment::from_profiles(scale(d.profiles())))
+            }
+            ScenarioSpec::Correlated(c) => {
+                let mut model = CorrelationModel::independent(scale(c.profiles()));
+                for group in c.groups() {
+                    model = model.with_group(group.clone());
+                }
+                ScenarioSpec::Correlated(model)
+            }
+        }
+    }
 }
 
 /// One fully explicit cell (model + scenario) appended after the grid.
@@ -830,6 +857,23 @@ impl Query {
     /// The work budget shared by every cell (validated at plan time).
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// The second-order (epistemic) axis: every cell additionally runs `draws`
+    /// posterior parameter draws — fault probabilities rescaled by samples from
+    /// a Beta(`alpha`, `beta`) posterior (typically the hyperparameters of
+    /// `TelemetryEstimator::posterior()`) — through its selected engine, and
+    /// its [`CellRecord`] carries an [`EpistemicReport`] separating the
+    /// epistemic credible interval from the aleatoric sampling interval. See
+    /// [`crate::epistemic`] for the determinism contract.
+    ///
+    /// Hyperparameters are validated at plan time
+    /// ([`crate::engine::Budget::validate`]), never asserted here, so a
+    /// malformed wire request degrades to a recoverable plan error. A budget
+    /// of one draw degenerates to the first-order report, bit for bit.
+    pub fn posterior(mut self, draws: usize, alpha: f64, beta: f64) -> Self {
+        self.budget = self.budget.with_posterior(draws, alpha, beta);
         self
     }
 
@@ -1134,25 +1178,33 @@ pub(crate) fn analyze_single(
 const GRID_KEY_TAG: u64 = 0;
 /// Namespace tag of explicit-cell cache keys (content encoding).
 const CONTENT_KEY_TAG: u64 = 1;
+/// Namespace tag of epistemic-draw cache keys: `[tag, alpha bits, beta bits,
+/// seed, draw index]` prefixed onto the base cell's key words. The tag keeps a
+/// second-order draw's scratch (kernel compiled for the *scaled* scenario) from
+/// ever aliasing the first-order cell's scratch, and the draw index separates
+/// sibling draws; the draw count is deliberately excluded — draw `k`'s scenario
+/// is independent of how many draws follow it, so plans with different `K`
+/// share prefixes.
+const EPISTEMIC_KEY_TAG: u64 = 2;
 
 /// Structural identity of a grid cell's (model, scenario) pair — the axes build
 /// both deterministically, so the coordinates *are* the content. Fixed layout:
 /// `[tag, protocol variant, q_per, q_vc, n, p bits, axis tag, axis bits,
 /// correlation tag, correlation racks, correlation bits]` (zeroes where a
 /// variant has no such parameter).
-fn grid_key(
+fn grid_key_words(
     spec: ProtocolSpec,
     n: usize,
     fault_prob: f64,
     fault_axis: (u8, u64),
     correlation: (u8, usize, u64),
-) -> CacheKey {
+) -> Vec<u64> {
     let (variant, q_per, q_vc) = match spec {
         ProtocolSpec::Raft => (0u64, 0u64, 0u64),
         ProtocolSpec::RaftFlexible { q_per, q_vc } => (1, q_per as u64, q_vc as u64),
         ProtocolSpec::Pbft => (2, 0, 0),
     };
-    CacheKey::from_words(vec![
+    vec![
         GRID_KEY_TAG,
         variant,
         q_per,
@@ -1164,7 +1216,7 @@ fn grid_key(
         correlation.0 as u64,
         correlation.1 as u64,
         correlation.2,
-    ])
+    ]
 }
 
 /// Structural identity of an explicit cell's (model, scenario) pair: the model's
@@ -1173,7 +1225,7 @@ fn grid_key(
 /// correlation group's members, shock-probability bits and shock mode. `None`
 /// when the model has no stable signature, in which case the cell gets
 /// plan-local scratch (always correct, never amortized).
-fn content_key(model: &dyn ProtocolModel, scenario: Scenario<'_>) -> Option<CacheKey> {
+fn content_key_words(model: &dyn ProtocolModel, scenario: Scenario<'_>) -> Option<Vec<u64>> {
     let sig = model.cache_signature()?;
     let mut words = Vec::with_capacity(4 + sig.len() + 2 * scenario.len());
     words.push(CONTENT_KEY_TAG);
@@ -1202,7 +1254,7 @@ fn content_key(model: &dyn ProtocolModel, scenario: Scenario<'_>) -> Option<Cach
             fault_model::mode::NodeState::Byzantine => 2,
         });
     }
-    Some(CacheKey::from_words(words))
+    Some(words)
 }
 
 /// The sweep-native analysis front door: owns the pool pinning and the reusable
@@ -1315,6 +1367,60 @@ impl AnalysisSession {
         self.models.lock().unwrap().clear();
     }
 
+    /// Expands the budget's epistemic axis into the planned draws for one cell
+    /// group: the deterministic posterior draws
+    /// ([`crate::epistemic::posterior_draws`]), each paired with its scaled
+    /// scenario and its own cached scratch group.
+    ///
+    /// Draw scratch is cached under [`EPISTEMIC_KEY_TAG`] with the draw's
+    /// hyperparameters, seed and index prefixed onto the base cell's key words,
+    /// so a second-order draw can never alias the first-order cell whose kernel
+    /// was compiled for the *unscaled* scenario (pinned by the cache-aliasing
+    /// regression test below). Cells without a stable base key (models without
+    /// a cache signature) get plan-local draw scratch.
+    ///
+    /// Returns no draws for first-order budgets and for single-draw budgets:
+    /// one draw carries no spread to summarize, so `K = 1` degenerates to the
+    /// point-estimate report bit for bit.
+    fn plan_draws(
+        &self,
+        budget: &Budget,
+        scenario: &ScenarioSpec,
+        base_key: Option<&[u64]>,
+    ) -> Arc<Vec<PlannedDraw>> {
+        let Some(ep) = budget.epistemic.filter(|ep| ep.draws > 1) else {
+            return Arc::new(Vec::new());
+        };
+        Arc::new(
+            crate::epistemic::posterior_draws(&ep, budget.seed)
+                .into_iter()
+                .enumerate()
+                .map(|(k, draw)| {
+                    let scratch = match base_key {
+                        Some(words) => {
+                            let mut key = vec![
+                                EPISTEMIC_KEY_TAG,
+                                ep.alpha.to_bits(),
+                                ep.beta.to_bits(),
+                                budget.seed,
+                                k as u64,
+                            ];
+                            key.extend_from_slice(words);
+                            self.cache.get_or_insert(CacheKey::from_words(key))
+                        }
+                        None => Arc::new(GroupScratch::new()),
+                    };
+                    PlannedDraw {
+                        p: draw.p,
+                        scale: draw.scale,
+                        scenario: scenario.scaled(draw.scale),
+                        scratch,
+                    }
+                })
+                .collect(),
+        )
+    }
+
     /// Plans a query: validates the budget, expands the axes into cells, selects
     /// the engine for every cell up front (running each group's selector pilot at
     /// most once), and groups cells by (model, scenario) signature so kernel
@@ -1354,13 +1460,16 @@ impl AnalysisSession {
                         let deployment = query.fault_axis.deployment(n, p);
                         for corr in &query.correlations {
                             let scenario = corr.apply(deployment.clone());
-                            let scratch = self.cache.get_or_insert(grid_key(
-                                spec,
-                                n,
-                                p,
-                                query.fault_axis.key(),
-                                corr.key(),
-                            ));
+                            let key_words =
+                                grid_key_words(spec, n, p, query.fault_axis.key(), corr.key());
+                            let scratch = self
+                                .cache
+                                .get_or_insert(CacheKey::from_words(key_words.clone()));
+                            // The epistemic draws of this coordinate, shared by
+                            // its samples/environment replicates: the draw set
+                            // depends only on (hyperparameters, seed), and the
+                            // scaled scenarios only on this scenario.
+                            let draws = self.plan_draws(&query.budget, &scenario, Some(&key_words));
                             for &samples in &sample_axis {
                                 // The environment axis nests innermost: it only
                                 // varies the paired simulation, so cells across
@@ -1400,6 +1509,7 @@ impl AnalysisSession {
                                         budget,
                                         engine,
                                         scratch: scratch.clone(),
+                                        draws: draws.clone(),
                                     });
                                 }
                             }
@@ -1422,10 +1532,13 @@ impl AnalysisSession {
                 // content fingerprint + full scenario content — the dominant
                 // server workload is repeated single-cell requests. Models
                 // without a stable signature get plan-local scratch.
-                let scratch = match content_key(explicit.model.as_ref(), scenario) {
-                    Some(key) => self.cache.get_or_insert(key),
+                let key_words = content_key_words(explicit.model.as_ref(), scenario);
+                let scratch = match key_words.clone() {
+                    Some(words) => self.cache.get_or_insert(CacheKey::from_words(words)),
                     None => Arc::new(GroupScratch::new()),
                 };
+                let draws =
+                    self.plan_draws(&query.budget, &explicit.scenario, key_words.as_deref());
                 let engine = choose_engine_prepared(
                     explicit.model.as_ref(),
                     scenario,
@@ -1452,6 +1565,7 @@ impl AnalysisSession {
                     budget: query.budget,
                     engine,
                     scratch,
+                    draws,
                 });
             }
             Ok(cells)
@@ -1510,9 +1624,24 @@ struct PlannedCell {
     budget: Budget,
     engine: EngineChoice,
     scratch: Arc<GroupScratch>,
+    /// The second-order posterior draws of this cell (empty for first-order
+    /// budgets), shared across the samples/environment replicates of one grid
+    /// coordinate.
+    draws: Arc<Vec<PlannedDraw>>,
     /// Whether cross-validation was requested and this cell's model has an
     /// executable counterpart (the trial count lives in the budget's `SimBudget`).
     validate: bool,
+}
+
+/// One planned posterior draw: the sampled reliability parameter, the scale
+/// factor it implies relative to the posterior mean, the scaled scenario the
+/// engines actually run, and the draw's own cached scratch group (scaled
+/// scenarios compile their own kernels; see [`EPISTEMIC_KEY_TAG`]).
+struct PlannedDraw {
+    p: f64,
+    scale: f64,
+    scenario: ScenarioSpec,
+    scratch: Arc<GroupScratch>,
 }
 
 /// A planned query: every cell's engine is already selected and every group's
@@ -1676,6 +1805,15 @@ enum WorkItem {
         /// Chunk index within the cell's sample budget.
         chunk: usize,
     },
+    /// One posterior draw of a second-order cell: the whole cell re-run through
+    /// [`run_prepared`] on the draw's scaled scenario (draws are engine-agnostic,
+    /// so they stay whole even when the base cell chunks).
+    Draw {
+        /// Index of the owning cell.
+        cell: usize,
+        /// Draw index within the cell's planned posterior draws.
+        draw: usize,
+    },
     /// One time-domain trajectory cell.
     Trajectory(usize),
 }
@@ -1720,6 +1858,21 @@ pub trait StreamSink: Sync {
 struct DiscardSink;
 
 impl StreamSink for DiscardSink {}
+
+/// The aleatoric (sampling) interval an outcome puts on the joint safe-and-live
+/// probability: the Monte Carlo confidence interval when a sampler ran, the
+/// importance-sampling interval for rare-event cells, and the collapsed
+/// `(v, v)` interval for exact engines (no sampling error to report).
+fn outcome_bounds(outcome: &AnalysisOutcome) -> (f64, f64) {
+    if let Some(mc) = &outcome.monte_carlo {
+        (mc.safe_and_live.lower, mc.safe_and_live.upper)
+    } else if let Some(re) = &outcome.rare_event {
+        (re.safe_and_live.lower, re.safe_and_live.upper)
+    } else {
+        let v = outcome.report.safe_and_live.probability();
+        (v, v)
+    }
+}
 
 /// The kernel [`run_prepared`]'s Monte Carlo arm would select for this cell; the
 /// chunk items replicate the choice so the scheduled report names the same kernel.
@@ -1822,7 +1975,9 @@ impl QueryPlan {
             let output = self.run_item(items[index]);
             let elapsed = start.elapsed().as_nanos() as u64;
             let cell_index = match items[index] {
-                WorkItem::Cell(cell) | WorkItem::McChunk { cell, .. } => cell,
+                WorkItem::Cell(cell)
+                | WorkItem::McChunk { cell, .. }
+                | WorkItem::Draw { cell, .. } => cell,
                 WorkItem::Trajectory(t) => {
                     let record = match output {
                         ItemOutput::Trajectory(record) => record,
@@ -1888,9 +2043,13 @@ impl QueryPlan {
             wall_ns += ns;
             output
         };
+        // The span tail holds the cell's posterior-draw items (in draw order);
+        // everything before it is the base cell.
+        let draws_len = cell.draws.len();
+        let base_len = len - draws_len;
         let outcome = if cell.engine == EngineChoice::MonteCarlo {
             let mut hits = HitCounts::default();
-            for item in start..start + len {
+            for item in start..start + base_len {
                 match take(item) {
                     ItemOutput::Hits(chunk_hits) => hits = hits + chunk_hits,
                     _ => unreachable!("Monte Carlo cells decompose into chunk items"),
@@ -1904,6 +2063,36 @@ impl QueryPlan {
                 _ => unreachable!("non-sampling cells are whole-cell items"),
             }
         };
+        // Fold the posterior-draw outcomes into the second-order report. Draw
+        // order is the planner's (deterministic) order, so the report never
+        // depends on which worker ran what.
+        let epistemic = (draws_len > 0).then(|| {
+            let level = cell
+                .budget
+                .epistemic
+                .expect("draw items exist only under an epistemic budget")
+                .level;
+            let records: Vec<EpistemicDraw> = cell
+                .draws
+                .iter()
+                .enumerate()
+                .map(|(k, draw)| {
+                    let outcome = match take(start + base_len + k) {
+                        ItemOutput::Outcome(outcome) => *outcome,
+                        _ => unreachable!("draw items are whole-cell items"),
+                    };
+                    let (lower, upper) = outcome_bounds(&outcome);
+                    EpistemicDraw {
+                        p: draw.p,
+                        scale: draw.scale,
+                        value: outcome.report.safe_and_live.probability(),
+                        lower,
+                        upper,
+                    }
+                })
+                .collect();
+            EpistemicReport::from_draws(level, records, outcome_bounds(&outcome))
+        });
         // The paired simulation needs the merged analytic estimate, so it runs
         // here, on this cell's completion — not as a plan-wide second wave. It is
         // a pure function of (model, scenario, budget, estimate), so where it
@@ -1930,6 +2119,7 @@ impl QueryPlan {
             engine: cell.engine,
             outcome,
             validation,
+            epistemic,
             wall_ns,
         }
     }
@@ -1947,6 +2137,12 @@ impl QueryPlan {
                 }
             } else {
                 items.push(WorkItem::Cell(index));
+            }
+            // Draw items live inside the cell's span, after the base items, so
+            // the cell's countdown covers them and the merge can address them
+            // positionally (span tail = draws in draw order).
+            for draw in 0..cell.draws.len() {
+                items.push(WorkItem::Draw { cell: index, draw });
             }
             spans.push((start, items.len() - start));
         }
@@ -1972,7 +2168,9 @@ impl QueryPlan {
                     _ => count * nodes,
                 }
             }
-            WorkItem::Cell(index) => {
+            // A draw re-runs the whole cell on a scaled scenario, so it costs
+            // what the base cell costs at its engine.
+            WorkItem::Cell(index) | WorkItem::Draw { cell: index, .. } => {
                 let cell = &self.cells[index];
                 let nodes = cell.nodes as u64;
                 match cell.engine {
@@ -2022,6 +2220,17 @@ impl QueryPlan {
                     }
                 };
                 ItemOutput::Hits(hits)
+            }
+            WorkItem::Draw { cell, draw } => {
+                let cell = &self.cells[cell];
+                let draw = &cell.draws[draw];
+                ItemOutput::Outcome(Box::new(run_prepared(
+                    cell.model.as_ref(),
+                    draw.scenario.as_scenario(),
+                    &cell.budget,
+                    cell.engine,
+                    &draw.scratch,
+                )))
             }
             WorkItem::Trajectory(index) => ItemOutput::Trajectory(trajectory_record(
                 &self.trajectories[index],
@@ -2073,6 +2282,11 @@ pub struct CellRecord {
     /// cross-validation ([`Query::validate_with_simulation`]) and this cell's
     /// model has an executable counterpart.
     pub validation: Option<ValidationRecord>,
+    /// The second-order uncertainty report, when the query carried a posterior
+    /// axis ([`Query::posterior`] with more than one draw): the epistemic
+    /// credible interval over the posterior draws next to the base cell's
+    /// aleatoric (sampling) interval.
+    pub epistemic: Option<EpistemicReport>,
     /// Wall-clock nanoseconds spent executing this cell's scheduled work items,
     /// summed across items (sample chunks may run on different workers
     /// concurrently, so this is aggregate compute time, not elapsed sweep time;
@@ -2236,6 +2450,11 @@ impl CellRecord {
                 }),
             ),
         ];
+        // Emitted only for second-order cells, so first-order reports stay
+        // byte-identical to their pre-epistemic form.
+        if let Some(epistemic) = &self.epistemic {
+            members.push(("epistemic".to_string(), epistemic.to_json_value()));
+        }
         for kind in metrics.enabled_kinds() {
             let (lower, upper) = match self.bounds(kind) {
                 Some((lower, upper)) => (JsonValue::number(lower), JsonValue::number(upper)),
@@ -2359,6 +2578,7 @@ impl AnalysisReport {
     pub fn to_table(&self, title: impl Into<String>) -> Table {
         let kinds = self.enabled_metrics();
         let validated = self.cells.iter().any(|c| c.validation.is_some());
+        let second_order = self.cells.iter().any(|c| c.epistemic.is_some());
         let mut headers: Vec<&str> = vec!["cell", "engine"];
         for kind in &kinds {
             headers.push(match kind {
@@ -2368,6 +2588,9 @@ impl AnalysisReport {
             });
         }
         headers.extend(["95% CI", "ESS", "wall"]);
+        if second_order {
+            headers.extend(["epistemic CI", "aleatoric CI"]);
+        }
         if validated {
             headers.extend(["sim s&l", "z", "divergence"]);
         }
@@ -2387,6 +2610,21 @@ impl AnalysisReport {
                     .map_or_else(|| "-".into(), |ess| format!("{ess:.0}")),
             );
             row.push(format!("{:.2}ms", cell.wall_ns as f64 / 1e6));
+            if second_order {
+                match &cell.epistemic {
+                    Some(e) => {
+                        row.push(format!(
+                            "[{:.6}, {:.6}]",
+                            e.epistemic_lower, e.epistemic_upper
+                        ));
+                        row.push(format!(
+                            "[{:.6}, {:.6}]",
+                            e.aleatoric_lower, e.aleatoric_upper
+                        ));
+                    }
+                    None => row.extend(["-".to_string(), "-".to_string()]),
+                }
+            }
             if validated {
                 match &cell.validation {
                     Some(v) => {
@@ -2608,6 +2846,7 @@ mod tests {
                         engine: cell.engine,
                         outcome,
                         validation,
+                        epistemic: None,
                         wall_ns: 0,
                     }
                 })
@@ -3558,6 +3797,182 @@ mod tests {
             .budget(bad);
         let err = session.plan(&query).expect_err("zero horizon rejected");
         assert!(err.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn posterior_sweeps_are_bit_identical_across_thread_counts() {
+        // Draw items retire on arbitrary workers; the merge serializes them in
+        // draw order, so a second-order sweep (chunked Monte Carlo base + whole
+        // draw re-runs) must serialize byte-identically at any thread count.
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([5usize])
+            .fault_probs([0.05])
+            .correlations([CorrelationSpec::ClusterShock { probability: 0.02 }])
+            .budget(Budget::default().with_seed(41).with_samples(20_000))
+            .posterior(16, 3.5, 60.0);
+        let reference = AnalysisSession::with_threads(1)
+            .run(&query)
+            .expect("well-formed query");
+        assert!(
+            reference.cell(0).epistemic.is_some(),
+            "the sweep must actually be second-order"
+        );
+        let reference = reference.zero_wall_clock().to_json();
+        for threads in [2usize, 8] {
+            let report = AnalysisSession::with_threads(threads)
+                .run(&query)
+                .expect("well-formed query")
+                .zero_wall_clock()
+                .to_json();
+            assert_eq!(
+                report, reference,
+                "posterior sweep diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn single_draw_posterior_degenerates_to_the_point_estimate_report() {
+        // K = 1 carries no spread to summarize: the planner must emit the exact
+        // first-order report, bit for bit — including the absence of the
+        // `epistemic` JSON member.
+        let base = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([5usize])
+            .fault_probs([0.05])
+            .correlations([CorrelationSpec::ClusterShock { probability: 0.02 }])
+            .budget(Budget::default().with_seed(7).with_samples(10_000));
+        let first_order = AnalysisSession::new()
+            .run(&base)
+            .expect("well-formed query")
+            .zero_wall_clock()
+            .to_json();
+        let single_draw = AnalysisSession::new()
+            .run(&base.clone().posterior(1, 3.5, 60.0))
+            .expect("well-formed query")
+            .zero_wall_clock()
+            .to_json();
+        assert_eq!(single_draw, first_order);
+        assert!(!single_draw.contains("\"epistemic\""));
+    }
+
+    #[test]
+    fn posterior_draws_never_alias_first_order_scratch() {
+        // Regression: draw scratch holds kernels compiled for *scaled*
+        // scenarios. If a draw's cache key collided with the base cell's, a
+        // later first-order run would reuse a scaled kernel and silently shift
+        // its estimates. Run second-order first, then first-order on the same
+        // coordinate, and demand the fresh-session first-order result.
+        let build = |draws: usize| {
+            let query = Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([5usize])
+                .fault_probs([0.05])
+                .correlations([CorrelationSpec::ClusterShock { probability: 0.02 }])
+                .budget(Budget::default().with_seed(9).with_samples(5_000));
+            if draws > 0 {
+                query.posterior(draws, 3.5, 60.0)
+            } else {
+                query
+            }
+        };
+        let expected = AnalysisSession::new().run(&build(0)).expect("valid query");
+        let session = AnalysisSession::new();
+        session.run(&build(8)).expect("valid query");
+        let stats = session.cache_stats();
+        assert_eq!(stats.entries, 9, "one base entry plus one entry per draw");
+        let first_order = session.run(&build(0)).expect("valid query");
+        assert_eq!(
+            first_order.cell(0).outcome,
+            expected.cell(0).outcome,
+            "first-order cell must not see second-order scratch"
+        );
+        assert_eq!(
+            session.cache_stats().entries,
+            9,
+            "the first-order run must hit the base entry, not re-insert"
+        );
+    }
+
+    #[test]
+    fn posterior_cells_report_both_interval_flavors() {
+        // An exact counting cell: the aleatoric interval collapses to the point
+        // value while the epistemic interval stays wide — the two axes measure
+        // different uncertainty and must never be conflated.
+        let session = AnalysisSession::new();
+        let query = Query::new()
+            .protocols([ProtocolSpec::Raft])
+            .nodes([5usize])
+            .fault_probs([0.05])
+            .budget(Budget::default().with_seed(3))
+            .posterior(64, 3.5, 60.0);
+        let report = session.run(&query).expect("valid query");
+        let cell = report.cell(0);
+        assert_eq!(cell.engine, EngineChoice::Counting);
+        let e = cell.epistemic.as_ref().expect("second-order cell");
+        assert_eq!(e.draws.len(), 64);
+        assert!(
+            e.epistemic_width() > 0.0,
+            "posterior spread must produce a non-degenerate epistemic interval"
+        );
+        assert_eq!(
+            e.aleatoric_width(),
+            0.0,
+            "exact engines carry no sampling error"
+        );
+        assert!(e.epistemic_lower <= e.mean && e.mean <= e.epistemic_upper);
+        // The engines must actually respond to the drawn parameter: a larger
+        // drawn fault probability can only lower the guarantee.
+        let mut by_p: Vec<_> = e.draws.iter().map(|d| (d.p, d.value)).collect();
+        by_p.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in by_p.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-12,
+                "reliability must fall as the drawn fault probability rises"
+            );
+        }
+        assert!(report.to_json().contains("\"epistemic\""));
+        let table = report.to_table("posterior").to_string();
+        assert!(table.contains("epistemic CI"));
+        assert!(table.contains("aleatoric CI"));
+    }
+
+    #[test]
+    fn invalid_posterior_budgets_are_rejected_at_plan_time() {
+        use crate::engine::EpistemicBudget;
+        // The builders are assert-free so wire requests reach `validate()`
+        // instead of panicking a server worker; every malformed shape must be
+        // rejected at plan time with a diagnosable message.
+        let session = AnalysisSession::new();
+        let cases = [
+            (Budget::default().with_posterior(0, 3.5, 60.0), "draws"),
+            (
+                Budget::default().with_posterior(8, -1.0, 60.0),
+                "hyperparameters",
+            ),
+            (
+                Budget::default().with_posterior(8, 3.5, f64::NAN),
+                "hyperparameters",
+            ),
+            (
+                Budget::default()
+                    .with_epistemic(EpistemicBudget::new(8, 3.5, 60.0).with_level(1.0)),
+                "level",
+            ),
+        ];
+        for (budget, needle) in cases {
+            let query = Query::new()
+                .protocols([ProtocolSpec::Raft])
+                .nodes([3usize])
+                .fault_probs([0.01])
+                .budget(budget);
+            let err = session.plan(&query).expect_err("invalid epistemic budget");
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
     }
 
     #[test]

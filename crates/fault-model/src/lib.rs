@@ -22,6 +22,9 @@
 //!   group) and samplers producing failure configurations.
 //! * [`telemetry`] — synthetic fleet telemetry (the stand-in for Backblaze-style drive
 //!   stats and spot-eviction traces) and estimators that recover fault curves from it.
+//! * [`posterior`] — Bayesian conjugate posteriors (Beta over failure probability, Gamma
+//!   over failure rate, Jeffreys priors) fitted from the same telemetry, with
+//!   deterministic inverse-CDF sampling for second-order analysis.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ pub mod markov;
 pub mod metrics;
 pub mod mode;
 pub mod node;
+pub mod posterior;
 pub mod telemetry;
 
 pub use correlation::{CorrelationGroup, CorrelationModel};
@@ -59,4 +63,5 @@ pub use metrics::{
 };
 pub use mode::{FailureMode, FaultProfile};
 pub use node::{Fleet, NodeClass, NodeId, NodeSpec};
+pub use posterior::{BetaPosterior, GammaPosterior, TelemetryPosterior};
 pub use telemetry::{FleetTelemetry, TelemetryEstimator, TelemetryGenerator, TelemetryRecord};

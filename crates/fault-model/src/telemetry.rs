@@ -16,6 +16,7 @@ use rand::Rng;
 
 use crate::curve::EmpiricalCurve;
 use crate::metrics::HOURS_PER_YEAR;
+use crate::posterior::TelemetryPosterior;
 
 /// One device-observation record: a device of some class observed for a period, with the
 /// outcome of that observation period.
@@ -229,13 +230,34 @@ impl TelemetryEstimator {
         let rate = failures as f64 / device_years;
         let stderr = (failures.max(1) as f64).sqrt() / device_years;
         let to_afr = |annual_rate: f64| 1.0 - (-annual_rate.max(0.0)).exp();
+        // Zero observed failures: the normal approximation has no spread to
+        // work with, so use the rule of three — the one-sided 95% upper bound
+        // on a Poisson rate with zero events over `device_years` of exposure
+        // is 3/device_years. The interval stays non-degenerate however large
+        // the failure-free fleet is.
+        let (lower, upper) = if failures == 0 {
+            (0.0, to_afr(3.0 / device_years))
+        } else {
+            (to_afr(rate - 1.96 * stderr), to_afr(rate + 1.96 * stderr))
+        };
         Some(AfrEstimate {
             afr: to_afr(rate),
-            lower: to_afr(rate - 1.96 * stderr),
-            upper: to_afr(rate + 1.96 * stderr),
+            lower,
+            upper,
             device_years,
             failures,
         })
+    }
+
+    /// Fits Bayesian conjugate posteriors (Beta over failure probability,
+    /// Gamma over annual failure rate, both under the Jeffreys prior) from the
+    /// same counts that back [`TelemetryEstimator::estimate_afr`].
+    ///
+    /// Returns `None` when the telemetry covers no observation time. Unlike
+    /// the point estimate, a zero-failure fleet yields a proper posterior
+    /// with positive uncertainty mass — see [`crate::posterior`].
+    pub fn posterior(&self, telemetry: &FleetTelemetry) -> Option<TelemetryPosterior> {
+        TelemetryPosterior::from_telemetry(telemetry)
     }
 
     /// Estimates the fraction of failures that were Byzantine (silent corruption).
@@ -346,6 +368,77 @@ mod tests {
         assert!(TelemetryEstimator::new()
             .estimate_afr(&FleetTelemetry::new())
             .is_none());
+        assert!(TelemetryEstimator::new()
+            .posterior(&FleetTelemetry::new())
+            .is_none());
+    }
+
+    /// A fleet observed for `device_years` with zero failures.
+    fn failure_free(device_years: f64, devices: usize) -> FleetTelemetry {
+        let mut telemetry = FleetTelemetry::new();
+        let hours_each = device_years * HOURS_PER_YEAR / devices as f64;
+        for id in 0..devices {
+            telemetry.push(TelemetryRecord {
+                device_id: id as u64,
+                class: "ssd-z".into(),
+                age_at_start: 0.0,
+                observed_hours: hours_each,
+                failed: false,
+                byzantine: false,
+            });
+        }
+        telemetry
+    }
+
+    #[test]
+    fn zero_failure_fleet_gets_rule_of_three_interval() {
+        let telemetry = failure_free(1_000.0, 100);
+        let est = TelemetryEstimator::new().estimate_afr(&telemetry).unwrap();
+        assert_eq!(est.failures, 0);
+        assert_eq!(est.afr, 0.0);
+        assert_eq!(est.lower, 0.0);
+        // Rule of three: upper bound on the annual rate is 3/device_years.
+        let expected_upper = 1.0 - (-3.0 / 1_000.0f64).exp();
+        assert!(
+            est.upper > est.lower,
+            "interval [{}, {}] must not collapse",
+            est.lower,
+            est.upper
+        );
+        assert!(
+            (est.upper - expected_upper).abs() < 1e-12,
+            "upper {} vs rule-of-three {expected_upper}",
+            est.upper
+        );
+    }
+
+    #[test]
+    fn zero_failure_posterior_is_proper() {
+        let telemetry = failure_free(2_000.0, 50);
+        let post = TelemetryEstimator::new().posterior(&telemetry).unwrap();
+        assert_eq!(post.failures, 0);
+        assert!((post.device_years - 2_000.0).abs() < 1e-9);
+        // The Jeffreys posterior keeps positive mass away from zero.
+        assert!(post.afr_mean() > 0.0);
+        let (lo, hi) = post.afr_credible_interval(0.9);
+        assert!(hi > lo, "credible interval [{lo}, {hi}] must not collapse");
+        // And the upper bound is the same order as the rule-of-three bound.
+        let rule_of_three = 1.0 - (-3.0 / 2_000.0f64).exp();
+        assert!(hi < 2.0 * rule_of_three, "upper {hi} vs {rule_of_three}");
+    }
+
+    #[test]
+    fn posterior_agrees_with_point_estimate_on_dense_telemetry() {
+        let telemetry = generate(0.04, 20_000, 11);
+        let estimator = TelemetryEstimator::new();
+        let est = estimator.estimate_afr(&telemetry).unwrap();
+        let post = estimator.posterior(&telemetry).unwrap();
+        assert_eq!(post.failures, est.failures);
+        assert!((post.afr_mean() - est.afr).abs() < 0.002);
+        let (lo, hi) = post.afr_credible_interval(0.95);
+        assert!(lo <= 0.04 && 0.04 <= hi, "interval [{lo}, {hi}]");
+        // Credible and confidence intervals should roughly coincide here.
+        assert!((lo - est.lower).abs() < 0.005 && (hi - est.upper).abs() < 0.005);
     }
 
     #[test]

@@ -13,9 +13,19 @@
 //!
 //! ```text
 //! {"id":"q1","op":"query","query":{"protocols":["raft"],"nodes":[5],"fault_probs":[0.02]}}
+//! {"id":"q2","op":"query","query":{"protocols":["raft"],"nodes":[5],"fault_probs":[0.02],
+//!                                  "posterior":{"draws":200,"alpha":8.5,"beta":191.5}}}
 //! {"id":"s1","op":"stats"}
 //! {"id":"bye","op":"shutdown"}
 //! ```
+//!
+//! A `posterior` member turns the query second-order: every cell re-runs under
+//! `draws` deterministic Beta(`alpha`, `beta`) posterior draws and its record
+//! gains an `epistemic` object separating the parameter-uncertainty credible
+//! interval from the sampling interval (optional `level`, default 0.9; see
+//! `prob_consensus::epistemic`). Malformed posterior payloads — zero draws,
+//! non-positive hyperparameters, a level outside (0, 1) — draw an `error` event
+//! at plan time and never take the connection down.
 //!
 //! Responses are events tagged with the request `id`. A query streams one
 //! `cell` / `trajectory` event per record *as it completes* (unspecified order;
@@ -49,7 +59,7 @@ use std::time::Instant;
 use fault_model::markov::RepairableGroup;
 use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::PersistenceQuorumModel;
-use prob_consensus::engine::{Budget, FaultEnvironment};
+use prob_consensus::engine::{Budget, EpistemicBudget, FaultEnvironment};
 use prob_consensus::json::JsonValue;
 use prob_consensus::protocol::ProtocolModel;
 use prob_consensus::query::{
@@ -377,6 +387,31 @@ pub fn parse_query(spec: &JsonValue) -> Result<ParsedQuery, String> {
                 budget = budget.with_samples(as_usize(value).ok_or("samples must be an integer")?);
             }
             "seed" => budget = budget.with_seed(as_u64(value).ok_or("seed must be an integer")?),
+            "posterior" => {
+                let JsonValue::Object(posterior_members) = value else {
+                    return Err("posterior must be an object".to_string());
+                };
+                for (sub, _) in posterior_members {
+                    if !matches!(sub.as_str(), "draws" | "alpha" | "beta" | "level") {
+                        return Err(format!("unknown posterior key '{sub}'"));
+                    }
+                }
+                let draws = usize_field(value, "draws", "posterior")?;
+                let alpha = num_field(value, "alpha", "posterior")?;
+                let beta = num_field(value, "beta", "posterior")?;
+                // The builder is assert-free: hyperparameter/level sanity is
+                // plan-time validation, so a hostile payload draws an `error`
+                // event instead of panicking a worker.
+                let mut epistemic = EpistemicBudget::new(draws, alpha, beta);
+                if let Some(level) = value.get("level") {
+                    epistemic = epistemic.with_level(
+                        level
+                            .as_f64()
+                            .ok_or("posterior: 'level' must be a number")?,
+                    );
+                }
+                budget = budget.with_epistemic(epistemic);
+            }
             "samples_sweep" => {
                 let sweep: Vec<usize> = value
                     .as_array()
@@ -488,6 +523,10 @@ pub struct ServerStats {
     pub last_plan_wall_ms: f64,
     /// Total wall time across all completed plans, in milliseconds.
     pub total_plan_wall_ms: f64,
+    /// Second-order cells served (cells that carried an epistemic report).
+    pub epistemic_cells: u64,
+    /// Posterior draws executed across all second-order cells.
+    pub posterior_draws: u64,
 }
 
 /// The service: one shared [`AnalysisSession`] (scratch cache + worker pool)
@@ -603,6 +642,14 @@ impl Server {
                     JsonValue::number(stats.queries_completed as f64),
                 ),
                 (
+                    "epistemic_cells".to_string(),
+                    JsonValue::number(stats.epistemic_cells as f64),
+                ),
+                (
+                    "posterior_draws".to_string(),
+                    JsonValue::number(stats.posterior_draws as f64),
+                ),
+                (
                     "plan_wall_ms".to_string(),
                     JsonValue::Object(vec![
                         (
@@ -681,11 +728,24 @@ fn handle_line(server: &Arc<Server>, line: &str, writer: &SharedWriter) -> Actio
                 match catch_unwind(AssertUnwindSafe(|| plan.execute_streaming(&sink))) {
                     Ok(report) => {
                         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                        let epistemic_cells = report
+                            .cells()
+                            .iter()
+                            .filter(|c| c.epistemic.is_some())
+                            .count() as u64;
+                        let posterior_draws: u64 = report
+                            .cells()
+                            .iter()
+                            .filter_map(|c| c.epistemic.as_ref())
+                            .map(|e| e.draws.len() as u64)
+                            .sum();
                         {
                             let mut stats = server.stats.lock().expect("stats lock");
                             stats.queries_completed += 1;
                             stats.last_plan_wall_ms = wall_ms;
                             stats.total_plan_wall_ms += wall_ms;
+                            stats.epistemic_cells += epistemic_cells;
+                            stats.posterior_draws += posterior_draws;
                         }
                         emit(
                             &writer,
@@ -1249,18 +1309,84 @@ mod tests {
                      {\"id\":\"y\",\"op\":\"query\"}\n\
                      {\"id\":\"z\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[3],\"fault_probs\":[0.01],\"unknown_axis\":1}}\n\
                      {\"id\":\"w\",\"op\":\"query\",\"query\":{\"protocols\":[{\"raft_flexible\":{\"q_per\":9,\"q_vc\":9}}],\"nodes\":[3],\"fault_probs\":[0.01]}}\n\
+                     {\"id\":\"p\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[3],\"fault_probs\":[0.01],\"posterior\":{\"draws\":0,\"alpha\":3.5,\"beta\":60}}}\n\
+                     {\"id\":\"h\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[3],\"fault_probs\":[0.01],\"posterior\":{\"draws\":8,\"alpha\":-1,\"beta\":60}}}\n\
                      {\"id\":\"ok\",\"op\":\"query\",\"query\":{\"protocols\":[\"raft\"],\"nodes\":[3],\"fault_probs\":[0.01]}}\n\
                      {\"id\":\"bye\",\"op\":\"shutdown\"}\n";
         let output = run_exchange(&server, input);
         let events = events(&output);
-        // Four failures, each its own error event...
+        // Six failures, each its own error event...
         assert_eq!(events_for(&events, "x", "error").len(), 1);
         assert_eq!(events_for(&events, "y", "error").len(), 1);
         assert_eq!(events_for(&events, "z", "error").len(), 1);
         assert_eq!(events_for(&events, "w", "error").len(), 1, "{output}");
+        // Malformed posterior budgets reach plan-time validation instead of
+        // panicking a worker: zero draws and bad hyperparameters each draw a
+        // diagnosable error event.
+        for (id, needle) in [("p", "draws"), ("h", "hyperparameters")] {
+            let errors = events_for(&events, id, "error");
+            assert_eq!(errors.len(), 1, "{output}");
+            let message = errors[0].get("message").unwrap().as_str().unwrap();
+            assert!(message.contains(needle), "{message}");
+        }
         // ...and the well-formed query after them still runs to completion.
         assert_eq!(events_for(&events, "ok", "done").len(), 1);
         assert_eq!(events_for(&events, "ok", "cell").len(), 1);
+    }
+
+    #[test]
+    fn posterior_queries_stream_epistemic_cells() {
+        let server = Arc::new(Server::new());
+        let query = r#"{"protocols":["raft"],"nodes":[5],"fault_probs":[0.05],"seed":5,"posterior":{"draws":16,"alpha":3.5,"beta":60.0,"level":0.9}}"#;
+        let input = format!(
+            "{{\"id\":\"q\",\"op\":\"query\",\"query\":{query}}}\n{{\"id\":\"bye\",\"op\":\"shutdown\"}}\n"
+        );
+        let output = run_exchange(&server, &input);
+        let emitted = events(&output);
+        let cells = events_for(&emitted, "q", "cell");
+        assert_eq!(cells.len(), 1, "{output}");
+        let streamed = cells[0].get("cell").unwrap();
+        let epistemic = streamed
+            .get("epistemic")
+            .expect("second-order cells carry an epistemic member");
+        let lower = epistemic.get("epistemic_lower").unwrap().as_f64().unwrap();
+        let upper = epistemic.get("epistemic_upper").unwrap().as_f64().unwrap();
+        assert!(lower < upper, "epistemic interval must be non-degenerate");
+        assert_eq!(
+            epistemic.get("draws").unwrap().as_array().unwrap().len(),
+            16
+        );
+        // Byte-identical to the one-shot library run of the same query.
+        let reference = AnalysisSession::new()
+            .run(
+                &parse_query(&JsonValue::parse(query).unwrap())
+                    .expect("fixture parses")
+                    .query,
+            )
+            .expect("reference run succeeds")
+            .to_json_value();
+        let mut expected = reference.get("cells").unwrap().as_array().unwrap()[0].clone();
+        let mut streamed = streamed.clone();
+        zero_wall_ns(&mut streamed);
+        zero_wall_ns(&mut expected);
+        assert_eq!(
+            streamed.to_compact_string(),
+            expected.to_compact_string(),
+            "streamed second-order cell differs from the one-shot run"
+        );
+        // The stats surface counts the second-order work.
+        let stats_output = run_exchange(&server, "{\"id\":\"s\",\"op\":\"stats\"}\n");
+        let stats_events = events(&stats_output);
+        let stats = events_for(&stats_events, "s", "stats");
+        assert_eq!(stats.len(), 1);
+        assert_eq!(
+            stats[0].get("epistemic_cells").unwrap().as_f64().unwrap(),
+            1.0
+        );
+        assert_eq!(
+            stats[0].get("posterior_draws").unwrap().as_f64().unwrap(),
+            16.0
+        );
     }
 
     #[test]
@@ -1363,6 +1489,22 @@ mod tests {
             (
                 r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"environments":[7]}"#,
                 "must be strings",
+            ),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"posterior":5}"#,
+                "must be an object",
+            ),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"posterior":{"draws":8,"alpha":3.5}}"#,
+                "missing 'beta'",
+            ),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"posterior":{"draws":8,"alpha":3.5,"beta":60,"typo":1}}"#,
+                "unknown posterior key",
+            ),
+            (
+                r#"{"protocols":["raft"],"nodes":[3],"fault_probs":[0.01],"posterior":{"draws":8,"alpha":3.5,"beta":60,"level":"high"}}"#,
+                "must be a number",
             ),
         ] {
             let err = parse_query(&JsonValue::parse(bad).unwrap())
