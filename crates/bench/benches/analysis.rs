@@ -246,6 +246,20 @@ fn bench_epistemic(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_optimizer(c: &mut Criterion) {
+    // The deployment-optimizer search: the default catalogue × Raft cluster
+    // sizes 3–9 (twelve counting-exact candidates) screened, ranked and
+    // frontier-extracted as one three-tier search on a fresh session. `repro
+    // --bench` derives `frontier_candidates_per_sec` from this row in
+    // BENCH_analysis.json.
+    let mut group = c.benchmark_group("optimizer");
+    group.bench_function(
+        bench::OPTIMIZER_BENCH_ID.trim_start_matches("optimizer/"),
+        |b| b.iter(bench::optimizer_batch),
+    );
+    group.finish();
+}
+
 fn bench_auto_selection(c: &mut Criterion) {
     // analyze_auto routes through the engine registry; its overhead over calling the
     // counting engine directly should be negligible.
@@ -304,6 +318,7 @@ criterion_group!(
     bench_rare_event,
     bench_sweep,
     bench_epistemic,
+    bench_optimizer,
     bench_auto_selection,
     bench_fault_count_distribution,
     bench_paper_tables

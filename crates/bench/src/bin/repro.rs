@@ -55,6 +55,7 @@ fn run_bench_baseline() -> ExitCode {
         bench::rare_event_sample_efficiency(),
         bench::divergence_smoke(),
         bench::epistemic_interval_width(),
+        bench::optimizer_frontier_size(),
     );
     match std::fs::write("BENCH_analysis.json", &json) {
         Ok(()) => {
@@ -97,6 +98,20 @@ fn run_experiment(id: &str) -> Result<(), String> {
             println!(
                 "Independent case: {:.0}x fewer samples than plain Monte Carlo at equal CI width\n",
                 c.independent.efficiency_factor()
+            );
+        }
+        "optimize-durability" => {
+            let (table, report) = bench::optimize_durability();
+            println!("{table}");
+            let winner = report
+                .cheapest()
+                .ok_or("the durability search found no feasible deployment")?;
+            println!(
+                "Search rediscovered {} at p(loss) = {:.2e} ({} candidates screened, {} refined)\n",
+                winner.label,
+                winner.failure_probability(),
+                report.screened,
+                report.refined
             );
         }
         "sim-validation" => {

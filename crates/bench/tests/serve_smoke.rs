@@ -167,6 +167,111 @@ fn serve_streams_reports_matching_one_shot_execution() {
     assert!(wall.get("total").unwrap().as_f64().unwrap() > 0.0);
 }
 
+/// The `optimize` op end to end: a deployment search submitted over the wire
+/// must return the exact report an in-process [`prob_consensus::optimize`]
+/// search produces (the frontier carries no wall clocks, so byte-identical),
+/// reject malformed payloads with an `error` event instead of dying, and show
+/// up in the `stats` counters.
+#[test]
+fn serve_optimize_matches_in_process_search() {
+    // The placement-sensitive durability space from the optimizer test suite:
+    // small enough for a smoke test, still exercises tier-2 IS refinement.
+    let space = r#"{"instances":[{"name":"spot","fault_probability":0.1,"hourly_cost":0.1}],"nodes":[40],"domains":{"racks":8,"shock_probability":0.01},"placements":["same-rack","cross-rack"],"target":{"quorum_size":5}}"#;
+    let config = r#"{"target_nines":4.0,"screen_samples":10000,"refine_samples":40000,"seed":7}"#;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("repro serve starts");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let mut lines = BufReader::new(child.stdout.take().expect("stdout piped")).lines();
+    let mut events = Vec::new();
+
+    write!(
+        stdin,
+        "{{\"id\":\"opt\",\"op\":\"optimize\",\"space\":{space},\"config\":{config}}}\n\
+         {{\"id\":\"bad\",\"op\":\"optimize\",\"space\":{space},\"config\":{{\"target_nines\":4.0,\"scren_samples\":1}}}}\n"
+    )
+    .expect("submit optimize requests");
+    stdin.flush().unwrap();
+    read_until(&mut lines, &mut events, |e| is_event(e, "opt", "done"));
+    if !events.iter().any(|e| is_event(e, "bad", "error")) {
+        read_until(&mut lines, &mut events, |e| is_event(e, "bad", "error"));
+    }
+    writeln!(stdin, "{{\"id\":\"s\",\"op\":\"stats\"}}").expect("submit stats");
+    stdin.flush().unwrap();
+    read_until(&mut lines, &mut events, |e| is_event(e, "s", "stats"));
+    writeln!(stdin, "{{\"id\":\"bye\",\"op\":\"shutdown\"}}").expect("submit shutdown");
+    drop(stdin);
+    read_until(&mut lines, &mut events, |e| is_event(e, "bye", "shutdown"));
+    assert!(child.wait().expect("repro serve exits").success());
+
+    // The streamed report is byte-identical to the in-process search.
+    let spec = JsonValue::parse(&format!("{{\"space\":{space},\"config\":{config}}}"))
+        .expect("fixture parses");
+    let parsed = repro_server::parse_optimize(&spec).expect("fixture is a valid request");
+    let reference =
+        prob_consensus::optimize::optimize(&AnalysisSession::new(), &parsed.space, &parsed.config)
+            .expect("reference search succeeds");
+    let reports: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| is_event(e, "opt", "optimize"))
+        .collect();
+    assert_eq!(reports.len(), 1, "exactly one optimize event");
+    assert_eq!(
+        reports[0].get("report").unwrap().to_compact_string(),
+        reference.to_json_value().to_compact_string(),
+        "wire report diverged from in-process search"
+    );
+    let done = events
+        .iter()
+        .find(|e| is_event(e, "opt", "done"))
+        .expect("done event");
+    assert_eq!(
+        done.get("frontier").unwrap().as_f64().unwrap() as usize,
+        reference.frontier.len()
+    );
+    assert_eq!(
+        done.get("evaluated").unwrap().as_f64().unwrap() as usize,
+        reference.evaluated.len()
+    );
+
+    // The misspelled knob drew an error, not a silent default — and never a
+    // second done event.
+    let bad_errors: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| is_event(e, "bad", "error"))
+        .collect();
+    assert_eq!(bad_errors.len(), 1);
+    assert!(bad_errors[0]
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("scren_samples"));
+    assert!(!events.iter().any(|e| is_event(e, "bad", "done")));
+
+    // Observability: the search is counted separately from queries.
+    let stats = events
+        .iter()
+        .find(|e| is_event(e, "s", "stats"))
+        .expect("stats event");
+    assert_eq!(
+        stats
+            .get("optimizations_completed")
+            .unwrap()
+            .as_f64()
+            .unwrap(),
+        1.0
+    );
+    assert_eq!(
+        stats.get("queries_completed").unwrap().as_f64().unwrap(),
+        0.0
+    );
+}
+
 /// The warm-cache contract the server exists for: a second identical request
 /// on a live server must hit the session cache (no recompilation, no repeated
 /// pilots).

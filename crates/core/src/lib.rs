@@ -54,6 +54,11 @@
 //! * [`heterogeneity`] — heterogeneous fleets: quorum placement policies ("require a
 //!   reliable node"), node-replacement what-ifs.
 //! * [`cost`] — price/carbon-aware deployment search over an instance catalogue.
+//! * [`mod@optimize`] — the probability-native deployment optimizer: a three-tier
+//!   search (counting/packed screening → importance-sampling refinement →
+//!   optional time-domain scoring) over node count, fault curves, placement
+//!   across failure domains and flexible quorums, emitting a ranked Pareto
+//!   frontier of cost vs nines ([`optimize::FrontierRecord`]).
 //! * [`tradeoff`] — safety vs. liveness trade-off sweeps across cluster and quorum sizes.
 //! * [`dynamic_quorum`] — smallest quorum sizes meeting a target guarantee.
 //! * [`leader`] — reliability-aware leader ranking and preemptive reconfiguration
@@ -101,6 +106,7 @@ pub mod heterogeneity;
 pub mod json;
 pub mod leader;
 pub mod montecarlo;
+pub mod optimize;
 pub mod packed;
 pub mod pbft_model;
 pub mod protocol;
@@ -127,6 +133,10 @@ pub use epistemic::{
 };
 pub use failure::FailureConfig;
 pub use json::JsonValue;
+pub use optimize::{
+    optimize, Candidate, DeploymentSpace, FailureDomains, FrontierRecord, NodeType, OptimizeReport,
+    OptimizerConfig, Placement, RepairPolicy, TargetSpec, OPTIMIZER_SALT,
+};
 pub use pbft_model::PbftModel;
 pub use protocol::{CountingModel, ExecutableSpec, ProtocolModel};
 pub use query::{

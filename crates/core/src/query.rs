@@ -701,6 +701,15 @@ struct ExplicitCell {
     label: String,
     model: Arc<dyn ProtocolModel + Send + Sync>,
     scenario: ScenarioSpec,
+    /// Per-cell budget override (validated at plan time like the base budget).
+    /// `None` — the common case — inherits the query budget. The optimizer
+    /// ([`crate::optimize`]) uses overrides to give every candidate its own
+    /// salted seed and per-tier sample budget inside one scheduled plan.
+    budget: Option<Budget>,
+    /// Whether this cell's scratch lives in the optimizer cache namespace
+    /// ([`OPTIMIZER_KEY_TAG`] prefixed onto the content key) instead of the
+    /// plain explicit-cell namespace.
+    optimizer: bool,
 }
 
 /// One time-domain cell: a fleet swept through mission windows, or a repairable
@@ -896,6 +905,8 @@ impl Query {
             label: label.into(),
             model,
             scenario: ScenarioSpec::Independent(deployment),
+            budget: None,
+            optimizer: false,
         });
         self
     }
@@ -911,6 +922,30 @@ impl Query {
             label: label.into(),
             model,
             scenario: ScenarioSpec::Correlated(target),
+            budget: None,
+            optimizer: false,
+        });
+        self
+    }
+
+    /// Appends one optimizer candidate cell: a correlated failure model (zero
+    /// groups for independent candidates — the engines treat them alike), a
+    /// per-candidate budget override (salted seed, tier sample count), and
+    /// scratch namespaced under [`OPTIMIZER_KEY_TAG`]. Only the optimizer
+    /// ([`crate::optimize`]) plans these.
+    pub(crate) fn optimizer_cell(
+        mut self,
+        label: impl Into<String>,
+        model: Arc<dyn ProtocolModel + Send + Sync>,
+        target: CorrelationModel,
+        budget: Budget,
+    ) -> Self {
+        self.explicit.push(ExplicitCell {
+            label: label.into(),
+            model,
+            scenario: ScenarioSpec::Correlated(target),
+            budget: Some(budget),
+            optimizer: true,
         });
         self
     }
@@ -1186,6 +1221,18 @@ const CONTENT_KEY_TAG: u64 = 1;
 /// is independent of how many draws follow it, so plans with different `K`
 /// share prefixes.
 const EPISTEMIC_KEY_TAG: u64 = 2;
+/// Namespace tag of optimizer candidate cells: the tag prefixed onto the
+/// candidate's content key words (which themselves begin with
+/// [`CONTENT_KEY_TAG`]), so an optimizer candidate's scratch can never alias a
+/// first-order explicit cell of identical content, a grid cell, or an
+/// epistemic draw — the four namespaces differ in their first word. Candidates
+/// of *both* refinement tiers share one scratch group per (model, scenario)
+/// inside the namespace: the screening tier's converted correlation model and
+/// compiled kernel are reused by the importance-sampling re-score, and the
+/// re-score's learned proposal is reused by later searches of the same space
+/// (proposals are keyed by seed and tilt inside the group). Pinned by the
+/// cache-aliasing regression tests in [`crate::optimize`].
+pub(crate) const OPTIMIZER_KEY_TAG: u64 = 3;
 
 /// Structural identity of a grid cell's (model, scenario) pair — the axes build
 /// both deterministically, so the coordinates *are* the content. Fixed layout:
@@ -1225,7 +1272,10 @@ fn grid_key_words(
 /// correlation group's members, shock-probability bits and shock mode. `None`
 /// when the model has no stable signature, in which case the cell gets
 /// plan-local scratch (always correct, never amortized).
-fn content_key_words(model: &dyn ProtocolModel, scenario: Scenario<'_>) -> Option<Vec<u64>> {
+pub(crate) fn content_key_words(
+    model: &dyn ProtocolModel,
+    scenario: Scenario<'_>,
+) -> Option<Vec<u64>> {
     let sig = model.cache_signature()?;
     let mut words = Vec::with_capacity(4 + sig.len() + 2 * scenario.len());
     words.push(CONTENT_KEY_TAG);
@@ -1430,6 +1480,13 @@ impl AnalysisSession {
             .budget
             .validate()
             .map_err(AnalysisError::InvalidBudget)?;
+        // Per-cell budget overrides (optimizer candidates) are validated like
+        // the base budget: a malformed override fails the whole plan up front.
+        for explicit in &query.explicit {
+            if let Some(budget) = &explicit.budget {
+                budget.validate().map_err(AnalysisError::InvalidBudget)?;
+            }
+        }
         let sample_axis: Vec<usize> = if query.sample_budgets.is_empty() {
             vec![query.budget.monte_carlo_samples]
         } else {
@@ -1531,20 +1588,25 @@ impl AnalysisSession {
                 // Explicit cells hit the session cache too, keyed by model
                 // content fingerprint + full scenario content — the dominant
                 // server workload is repeated single-cell requests. Models
-                // without a stable signature get plan-local scratch.
-                let key_words = content_key_words(explicit.model.as_ref(), scenario);
+                // without a stable signature get plan-local scratch. Optimizer
+                // candidates prepend their namespace tag so candidate scratch
+                // never aliases a plain cell of identical content (see
+                // [`OPTIMIZER_KEY_TAG`]).
+                let budget = explicit.budget.as_ref().unwrap_or(&query.budget);
+                let key_words =
+                    content_key_words(explicit.model.as_ref(), scenario).map(|mut words| {
+                        if explicit.optimizer {
+                            words.insert(0, OPTIMIZER_KEY_TAG);
+                        }
+                        words
+                    });
                 let scratch = match key_words.clone() {
                     Some(words) => self.cache.get_or_insert(CacheKey::from_words(words)),
                     None => Arc::new(GroupScratch::new()),
                 };
-                let draws =
-                    self.plan_draws(&query.budget, &explicit.scenario, key_words.as_deref());
-                let engine = choose_engine_prepared(
-                    explicit.model.as_ref(),
-                    scenario,
-                    &query.budget,
-                    &scratch,
-                );
+                let draws = self.plan_draws(budget, &explicit.scenario, key_words.as_deref());
+                let engine =
+                    choose_engine_prepared(explicit.model.as_ref(), scenario, budget, &scratch);
                 let correlation = match &explicit.scenario {
                     ScenarioSpec::Independent(_) => "independent".to_string(),
                     ScenarioSpec::Correlated(c) if c.is_correlated() => "correlated".to_string(),
@@ -1558,11 +1620,11 @@ impl AnalysisSession {
                     nodes: explicit.model.num_nodes(),
                     fault_prob: None,
                     correlation,
-                    environment: query.budget.sim.environment,
+                    environment: budget.sim.environment,
                     validate: validation_for(explicit.model.as_ref(), scenario),
                     model: explicit.model.clone(),
                     scenario: explicit.scenario.clone(),
-                    budget: query.budget,
+                    budget: *budget,
                     engine,
                     scratch,
                     draws,

@@ -15,6 +15,10 @@
 //! {"id":"q1","op":"query","query":{"protocols":["raft"],"nodes":[5],"fault_probs":[0.02]}}
 //! {"id":"q2","op":"query","query":{"protocols":["raft"],"nodes":[5],"fault_probs":[0.02],
 //!                                  "posterior":{"draws":200,"alpha":8.5,"beta":191.5}}}
+//! {"id":"o1","op":"optimize","space":{"instances":[{"name":"spot","fault_probability":0.08,
+//!                                                   "hourly_cost":0.10}],
+//!                                     "nodes":[3,5,7],"target":{"protocol":"raft"}},
+//!                            "config":{"target_nines":3.0}}
 //! {"id":"s1","op":"stats"}
 //! {"id":"bye","op":"shutdown"}
 //! ```
@@ -34,9 +38,25 @@
 //! ```text
 //! {"id":"q1","event":"cell","index":0,"cell":{...}}
 //! {"id":"q1","event":"done","cells":1,"trajectories":0,"wall_ms":2.1}
+//! {"id":"o1","event":"optimize","report":{"target_nines":3,"frontier":[...],...}}
+//! {"id":"o1","event":"done","frontier":1,"evaluated":3,"wall_ms":1.4}
 //! {"id":"s1","event":"stats","cache":{...},"queries_completed":1,...}
 //! {"id":"bye","event":"shutdown"}
 //! ```
+//!
+//! An `optimize` request runs the deployment optimizer
+//! ([`prob_consensus::optimize::optimize`]) against the shared session — its
+//! per-candidate scratch (pilots, IS proposals, packed kernels) lands in the
+//! same cache queries use, under the optimizer's own key namespace. The
+//! `space` object takes `instances` (name, `fault_probability`, optional
+//! `byzantine_probability`, `hourly_cost`), `nodes`, an optional `domains`
+//! object (`racks`, `shock_probability`) with `placements`
+//! (`"same-rack"` / `"cross-rack"`), and a `target` (`{"protocol":...}` as in
+//! queries, or `{"quorum_size":k}` for durability). The `config` object takes
+//! `target_nines` plus optional `screen_samples`, `refine_samples`, `seed`,
+//! `rare_event_threshold` and `repair` (`mttr_hours`, `mission_hours`). The
+//! response is one `optimize` event carrying the full report (Pareto frontier
+//! plus every evaluated candidate), then a `done` summary.
 //!
 //! Queries submitted before a previous one finishes run **concurrently** on the
 //! shared worker pool (each plan is submitted as an owned task; its work items
@@ -57,10 +77,15 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fault_model::markov::RepairableGroup;
+use fault_model::mode::FaultProfile;
 use prob_consensus::deployment::Deployment;
 use prob_consensus::durability::PersistenceQuorumModel;
 use prob_consensus::engine::{Budget, EpistemicBudget, FaultEnvironment};
 use prob_consensus::json::JsonValue;
+use prob_consensus::optimize::{
+    optimize, DeploymentSpace, FailureDomains, NodeType, OptimizerConfig, Placement, RepairPolicy,
+    TargetSpec,
+};
 use prob_consensus::protocol::ProtocolModel;
 use prob_consensus::query::{
     AnalysisSession, CellRecord, CorrelationSpec, FaultAxis, Metrics, ProtocolSpec, Query,
@@ -510,6 +535,222 @@ pub fn parse_query(spec: &JsonValue) -> Result<ParsedQuery, String> {
 }
 
 // ---------------------------------------------------------------------------
+// Optimize JSON → `DeploymentSpace` + `OptimizerConfig`
+// ---------------------------------------------------------------------------
+
+/// A parsed `optimize` request body, ready for
+/// [`prob_consensus::optimize::optimize`].
+pub struct ParsedOptimize {
+    /// The deployment search space.
+    pub space: DeploymentSpace,
+    /// The search configuration (target nines, tier budgets, seeds).
+    pub config: OptimizerConfig,
+}
+
+fn parse_space(v: &JsonValue) -> Result<DeploymentSpace, String> {
+    let JsonValue::Object(members) = v else {
+        return Err("space must be an object".to_string());
+    };
+    let mut instances = Vec::new();
+    let mut nodes = Vec::new();
+    let mut domains = None;
+    let mut placements = Vec::new();
+    let mut target = None;
+    for (key, value) in members {
+        match key.as_str() {
+            "instances" => {
+                for instance in value.as_array().ok_or("instances must be an array")? {
+                    if let JsonValue::Object(fields) = instance {
+                        for (sub, _) in fields {
+                            if !matches!(
+                                sub.as_str(),
+                                "name"
+                                    | "fault_probability"
+                                    | "byzantine_probability"
+                                    | "hourly_cost"
+                            ) {
+                                return Err(format!("unknown instance key '{sub}'"));
+                            }
+                        }
+                    }
+                    let name = field(instance, "name", "instance")?
+                        .as_str()
+                        .ok_or("instance: 'name' must be a string")?
+                        .to_string();
+                    let crash = num_field(instance, "fault_probability", "instance")?;
+                    let byzantine = match instance.get("byzantine_probability") {
+                        Some(b) => b
+                            .as_f64()
+                            .ok_or("instance: 'byzantine_probability' must be a number")?,
+                        None => 0.0,
+                    };
+                    let cost = num_field(instance, "hourly_cost", "instance")?;
+                    if !((0.0..=1.0).contains(&crash)
+                        && (0.0..=1.0).contains(&byzantine)
+                        && crash + byzantine <= 1.0)
+                    {
+                        return Err(format!(
+                            "instance '{name}': fault probabilities must lie in [0, 1] and sum \
+                             to at most 1"
+                        ));
+                    }
+                    if !(cost.is_finite() && cost >= 0.0) {
+                        return Err(format!(
+                            "instance '{name}': hourly_cost must be finite and non-negative"
+                        ));
+                    }
+                    instances.push(NodeType::from_profile(
+                        name,
+                        FaultProfile::new(crash, byzantine),
+                        cost,
+                    ));
+                }
+            }
+            "nodes" => {
+                nodes = value
+                    .as_array()
+                    .ok_or("nodes must be an array")?
+                    .iter()
+                    .map(|n| as_usize(n).ok_or("nodes: not a non-negative integer".to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "domains" => {
+                if let JsonValue::Object(fields) = value {
+                    for (sub, _) in fields {
+                        if !matches!(sub.as_str(), "racks" | "shock_probability") {
+                            return Err(format!("unknown domains key '{sub}'"));
+                        }
+                    }
+                }
+                let shock = num_field(value, "shock_probability", "domains")?;
+                if !(0.0..=1.0).contains(&shock) {
+                    return Err("domains: shock_probability must lie in [0, 1]".to_string());
+                }
+                domains = Some(FailureDomains {
+                    racks: usize_field(value, "racks", "domains")?,
+                    shock_probability: shock,
+                });
+            }
+            "placements" => {
+                placements = value
+                    .as_array()
+                    .ok_or("placements must be an array")?
+                    .iter()
+                    .map(|p| match p.as_str() {
+                        Some("same-rack") => Ok(Placement::SameRack),
+                        Some("cross-rack") => Ok(Placement::CrossRack),
+                        _ => Err(
+                            "placements: entries must be \"same-rack\" or \"cross-rack\""
+                                .to_string(),
+                        ),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "target" => {
+                target = Some(if value.get("quorum_size").is_some() {
+                    TargetSpec::PersistenceQuorum {
+                        quorum_size: usize_field(value, "quorum_size", "target")?,
+                    }
+                } else if let Some(protocol) = value.get("protocol") {
+                    TargetSpec::Protocol(parse_protocol(protocol)?)
+                } else {
+                    return Err("target must carry 'protocol' or 'quorum_size'".to_string());
+                });
+            }
+            other => return Err(format!("unknown space key '{other}'")),
+        }
+    }
+    Ok(DeploymentSpace {
+        instances,
+        nodes,
+        domains,
+        placements,
+        target: target.ok_or("space: missing 'target'")?,
+    })
+}
+
+fn parse_optimizer_config(v: &JsonValue) -> Result<OptimizerConfig, String> {
+    let JsonValue::Object(members) = v else {
+        return Err("config must be an object".to_string());
+    };
+    let target = num_field(v, "target_nines", "config")?;
+    // The builder asserts on junk targets; a hostile payload must draw an
+    // `error` event instead of panicking a worker.
+    if !(target.is_finite() && target >= 0.0) {
+        return Err("config: target_nines must be finite and non-negative".to_string());
+    }
+    let mut config = OptimizerConfig::new(target);
+    for (key, value) in members {
+        match key.as_str() {
+            "target_nines" => {}
+            "screen_samples" => {
+                config = config.with_screen_samples(
+                    as_usize(value)
+                        .ok_or("config: 'screen_samples' must be a non-negative integer")?,
+                );
+            }
+            "refine_samples" => {
+                config = config.with_refine_samples(
+                    as_usize(value)
+                        .ok_or("config: 'refine_samples' must be a non-negative integer")?,
+                );
+            }
+            "seed" => {
+                config =
+                    config.with_seed(as_u64(value).ok_or("config: 'seed' must be an integer")?);
+            }
+            "rare_event_threshold" => {
+                let threshold = value
+                    .as_f64()
+                    .ok_or("config: 'rare_event_threshold' must be a number")?;
+                if !(threshold > 0.0 && threshold < 1.0) {
+                    return Err(
+                        "config: rare_event_threshold must lie strictly in (0, 1)".to_string()
+                    );
+                }
+                config = config.with_rare_event_threshold(threshold);
+            }
+            "repair" => {
+                if let JsonValue::Object(fields) = value {
+                    for (sub, _) in fields {
+                        if !matches!(sub.as_str(), "mttr_hours" | "mission_hours") {
+                            return Err(format!("unknown repair key '{sub}'"));
+                        }
+                    }
+                }
+                let mttr_hours = num_field(value, "mttr_hours", "repair")?;
+                let mission_hours = num_field(value, "mission_hours", "repair")?;
+                if !(mttr_hours > 0.0
+                    && mttr_hours.is_finite()
+                    && mission_hours > 0.0
+                    && mission_hours.is_finite())
+                {
+                    return Err("repair: hours must be positive and finite".to_string());
+                }
+                config = config.with_repair(RepairPolicy {
+                    mttr_hours,
+                    mission_hours,
+                });
+            }
+            other => return Err(format!("unknown config key '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
+/// Parses the `space` and `config` members of an `{"op":"optimize"}` request.
+///
+/// Like [`parse_query`], unknown keys anywhere in the payload are rejected: a
+/// misspelled knob silently falling back to its default would hand an operator
+/// a confidently wrong frontier.
+pub fn parse_optimize(request: &JsonValue) -> Result<ParsedOptimize, String> {
+    Ok(ParsedOptimize {
+        space: parse_space(field(request, "space", "optimize request")?)?,
+        config: parse_optimizer_config(field(request, "config", "optimize request")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // The server
 // ---------------------------------------------------------------------------
 
@@ -527,6 +768,8 @@ pub struct ServerStats {
     pub epistemic_cells: u64,
     /// Posterior draws executed across all second-order cells.
     pub posterior_draws: u64,
+    /// Deployment-optimizer searches that ran to completion.
+    pub optimizations_completed: u64,
 }
 
 /// The service: one shared [`AnalysisSession`] (scratch cache + worker pool)
@@ -648,6 +891,10 @@ impl Server {
                 (
                     "posterior_draws".to_string(),
                     JsonValue::number(stats.posterior_draws as f64),
+                ),
+                (
+                    "optimizations_completed".to_string(),
+                    JsonValue::number(stats.optimizations_completed as f64),
                 ),
                 (
                     "plan_wall_ms".to_string(),
@@ -772,6 +1019,79 @@ fn handle_line(server: &Arc<Server>, line: &str, writer: &SharedWriter) -> Actio
                             &error_event(
                                 &id,
                                 format!("execution failed: {}", panic_message(payload)),
+                            ),
+                        );
+                    }
+                }
+            });
+            Action::Spawned(rayon::submit_tasks(1, task))
+        }
+        Some("optimize") => {
+            let parsed = match parse_optimize(&request) {
+                Ok(parsed) => parsed,
+                Err(err) => {
+                    emit(writer, &error_event(&id, err));
+                    return Action::Handled;
+                }
+            };
+            let server = Arc::clone(server);
+            let writer = Arc::clone(writer);
+            // Like queries, the search runs as one owned task on the shared
+            // pool: its per-candidate cells are work-stealing items that
+            // interleave with concurrent plans, and its scratch lands in the
+            // shared cache (optimizer namespace).
+            let task: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(move |_| {
+                let start = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| {
+                    optimize(server.session(), &parsed.space, &parsed.config)
+                })) {
+                    Ok(Ok(report)) => {
+                        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                        {
+                            let mut stats = server.stats.lock().expect("stats lock");
+                            stats.optimizations_completed += 1;
+                            stats.last_plan_wall_ms = wall_ms;
+                            stats.total_plan_wall_ms += wall_ms;
+                        }
+                        emit(
+                            &writer,
+                            &event(
+                                &id,
+                                "optimize",
+                                vec![("report".to_string(), report.to_json_value())],
+                            ),
+                        );
+                        emit(
+                            &writer,
+                            &event(
+                                &id,
+                                "done",
+                                vec![
+                                    (
+                                        "frontier".to_string(),
+                                        JsonValue::number(report.frontier.len() as f64),
+                                    ),
+                                    (
+                                        "evaluated".to_string(),
+                                        JsonValue::number(report.evaluated.len() as f64),
+                                    ),
+                                    ("wall_ms".to_string(), JsonValue::number(wall_ms)),
+                                ],
+                            ),
+                        );
+                    }
+                    Ok(Err(err)) => {
+                        emit(
+                            &writer,
+                            &error_event(&id, format!("optimize failed: {err}")),
+                        );
+                    }
+                    Err(payload) => {
+                        emit(
+                            &writer,
+                            &error_event(
+                                &id,
+                                format!("optimize failed: {}", panic_message(payload)),
                             ),
                         );
                     }
@@ -1511,6 +1831,101 @@ mod tests {
                 .err()
                 .unwrap_or_else(|| panic!("{bad} should be rejected"));
             assert!(err.contains(needle), "error for {bad} was '{err}'");
+        }
+    }
+
+    #[test]
+    fn parse_optimize_covers_every_knob() {
+        let request = JsonValue::parse(
+            r#"{"space":{"instances":[{"name":"spot","fault_probability":0.08,"byzantine_probability":0.001,"hourly_cost":0.10}],
+                         "nodes":[3,5],
+                         "domains":{"racks":4,"shock_probability":0.02},
+                         "placements":["same-rack","cross-rack"],
+                         "target":{"quorum_size":2}},
+                "config":{"target_nines":3.5,"screen_samples":5000,"refine_samples":20000,"seed":9,
+                          "rare_event_threshold":1e-7,
+                          "repair":{"mttr_hours":12.0,"mission_hours":8766.0}}}"#,
+        )
+        .expect("fixture parses");
+        let parsed = parse_optimize(&request).expect("fixture is a valid request");
+        assert_eq!(parsed.space.instances.len(), 1);
+        assert_eq!(parsed.space.nodes, vec![3, 5]);
+        assert_eq!(parsed.space.placements.len(), 2);
+        assert!(matches!(
+            parsed.space.target,
+            TargetSpec::PersistenceQuorum { quorum_size: 2 }
+        ));
+        assert!((parsed.config.target_nines - 3.5).abs() < 1e-12);
+        assert_eq!(parsed.config.screen_samples, 5_000);
+        assert_eq!(parsed.config.refine_samples, 20_000);
+        assert!(parsed.config.repair.is_some());
+        // A protocol target parses through the query-side protocol grammar.
+        let request = JsonValue::parse(
+            r#"{"space":{"instances":[{"name":"a","fault_probability":0.01,"hourly_cost":1.0}],
+                         "nodes":[5],"target":{"protocol":{"raft_flexible":{"q_per":2,"q_vc":4}}}},
+                "config":{"target_nines":2.0}}"#,
+        )
+        .unwrap();
+        let parsed = parse_optimize(&request).expect("flexible-quorum target parses");
+        assert!(matches!(
+            parsed.space.target,
+            TargetSpec::Protocol(ProtocolSpec::RaftFlexible { q_per: 2, q_vc: 4 })
+        ));
+    }
+
+    #[test]
+    fn parse_optimize_rejects_unknown_keys_and_bad_values() {
+        let valid_space = r#"{"instances":[{"name":"a","fault_probability":0.01,"hourly_cost":1.0}],"nodes":[3],"target":{"protocol":"raft"}}"#;
+        for (bad, needle) in [
+            (
+                format!(r#"{{"space":{valid_space}}}"#),
+                "missing 'config'".to_string(),
+            ),
+            (
+                format!(r#"{{"space":{valid_space},"config":{{"target_nines":3.0,"scren_samples":1}}}}"#),
+                "unknown config key 'scren_samples'".to_string(),
+            ),
+            (
+                format!(r#"{{"space":{valid_space},"config":{{"target_nines":-1.0}}}}"#),
+                "target_nines".to_string(),
+            ),
+            (
+                format!(r#"{{"space":{valid_space},"config":{{"target_nines":3.0,"rare_event_threshold":0.0}}}}"#),
+                "rare_event_threshold".to_string(),
+            ),
+            (
+                format!(r#"{{"space":{valid_space},"config":{{"target_nines":3.0,"repair":{{"mttr_hours":12.0,"mission_hours":0.0}}}}}}"#),
+                "positive".to_string(),
+            ),
+            (
+                r#"{"space":{"instances":[{"name":"a","fault_probability":1.5,"hourly_cost":1.0}],"nodes":[3],"target":{"protocol":"raft"}},"config":{"target_nines":3.0}}"#.to_string(),
+                "[0, 1]".to_string(),
+            ),
+            (
+                r#"{"space":{"instances":[{"name":"a","fault_probability":0.01,"hourly_cost":1.0,"color":"red"}],"nodes":[3],"target":{"protocol":"raft"}},"config":{"target_nines":3.0}}"#.to_string(),
+                "unknown instance key 'color'".to_string(),
+            ),
+            (
+                r#"{"space":{"instances":[],"nodes":[3],"racks":4,"target":{"protocol":"raft"}},"config":{"target_nines":3.0}}"#.to_string(),
+                "unknown space key 'racks'".to_string(),
+            ),
+            (
+                r#"{"space":{"instances":[],"nodes":[3],"placements":["diagonal"],"target":{"protocol":"raft"}},"config":{"target_nines":3.0}}"#.to_string(),
+                "same-rack".to_string(),
+            ),
+            (
+                r#"{"space":{"instances":[],"nodes":[3],"target":{"tier":"gold"}},"config":{"target_nines":3.0}}"#.to_string(),
+                "'protocol' or 'quorum_size'".to_string(),
+            ),
+            (
+                r#"{"space":{"instances":[],"nodes":[3]},"config":{"target_nines":3.0}}"#.to_string(),
+                "missing 'target'".to_string(),
+            ),
+        ] {
+            let err = parse_optimize(&JsonValue::parse(&bad).unwrap())
+                .err()
+                .unwrap_or_else(|| panic!("{bad} should be rejected"));
+            assert!(err.contains(&needle), "error for {bad} was '{err}'");
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Property-based verification of the deployment optimizer's frontier
+//! invariants (`crates/core/src/optimize.rs`):
+//!
+//! * the returned frontier is Pareto non-dominated,
+//! * sorted by ascending cost (strictly — ties are resolved before emission),
+//! * every frontier member meets the claimed nines per its own CI lower bound,
+//! * and adding budget never *removes* a feasible frontier point.
+//!
+//! Randomized spaces stick to counting-exact Raft grids so the properties are
+//! deterministic facts about the search logic, not flaky statements about
+//! sampling noise; one fixed-seed Monte Carlo case pins the sampling side.
+
+use prob_consensus::optimize::{
+    optimize, DeploymentSpace, FailureDomains, NodeType, OptimizerConfig, Placement, TargetSpec,
+};
+use prob_consensus::query::{AnalysisSession, ProtocolSpec};
+use proptest::prelude::*;
+
+/// A randomized Raft deployment space: 1–3 catalogue entries with fault
+/// probabilities spread over two orders of magnitude and prices over three,
+/// crossed with 1–3 odd cluster sizes — every candidate counting-exact.
+fn arb_space() -> impl Strategy<Value = DeploymentSpace> {
+    (
+        proptest::collection::vec((1u32..80, 1u32..1_000), 1..4),
+        proptest::collection::vec(1usize..6, 1..4),
+    )
+        .prop_map(|(instances, node_steps)| DeploymentSpace {
+            instances: instances
+                .into_iter()
+                .enumerate()
+                .map(|(i, (fault_milli, price_milli))| {
+                    NodeType::new(
+                        format!("type-{i}"),
+                        f64::from(fault_milli) / 1_000.0,
+                        f64::from(price_milli) / 100.0,
+                    )
+                })
+                .collect(),
+            // Odd sizes 3..=11: all counting-exact through RaftModel.
+            nodes: node_steps.into_iter().map(|s| 2 * s + 1).collect(),
+            domains: None,
+            placements: Vec::new(),
+            target: TargetSpec::Protocol(ProtocolSpec::Raft),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No frontier member may dominate another: for any pair, the cheaper one
+    /// must have strictly fewer nines and vice versa.
+    #[test]
+    fn frontier_is_pareto_non_dominated(space in arb_space(), target_deci in 5u32..45) {
+        let session = AnalysisSession::new();
+        let target = f64::from(target_deci) / 10.0;
+        let report = optimize(&session, &space, &OptimizerConfig::new(target)).unwrap();
+        for a in &report.frontier {
+            for b in &report.frontier {
+                if a.label != b.label {
+                    prop_assert!(
+                        !(b.hourly_cost <= a.hourly_cost && b.nines >= a.nines),
+                        "{} (${}, {} nines) dominates {} (${}, {} nines)",
+                        b.label, b.hourly_cost, b.nines, a.label, a.hourly_cost, a.nines
+                    );
+                }
+            }
+        }
+    }
+
+    /// The frontier is sorted by strictly ascending cost and strictly
+    /// ascending nines.
+    #[test]
+    fn frontier_is_sorted_by_cost(space in arb_space(), target_deci in 5u32..45) {
+        let session = AnalysisSession::new();
+        let target = f64::from(target_deci) / 10.0;
+        let report = optimize(&session, &space, &OptimizerConfig::new(target)).unwrap();
+        for pair in report.frontier.windows(2) {
+            prop_assert!(pair[0].hourly_cost < pair[1].hourly_cost);
+            prop_assert!(pair[0].nines < pair[1].nines);
+        }
+    }
+
+    /// Every frontier member's *conservative* bound — not just its point
+    /// estimate — meets the claimed target.
+    #[test]
+    fn frontier_members_meet_target_per_ci_lower_bound(
+        space in arb_space(),
+        target_deci in 5u32..45,
+    ) {
+        let session = AnalysisSession::new();
+        let target = f64::from(target_deci) / 10.0;
+        let report = optimize(&session, &space, &OptimizerConfig::new(target)).unwrap();
+        for record in &report.frontier {
+            prop_assert!(record.feasible);
+            prop_assert!(
+                fault_model::metrics::Nines::from_probability(record.ci_lower).meets(target),
+                "{}: ci_lower {} misses {target} nines",
+                record.label,
+                record.ci_lower
+            );
+            // The degenerate-interval contract for exact engines.
+            if record.exact {
+                prop_assert!(record.ci_lower == record.probability);
+                prop_assert!(record.ci_upper == record.probability);
+            }
+        }
+    }
+
+    /// Budget monotonicity over exact spaces: raising either tier's sample
+    /// budget cannot change — in particular cannot *remove* — any frontier
+    /// point, because exact cells ignore the sample knob.
+    #[test]
+    fn adding_budget_never_removes_exact_frontier_points(
+        space in arb_space(),
+        target_deci in 5u32..45,
+        extra in 1usize..8,
+    ) {
+        let session = AnalysisSession::new();
+        let target = f64::from(target_deci) / 10.0;
+        let base = OptimizerConfig::new(target).with_screen_samples(2_000);
+        let bigger = base
+            .with_screen_samples(2_000 * (1 + extra))
+            .with_refine_samples(200_000 * (1 + extra));
+        let small = optimize(&session, &space, &base).unwrap();
+        let large = optimize(&session, &space, &bigger).unwrap();
+        for record in &small.frontier {
+            prop_assert!(
+                large.frontier.iter().any(|r| r.label == record.label),
+                "frontier point {} vanished when the budget grew",
+                record.label
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Heterogeneous node types through the same invariants: randomized
+    /// per-type profiles with a Byzantine component, PBFT target.
+    #[test]
+    fn pbft_spaces_hold_the_same_invariants(nodes in proptest::collection::vec(1usize..4, 1..3)) {
+        let session = AnalysisSession::new();
+        let space = DeploymentSpace {
+            instances: vec![
+                NodeType::from_profile(
+                    "mercurial",
+                    fault_model::mode::FaultProfile::new(0.04, 0.0001),
+                    0.50,
+                ),
+                NodeType::new("solid", 0.01, 1.00),
+            ],
+            nodes: nodes.into_iter().map(|s| 3 * s + 1).collect(),
+            domains: None,
+            placements: Vec::new(),
+            target: TargetSpec::Protocol(ProtocolSpec::Pbft),
+        };
+        let report = optimize(&session, &space, &OptimizerConfig::new(2.0)).unwrap();
+        for pair in report.frontier.windows(2) {
+            prop_assert!(pair[0].hourly_cost < pair[1].hourly_cost);
+            prop_assert!(pair[0].nines < pair[1].nines);
+        }
+        prop_assert!(report.frontier.iter().all(|r| r.feasible));
+    }
+}
+
+/// The sampling half of budget monotonicity, pinned at a fixed seed: a
+/// placement-sensitive durability space where the winner is resolved by
+/// importance sampling. Feasible frontier points must survive a 4x budget
+/// increase (same seeds, tighter intervals).
+#[test]
+fn sampling_frontier_survives_budget_increase_at_fixed_seed() {
+    let session = AnalysisSession::new();
+    let space = DeploymentSpace {
+        instances: vec![NodeType::new("spot", 0.10, 0.10)],
+        nodes: vec![40],
+        domains: Some(FailureDomains {
+            racks: 8,
+            shock_probability: 0.01,
+        }),
+        placements: vec![Placement::SameRack, Placement::CrossRack],
+        target: TargetSpec::PersistenceQuorum { quorum_size: 5 },
+    };
+    // Cross-rack loss is ~(p + shock)^5 ≈ 1.6e-5 (~4.8 nines): feasible at 4
+    // nines, deep enough that the refinement tier resolves it by sampling.
+    let base = OptimizerConfig::new(4.0)
+        .with_screen_samples(10_000)
+        .with_refine_samples(40_000)
+        .with_seed(7);
+    let small = optimize(&session, &space, &base).unwrap();
+    let large = optimize(
+        &session,
+        &space,
+        &base
+            .with_screen_samples(40_000)
+            .with_refine_samples(160_000),
+    )
+    .unwrap();
+    assert!(
+        !small.frontier.is_empty(),
+        "cross-rack placement reaches 4 nines"
+    );
+    for record in &small.frontier {
+        assert!(
+            large.frontier.iter().any(|r| r.label == record.label),
+            "sampling frontier point {} vanished when the budget grew",
+            record.label
+        );
+    }
+}
+
+/// `evaluated` keeps deterministic grid order and full coverage: every valid
+/// candidate shows up exactly once, feasible or not.
+#[test]
+fn evaluated_covers_the_whole_grid_in_order() {
+    let session = AnalysisSession::new();
+    let space = DeploymentSpace {
+        instances: vec![NodeType::new("a", 0.01, 1.0), NodeType::new("b", 0.08, 0.1)],
+        nodes: vec![3, 5],
+        domains: None,
+        placements: Vec::new(),
+        target: TargetSpec::Protocol(ProtocolSpec::Raft),
+    };
+    let report = optimize(&session, &space, &OptimizerConfig::new(3.0)).unwrap();
+    let labels: Vec<&str> = report.evaluated.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, ["a/N=3", "a/N=5", "b/N=3", "b/N=5"]);
+    assert_eq!(report.screened, 4);
+}

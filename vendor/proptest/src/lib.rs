@@ -124,6 +124,26 @@ pub mod strategy {
     }
 
     impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+    // Tuples of strategies are strategies over tuples of their values, mirroring
+    // upstream proptest's tuple composition (`(a, b).prop_map(...)`). Components
+    // sample left to right from the one RNG stream, so a tuple draw is
+    // deterministic per seed like every other strategy here.
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A 0, B 1);
+    impl_tuple_strategy!(A 0, B 1, C 2);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3);
 }
 
 pub mod collection {
